@@ -1,0 +1,393 @@
+//! An Amazon CloudWatch + Auto Scaling style rule engine (§7 of the
+//! paper: "The Amazon Cloud Watch service gathers system metrics while the
+//! Auto Scaling allows a user to define rules based on such metrics").
+//!
+//! Like tiramola, this baseline is oblivious to the NoSQL layer: rules
+//! watch aggregated *system* metrics and add/remove whole homogeneous
+//! nodes. Unlike [`crate::tiramola`], which hard-codes the CIKM'11
+//! behaviour, this engine evaluates arbitrary user-defined alarms —
+//! matching how one would actually deploy CloudWatch against an HBase
+//! fleet.
+
+use cluster::admin::{ElasticCluster, ServerHealth};
+use hstore::StoreConfig;
+use simcore::{SimDuration, SimTime};
+
+/// Which system metric an alarm watches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// CPU utilization.
+    Cpu,
+    /// I/O wait.
+    IoWait,
+    /// Memory utilization.
+    Memory,
+    /// Requests per second (per node).
+    Rps,
+}
+
+/// How per-node samples aggregate into the alarm's statistic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregate {
+    /// Fleet average.
+    Average,
+    /// Busiest node.
+    Max,
+    /// Idlest node.
+    Min,
+}
+
+/// Alarm comparison direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Comparison {
+    /// Fires when the statistic exceeds the threshold.
+    GreaterThan,
+    /// Fires when the statistic falls below the threshold.
+    LessThan,
+}
+
+/// What a fired alarm does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalingAction {
+    /// Provision this many nodes.
+    Add(usize),
+    /// Decommission this many nodes.
+    Remove(usize),
+}
+
+/// One user-defined scaling rule.
+#[derive(Debug, Clone)]
+pub struct Rule {
+    /// Metric watched.
+    pub metric: Metric,
+    /// Aggregation statistic.
+    pub aggregate: Aggregate,
+    /// Comparison direction.
+    pub comparison: Comparison,
+    /// Threshold value.
+    pub threshold: f64,
+    /// Consecutive breaching evaluation periods required before firing
+    /// (CloudWatch's "datapoints to alarm").
+    pub periods: usize,
+    /// Action on firing.
+    pub action: ScalingAction,
+}
+
+impl Rule {
+    /// The classic scale-out rule: average CPU above `threshold` for
+    /// `periods` samples adds one node.
+    pub fn scale_out_on_cpu(threshold: f64, periods: usize) -> Rule {
+        Rule {
+            metric: Metric::Cpu,
+            aggregate: Aggregate::Average,
+            comparison: Comparison::GreaterThan,
+            threshold,
+            periods,
+            action: ScalingAction::Add(1),
+        }
+    }
+
+    /// The classic scale-in rule: the busiest node's CPU below `threshold`
+    /// for `periods` samples removes one node (tiramola's "every node
+    /// underutilized" semantics, expressed as a Max aggregate).
+    pub fn scale_in_on_idle(threshold: f64, periods: usize) -> Rule {
+        Rule {
+            metric: Metric::Cpu,
+            aggregate: Aggregate::Max,
+            comparison: Comparison::LessThan,
+            threshold,
+            periods,
+            action: ScalingAction::Remove(1),
+        }
+    }
+}
+
+/// The rule engine.
+pub struct AutoScaler {
+    rules: Vec<Rule>,
+    breach_counts: Vec<usize>,
+    node_config: StoreConfig,
+    sample_interval: SimDuration,
+    cooldown: SimDuration,
+    min_nodes: usize,
+    max_nodes: usize,
+    last_sample: Option<SimTime>,
+    last_action: Option<SimTime>,
+    actions: Vec<(SimTime, ScalingAction)>,
+}
+
+impl AutoScaler {
+    /// Creates an engine over the given rules.
+    pub fn new(
+        rules: Vec<Rule>,
+        node_config: StoreConfig,
+        sample_interval: SimDuration,
+        cooldown: SimDuration,
+        min_nodes: usize,
+        max_nodes: usize,
+    ) -> Self {
+        assert!(!rules.is_empty(), "an autoscaler needs at least one rule");
+        assert!(min_nodes >= 1 && max_nodes >= min_nodes);
+        let n = rules.len();
+        AutoScaler {
+            rules,
+            breach_counts: vec![0; n],
+            node_config,
+            sample_interval,
+            cooldown,
+            min_nodes,
+            max_nodes,
+            last_sample: None,
+            last_action: None,
+            actions: Vec::new(),
+        }
+    }
+
+    /// Scaling actions taken so far.
+    pub fn actions(&self) -> &[(SimTime, ScalingAction)] {
+        &self.actions
+    }
+
+    fn statistic(
+        &self,
+        rule: &Rule,
+        nodes: &[(f64, f64, f64, f64)], // (cpu, io, mem, rps)
+    ) -> f64 {
+        let values: Vec<f64> = nodes
+            .iter()
+            .map(|(cpu, io, mem, rps)| match rule.metric {
+                Metric::Cpu => *cpu,
+                Metric::IoWait => *io,
+                Metric::Memory => *mem,
+                Metric::Rps => *rps,
+            })
+            .collect();
+        match rule.aggregate {
+            Aggregate::Average => values.iter().sum::<f64>() / values.len() as f64,
+            Aggregate::Max => values.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            Aggregate::Min => values.iter().cloned().fold(f64::INFINITY, f64::min),
+        }
+    }
+
+    /// Drives the engine for one simulation tick.
+    pub fn tick(&mut self, cluster: &mut dyn ElasticCluster) {
+        let now = cluster.now();
+        let due = match self.last_sample {
+            None => true,
+            Some(t) => now.since(t) >= self.sample_interval,
+        };
+        if !due {
+            return;
+        }
+        self.last_sample = Some(now);
+
+        let snapshot = cluster.snapshot();
+        let nodes: Vec<(f64, f64, f64, f64)> = snapshot
+            .servers
+            .iter()
+            .filter(|s| s.health == ServerHealth::Online)
+            .map(|s| (s.cpu_util, s.io_wait, s.mem_util, s.requests_per_sec))
+            .collect();
+        if nodes.is_empty() {
+            return;
+        }
+        let provisioning =
+            snapshot.servers.iter().any(|s| s.health == ServerHealth::Provisioning);
+
+        // Evaluate every alarm's breach streak even during cooldown — the
+        // streak is a property of the metric, not of our ability to act.
+        let mut fired: Option<ScalingAction> = None;
+        for (i, rule) in self.rules.iter().enumerate() {
+            let stat = self.statistic(rule, &nodes);
+            let breached = match rule.comparison {
+                Comparison::GreaterThan => stat > rule.threshold,
+                Comparison::LessThan => stat < rule.threshold,
+            };
+            if breached {
+                self.breach_counts[i] += 1;
+                if self.breach_counts[i] >= rule.periods && fired.is_none() {
+                    fired = Some(rule.action);
+                }
+            } else {
+                self.breach_counts[i] = 0;
+            }
+        }
+
+        let Some(action) = fired else { return };
+        if provisioning {
+            return; // a scaling activity is already in flight
+        }
+        if let Some(t) = self.last_action {
+            if now.since(t) < self.cooldown {
+                return;
+            }
+        }
+        let online = snapshot.online_servers();
+        match action {
+            ScalingAction::Add(n) => {
+                let room = self.max_nodes.saturating_sub(online.len());
+                for _ in 0..n.min(room) {
+                    if cluster.provision_server(self.node_config.clone()).is_err() {
+                        break;
+                    }
+                }
+                if room > 0 {
+                    self.record(now, action);
+                }
+            }
+            ScalingAction::Remove(n) => {
+                let removable = online.len().saturating_sub(self.min_nodes);
+                let mut removed = 0;
+                for server in online.iter().rev().take(n.min(removable)) {
+                    if cluster.decommission_server(*server).is_ok() {
+                        removed += 1;
+                    }
+                }
+                if removed > 0 {
+                    self.record(now, action);
+                }
+            }
+        }
+    }
+
+    fn record(&mut self, now: SimTime, action: ScalingAction) {
+        self.actions.push((now, action));
+        self.last_action = Some(now);
+        for c in &mut self.breach_counts {
+            *c = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::{ClientGroup, CostParams, OpMix, PartitionId, PartitionSpec, SimCluster};
+
+    fn busy_sim(seed: u64) -> SimCluster {
+        let mut sim = SimCluster::new(CostParams::default(), seed);
+        for _ in 0..2 {
+            sim.add_server_immediate(StoreConfig::default_homogeneous());
+        }
+        let parts: Vec<PartitionId> = (0..6)
+            .map(|_| {
+                sim.create_partition(PartitionSpec {
+                    table: "t".into(),
+                    size_bytes: 2e9,
+                    record_bytes: 1_450.0,
+                    hot_set_fraction: 0.4,
+                    hot_ops_fraction: 0.5,
+                })
+            })
+            .collect();
+        sim.random_balance_unassigned();
+        let w = 1.0 / parts.len() as f64;
+        sim.add_group(ClientGroup::with_common_weights(
+            "load",
+            500.0,
+            1.0,
+            None,
+            OpMix::new(0.6, 0.4, 0.0),
+            parts.iter().map(|p| (*p, w)).collect(),
+            1.0,
+            0.0,
+        ));
+        sim
+    }
+
+    #[test]
+    fn scale_out_rule_fires_after_consecutive_breaches() {
+        let mut sim = busy_sim(1);
+        let rule = Rule {
+            metric: Metric::IoWait,
+            aggregate: Aggregate::Average,
+            comparison: Comparison::GreaterThan,
+            threshold: 0.5,
+            periods: 3,
+            action: ScalingAction::Add(1),
+        };
+        let mut scaler = AutoScaler::new(
+            vec![rule],
+            StoreConfig::default_homogeneous(),
+            SimDuration::from_secs(30),
+            SimDuration::from_mins(2),
+            1,
+            8,
+        );
+        for _ in 0..(8 * 60) {
+            sim.step();
+            scaler.tick(&mut sim);
+        }
+        assert!(!scaler.actions().is_empty(), "overload never triggered the alarm");
+        assert!(sim.online_server_ids().len() > 2);
+    }
+
+    #[test]
+    fn max_nodes_caps_growth() {
+        let mut sim = busy_sim(2);
+        let mut scaler = AutoScaler::new(
+            vec![Rule {
+                metric: Metric::IoWait,
+                aggregate: Aggregate::Average,
+                comparison: Comparison::GreaterThan,
+                threshold: 0.1,
+                periods: 1,
+                action: ScalingAction::Add(2),
+            }],
+            StoreConfig::default_homogeneous(),
+            SimDuration::from_secs(30),
+            SimDuration::from_secs(30),
+            1,
+            4,
+        );
+        for _ in 0..(10 * 60) {
+            sim.step();
+            scaler.tick(&mut sim);
+        }
+        assert!(sim.online_server_ids().len() <= 4, "max_nodes violated");
+    }
+
+    #[test]
+    fn scale_in_respects_min_nodes_and_requires_quiet() {
+        let mut sim = busy_sim(3);
+        let mut scaler = AutoScaler::new(
+            vec![Rule::scale_in_on_idle(0.05, 2)],
+            StoreConfig::default_homogeneous(),
+            SimDuration::from_secs(30),
+            SimDuration::from_secs(30),
+            2,
+            8,
+        );
+        // Busy cluster: the idle rule must not fire.
+        for _ in 0..(5 * 60) {
+            sim.step();
+            scaler.tick(&mut sim);
+        }
+        assert_eq!(sim.online_server_ids().len(), 2, "removed while busy");
+        // Quiet cluster: it may fire, but never below min_nodes (2).
+        sim.set_group_active("load", false);
+        for _ in 0..(10 * 60) {
+            sim.step();
+            scaler.tick(&mut sim);
+        }
+        assert_eq!(sim.online_server_ids().len(), 2, "violated min_nodes");
+    }
+
+    #[test]
+    fn breach_streak_resets_on_recovery() {
+        let mut sim = busy_sim(4);
+        let mut scaler = AutoScaler::new(
+            vec![Rule::scale_out_on_cpu(0.99, 1_000_000)], // effectively never
+            StoreConfig::default_homogeneous(),
+            SimDuration::from_secs(30),
+            SimDuration::from_secs(30),
+            1,
+            8,
+        );
+        for _ in 0..(3 * 60) {
+            sim.step();
+            scaler.tick(&mut sim);
+        }
+        assert!(scaler.actions().is_empty());
+    }
+}

@@ -1,0 +1,245 @@
+//! The tiramola baseline (Konstantinou et al., CIKM'11), as characterized
+//! in §6.4 and §7 of the MeT paper.
+//!
+//! tiramola (like Amazon CloudWatch + Auto Scaling) watches user-defined
+//! thresholds on *system* metrics only and adds or removes whole nodes:
+//!
+//! * it is oblivious to the NoSQL layer — no reconfiguration, no data
+//!   balancing, no migrations (HBase's own randomized count balancer does
+//!   whatever balancing happens);
+//! * every node runs the same homogeneous configuration;
+//! * it "only releases resources when every node in the cluster is
+//!   underutilized", which cannot be parameterized (§6.4).
+
+use cluster::admin::{ElasticCluster, ServerHealth};
+use hstore::StoreConfig;
+use simcore::smoothing::ExpSmoother;
+use simcore::{SimDuration, SimTime};
+
+/// tiramola's thresholds and timing.
+#[derive(Debug, Clone)]
+pub struct TiramolaConfig {
+    /// Sampling period (same 30 s as MeT, per §6.1 "the period of 30
+    /// seconds is the same used by other approaches \[13\]").
+    pub monitor_interval: SimDuration,
+    /// Samples before acting.
+    pub min_samples: usize,
+    /// Add a node when average CPU exceeds this.
+    pub cpu_high: f64,
+    /// A node counts as underutilized below this.
+    pub cpu_low: f64,
+    /// Minimum time between scaling actions (lets a booted node take
+    /// effect before the next decision).
+    pub action_cooldown: SimDuration,
+}
+
+impl Default for TiramolaConfig {
+    fn default() -> Self {
+        TiramolaConfig {
+            monitor_interval: SimDuration::from_secs(30),
+            min_samples: 6,
+            cpu_high: 0.85,
+            cpu_low: 0.30,
+            action_cooldown: SimDuration::from_mins(3),
+        }
+    }
+}
+
+/// The tiramola autoscaler.
+pub struct Tiramola {
+    cfg: TiramolaConfig,
+    node_config: StoreConfig,
+    cpu: ExpSmoother,
+    max_underutil_cpu: ExpSmoother,
+    last_sample: Option<SimTime>,
+    last_action: Option<SimTime>,
+    additions: u64,
+    removals: u64,
+}
+
+impl Tiramola {
+    /// Creates a tiramola instance deploying `node_config` on every node
+    /// it adds.
+    pub fn new(cfg: TiramolaConfig, node_config: StoreConfig) -> Self {
+        Tiramola {
+            cpu: ExpSmoother::new(0.5),
+            max_underutil_cpu: ExpSmoother::new(0.5),
+            cfg,
+            node_config,
+            last_sample: None,
+            last_action: None,
+            additions: 0,
+            removals: 0,
+        }
+    }
+
+    /// Nodes added so far.
+    pub fn additions(&self) -> u64 {
+        self.additions
+    }
+
+    /// Nodes removed so far.
+    pub fn removals(&self) -> u64 {
+        self.removals
+    }
+
+    /// Drives tiramola for one simulation tick.
+    pub fn tick(&mut self, cluster: &mut dyn ElasticCluster) {
+        let now = cluster.now();
+        let due = match self.last_sample {
+            None => true,
+            Some(t) => now.since(t) >= self.cfg.monitor_interval,
+        };
+        if !due {
+            return;
+        }
+        self.last_sample = Some(now);
+
+        let snapshot = cluster.snapshot();
+        let online: Vec<_> = snapshot
+            .servers
+            .iter()
+            .filter(|s| s.health == ServerHealth::Online)
+            .collect();
+        // Nodes still provisioning gate scaling decisions: CloudWatch-style
+        // rules pause while a scaling activity is in flight.
+        let provisioning = snapshot
+            .servers
+            .iter()
+            .any(|s| s.health == ServerHealth::Provisioning);
+        if online.is_empty() {
+            return;
+        }
+        // tiramola watches system-level metrics (CPU, memory, I/O); a
+        // node's utilization is its busiest resource.
+        let util = |s: &&cluster::admin::ServerMetrics| s.cpu_util.max(s.io_wait);
+        let avg_cpu = online.iter().map(util).sum::<f64>() / online.len() as f64;
+        // The removal rule needs *every* node underutilized: track the
+        // busiest node.
+        let max_cpu = online.iter().map(util).fold(0.0, f64::max);
+        self.cpu.observe(avg_cpu);
+        self.max_underutil_cpu.observe(max_cpu);
+        if self.cpu.samples() < self.cfg.min_samples || provisioning {
+            return;
+        }
+        if let Some(t) = self.last_action {
+            if now.since(t) < self.cfg.action_cooldown {
+                return;
+            }
+        }
+
+        let smoothed_avg = self.cpu.value().expect("samples checked");
+        let smoothed_max = self.max_underutil_cpu.value().expect("samples checked");
+        if smoothed_avg > self.cfg.cpu_high {
+            if cluster.provision_server(self.node_config.clone()).is_ok() {
+                self.additions += 1;
+                self.last_action = Some(now);
+                self.reset_window();
+            }
+        } else if smoothed_max < self.cfg.cpu_low && online.len() > 1 {
+            // Every node underutilized → release one (the last).
+            let victim = online.last().expect("non-empty").server;
+            if cluster.decommission_server(victim).is_ok() {
+                self.removals += 1;
+                self.last_action = Some(now);
+                self.reset_window();
+            }
+        }
+    }
+
+    fn reset_window(&mut self) {
+        self.cpu.reset();
+        self.max_underutil_cpu.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::{ClientGroup, CostParams, OpMix, PartitionId, PartitionSpec, SimCluster};
+
+    fn overloaded_cluster(seed: u64) -> SimCluster {
+        let mut sim = SimCluster::new(CostParams::default(), seed);
+        for _ in 0..2 {
+            sim.add_server_immediate(StoreConfig::default_homogeneous());
+        }
+        let parts: Vec<PartitionId> = (0..6)
+            .map(|_| {
+                sim.create_partition(PartitionSpec {
+                    table: "t".into(),
+                    size_bytes: 2e9,
+                    record_bytes: 1_000.0,
+                    hot_set_fraction: 0.4,
+                    hot_ops_fraction: 0.5,
+                })
+            })
+            .collect();
+        sim.random_balance_unassigned();
+        sim.set_auto_balance(Some(SimDuration::from_mins(5)));
+        let w = 1.0 / parts.len() as f64;
+        sim.add_group(ClientGroup::with_common_weights(
+            "load",
+            400.0,
+            0.5,
+            None,
+            OpMix::new(0.65, 0.35, 0.0),
+            parts.iter().map(|p| (*p, w)).collect(),
+            1.0,
+            0.0,
+        ));
+        sim
+    }
+
+    #[test]
+    fn adds_nodes_under_overload() {
+        let mut sim = overloaded_cluster(1);
+        let mut t = Tiramola::new(TiramolaConfig::default(), StoreConfig::default_homogeneous());
+        for _ in 0..(12 * 60) {
+            sim.step();
+            t.tick(&mut sim);
+        }
+        assert!(t.additions() >= 1, "tiramola never scaled up");
+        assert!(sim.online_server_ids().len() >= 3);
+    }
+
+    #[test]
+    fn removes_only_when_all_nodes_idle() {
+        let mut sim = SimCluster::new(CostParams::default(), 2);
+        for _ in 0..4 {
+            sim.add_server_immediate(StoreConfig::default_homogeneous());
+        }
+        let hot = sim.create_partition(PartitionSpec {
+            table: "t".into(),
+            size_bytes: 1e9,
+            record_bytes: 1_000.0,
+            hot_set_fraction: 0.4,
+            hot_ops_fraction: 0.5,
+        });
+        sim.random_balance_unassigned();
+        // One busy node, three idle: tiramola must NOT remove.
+        sim.add_group(ClientGroup::with_common_weights(
+            "hot",
+            200.0,
+            0.5,
+            None,
+            OpMix::read_only(),
+            vec![(hot, 1.0)],
+            1.0,
+            0.0,
+        ));
+        let mut t = Tiramola::new(TiramolaConfig::default(), StoreConfig::default_homogeneous());
+        for _ in 0..(10 * 60) {
+            sim.step();
+            t.tick(&mut sim);
+        }
+        assert_eq!(t.removals(), 0, "removed despite a busy node");
+
+        // Kill the load: now everything idles and removal may proceed.
+        sim.set_group_active("hot", false);
+        for _ in 0..(10 * 60) {
+            sim.step();
+            t.tick(&mut sim);
+        }
+        assert!(t.removals() >= 1, "never scaled down an idle cluster");
+    }
+}

@@ -1,0 +1,26 @@
+//! Criterion bench for the Figure 1 experiment: one shortened run (2 + 4
+//! simulated minutes) per §3.3 strategy. The full figure is produced by
+//! the `exp-fig1` binary; this bench tracks the harness's simulation cost
+//! per strategy so regressions in the hot path (equilibrium solver, cache
+//! model) are caught.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use met_bench::fig1::{run_once, Strategy};
+use std::hint::black_box;
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1");
+    group.sample_size(10);
+    for strategy in Strategy::ALL {
+        group.bench_function(strategy.label(), |b| {
+            b.iter(|| {
+                let run = run_once(black_box(strategy), 42, 4);
+                black_box(run.total)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion bench for the Figure 4 experiment: a shortened (2 + 8 minute)
+//! MeT convergence run — cluster simulation with the full control loop
+//! (monitor, decision maker, actuator) in the hot path. The full figure is
+//! produced by the `exp-fig4` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use met_bench::fig4::run_met_curve;
+use std::hint::black_box;
+
+fn bench_convergence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    group.bench_function("met-convergence-8min", |b| {
+        b.iter(|| {
+            let (series, reconfigs) = run_met_curve(black_box(42), 8);
+            black_box((series.total(), reconfigs))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_convergence);
+criterion_main!(benches);

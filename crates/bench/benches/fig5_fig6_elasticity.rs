@@ -1,0 +1,24 @@
+//! Criterion bench for the Figure 5/6 elasticity experiment: shortened
+//! (10 minute) runs of each controller on the simulated cloud. The full
+//! figures are produced by the `exp-fig5` and `exp-fig6` binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use met_bench::elastic::{run_one_for, Controller};
+use std::hint::black_box;
+
+fn bench_elasticity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_fig6");
+    group.sample_size(10);
+    group.bench_function("met-10min", |b| {
+        b.iter(|| black_box(run_one_for(Controller::Met, black_box(42), 10).cumulative_phase1))
+    });
+    group.bench_function("tiramola-10min", |b| {
+        b.iter(|| {
+            black_box(run_one_for(Controller::Tiramola, black_box(42), 10).cumulative_phase1)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_elasticity);
+criterion_main!(benches);

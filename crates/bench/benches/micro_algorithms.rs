@@ -1,0 +1,109 @@
+//! Micro-benchmarks of MeT's decision algorithms and the simulation's
+//! per-tick cost (the quantity that bounds experiment wall-clock).
+
+use cluster::{ClientGroup, CostParams, OpMix, PartitionId, PartitionSpec, SimCluster};
+use criterion::{criterion_group, criterion_main, Criterion};
+use hstore::StoreConfig;
+use met::assignment::assign_lpt;
+use met::classify::{classify, PartitionRates};
+use met::grouping::nodes_per_group;
+use met::output::{compute_output, CurrentNode, SuggestedNode};
+use met::ProfileKind;
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("met-algorithms");
+
+    // Algorithm 2 at a "hundreds of partitions" scale (§4's motivation).
+    let jobs: Vec<(u64, f64)> = (0..500).map(|i| (i, ((i * 37) % 997) as f64 + 1.0)).collect();
+    group.bench_function("lpt-500-partitions-20-nodes", |b| {
+        b.iter(|| black_box(assign_lpt(black_box(&jobs), 20)))
+    });
+
+    group.bench_function("classify-1000-partitions", |b| {
+        b.iter(|| {
+            let mut counts = [0usize; 4];
+            for i in 0..1_000u64 {
+                let rates = PartitionRates {
+                    reads: (i % 97) as f64,
+                    writes: (i % 53) as f64,
+                    scans: (i % 31) as f64,
+                };
+                let k = classify(black_box(rates), 0.6);
+                counts[match k {
+                    ProfileKind::Read => 0,
+                    ProfileKind::Write => 1,
+                    ProfileKind::ReadWrite => 2,
+                    ProfileKind::Scan => 3,
+                }] += 1;
+            }
+            black_box(counts)
+        })
+    });
+
+    let mut counts = BTreeMap::new();
+    counts.insert(ProfileKind::Read, 180);
+    counts.insert(ProfileKind::Write, 120);
+    counts.insert(ProfileKind::ReadWrite, 150);
+    counts.insert(ProfileKind::Scan, 50);
+    group.bench_function("grouping-500-partitions-40-nodes", |b| {
+        b.iter(|| black_box(nodes_per_group(black_box(&counts), 40)))
+    });
+
+    // Algorithm 3 at fleet scale.
+    let current: Vec<CurrentNode> = (0..20)
+        .map(|s| CurrentNode {
+            server: cluster::ServerId(s),
+            profile: Some(ProfileKind::ALL[(s % 4) as usize]),
+            partitions: (0..10).map(|i| PartitionId(s * 10 + i)).collect(),
+        })
+        .collect();
+    let suggested: Vec<SuggestedNode> = (0..20)
+        .map(|s| SuggestedNode {
+            profile: ProfileKind::ALL[((s + 1) % 4) as usize],
+            partitions: (0..10).map(|i| PartitionId(((s + 3) % 20) * 10 + i)).collect(),
+        })
+        .collect();
+    group.bench_function("output-computation-20-nodes-200-partitions", |b| {
+        b.iter(|| black_box(compute_output(black_box(&current), suggested.clone(), false)))
+    });
+
+    group.finish();
+}
+
+fn bench_sim_tick(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim");
+    let mut sim = SimCluster::new(CostParams::default(), 1);
+    for _ in 0..10 {
+        sim.add_server_immediate(StoreConfig::default_homogeneous());
+    }
+    let parts: Vec<PartitionId> = (0..40)
+        .map(|_| {
+            sim.create_partition(PartitionSpec {
+                table: "t".into(),
+                size_bytes: 1e9,
+                record_bytes: 1_000.0,
+                hot_set_fraction: 0.4,
+                hot_ops_fraction: 0.5,
+            })
+        })
+        .collect();
+    sim.random_balance_unassigned();
+    let w = 1.0 / parts.len() as f64;
+    sim.add_group(ClientGroup::with_common_weights(
+        "g",
+        200.0,
+        1.0,
+        None,
+        OpMix::new(0.6, 0.4, 0.0),
+        parts.iter().map(|p| (*p, w)).collect(),
+        1.0,
+        0.1,
+    ));
+    group.bench_function("tick-10-servers-40-partitions", |b| b.iter(|| sim.step()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms, bench_sim_tick);
+criterion_main!(benches);

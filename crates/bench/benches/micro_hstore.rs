@@ -1,0 +1,87 @@
+//! Micro-benchmarks of the storage engine: the operations whose costs the
+//! cluster model abstracts (puts, point reads through the block cache,
+//! scans, flushes, compactions).
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hstore::{CfStore, FileIdAllocator, SharedBlockCache};
+use std::hint::black_box;
+
+fn loaded_store(records: usize, flush_every: usize) -> CfStore {
+    let mut s = CfStore::new(SharedBlockCache::new(8 << 20), FileIdAllocator::new(), 4 << 10);
+    for i in 0..records {
+        s.put(
+            format!("user{i:08}").as_str().into(),
+            "f0".into(),
+            Bytes::from(vec![b'v'; 100]),
+        );
+        if i % flush_every == flush_every - 1 {
+            s.flush();
+        }
+    }
+    s
+}
+
+fn bench_hstore(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hstore");
+
+    group.bench_function("put-100B", |b| {
+        b.iter_batched(
+            || loaded_store(0, usize::MAX),
+            |mut s| {
+                for i in 0..1_000u32 {
+                    s.put(
+                        format!("user{i:08}").as_str().into(),
+                        "f0".into(),
+                        Bytes::from(vec![b'v'; 100]),
+                    );
+                }
+                black_box(s.memstore_bytes())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("get-warm-cache", |b| {
+        let mut s = loaded_store(10_000, 2_500);
+        // Warm the cache.
+        for i in (0..10_000).step_by(7) {
+            s.get(&format!("user{i:08}").as_str().into(), &"f0".into());
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i * 2_654_435_761 + 1) % 10_000;
+            black_box(s.get(&format!("user{i:08}").as_str().into(), &"f0".into()))
+        })
+    });
+
+    group.bench_function("scan-100-rows", |b| {
+        let s = loaded_store(10_000, 2_500);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 997) % 9_000;
+            black_box(s.scan(&format!("user{i:08}").as_str().into(), 100).len())
+        })
+    });
+
+    group.bench_function("flush-2500-records", |b| {
+        b.iter_batched(
+            || loaded_store(2_500, usize::MAX),
+            |mut s| black_box(s.flush()),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("major-compact-4-files", |b| {
+        b.iter_batched(
+            || loaded_store(10_000, 2_500),
+            |mut s| black_box(s.compact_major()),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_hstore);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench for the Table 2 experiment: shortened (8 minute) TPC-C
+//! runs of the manual-homogeneous setting and the MeT-managed setting.
+//! The full table is produced by the `exp-table2` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use met_bench::table2::{run_manual, run_met};
+use std::hint::black_box;
+
+fn bench_tpcc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.bench_function("manual-homogeneous-8min", |b| {
+        b.iter(|| black_box(run_manual(black_box(42), 8)))
+    });
+    group.bench_function("met-managed-8min", |b| {
+        b.iter(|| {
+            let (tpmc, _, reconfigs) = run_met(black_box(42), 8);
+            black_box((tpmc, reconfigs))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tpcc);
+criterion_main!(benches);

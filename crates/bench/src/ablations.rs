@@ -1,0 +1,218 @@
+//! Ablation studies for the design choices the paper motivates but does
+//! not quantify:
+//!
+//! * quadratic vs linear node addition (Algorithm 1's discussion in
+//!   §4.2.2),
+//! * LPT vs naive assignment (§4.2.3's choice of Graham's algorithm),
+//! * exponential smoothing vs raw samples in the monitor (§4.1),
+//! * the `SubOptimalNodesThreshold` (§5's guidance to set it to 50 %),
+//! * the locality-triggered compaction thresholds (§5's 70 %/90 %).
+
+use crate::scenario::paper_params;
+use cluster::admin::ElasticCluster;
+use cluster::{ClientGroup, OpMix, PartitionId, PartitionSpec, SimCluster};
+use hstore::StoreConfig;
+use met::assignment::{assign_lpt, makespan, NodeAssignment};
+use met::{Met, MetConfig};
+use simcore::smoothing::ExpSmoother;
+use simcore::{SimRng, SimTime};
+
+/// Quadratic vs linear addition: iterations (decision rounds) and node-
+/// rounds of temporary over-provisioning to reach a demand of `needed`
+/// nodes, reproducing the §4.2.2 worked example.
+pub fn addition_policy(needed: usize) -> Vec<(String, usize, usize)> {
+    let mut out = Vec::new();
+    for (name, quadratic) in [("quadratic", true), ("linear", false)] {
+        let mut have = 0usize;
+        let mut step = 1usize;
+        let mut iterations = 0usize;
+        let mut overshoot = 0usize;
+        while have < needed {
+            have += step;
+            iterations += 1;
+            if quadratic {
+                step *= 2;
+            }
+        }
+        // Linear removal of any surplus, one per iteration (Algorithm 1).
+        overshoot += have - needed;
+        iterations += have - needed;
+        out.push((name.to_string(), iterations, overshoot));
+    }
+    out
+}
+
+/// LPT vs naive placements: average makespan ratio over `rounds` random
+/// §3-like partition sets.
+pub fn assignment_quality(rounds: usize, seed: u64) -> Vec<(String, f64)> {
+    let mut rng = SimRng::new(seed).derive("ablation-lpt");
+    let mut ratios = [0.0f64; 3]; // lpt, round-robin, random
+    for _ in 0..rounds {
+        let n = 3 + rng.next_below(5) as usize;
+        let jobs: Vec<(u64, f64)> = (0..(n as u64 * 4))
+            .map(|i| (i, rng.next_range(5, 40) as f64))
+            .collect();
+        let total: f64 = jobs.iter().map(|(_, c)| c).sum();
+        let lb = (total / n as f64).max(jobs.iter().map(|(_, c)| *c).fold(0.0, f64::max));
+
+        let lpt = makespan(&assign_lpt(&jobs, n));
+
+        let mut rr = vec![0.0; n];
+        for (i, (_, c)) in jobs.iter().enumerate() {
+            rr[i % n] += c;
+        }
+        let rr = rr.into_iter().fold(0.0, f64::max);
+
+        let mut rand_assign: Vec<NodeAssignment<u64>> =
+            vec![NodeAssignment { partitions: Vec::new(), load: 0.0 }; n];
+        for (id, c) in &jobs {
+            let t = rng.next_below(n as u64) as usize;
+            rand_assign[t].partitions.push(*id);
+            rand_assign[t].load += c;
+        }
+        let random = makespan(&rand_assign);
+
+        ratios[0] += lpt / lb;
+        ratios[1] += rr / lb;
+        ratios[2] += random / lb;
+    }
+    vec![
+        ("LPT (Algorithm 2)".into(), ratios[0] / rounds as f64),
+        ("round-robin".into(), ratios[1] / rounds as f64),
+        ("random".into(), ratios[2] / rounds as f64),
+    ]
+}
+
+/// Smoothing ablation: how often a threshold detector flips state on a
+/// spiky-but-stable load, with and without Brown's smoothing (§4.1's
+/// motivation for it).
+pub fn smoothing_stability(seed: u64) -> Vec<(String, usize)> {
+    let mut rng = SimRng::new(seed).derive("ablation-smoothing");
+    // A stable 0.6 utilization with heavy spikes.
+    let samples: Vec<f64> = (0..240)
+        .map(|_| {
+            let base = 0.60 + rng.next_gaussian(0.0, 0.05);
+            if rng.chance(0.12) {
+                (base + 0.35).min(1.0) // transient spike
+            } else {
+                base
+            }
+        })
+        .collect();
+    let threshold = 0.85;
+    let flips = |vals: &[f64]| {
+        let mut flips = 0;
+        let mut over = false;
+        for v in vals {
+            let now = *v > threshold;
+            if now != over {
+                flips += 1;
+                over = now;
+            }
+        }
+        flips
+    };
+    let raw = flips(&samples);
+    let mut s = ExpSmoother::default_met();
+    let smoothed: Vec<f64> = samples.iter().map(|v| s.observe(*v)).collect();
+    let smooth = flips(&smoothed);
+    vec![("raw samples".into(), raw), ("exponential smoothing".into(), smooth)]
+}
+
+fn spike_scenario(seed: u64) -> (SimCluster, Vec<PartitionId>) {
+    let mut sim = SimCluster::new(paper_params(), seed);
+    for _ in 0..3 {
+        sim.add_server_immediate(StoreConfig::default_homogeneous());
+    }
+    let parts: Vec<PartitionId> = (0..9)
+        .map(|_| {
+            sim.create_partition(PartitionSpec {
+                table: "t".into(),
+                size_bytes: 2e9,
+                record_bytes: 1_450.0,
+                hot_set_fraction: 0.4,
+                hot_ops_fraction: 0.5,
+            })
+        })
+        .collect();
+    sim.random_balance_unassigned();
+    let w = 1.0 / parts.len() as f64;
+    sim.add_group(ClientGroup::with_common_weights(
+        "load",
+        600.0,
+        4.0,
+        None,
+        OpMix::new(0.6, 0.4, 0.0),
+        parts.iter().map(|p| (*p, w)).collect(),
+        1.0,
+        0.05,
+    ));
+    (sim, parts)
+}
+
+/// `SubOptimalNodesThreshold` sweep: minutes until the overloaded cluster
+/// first reaches 90 % of its eventual throughput, per threshold. Lower
+/// thresholds trigger the add-nodes fast path sooner (§5's discussion).
+pub fn suboptimal_threshold_sweep(seed: u64) -> Vec<(f64, f64)> {
+    let mut out = Vec::new();
+    for threshold in [0.25, 0.5, 0.75] {
+        let (mut sim, _) = spike_scenario(seed);
+        let cfg = MetConfig {
+            suboptimal_nodes_threshold: threshold,
+            ..MetConfig::default()
+        };
+        let mut met = Met::new(cfg, StoreConfig::default_homogeneous());
+        for _ in 0..(25 * 60) {
+            sim.step();
+            met.tick(&mut sim);
+        }
+        let end = sim.time();
+        let steady = sim
+            .total_series()
+            .mean_between(SimTime(end.0 - 5 * 60_000), end)
+            .unwrap_or(0.0);
+        let reach = sim
+            .total_series()
+            .resample_avg(30_000)
+            .points()
+            .iter()
+            .find(|(_, v)| *v >= 0.9 * steady)
+            .map(|(t, _)| t.as_mins_f64())
+            .unwrap_or(f64::NAN);
+        out.push((threshold, reach));
+    }
+    out
+}
+
+/// Locality-threshold sweep: steady throughput after a full reconfiguration
+/// when major compactions trigger below the given locality (0.0 = never
+/// compact). Shows why the actuator restores locality (§5).
+pub fn locality_threshold_sweep(seed: u64) -> Vec<(f64, f64)> {
+    let mut out = Vec::new();
+    for threshold in [0.0, 0.5, 0.9] {
+        let (mut sim, parts) = spike_scenario(seed);
+        sim.run_ticks(60);
+        // Scramble placement (moves lose locality), then optionally compact.
+        let servers = sim.online_server_ids();
+        for (i, p) in parts.iter().enumerate() {
+            let target = servers[(i + 1) % servers.len()];
+            let _ = sim.move_partition(*p, target);
+        }
+        sim.run_ticks(30);
+        for p in &parts {
+            if sim.partition_locality(*p) < threshold {
+                let _ = sim.major_compact(*p);
+            }
+        }
+        // Long enough for compactions (~2 GB × 2 at 17 MB/s ≈ 4 min each,
+        // queued per server) to finish and caches to re-warm.
+        sim.run_ticks(20 * 60);
+        let end = sim.time();
+        let steady = sim
+            .total_series()
+            .mean_between(SimTime(end.0 - 3 * 60_000), end)
+            .unwrap_or(0.0);
+        out.push((threshold, steady));
+    }
+    out
+}

@@ -1,0 +1,46 @@
+//! Ablation studies for MeT's design choices (see DESIGN.md).
+
+use met_bench::ablations;
+
+fn main() {
+    println!("Ablation 1 — node addition policy (Algorithm 1, §4.2.2, need 8 nodes):");
+    for (name, iterations, overshoot) in ablations::addition_policy(8) {
+        println!("  {name:<10} {iterations:>3} iterations, {overshoot:>2} nodes of temporary overshoot");
+    }
+    println!("  (paper's worked example: quadratic 11 iterations vs linear 8, trading");
+    println!("   temporary over-provision for a logarithmic response to demand)");
+
+    println!("\nAblation 2 — assignment quality, mean makespan / lower bound (200 rounds):");
+    for (name, ratio) in ablations::assignment_quality(200, 7) {
+        println!("  {name:<20} {ratio:.3}");
+    }
+
+    println!("\nAblation 3 — monitor smoothing (§4.1), threshold flips on a spiky load:");
+    for (name, flips) in ablations::smoothing_stability(7) {
+        println!("  {name:<24} {flips:>3} state flips");
+    }
+
+    println!("\nAblation 4 — SubOptimalNodesThreshold (§5), minutes to 90% of steady state:");
+    for (threshold, minutes) in ablations::suboptimal_threshold_sweep(7) {
+        println!("  threshold {threshold:.2} → {minutes:>5.1} min");
+    }
+
+    println!("\nAblation 5 — locality compaction trigger (§5), steady ops/s after moves:");
+    let locality = ablations::locality_threshold_sweep(7);
+    for (threshold, thr) in &locality {
+        let label = if *threshold == 0.0 { "never compact".into() } else { format!("compact below {threshold:.1}") };
+        println!("  {label:<20} {thr:>8.0} ops/s");
+    }
+
+    let json = serde_json::json!({
+        "experiment": "ablations",
+        "addition_policy_need_8": ablations::addition_policy(8),
+        "assignment_quality": ablations::assignment_quality(200, 7),
+        "smoothing_stability": ablations::smoothing_stability(7),
+        "suboptimal_threshold_sweep": ablations::suboptimal_threshold_sweep(7),
+        "locality_threshold_sweep": locality,
+    });
+    if let Some(path) = met_bench::report::write_json("ablations", &json) {
+        eprintln!("wrote {}", path.display());
+    }
+}

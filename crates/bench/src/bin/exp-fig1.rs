@@ -1,0 +1,45 @@
+//! Regenerates Figure 1: manual strategies, per-workload + total
+//! throughput percentile bars over five runs.
+
+use met_bench::fig1;
+
+fn main() {
+    let runs = 5;
+    let minutes = 30;
+    eprintln!("fig1: {runs} runs × (2+{minutes}) minutes per strategy...");
+    let result = fig1::run(runs, minutes);
+    println!("Figure 1 — throughput (ops/s), bars = p5/p25/p50/p75/p90 over {runs} runs");
+    for (strategy, bars) in &result.bars {
+        println!("\n{strategy}:");
+        for name in ["A", "B", "C", "D", "E", "F", "Total"] {
+            if let Some(b) = bars.get(name) {
+                println!(
+                    "  {name:>5}: {:>8.0} {:>8.0} {:>8.0} {:>8.0} {:>8.0}",
+                    b[0], b[1], b[2], b[3], b[4]
+                );
+            }
+        }
+    }
+    println!("\nMean totals:");
+    for (s, t) in &result.mean_total {
+        println!("  {s}: {t:.0} ops/s");
+    }
+    let rh = result.mean_total["Random-Homogeneous"];
+    let mh = result.mean_total["Manual-Homogeneous"];
+    let het = result.mean_total["Manual-Heterogeneous"];
+    println!("\nManual-Het / Random-Homog = {:.2}x (paper: >2x)", het / rh);
+    println!("Manual-Het / Manual-Homog = {:.2}x (paper: 1.35x)", het / mh);
+
+    let json = serde_json::json!({
+        "experiment": "fig1",
+        "runs": runs,
+        "measured_minutes": minutes,
+        "bars_p5_p25_p50_p75_p90": result.bars,
+        "mean_total": result.mean_total,
+        "het_over_random": het / rh,
+        "het_over_manual_homog": het / mh,
+    });
+    if let Some(path) = met_bench::report::write_json("fig1", &json) {
+        eprintln!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,47 @@
+//! Regenerates Figure 4: MeT convergence versus the manual strategies.
+
+use met_bench::fig4;
+
+fn main() {
+    eprintln!("fig4: 32 simulated minutes × 3 curves...");
+    let r = fig4::run(1_000, 30);
+    println!("Figure 4 — throughput over time (ops/s, 30 s resolution)");
+    println!("{:>6} {:>12} {:>12} {:>12}", "min", "MeT", "Man-Homog", "Man-Het");
+    let met = &r.curves["MeT"];
+    let homog = &r.curves["Manual-Homogeneous"];
+    let het = &r.curves["Manual-Heterogeneous"];
+    for (i, (minute, value)) in met.iter().enumerate() {
+        println!(
+            "{:>6.1} {:>12.0} {:>12.0} {:>12.0}",
+            minute,
+            value,
+            homog.get(i).map(|p| p.1).unwrap_or(f64::NAN),
+            het.get(i).map(|p| p.1).unwrap_or(f64::NAN),
+        );
+    }
+    println!("\nreconfigurations completed: {}", r.reconfigurations);
+    println!("MeT floor during reconfiguration: {:.0} ops/s (paper ≈ 7500)", r.met_reconfig_floor);
+    println!("MeT steady state:   {:.0} ops/s", r.met_steady);
+    println!("Manual-Het steady:  {:.0} ops/s (MeT/Het = {:.2})", r.het_steady, r.met_steady / r.het_steady);
+    println!("Manual-Homog steady:{:.0} ops/s", r.homog_steady);
+    match r.met_overtakes_homog_at_min {
+        Some(m) => println!("MeT cumulative overtakes Manual-Homog at minute {m:.1} (paper: <15)"),
+        None => println!("MeT cumulative never overtakes Manual-Homog (paper: <15 min)"),
+    }
+
+    let json = serde_json::json!({
+        "experiment": "fig4",
+        "curves": r.curves.iter().map(|(k, v)| {
+            (k.to_string(), met_bench::report::curve_json(v))
+        }).collect::<std::collections::BTreeMap<_, _>>(),
+        "met_reconfig_floor": r.met_reconfig_floor,
+        "met_steady": r.met_steady,
+        "het_steady": r.het_steady,
+        "homog_steady": r.homog_steady,
+        "met_overtakes_homog_at_min": r.met_overtakes_homog_at_min,
+        "reconfigurations": r.reconfigurations,
+    });
+    if let Some(path) = met_bench::report::write_json("fig4", &json) {
+        eprintln!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,50 @@
+//! Regenerates Figure 5: cumulative throughput of MeT and tiramola in the
+//! first phase of the elasticity experiment.
+
+use met_bench::elastic;
+use simcore::SimTime;
+
+fn main() {
+    eprintln!("fig5/6: 2 × 60 simulated minutes on the simulated cloud...");
+    let r = elastic::run(1_000);
+    println!("Figure 5 — cumulative operations (×10³), phase 1 (0–33 min)");
+    println!("{:>6} {:>12} {:>12}", "min", "MeT", "tiramola");
+    let met_cum = r.met.throughput.cumulative();
+    let tir_cum = r.tiramola.throughput.cumulative();
+    for m in (0..=elastic::PHASE1_END_MIN).step_by(3) {
+        let t = SimTime::from_mins(m);
+        println!(
+            "{:>6} {:>12.0} {:>12.0}",
+            m,
+            met_cum.value_at(t).unwrap_or(0.0) / 1e3,
+            tir_cum.value_at(t).unwrap_or(0.0) / 1e3
+        );
+    }
+    println!(
+        "\nMeT completed {:.0}k more ops (paper ≈ 706k), a {:.0}% increase (paper 31%)",
+        r.met_extra_ops() / 1e3,
+        r.met_gain() * 100.0
+    );
+
+    let cum = |ts: &simcore::timeseries::TimeSeries| {
+        met_bench::report::curve_json(
+            &ts.cumulative()
+                .resample_avg(60_000)
+                .points()
+                .iter()
+                .map(|(t, v)| (t.as_mins_f64(), *v))
+                .collect::<Vec<_>>(),
+        )
+    };
+    let json = serde_json::json!({
+        "experiment": "fig5",
+        "met_cumulative": cum(&r.met.throughput),
+        "tiramola_cumulative": cum(&r.tiramola.throughput),
+        "met_extra_ops": r.met_extra_ops(),
+        "met_gain": r.met_gain(),
+        "paper": {"extra_ops": 706_000, "gain": 0.31},
+    });
+    if let Some(path) = met_bench::report::write_json("fig5", &json) {
+        eprintln!("wrote {}", path.display());
+    }
+}

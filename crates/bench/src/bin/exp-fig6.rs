@@ -1,0 +1,63 @@
+//! Regenerates Figure 6: throughput and node count for MeT and tiramola
+//! over both phases of the elasticity experiment.
+
+use met_bench::elastic;
+
+fn main() {
+    eprintln!("fig5/6: 2 × 60 simulated minutes on the simulated cloud...");
+    let r = elastic::run(1_000);
+    println!("Figure 6 — throughput (ops/s) and online nodes, 60 min");
+    println!(
+        "{:>6} {:>12} {:>7} {:>12} {:>7}",
+        "min", "MeT ops/s", "nodes", "tira ops/s", "nodes"
+    );
+    let met_thr = r.met.throughput.resample_avg(60_000);
+    let tir_thr = r.tiramola.throughput.resample_avg(60_000);
+    let met_nodes = r.met.nodes.resample_avg(60_000);
+    let tir_nodes = r.tiramola.nodes.resample_avg(60_000);
+    for i in 0..met_thr.points().len() {
+        let (t, m) = met_thr.points()[i];
+        println!(
+            "{:>6.0} {:>12.0} {:>7.1} {:>12.0} {:>7.1}",
+            t.as_mins_f64(),
+            m,
+            met_nodes.points().get(i).map(|p| p.1).unwrap_or(f64::NAN),
+            tir_thr.points().get(i).map(|p| p.1).unwrap_or(f64::NAN),
+            tir_nodes.points().get(i).map(|p| p.1).unwrap_or(f64::NAN),
+        );
+    }
+    println!("\nPeak nodes:  MeT {:.0} (paper 9)  tiramola {:.0} (paper 11)", r.met.peak_nodes, r.tiramola.peak_nodes);
+    println!("Final nodes: MeT {:.0} (paper ≈ 6)  tiramola {:.0} (paper: barely shrinks)", r.met.final_nodes, r.tiramola.final_nodes);
+    let met_peak = r.met.throughput.resample_avg(60_000).points().iter().map(|p| p.1).fold(0.0, f64::max);
+    println!("MeT peak throughput: {:.0} ops/s (paper ≈ 22000, the client saturation ceiling)", met_peak);
+
+    let minute_curve = |ts: &simcore::timeseries::TimeSeries| {
+        met_bench::report::curve_json(
+            &ts.resample_avg(60_000)
+                .points()
+                .iter()
+                .map(|(t, v)| (t.as_mins_f64(), *v))
+                .collect::<Vec<_>>(),
+        )
+    };
+    let json = serde_json::json!({
+        "experiment": "fig6",
+        "met": {
+            "throughput": minute_curve(&r.met.throughput),
+            "nodes": minute_curve(&r.met.nodes),
+            "peak_nodes": r.met.peak_nodes,
+            "final_nodes": r.met.final_nodes,
+        },
+        "tiramola": {
+            "throughput": minute_curve(&r.tiramola.throughput),
+            "nodes": minute_curve(&r.tiramola.nodes),
+            "peak_nodes": r.tiramola.peak_nodes,
+            "final_nodes": r.tiramola.final_nodes,
+        },
+        "met_extra_ops_phase1": r.met_extra_ops(),
+        "met_gain_phase1": r.met_gain(),
+    });
+    if let Some(path) = met_bench::report::write_json("fig6", &json) {
+        eprintln!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,27 @@
+//! Prints Table 1 (node configuration profiles) as implemented, plus the
+//! §5 locality thresholds attached to each profile.
+
+use hstore::StoreConfig;
+use met::ProfileKind;
+
+fn main() {
+    let base = StoreConfig::default_homogeneous();
+    println!("Table 1 — node configuration profiles");
+    println!(
+        "{:<12} {:>10} {:>14} {:>10} {:>18}",
+        "Profile", "Cache", "Memstore", "Block", "Compact below"
+    );
+    for p in ProfileKind::ALL {
+        let cfg = p.config(&base);
+        cfg.validate().expect("Table 1 rows satisfy the 65% heap budget");
+        println!(
+            "{:<12} {:>9.0}% {:>13.0}% {:>8}KB {:>17.0}%",
+            p.to_string(),
+            cfg.block_cache_fraction * 100.0,
+            cfg.memstore_fraction * 100.0,
+            cfg.block_size / 1024,
+            p.locality_threshold() * 100.0,
+        );
+    }
+    println!("\n(cache + memstore ≤ 65% of heap, per the HBase guidance cited in §2.1)");
+}

@@ -1,0 +1,28 @@
+//! Regenerates Table 2: PyTPCC average throughput under three settings.
+
+use met_bench::table2;
+
+fn main() {
+    eprintln!("table2: 3 × 45 simulated minutes...");
+    let r = table2::run(1_000);
+    println!("Table 2 — PyTPCC average throughput (tpmC)");
+    println!("{:<42} {:>10} {:>10}", "Setting", "measured", "paper");
+    println!("{:<42} {:>10.0} {:>10}", "i) Manual-Homogeneous", r.manual_homogeneous, 25380);
+    println!("{:<42} {:>10.0} {:>10}", "ii) MeT with reconfiguration overhead", r.met_with_overhead, 31020);
+    println!("{:<42} {:>10.0} {:>10}", "iii) MeT w/o reconfiguration overhead", r.met_without_overhead, 33720);
+    println!("\nheterogeneous gain (iii/i): {:.2}x (paper 1.33x)", r.met_without_overhead / r.manual_homogeneous);
+    println!("overhead gap (iii vs ii):   {:.1}% (paper 8%)", (1.0 - r.met_with_overhead / r.met_without_overhead) * 100.0);
+    println!("reconfigurations in (ii):   {}", r.reconfigurations);
+
+    let json = serde_json::json!({
+        "experiment": "table2",
+        "manual_homogeneous_tpmc": r.manual_homogeneous,
+        "met_with_overhead_tpmc": r.met_with_overhead,
+        "met_without_overhead_tpmc": r.met_without_overhead,
+        "paper": {"manual": 25380, "met": 31020, "met_no_overhead": 33720},
+        "reconfigurations": r.reconfigurations,
+    });
+    if let Some(path) = met_bench::report::write_json("table2", &json) {
+        eprintln!("wrote {}", path.display());
+    }
+}

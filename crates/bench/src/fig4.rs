@@ -1,0 +1,151 @@
+//! Figure 4 — convergence: MeT starting from a Random-Homogeneous cluster
+//! versus the two manual strategies, throughput over 30 minutes.
+//!
+//! §6.2: the cluster ramps for 2 minutes, MeT starts at minute 2, fully
+//! reconfigures between roughly minutes 2 and 8 (restarts and major
+//! compactions dominate the cost; throughput floors around 7 500 ops/s and
+//! recovers to 20 000 by minute 5), then tracks Manual-Heterogeneous.
+
+use crate::fig1::{run_once, Strategy};
+use crate::scenario::{ycsb_scenario, FIG1_SERVERS};
+use baselines::{build_manual_heterogeneous, build_random_homogeneous};
+use hstore::StoreConfig;
+use met::{Met, MetConfig};
+use simcore::timeseries::TimeSeries;
+use simcore::SimTime;
+use std::collections::BTreeMap;
+
+/// One Figure 4 curve: total throughput resampled to 30-second points.
+pub type Curve = Vec<(f64, f64)>; // (minutes, ops/s)
+
+/// The figure's three curves plus summary numbers.
+#[derive(Debug, Clone)]
+pub struct Fig4Result {
+    /// Curve per strategy label.
+    pub curves: BTreeMap<&'static str, Curve>,
+    /// Lowest MeT throughput during the reconfiguration window (ops/s).
+    pub met_reconfig_floor: f64,
+    /// MeT steady-state mean over the final 10 minutes.
+    pub met_steady: f64,
+    /// Manual-Heterogeneous steady-state mean over the final 10 minutes.
+    pub het_steady: f64,
+    /// Manual-Homogeneous steady-state mean over the final 10 minutes.
+    pub homog_steady: f64,
+    /// Minute by which MeT's cumulative average overtakes
+    /// Manual-Homogeneous's (`None` if it never does).
+    pub met_overtakes_homog_at_min: Option<f64>,
+    /// Reconfigurations MeT completed.
+    pub reconfigurations: u64,
+}
+
+fn resample(series: &TimeSeries) -> Curve {
+    series
+        .resample_avg(30_000)
+        .points()
+        .iter()
+        .map(|(t, v)| (t.as_mins_f64(), *v))
+        .collect()
+}
+
+/// Runs the MeT curve: Random-Homogeneous start, MeT attached at minute 2.
+pub fn run_met_curve(seed: u64, minutes: u64) -> (TimeSeries, u64) {
+    let mut scenario = ycsb_scenario(seed);
+    build_random_homogeneous(&mut scenario.sim, FIG1_SERVERS);
+    scenario.start_clients();
+    // §6.2 runs MeT against the database alone: reconfiguration only.
+    let cfg = MetConfig { allow_scaling: false, ..MetConfig::default() };
+    let mut met = Met::new(cfg, StoreConfig::default_homogeneous());
+    let total_ticks = (minutes + 2) * 60;
+    for tick in 0..total_ticks {
+        scenario.sim.step();
+        if tick >= 120 {
+            met.tick(&mut scenario.sim);
+        }
+    }
+    (scenario.sim.total_series().clone(), met.reconfigurations())
+}
+
+/// Runs a manual strategy and returns its total-throughput series.
+pub fn run_manual_curve(strategy: Strategy, seed: u64, minutes: u64) -> TimeSeries {
+    // Reuse the fig1 runner path by replaying the same construction.
+    let mut scenario = ycsb_scenario(seed);
+    match strategy {
+        Strategy::RandomHomogeneous => {
+            build_random_homogeneous(&mut scenario.sim, FIG1_SERVERS);
+        }
+        Strategy::ManualHomogeneous => {
+            // The best measured placement, as in fig1.
+            let placement = crate::fig1::manual_homog_best_placement(seed);
+            let cfg = StoreConfig::default_homogeneous();
+            let servers: Vec<_> = (0..placement.len())
+                .map(|_| scenario.sim.add_server_immediate(cfg.clone()))
+                .collect();
+            for (node, parts) in placement.iter().enumerate() {
+                for p in parts {
+                    scenario.sim.assign_partition(*p, servers[node]).expect("fresh server");
+                }
+            }
+        }
+        Strategy::ManualHeterogeneous => {
+            let groups = scenario.grouped_partitions();
+            build_manual_heterogeneous(&mut scenario.sim, FIG1_SERVERS, &groups);
+        }
+    }
+    scenario.start_clients();
+    scenario.sim.run_ticks(((minutes + 2) * 60) as usize);
+    scenario.sim.total_series().clone()
+}
+
+/// Picks the best-throughput seed out of `candidates` for a manual curve
+/// (§6.2 compares against "the run with the best throughput from both
+/// strategies").
+pub fn best_seed(strategy: Strategy, candidates: u64, minutes: u64) -> u64 {
+    (0..candidates)
+        .map(|s| (s + 1_000, run_once(strategy, s + 1_000, minutes).total))
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite totals"))
+        .map(|(s, _)| s)
+        .expect("at least one candidate")
+}
+
+/// Runs the full Figure 4 experiment.
+pub fn run(seed: u64, minutes: u64) -> Fig4Result {
+    let (met_series, reconfigurations) = run_met_curve(seed, minutes);
+    let homog = run_manual_curve(Strategy::ManualHomogeneous, seed, minutes);
+    let het = run_manual_curve(Strategy::ManualHeterogeneous, seed, minutes);
+
+    let end = SimTime::from_mins(minutes + 2);
+    let steady_from = SimTime::from_mins(minutes + 2 - 10);
+    let met_steady = met_series.mean_between(steady_from, end).unwrap_or(0.0);
+    let het_steady = het.mean_between(steady_from, end).unwrap_or(0.0);
+    let homog_steady = homog.mean_between(steady_from, end).unwrap_or(0.0);
+    // Read the floor off the 30-second plot, as one would from the
+    // paper's figure (1-second transients are invisible there).
+    let met_reconfig_floor = met_series
+        .resample_avg(30_000)
+        .min_between(SimTime::from_mins(2), SimTime::from_mins(12))
+        .unwrap_or(0.0);
+
+    // Cumulative-average crossover vs Manual-Homogeneous.
+    let met_cum = met_series.cumulative();
+    let homog_cum = homog.cumulative();
+    let met_overtakes_homog_at_min = met_cum
+        .points()
+        .iter()
+        .zip(homog_cum.points())
+        .find(|((t, m), (_, h))| t.as_mins_f64() > 6.0 && m > h)
+        .map(|((t, _), _)| t.as_mins_f64());
+
+    let mut curves = BTreeMap::new();
+    curves.insert("MeT", resample(&met_series));
+    curves.insert("Manual-Homogeneous", resample(&homog));
+    curves.insert("Manual-Heterogeneous", resample(&het));
+    Fig4Result {
+        curves,
+        met_reconfig_floor,
+        met_steady,
+        het_steady,
+        homog_steady,
+        met_overtakes_homog_at_min,
+        reconfigurations,
+    }
+}

@@ -1,0 +1,11 @@
+//! The experiment harness regenerating every table and figure of the MeT
+//! paper (see DESIGN.md's per-experiment index and EXPERIMENTS.md for
+//! paper-vs-measured).
+
+pub mod ablations;
+pub mod elastic;
+pub mod fig1;
+pub mod fig4;
+pub mod report;
+pub mod scenario;
+pub mod table2;

@@ -1,0 +1,81 @@
+//! Machine-readable result emission.
+//!
+//! Every `exp-*` binary writes a JSON record next to its human-readable
+//! table (under `results/`, override with `MET_RESULTS_DIR`) so the
+//! numbers in EXPERIMENTS.md are regenerable and diffable.
+
+use serde_json::Value;
+use std::path::PathBuf;
+
+/// Directory results are written to (created if missing).
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("MET_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Writes `value` as pretty JSON to `<results_dir>/<name>.json`,
+/// returning the path. IO errors are reported to stderr, not fatal — a
+/// read-only checkout still runs the experiments.
+pub fn write_json(name: &str, value: &Value) -> Option<PathBuf> {
+    let dir = results_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("report: cannot create {}: {e}", dir.display());
+        return None;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(body) => match std::fs::write(&path, body) {
+            Ok(()) => Some(path),
+            Err(e) => {
+                eprintln!("report: cannot write {}: {e}", path.display());
+                None
+            }
+        },
+        Err(e) => {
+            eprintln!("report: cannot serialize {name}: {e}");
+            None
+        }
+    }
+}
+
+/// Converts a `(minutes, value)` curve into a JSON array of pairs.
+pub fn curve_json(curve: &[(f64, f64)]) -> Value {
+    Value::Array(
+        curve
+            .iter()
+            .map(|(t, v)| serde_json::json!([round3(*t), round3(*v)]))
+            .collect(),
+    )
+}
+
+fn round3(v: f64) -> f64 {
+    (v * 1_000.0).round() / 1_000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_and_reads_back() {
+        let dir = std::env::temp_dir().join(format!("met-report-{}", std::process::id()));
+        std::env::set_var("MET_RESULTS_DIR", &dir);
+        let value = serde_json::json!({"answer": 42, "curve": curve_json(&[(1.0, 2.5)])});
+        let path = write_json("unit-test", &value).expect("writable temp dir");
+        let read: Value =
+            serde_json::from_str(&std::fs::read_to_string(&path).expect("file exists"))
+                .expect("valid json");
+        assert_eq!(read["answer"], 42);
+        assert_eq!(read["curve"][0][1], 2.5);
+        std::env::remove_var("MET_RESULTS_DIR");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn curve_rounds_to_millis() {
+        let v = curve_json(&[(0.123456, 9.876543)]);
+        assert_eq!(v[0][0], 0.123);
+        assert_eq!(v[0][1], 9.877);
+    }
+}

@@ -1,0 +1,143 @@
+//! Identifiers and operation taxonomy shared across the cluster layers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies a RegionServer (and its co-located DataNode).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ServerId(pub u64);
+
+impl fmt::Display for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rs-{}", self.0)
+    }
+}
+
+/// Identifies a data partition (a region) in the simulation layer.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct PartitionId(pub u64);
+
+impl fmt::Display for PartitionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "part-{}", self.0)
+    }
+}
+
+/// The request types MeT distinguishes (§4.1: "MeT uses the total number of
+/// read, write and scan requests").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Point read (get).
+    Read,
+    /// Put or delete.
+    Write,
+    /// Range scan.
+    Scan,
+}
+
+/// Average *storage* operations issued per client request, by kind.
+///
+/// For simple workloads this is a plain mix summing to 1 (e.g. YCSB
+/// WorkloadA = 0.5 read + 0.5 write), but compound client requests issue
+/// more than one storage op: YCSB's read-modify-write contributes one read
+/// *and* one write, and a TPC-C NewOrder touches dozens of rows. Throughput
+/// is always accounted in *client requests* (what YCSB and TPC-C report);
+/// these factors translate a request into storage-layer load.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpMix {
+    /// Point reads per client request.
+    pub read: f64,
+    /// Writes (puts, deletes, inserts) per client request.
+    pub write: f64,
+    /// Scans per client request.
+    pub scan: f64,
+}
+
+impl OpMix {
+    /// Creates a mix, validating non-negativity and a positive total.
+    pub fn new(read: f64, write: f64, scan: f64) -> Self {
+        assert!(read >= 0.0 && write >= 0.0 && scan >= 0.0, "negative mix fraction");
+        assert!(read + write + scan > 0.0, "op mix must be non-empty");
+        OpMix { read, write, scan }
+    }
+
+    /// A pure-read mix.
+    pub fn read_only() -> Self {
+        OpMix::new(1.0, 0.0, 0.0)
+    }
+
+    /// A pure-write mix.
+    pub fn write_only() -> Self {
+        OpMix::new(0.0, 1.0, 0.0)
+    }
+
+    /// The fraction for one op kind.
+    pub fn fraction(&self, kind: OpKind) -> f64 {
+        match kind {
+            OpKind::Read => self.read,
+            OpKind::Write => self.write,
+            OpKind::Scan => self.scan,
+        }
+    }
+}
+
+/// Per-partition cumulative request counters (simulation layer mirror of
+/// `hstore::RegionCounters`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PartitionCounters {
+    /// Point reads served.
+    pub reads: u64,
+    /// Writes served.
+    pub writes: u64,
+    /// Scans served.
+    pub scans: u64,
+}
+
+impl PartitionCounters {
+    /// Total requests.
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes + self.scans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_mix_validates() {
+        let m = OpMix::new(0.5, 0.5, 0.0);
+        assert_eq!(m.fraction(OpKind::Read), 0.5);
+        assert_eq!(m.fraction(OpKind::Scan), 0.0);
+    }
+
+    #[test]
+    fn op_mix_allows_compound_requests() {
+        // WorkloadF: 50% read + 50% read-modify-write → 1 read + 0.5 writes
+        // per client request.
+        let m = OpMix::new(1.0, 0.5, 0.0);
+        assert_eq!(m.fraction(OpKind::Write), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn op_mix_rejects_empty() {
+        OpMix::new(0.0, 0.0, 0.0);
+    }
+
+    #[test]
+    fn counters_total() {
+        let c = PartitionCounters { reads: 1, writes: 2, scans: 3 };
+        assert_eq!(c.total(), 6);
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(ServerId(3).to_string(), "rs-3");
+        assert_eq!(PartitionId(7).to_string(), "part-7");
+    }
+}

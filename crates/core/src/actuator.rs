@@ -1,0 +1,533 @@
+//! The Actuator (§4.3, §5): carries a target layout into the running
+//! cluster, incrementally.
+//!
+//! HBase cannot reconfigure a RegionServer online, so each reconfiguration
+//! implies a restart. The actuator therefore proceeds server by server
+//! while the rest of the cluster keeps serving (§5):
+//!
+//! 1. provision any new nodes (boots overlap),
+//! 2. for each node whose profile changes: drain its partitions to the
+//!    other online nodes, restart it with the new configuration, wait,
+//!    then move in its final partitions,
+//! 3. for nodes keeping their profile: just move in the final partitions,
+//! 4. issue a major compact for every partition whose locality fell below
+//!    its profile's threshold (70 % on write nodes, 90 % elsewhere),
+//! 5. decommission surplus nodes.
+//!
+//! `advance` is called every simulation tick; steps that wait on
+//! asynchronous state (boots, restarts) park until satisfied.
+
+use crate::output::OutputPlan;
+use crate::profiles::ProfileKind;
+use cluster::admin::{ClusterSnapshot, ElasticCluster, ServerHealth};
+use cluster::{PartitionId, ServerId};
+use hstore::StoreConfig;
+use std::collections::VecDeque;
+
+/// Cumulative actuator statistics (observable in experiments).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ActuatorStats {
+    /// Partition moves issued.
+    pub moves: u64,
+    /// Server restarts issued.
+    pub restarts: u64,
+    /// Major compactions issued.
+    pub compactions: u64,
+    /// Servers provisioned.
+    pub provisions: u64,
+    /// Servers decommissioned.
+    pub decommissions: u64,
+    /// Management calls that failed (logged, not fatal).
+    pub errors: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Slot {
+    server: Option<ServerId>,
+    profile: ProfileKind,
+    partitions: Vec<PartitionId>,
+    needs_restart: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Step {
+    Provision { slot: usize },
+    AwaitOnline { slot: usize },
+    Drain { slot: usize },
+    Restart { slot: usize },
+    AwaitRestart { slot: usize },
+    MoveIn { slot: usize },
+    Compact { slot: usize },
+    Decommission { server: ServerId },
+}
+
+/// The actuator: a step queue over one plan.
+#[derive(Debug)]
+pub struct Actuator {
+    base_config: StoreConfig,
+    slots: Vec<Slot>,
+    steps: VecDeque<Step>,
+    stats: ActuatorStats,
+    log: Vec<String>,
+}
+
+impl Actuator {
+    /// Creates an idle actuator. `base_config` supplies the non-Table-1
+    /// parameters (heap size etc.) for every profile it deploys.
+    pub fn new(base_config: StoreConfig) -> Self {
+        Actuator {
+            base_config,
+            slots: Vec::new(),
+            steps: VecDeque::new(),
+            stats: ActuatorStats::default(),
+            log: Vec::new(),
+        }
+    }
+
+    /// True while a plan is executing.
+    pub fn busy(&self) -> bool {
+        !self.steps.is_empty()
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> ActuatorStats {
+        self.stats
+    }
+
+    /// Human-readable action log.
+    pub fn log(&self) -> &[String] {
+        &self.log
+    }
+
+    /// Compiles a plan into the step queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a plan is already executing.
+    pub fn start(&mut self, plan: OutputPlan, snapshot: &ClusterSnapshot) {
+        assert!(!self.busy(), "actuator already executing a plan");
+        self.slots = plan
+            .entries
+            .iter()
+            .map(|(server, slot)| {
+                let needs_restart = match server {
+                    Some(s) => snapshot
+                        .server(*s)
+                        .map(|m| ProfileKind::of_config(&m.config) != Some(slot.profile))
+                        .unwrap_or(true),
+                    None => false, // new nodes boot with the right profile
+                };
+                Slot {
+                    server: *server,
+                    profile: slot.profile,
+                    partitions: slot.partitions.clone(),
+                    needs_restart,
+                }
+            })
+            .collect();
+
+        self.steps.clear();
+        // Boot all new nodes first so their delays overlap.
+        for (i, slot) in self.slots.iter().enumerate() {
+            if slot.server.is_none() {
+                self.steps.push_back(Step::Provision { slot: i });
+            }
+        }
+        for (i, slot) in self.slots.iter().enumerate() {
+            if slot.server.is_none() {
+                self.steps.push_back(Step::AwaitOnline { slot: i });
+            }
+            let _ = slot;
+        }
+        // Reconfigure existing nodes one at a time (incremental, §5).
+        for (i, slot) in self.slots.iter().enumerate() {
+            if slot.server.is_some() && slot.needs_restart {
+                self.steps.push_back(Step::Drain { slot: i });
+                self.steps.push_back(Step::Restart { slot: i });
+                self.steps.push_back(Step::AwaitRestart { slot: i });
+                self.steps.push_back(Step::MoveIn { slot: i });
+                self.steps.push_back(Step::Compact { slot: i });
+            }
+        }
+        // Then pure placement changes (no restart).
+        for (i, slot) in self.slots.iter().enumerate() {
+            if slot.server.is_none() || !slot.needs_restart {
+                self.steps.push_back(Step::MoveIn { slot: i });
+                self.steps.push_back(Step::Compact { slot: i });
+            }
+        }
+        for server in plan.decommission {
+            self.steps.push_back(Step::Decommission { server });
+        }
+    }
+
+    fn note(&mut self, msg: String) {
+        self.log.push(msg);
+    }
+
+    /// Executes ready steps; returns `true` when the plan has completed.
+    pub fn advance(&mut self, cluster: &mut dyn ElasticCluster) -> bool {
+        while let Some(&step) = self.steps.front() {
+            match step {
+                Step::Provision { slot } => {
+                    let profile = self.slots[slot].profile;
+                    let config = profile.config(&self.base_config);
+                    match cluster.provision_server(config) {
+                        Ok(id) => {
+                            self.slots[slot].server = Some(id);
+                            self.stats.provisions += 1;
+                            self.note(format!("provisioned {id} as {profile}"));
+                        }
+                        Err(e) => {
+                            self.stats.errors += 1;
+                            self.note(format!("provision failed: {e}"));
+                        }
+                    }
+                    self.steps.pop_front();
+                }
+                Step::AwaitOnline { slot } => {
+                    let Some(server) = self.slots[slot].server else {
+                        // Provisioning failed; give up on this slot's wait.
+                        self.steps.pop_front();
+                        continue;
+                    };
+                    let snap = cluster.snapshot();
+                    match snap.server(server).map(|s| s.health) {
+                        Some(ServerHealth::Online) => {
+                            self.steps.pop_front();
+                        }
+                        Some(ServerHealth::Provisioning) => return false,
+                        _ => {
+                            self.stats.errors += 1;
+                            self.note(format!("{server} never came online"));
+                            self.steps.pop_front();
+                        }
+                    }
+                }
+                Step::Drain { slot } => {
+                    let Some(server) = self.slots[slot].server else {
+                        self.steps.pop_front();
+                        continue;
+                    };
+                    let snap = cluster.snapshot();
+                    let held = snap
+                        .server(server)
+                        .map(|s| s.partitions.clone())
+                        .unwrap_or_default();
+                    // HBase moves regions one at a time; stagger one move
+                    // per tick so availability dips stay shallow (§5's
+                    // incremental strategy).
+                    let Some(&p) = held.first() else {
+                        self.steps.pop_front();
+                        continue;
+                    };
+                    let target = self.final_destination(p, server, &snap);
+                    if let Some(t) = target {
+                        match cluster.move_partition(p, t) {
+                            Ok(()) => self.stats.moves += 1,
+                            Err(e) => {
+                                self.stats.errors += 1;
+                                self.note(format!("drain move {p} failed: {e}"));
+                            }
+                        }
+                    } else {
+                        self.steps.pop_front();
+                        continue;
+                    }
+                    if held.len() > 1 {
+                        return false; // continue draining next tick
+                    }
+                    self.steps.pop_front();
+                }
+                Step::Restart { slot } => {
+                    let Some(server) = self.slots[slot].server else {
+                        self.steps.pop_front();
+                        continue;
+                    };
+                    let profile = self.slots[slot].profile;
+                    match cluster.restart_server(server, profile.config(&self.base_config)) {
+                        Ok(()) => {
+                            self.stats.restarts += 1;
+                            self.note(format!("restarting {server} as {profile}"));
+                        }
+                        Err(e) => {
+                            self.stats.errors += 1;
+                            self.note(format!("restart of {server} failed: {e}"));
+                        }
+                    }
+                    self.steps.pop_front();
+                }
+                Step::AwaitRestart { slot } => {
+                    let Some(server) = self.slots[slot].server else {
+                        self.steps.pop_front();
+                        continue;
+                    };
+                    let snap = cluster.snapshot();
+                    match snap.server(server).map(|s| s.health) {
+                        Some(ServerHealth::Online) => {
+                            self.steps.pop_front();
+                        }
+                        Some(ServerHealth::Restarting) => return false,
+                        _ => {
+                            self.stats.errors += 1;
+                            self.note(format!("{server} lost during restart"));
+                            self.steps.pop_front();
+                        }
+                    }
+                }
+                Step::MoveIn { slot } => {
+                    let Some(server) = self.slots[slot].server else {
+                        self.steps.pop_front();
+                        continue;
+                    };
+                    let snap = cluster.snapshot();
+                    // One staggered move per tick (see Drain).
+                    let pending: Vec<PartitionId> = self.slots[slot]
+                        .partitions
+                        .iter()
+                        .filter(|p| {
+                            snap.partitions
+                                .iter()
+                                .find(|m| m.partition == **p)
+                                .and_then(|m| m.assigned_to)
+                                != Some(server)
+                        })
+                        .copied()
+                        .collect();
+                    let Some(&p) = pending.first() else {
+                        self.steps.pop_front();
+                        continue;
+                    };
+                    match cluster.move_partition(p, server) {
+                        Ok(()) => self.stats.moves += 1,
+                        Err(e) => {
+                            self.stats.errors += 1;
+                            self.note(format!("move {p} → {server} failed: {e}"));
+                        }
+                    }
+                    if pending.len() > 1 {
+                        return false;
+                    }
+                    self.steps.pop_front();
+                }
+                Step::Compact { slot } => {
+                    let Some(server) = self.slots[slot].server else {
+                        self.steps.pop_front();
+                        continue;
+                    };
+                    let threshold = self.slots[slot].profile.locality_threshold();
+                    let snap = cluster.snapshot();
+                    let victims: Vec<PartitionId> = snap
+                        .partitions
+                        .iter()
+                        .filter(|m| m.assigned_to == Some(server) && m.locality < threshold)
+                        .map(|m| m.partition)
+                        .collect();
+                    for p in victims {
+                        match cluster.major_compact(p) {
+                            Ok(()) => self.stats.compactions += 1,
+                            Err(e) => {
+                                self.stats.errors += 1;
+                                self.note(format!("compact {p} failed: {e}"));
+                            }
+                        }
+                    }
+                    self.steps.pop_front();
+                }
+                Step::Decommission { server } => {
+                    match cluster.decommission_server(server) {
+                        Ok(()) => {
+                            self.stats.decommissions += 1;
+                            self.note(format!("decommissioned {server}"));
+                        }
+                        Err(e) => {
+                            self.stats.errors += 1;
+                            self.note(format!("decommission of {server} failed: {e}"));
+                        }
+                    }
+                    self.steps.pop_front();
+                }
+            }
+        }
+        true
+    }
+
+    /// Where to park a partition drained off `from`: its final slot's
+    /// server when that is online and different, otherwise the online
+    /// server with the fewest partitions.
+    fn final_destination(
+        &self,
+        p: PartitionId,
+        from: ServerId,
+        snap: &ClusterSnapshot,
+    ) -> Option<ServerId> {
+        let final_home = self
+            .slots
+            .iter()
+            .find(|s| s.partitions.contains(&p))
+            .and_then(|s| s.server)
+            .filter(|s| {
+                *s != from
+                    && snap.server(*s).map(|m| m.health == ServerHealth::Online).unwrap_or(false)
+            });
+        if final_home.is_some() {
+            return final_home;
+        }
+        snap.servers
+            .iter()
+            .filter(|s| s.health == ServerHealth::Online && s.server != from)
+            .min_by_key(|s| (s.partitions.len(), s.server))
+            .map(|s| s.server)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::output::{compute_output, CurrentNode, SuggestedNode};
+    use cluster::{ClientGroup, CostParams, OpMix, PartitionSpec, SimCluster};
+    use simcore::SimDuration;
+
+    fn sim_with(servers: usize, partitions: usize) -> (SimCluster, Vec<PartitionId>) {
+        let mut sim = SimCluster::new(CostParams::default(), 5);
+        for _ in 0..servers {
+            sim.add_server_immediate(StoreConfig::default_homogeneous());
+        }
+        let parts: Vec<PartitionId> = (0..partitions)
+            .map(|_| {
+                sim.create_partition(PartitionSpec {
+                    table: "t".into(),
+                    size_bytes: 5e8,
+                    record_bytes: 1_000.0,
+                    hot_set_fraction: 0.4,
+                    hot_ops_fraction: 0.5,
+                })
+            })
+            .collect();
+        sim.random_balance_unassigned();
+        let w = 1.0 / partitions as f64;
+        sim.add_group(ClientGroup::with_common_weights(
+            "g",
+            20.0,
+            0.5,
+            None,
+            OpMix::new(0.5, 0.5, 0.0),
+            parts.iter().map(|p| (*p, w)).collect(),
+            1.0,
+            0.0,
+        ));
+        (sim, parts)
+    }
+
+    fn drive(actuator: &mut Actuator, sim: &mut SimCluster, max_ticks: usize) {
+        for _ in 0..max_ticks {
+            sim.step();
+            if actuator.advance(sim) {
+                return;
+            }
+        }
+        panic!("actuator did not finish within {max_ticks} ticks");
+    }
+
+    #[test]
+    fn executes_full_reconfiguration() {
+        let (mut sim, parts) = sim_with(2, 4);
+        let snap = sim.snapshot();
+        let current: Vec<CurrentNode> = snap
+            .servers
+            .iter()
+            .map(|s| CurrentNode {
+                server: s.server,
+                profile: ProfileKind::of_config(&s.config),
+                partitions: s.partitions.clone(),
+            })
+            .collect();
+        let suggested = vec![
+            SuggestedNode { profile: ProfileKind::Read, partitions: vec![parts[0], parts[1]] },
+            SuggestedNode { profile: ProfileKind::Write, partitions: vec![parts[2], parts[3]] },
+        ];
+        let plan = compute_output(&current, suggested, true);
+        let mut actuator = Actuator::new(StoreConfig::default_homogeneous());
+        actuator.start(plan, &snap);
+        assert!(actuator.busy());
+        drive(&mut actuator, &mut sim, 300);
+        assert!(!actuator.busy());
+        let stats = actuator.stats();
+        assert_eq!(stats.restarts, 2, "{stats:?}\n{:#?}", actuator.log());
+        assert_eq!(stats.errors, 0, "{:#?}", actuator.log());
+        // Final layout matches the plan.
+        let snap = sim.snapshot();
+        for s in &snap.servers {
+            let profile = ProfileKind::of_config(&s.config);
+            assert!(profile.is_some(), "server {} not on a Table-1 profile", s.server);
+        }
+        let read_server = snap
+            .servers
+            .iter()
+            .find(|s| ProfileKind::of_config(&s.config) == Some(ProfileKind::Read))
+            .unwrap();
+        let mut held = read_server.partitions.clone();
+        held.sort();
+        assert_eq!(held, vec![parts[0], parts[1]]);
+    }
+
+    #[test]
+    fn provisions_new_nodes_with_profiles() {
+        let (mut sim, parts) = sim_with(1, 2);
+        sim.set_provision_delay(SimDuration::from_secs(30));
+        let snap = sim.snapshot();
+        let plan = compute_output(
+            &[CurrentNode {
+                server: snap.servers[0].server,
+                profile: None,
+                partitions: snap.servers[0].partitions.clone(),
+            }],
+            vec![
+                SuggestedNode { profile: ProfileKind::ReadWrite, partitions: vec![parts[0]] },
+                SuggestedNode { profile: ProfileKind::Write, partitions: vec![parts[1]] },
+            ],
+            false,
+        );
+        assert_eq!(plan.entries.iter().filter(|(s, _)| s.is_none()).count(), 1);
+        let mut actuator = Actuator::new(StoreConfig::default_homogeneous());
+        actuator.start(plan, &snap);
+        drive(&mut actuator, &mut sim, 300);
+        let stats = actuator.stats();
+        assert_eq!(stats.provisions, 1);
+        assert_eq!(stats.errors, 0, "{:#?}", actuator.log());
+        assert_eq!(sim.online_server_ids().len(), 2);
+    }
+
+    #[test]
+    fn decommission_happens_last() {
+        let (mut sim, parts) = sim_with(3, 3);
+        let snap = sim.snapshot();
+        let victim = snap.servers[2].server;
+        let keep: Vec<ServerId> = vec![snap.servers[0].server, snap.servers[1].server];
+        let plan = crate::output::OutputPlan {
+            entries: vec![
+                (
+                    Some(keep[0]),
+                    SuggestedNode {
+                        profile: ProfileKind::ReadWrite,
+                        partitions: vec![parts[0], parts[1]],
+                    },
+                ),
+                (
+                    Some(keep[1]),
+                    SuggestedNode { profile: ProfileKind::ReadWrite, partitions: vec![parts[2]] },
+                ),
+            ],
+            decommission: vec![victim],
+        };
+        let mut actuator = Actuator::new(StoreConfig::default_homogeneous());
+        actuator.start(plan, &snap);
+        drive(&mut actuator, &mut sim, 400);
+        assert_eq!(actuator.stats().decommissions, 1);
+        assert_eq!(sim.online_server_ids().len(), 2);
+        // No partition stranded on the dead server.
+        for p in &parts {
+            assert_ne!(sim.partition_server(*p), Some(victim));
+        }
+    }
+}

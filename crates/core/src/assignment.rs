@@ -1,0 +1,155 @@
+//! The assignment algorithm (Algorithm 2): LPT makespan scheduling with a
+//! partition-count cap.
+//!
+//! Within one group, partitions are jobs (cost = request rate), nodes are
+//! processors. Longest Processing Time: sort jobs by decreasing cost, give
+//! each to the least-loaded node. The paper adds a constraint balancing the
+//! *number* of partitions too: at most
+//! `ceil(partitions_in_group / nodes_in_group)` per node.
+
+/// One node's resulting assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeAssignment<P> {
+    /// Partition identifiers assigned, in assignment order.
+    pub partitions: Vec<P>,
+    /// Total assigned load.
+    pub load: f64,
+}
+
+/// Assigns `partitions` (id, load) to `nodes` slots using LPT with the
+/// max-partitions-per-node constraint. Returns one assignment per node.
+///
+/// # Panics
+///
+/// Panics if `nodes == 0` while partitions is non-empty.
+pub fn assign_lpt<P: Clone>(partitions: &[(P, f64)], nodes: usize) -> Vec<NodeAssignment<P>> {
+    if partitions.is_empty() {
+        return vec![NodeAssignment { partitions: Vec::new(), load: 0.0 }; nodes];
+    }
+    assert!(nodes > 0, "cannot assign partitions to zero nodes");
+    let max_per_node = partitions.len().div_ceil(nodes);
+
+    // Sort by decreasing cost (LPT), stable so equal-cost items keep input
+    // order (determinism).
+    let mut jobs: Vec<(P, f64)> = partitions.to_vec();
+    jobs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite load"));
+
+    let mut out: Vec<NodeAssignment<P>> =
+        vec![NodeAssignment { partitions: Vec::new(), load: 0.0 }; nodes];
+    for (id, load) in jobs {
+        // Least-loaded node that still has capacity; ties go to the lowest
+        // index.
+        let target = out
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.partitions.len() < max_per_node)
+            .min_by(|(ia, a), (ib, b)| {
+                a.load.partial_cmp(&b.load).expect("finite load").then(ia.cmp(ib))
+            })
+            .map(|(i, _)| i)
+            .expect("capacity bound guarantees a free node");
+        out[target].partitions.push(id);
+        out[target].load += load;
+    }
+    out
+}
+
+/// The makespan (max node load) of an assignment.
+pub fn makespan<P>(assignment: &[NodeAssignment<P>]) -> f64 {
+    assignment.iter().map(|n| n.load).fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_node_takes_everything() {
+        let parts = vec![("a", 5.0), ("b", 3.0)];
+        let out = assign_lpt(&parts, 1);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].partitions, vec!["a", "b"]);
+        assert_eq!(out[0].load, 8.0);
+    }
+
+    #[test]
+    fn lpt_balances_load() {
+        // Classic LPT example: jobs 7,6,5,4,3 on 2 nodes → {7,4,3}=14? No:
+        // LPT gives node1: 7,4,3 (14)? Walk: 7→n0, 6→n1, 5→n1? n1 has 6 >
+        // n0's 7? least-loaded is n1(6): 5→n1 (11), 4→n0 (11), 3→either (14
+        // vs 11 → n0 or n1 at 11; ties lowest index n0=11? both 11 → n0).
+        let parts = vec![("a", 7.0), ("b", 6.0), ("c", 5.0), ("d", 4.0), ("e", 3.0)];
+        let out = assign_lpt(&parts, 2);
+        let loads: Vec<f64> = out.iter().map(|n| n.load).collect();
+        let total: f64 = loads.iter().sum();
+        assert_eq!(total, 25.0);
+        assert!(makespan(&out) <= 14.0, "makespan {}", makespan(&out));
+    }
+
+    #[test]
+    fn count_constraint_is_enforced() {
+        // 6 partitions, 3 nodes → max 2 per node even though one partition
+        // dominates the load.
+        let parts = vec![
+            ("hot", 100.0),
+            ("a", 1.0),
+            ("b", 1.0),
+            ("c", 1.0),
+            ("d", 1.0),
+            ("e", 1.0),
+        ];
+        let out = assign_lpt(&parts, 3);
+        for n in &out {
+            assert!(n.partitions.len() <= 2, "{:?}", n.partitions);
+        }
+        let total: usize = out.iter().map(|n| n.partitions.len()).sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn hotspots_land_on_distinct_nodes() {
+        // §3.3: "the hotspots of each workload being in different
+        // RegionServers". Two hot partitions + two cold on two nodes.
+        let parts = vec![("hot1", 34.0), ("hot2", 26.0), ("cold1", 20.0), ("cold2", 20.0)];
+        let out = assign_lpt(&parts, 2);
+        let n0 = &out[0].partitions;
+        assert!(
+            !(n0.contains(&"hot1") && n0.contains(&"hot2")),
+            "both hotspots on one node: {n0:?}"
+        );
+        // Loads end up close: 54 vs 46.
+        assert!((out[0].load - out[1].load).abs() <= 10.0);
+    }
+
+    #[test]
+    fn empty_partitions_yield_empty_nodes() {
+        let out = assign_lpt::<&str>(&[], 3);
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(|n| n.partitions.is_empty() && n.load == 0.0));
+    }
+
+    #[test]
+    fn lpt_stays_close_to_the_makespan_lower_bound() {
+        // LPT guarantees 4/3 − 1/(3m) of optimal; the partition-count cap
+        // can cost a little more. Check ≤ 1.6 × the trivial lower bound
+        // max(total/m, max_job) over many deterministic job sets.
+        let mut rng = simcore::SimRng::new(17);
+        for round in 0..100 {
+            let n = 2 + rng.next_below(4) as usize;
+            let jobs: Vec<(u64, f64)> =
+                (0..(n as u64 * 3)).map(|i| (i, rng.next_range(1, 100) as f64)).collect();
+            let lpt = assign_lpt(&jobs, n);
+            let total: f64 = jobs.iter().map(|(_, c)| c).sum();
+            let max_job = jobs.iter().map(|(_, c)| *c).fold(0.0, f64::max);
+            let lb = (total / n as f64).max(max_job);
+            assert!(
+                makespan(&lpt) <= 1.6 * lb + 1e-9,
+                "round {round}: LPT {} vs lower bound {lb}",
+                makespan(&lpt)
+            );
+            // Work conservation: all jobs assigned exactly once.
+            let count: usize = lpt.iter().map(|a| a.partitions.len()).sum();
+            assert_eq!(count, jobs.len());
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Data-partition classification (§4.2.3, thresholds from §5).
+//!
+//! > "Data partitions are classified according to the following criteria:
+//! > i) read, if more than 60 % of total requests are read requests;
+//! > ii) write, if more than 60 % of total requests are write requests;
+//! > iii) scan, if more than 60 % of read requests are scan requests;
+//! > iv) and read-write in every other case."
+//!
+//! Scans are read requests in HBase's accounting, so rule (iii) refines
+//! rule (i): a partition is *scan* when its read traffic dominates **and**
+//! is mostly scans.
+
+use crate::profiles::ProfileKind;
+
+/// Interval request rates of one partition.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PartitionRates {
+    /// Point reads per interval.
+    pub reads: f64,
+    /// Writes per interval.
+    pub writes: f64,
+    /// Scans per interval.
+    pub scans: f64,
+}
+
+impl PartitionRates {
+    /// Total requests.
+    pub fn total(&self) -> f64 {
+        self.reads + self.writes + self.scans
+    }
+}
+
+/// Classifies one partition. An idle partition defaults to read/write (the
+/// least specialized placement).
+pub fn classify(rates: PartitionRates, threshold: f64) -> ProfileKind {
+    let total = rates.total();
+    if total <= 0.0 {
+        return ProfileKind::ReadWrite;
+    }
+    let read_like = rates.reads + rates.scans; // scans are read requests
+    if read_like / total > threshold {
+        if rates.scans / read_like > threshold {
+            ProfileKind::Scan
+        } else {
+            ProfileKind::Read
+        }
+    } else if rates.writes / total > threshold {
+        ProfileKind::Write
+    } else {
+        ProfileKind::ReadWrite
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(reads: f64, writes: f64, scans: f64) -> ProfileKind {
+        classify(PartitionRates { reads, writes, scans }, 0.6)
+    }
+
+    #[test]
+    fn pure_patterns_classify_directly() {
+        assert_eq!(c(100.0, 0.0, 0.0), ProfileKind::Read);
+        assert_eq!(c(0.0, 100.0, 0.0), ProfileKind::Write);
+        assert_eq!(c(0.0, 0.0, 100.0), ProfileKind::Scan);
+        assert_eq!(c(50.0, 50.0, 0.0), ProfileKind::ReadWrite);
+    }
+
+    #[test]
+    fn paper_workloads_classify_as_section_3_expects() {
+        // WorkloadA: 50/50 read/update → read/write mix.
+        assert_eq!(c(50.0, 50.0, 0.0), ProfileKind::ReadWrite);
+        // WorkloadB (modified): 100% updates → write.
+        assert_eq!(c(0.0, 100.0, 0.0), ProfileKind::Write);
+        // WorkloadC: 100% reads → read.
+        assert_eq!(c(100.0, 0.0, 0.0), ProfileKind::Read);
+        // WorkloadD (modified): 5% reads, 95% inserts → write.
+        assert_eq!(c(5.0, 95.0, 0.0), ProfileKind::Write);
+        // WorkloadE: 95% scans, 5% inserts → scan.
+        assert_eq!(c(0.0, 5.0, 95.0), ProfileKind::Scan);
+        // WorkloadF: 50% reads + 50% RMW → 100 reads, 50 writes → read.
+        assert_eq!(c(100.0, 50.0, 0.0), ProfileKind::Read);
+    }
+
+    #[test]
+    fn threshold_is_strict() {
+        // Exactly 60% reads is NOT "more than 60%".
+        assert_eq!(c(60.0, 40.0, 0.0), ProfileKind::ReadWrite);
+        assert_eq!(c(61.0, 39.0, 0.0), ProfileKind::Read);
+    }
+
+    #[test]
+    fn scan_rule_refines_read_rule() {
+        // 70% of traffic is read-like; scans are 50% of reads → Read.
+        assert_eq!(c(35.0, 30.0, 35.0), ProfileKind::Read);
+        // Scans dominate the read traffic → Scan.
+        assert_eq!(c(10.0, 20.0, 70.0), ProfileKind::Scan);
+    }
+
+    #[test]
+    fn idle_partition_defaults_to_read_write() {
+        assert_eq!(c(0.0, 0.0, 0.0), ProfileKind::ReadWrite);
+    }
+}

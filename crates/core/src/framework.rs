@@ -1,0 +1,259 @@
+//! The MeT framework loop tying Monitor → Decision Maker → Actuator
+//! (Fig. 2 / Fig. 3 of the paper).
+//!
+//! Driven once per simulation tick. Every `monitor_interval` it samples the
+//! cluster; once `min_samples` smoothed samples accumulate (§6.1: 30 s
+//! samples, 6 samples → a 3-minute decision period) it runs the decision
+//! maker; a resulting plan executes through the actuator over the following
+//! ticks, after which the monitor history is reset (§4.1).
+
+use crate::actuator::{Actuator, ActuatorStats};
+use crate::config::MetConfig;
+use crate::decision::{Decision, DecisionMaker};
+use crate::monitor::Monitor;
+use crate::output::CurrentNode;
+use crate::profiles::ProfileKind;
+use cluster::admin::{ElasticCluster, ServerHealth};
+use hstore::StoreConfig;
+use simcore::SimTime;
+
+/// Things MeT did, timestamped — the experiment narrative.
+#[derive(Debug, Clone)]
+pub struct MetEvent {
+    /// When it happened.
+    pub at: SimTime,
+    /// What happened.
+    pub what: String,
+}
+
+/// The assembled MeT control plane.
+pub struct Met {
+    cfg: MetConfig,
+    monitor: Monitor,
+    decision: DecisionMaker,
+    actuator: Actuator,
+    last_sample: Option<SimTime>,
+    events: Vec<MetEvent>,
+    reconfigurations: u64,
+}
+
+impl Met {
+    /// Creates a MeT instance. `base_config` carries the heap size and
+    /// other non-profile parameters of the managed servers.
+    pub fn new(cfg: MetConfig, base_config: StoreConfig) -> Self {
+        cfg.validate().expect("invalid MeT configuration");
+        Met {
+            monitor: Monitor::new(cfg.smoothing_alpha),
+            decision: DecisionMaker::new(cfg.clone()),
+            actuator: Actuator::new(base_config),
+            cfg,
+            last_sample: None,
+            events: Vec::new(),
+            reconfigurations: 0,
+        }
+    }
+
+    /// The event log.
+    pub fn events(&self) -> &[MetEvent] {
+        &self.events
+    }
+
+    /// Actuator statistics.
+    pub fn actuator_stats(&self) -> ActuatorStats {
+        self.actuator.stats()
+    }
+
+    /// Completed reconfiguration plans.
+    pub fn reconfigurations(&self) -> u64 {
+        self.reconfigurations
+    }
+
+    /// True while a plan is being applied.
+    pub fn reconfiguring(&self) -> bool {
+        self.actuator.busy()
+    }
+
+    /// Drives MeT for one simulation tick.
+    pub fn tick(&mut self, cluster: &mut dyn ElasticCluster) {
+        let now = cluster.now();
+
+        // A running plan takes priority; the monitor pauses meanwhile.
+        if self.actuator.busy() {
+            if self.actuator.advance(cluster) {
+                self.reconfigurations += 1;
+                self.events.push(MetEvent {
+                    at: now,
+                    what: format!(
+                        "reconfiguration #{} complete ({:?})",
+                        self.reconfigurations,
+                        self.actuator.stats()
+                    ),
+                });
+                // Only post-action observations feed the next decision.
+                self.monitor.reset();
+                self.last_sample = None;
+            }
+            return;
+        }
+
+        // Sample every monitor interval.
+        let due = match self.last_sample {
+            None => true,
+            Some(t) => now.since(t) >= self.cfg.monitor_interval,
+        };
+        if !due {
+            return;
+        }
+        self.last_sample = Some(now);
+        let snapshot = cluster.snapshot();
+        self.monitor.observe(&snapshot);
+
+        if self.monitor.samples() < self.cfg.min_samples {
+            return;
+        }
+        let Some(report) = self.monitor.report(&snapshot) else { return };
+        match self.decision.decide(now, &report, &snapshot) {
+            Decision::Healthy => {
+                // Stay in StageA; keep the sliding window of samples.
+            }
+            Decision::Reconfigure(plan) => {
+                let current: Vec<CurrentNode> = snapshot
+                    .servers
+                    .iter()
+                    .filter(|s| s.health == ServerHealth::Online)
+                    .map(|s| CurrentNode {
+                        server: s.server,
+                        profile: ProfileKind::of_config(&s.config),
+                        partitions: s.partitions.clone(),
+                    })
+                    .collect();
+                let adds = plan.entries.iter().filter(|(s, _)| s.is_none()).count();
+                let removes = plan.decommission.len();
+                let moves = plan.moves_required(&current);
+                let restarts = plan.restarts_required(&current);
+                // Hysteresis: a plan that only shuffles a few partitions
+                // (no restarts, no fleet change) is LPT noise, not a better
+                // layout — the move outages would cost more than the
+                // rebalance gains.
+                let total_partitions = snapshot.partitions.len().max(1);
+                if adds == 0
+                    && removes == 0
+                    && restarts == 0
+                    && moves * 5 < total_partitions
+                {
+                    return;
+                }
+                self.events.push(MetEvent {
+                    at: now,
+                    what: format!(
+                        "plan: {} slots, +{adds} nodes, -{removes} nodes, {moves} moves, {restarts} restarts",
+                        plan.entries.len(),
+                    ),
+                });
+                self.actuator.start(plan, &snapshot);
+                // Begin executing immediately.
+                if self.actuator.advance(cluster) {
+                    self.reconfigurations += 1;
+                    self.monitor.reset();
+                    self.last_sample = None;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::ProfileKind;
+    use cluster::{ClientGroup, CostParams, OpMix, PartitionId, PartitionSpec, SimCluster};
+
+    /// Builds the §3 scenario in miniature: read, write, mixed and scan
+    /// partitions on a homogeneous random cluster, then lets MeT run.
+    fn build_scenario(seed: u64) -> (SimCluster, Vec<PartitionId>) {
+        let mut sim = SimCluster::new(CostParams::default(), seed);
+        for _ in 0..4 {
+            sim.add_server_immediate(StoreConfig::default_homogeneous());
+        }
+        let mut parts = Vec::new();
+        for _ in 0..12 {
+            parts.push(sim.create_partition(PartitionSpec {
+                table: "t".into(),
+                size_bytes: 1e9,
+                record_bytes: 1_000.0,
+                hot_set_fraction: 0.4,
+                hot_ops_fraction: 0.5,
+            }));
+        }
+        sim.random_balance_unassigned();
+        let third = |offset: usize| -> Vec<(PartitionId, f64)> {
+            (0..4).map(|i| (parts[offset + i], 0.25)).collect()
+        };
+        sim.add_group(ClientGroup::with_common_weights(
+            "readers", 60.0, 0.5, None, OpMix::read_only(), third(0), 1.0, 0.0,
+        ));
+        sim.add_group(ClientGroup::with_common_weights(
+            "writers", 60.0, 0.5, None, OpMix::write_only(), third(4), 1.0, 0.2,
+        ));
+        sim.add_group(ClientGroup::with_common_weights(
+            "mixed", 60.0, 0.5, None, OpMix::new(0.5, 0.5, 0.0), third(8), 1.0, 0.0,
+        ));
+        (sim, parts)
+    }
+
+    #[test]
+    fn met_reconfigures_heterogeneously_and_improves_throughput() {
+        let (mut sim, _parts) = build_scenario(11);
+        // Baseline: run homogeneous for 4 minutes.
+        sim.run_ticks(240);
+        let baseline = sim
+            .total_series()
+            .mean_between(simcore::SimTime::from_secs(120), simcore::SimTime::from_secs(240))
+            .unwrap();
+
+        let mut met = Met::new(MetConfig::default(), StoreConfig::default_homogeneous());
+        // 26 more minutes with MeT in the loop.
+        for _ in 0..(26 * 60) {
+            sim.step();
+            met.tick(&mut sim);
+        }
+        assert!(met.reconfigurations() >= 1, "MeT never acted: {:?}", met.events());
+
+        // All servers end on Table-1 profiles.
+        let snap = cluster::ElasticCluster::snapshot(&sim);
+        let profiled = snap
+            .servers
+            .iter()
+            .filter(|s| s.health == cluster::ServerHealth::Online)
+            .filter(|s| ProfileKind::of_config(&s.config).is_some())
+            .count();
+        assert!(profiled >= 3, "servers not reconfigured: {profiled}");
+
+        // Steady-state throughput beats the homogeneous baseline.
+        let end = sim.time();
+        let steady = sim
+            .total_series()
+            .mean_between(
+                simcore::SimTime(end.0 - 5 * 60_000),
+                end,
+            )
+            .unwrap();
+        assert!(
+            steady > baseline * 1.1,
+            "MeT should improve throughput: baseline {baseline:.0} → {steady:.0}"
+        );
+    }
+
+    #[test]
+    fn met_does_nothing_before_enough_samples() {
+        let (mut sim, _) = build_scenario(13);
+        let mut met = Met::new(MetConfig::default(), StoreConfig::default_homogeneous());
+        // 5 samples' worth of time (monitor interval 30 s → 150 s).
+        for _ in 0..150 {
+            sim.step();
+            met.tick(&mut sim);
+        }
+        assert_eq!(met.reconfigurations(), 0);
+        assert!(!met.reconfiguring());
+    }
+}

@@ -1,0 +1,149 @@
+//! Node-grouping: how many nodes each access-pattern group receives
+//! (§4.2.3).
+//!
+//! > "Each group will be assigned a number of nodes equal to the division
+//! > of the number of partitions in that group by the total number of
+//! > partitions, and then multiplied by the total number of nodes
+//! > available."
+//!
+//! The paper's formula is fractional; we allocate with the
+//! largest-remainder method under two constraints the paper's §3.3
+//! deployment implies: every non-empty group gets at least one node
+//! (provided there are enough nodes), and all available nodes are used.
+
+use crate::profiles::ProfileKind;
+use std::collections::BTreeMap;
+
+/// Computes nodes-per-group for `total_nodes` available nodes.
+///
+/// When there are fewer nodes than non-empty groups, the smallest groups
+/// are folded into the read/write group (the least specialized profile)
+/// until the allocation fits. Returns the per-group node counts (only
+/// non-empty allocations appear).
+pub fn nodes_per_group(
+    partitions_per_group: &BTreeMap<ProfileKind, usize>,
+    total_nodes: usize,
+) -> BTreeMap<ProfileKind, usize> {
+    assert!(total_nodes > 0, "no nodes to allocate");
+    let mut groups: Vec<(ProfileKind, usize)> = partitions_per_group
+        .iter()
+        .filter(|(_, n)| **n > 0)
+        .map(|(k, n)| (*k, *n))
+        .collect();
+    if groups.is_empty() {
+        return BTreeMap::new();
+    }
+
+    // Fold smallest groups into ReadWrite while groups exceed nodes.
+    while groups.len() > total_nodes {
+        groups.sort_by_key(|(k, n)| (*n, *k));
+        let (folded_kind, folded_n) = groups.remove(0);
+        let _ = folded_kind;
+        if let Some(rw) = groups.iter_mut().find(|(k, _)| *k == ProfileKind::ReadWrite) {
+            rw.1 += folded_n;
+        } else if let Some(first) = groups.first_mut() {
+            first.1 += folded_n;
+        }
+    }
+
+    let total_partitions: usize = groups.iter().map(|(_, n)| n).sum();
+    // Every surviving group starts with one node (folding above guarantees
+    // groups ≤ nodes); remaining nodes go to the group furthest below its
+    // proportional ideal.
+    let mut alloc: Vec<(ProfileKind, usize, usize, f64)> = groups
+        .iter()
+        .map(|(k, n)| {
+            let ideal = *n as f64 / total_partitions as f64 * total_nodes as f64;
+            (*k, 1usize, *n, ideal)
+        })
+        .collect();
+    let mut used = alloc.len();
+    while used < total_nodes {
+        let next = alloc
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| {
+                let da = a.3 - a.1 as f64;
+                let db = b.3 - b.1 as f64;
+                da.partial_cmp(&db)
+                    .expect("finite deficits")
+                    // Ties: more partitions first, then stable kind order.
+                    .then(a.2.cmp(&b.2))
+                    .then(b.0.cmp(&a.0))
+            })
+            .map(|(i, _)| i)
+            .expect("non-empty allocation");
+        alloc[next].1 += 1;
+        used += 1;
+    }
+    alloc.into_iter().map(|(k, n, _, _)| (k, n)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn groups(read: usize, write: usize, rw: usize, scan: usize) -> BTreeMap<ProfileKind, usize> {
+        let mut m = BTreeMap::new();
+        m.insert(ProfileKind::Read, read);
+        m.insert(ProfileKind::Write, write);
+        m.insert(ProfileKind::ReadWrite, rw);
+        m.insert(ProfileKind::Scan, scan);
+        m
+    }
+
+    #[test]
+    fn paper_section_3_allocation() {
+        // §3.3: groups of 4 (read C), 5 (write B+D), 8 (read/write A+F),
+        // 4 (scan E) partitions on 5 RegionServers → read/write gets 2
+        // nodes, everyone else 1.
+        let alloc = nodes_per_group(&groups(4, 5, 8, 4), 5);
+        assert_eq!(alloc[&ProfileKind::ReadWrite], 2);
+        assert_eq!(alloc[&ProfileKind::Read], 1);
+        assert_eq!(alloc[&ProfileKind::Write], 1);
+        assert_eq!(alloc[&ProfileKind::Scan], 1);
+    }
+
+    #[test]
+    fn all_nodes_are_used() {
+        for nodes in 4..20 {
+            let alloc = nodes_per_group(&groups(10, 5, 8, 2), nodes);
+            let used: usize = alloc.values().sum();
+            assert_eq!(used, nodes, "allocation for {nodes} nodes used {used}");
+        }
+    }
+
+    #[test]
+    fn proportionality_holds_at_scale() {
+        // 20 read partitions vs 5 write partitions (the paper's example in
+        // §3.3): read must get clearly more nodes.
+        let mut m = BTreeMap::new();
+        m.insert(ProfileKind::Read, 20);
+        m.insert(ProfileKind::Write, 5);
+        let alloc = nodes_per_group(&m, 10);
+        assert!(alloc[&ProfileKind::Read] > alloc[&ProfileKind::Write]);
+        assert_eq!(alloc[&ProfileKind::Read] + alloc[&ProfileKind::Write], 10);
+    }
+
+    #[test]
+    fn fewer_nodes_than_groups_folds_into_read_write() {
+        let alloc = nodes_per_group(&groups(4, 5, 8, 4), 2);
+        let used: usize = alloc.values().sum();
+        assert_eq!(used, 2);
+        assert!(alloc.len() <= 2);
+        assert!(alloc.contains_key(&ProfileKind::ReadWrite), "{alloc:?}");
+    }
+
+    #[test]
+    fn empty_groups_get_nothing() {
+        let alloc = nodes_per_group(&groups(10, 0, 0, 0), 5);
+        assert_eq!(alloc.len(), 1);
+        assert_eq!(alloc[&ProfileKind::Read], 5);
+    }
+
+    #[test]
+    fn no_partitions_means_no_allocation() {
+        let alloc = nodes_per_group(&groups(0, 0, 0, 0), 5);
+        assert!(alloc.is_empty());
+    }
+}

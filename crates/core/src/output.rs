@@ -1,0 +1,280 @@
+//! Output computation (Algorithm 3, StageD): matching the suggested
+//! distribution to the running cluster so that node reconfigurations and
+//! partition moves are minimized.
+//!
+//! The suggested configuration is a list of (profile, partition-set)
+//! "slots". For each slot we find the current node holding the most
+//! similar partition set — best-effort set intersection, preferring nodes
+//! that already run the slot's profile (no restart needed). Unmatched
+//! slots go to new nodes; unmatched current nodes are decommissioned.
+
+use crate::profiles::ProfileKind;
+use cluster::{PartitionId, ServerId};
+use std::collections::BTreeSet;
+
+/// One slot of the suggested configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuggestedNode {
+    /// Profile the node must run.
+    pub profile: ProfileKind,
+    /// Partitions it must host.
+    pub partitions: Vec<PartitionId>,
+}
+
+/// A current node's relevant state.
+#[derive(Debug, Clone)]
+pub struct CurrentNode {
+    /// Server identity.
+    pub server: ServerId,
+    /// Profile it currently runs (`None` = not a Table 1 profile, e.g. the
+    /// initial homogeneous configuration).
+    pub profile: Option<ProfileKind>,
+    /// Partitions it currently hosts.
+    pub partitions: Vec<PartitionId>,
+}
+
+/// The computed target layout.
+#[derive(Debug, Clone, Default)]
+pub struct OutputPlan {
+    /// Slots mapped to servers; `server == None` means a node must be
+    /// provisioned for this slot.
+    pub entries: Vec<(Option<ServerId>, SuggestedNode)>,
+    /// Servers left without a slot (to decommission).
+    pub decommission: Vec<ServerId>,
+}
+
+impl OutputPlan {
+    /// Number of partition moves this plan implies.
+    pub fn moves_required(&self, current: &[CurrentNode]) -> usize {
+        let mut moves = 0;
+        for (server, slot) in &self.entries {
+            let held: BTreeSet<PartitionId> = match server {
+                Some(s) => current
+                    .iter()
+                    .find(|c| c.server == *s)
+                    .map(|c| c.partitions.iter().copied().collect())
+                    .unwrap_or_default(),
+                None => BTreeSet::new(),
+            };
+            moves += slot.partitions.iter().filter(|p| !held.contains(p)).count();
+        }
+        moves
+    }
+
+    /// Number of server restarts this plan implies (profile changes on
+    /// existing nodes).
+    pub fn restarts_required(&self, current: &[CurrentNode]) -> usize {
+        self.entries
+            .iter()
+            .filter(|(server, slot)| match server {
+                Some(s) => current
+                    .iter()
+                    .find(|c| c.server == *s)
+                    .map(|c| c.profile != Some(slot.profile))
+                    .unwrap_or(true),
+                None => false, // new nodes boot directly with the profile
+            })
+            .count()
+    }
+}
+
+fn similarity(node: &CurrentNode, slot: &SuggestedNode) -> u64 {
+    let held: BTreeSet<PartitionId> = node.partitions.iter().copied().collect();
+    let overlap = slot.partitions.iter().filter(|p| held.contains(p)).count() as u64;
+    // A kept partition avoids one move; a kept profile avoids one restart
+    // (weighted like one move — both interrupt service briefly).
+    2 * overlap + u64::from(node.profile == Some(slot.profile))
+}
+
+/// Matches suggested slots to current nodes (Algorithm 3).
+///
+/// `first_time == true` reproduces the InitialReconfiguration branch: no
+/// similarity information is assumed and slots map to nodes in order.
+pub fn compute_output(
+    current: &[CurrentNode],
+    suggested: Vec<SuggestedNode>,
+    first_time: bool,
+) -> OutputPlan {
+    let mut plan = OutputPlan::default();
+    if first_time {
+        let mut servers = current.iter().map(|c| Some(c.server)).collect::<Vec<_>>();
+        servers.resize(suggested.len().max(servers.len()), None);
+        let slot_count = suggested.len();
+        for (server, slot) in servers.iter().zip(suggested) {
+            plan.entries.push((*server, slot));
+        }
+        for c in current.iter().skip(slot_count) {
+            plan.decommission.push(c.server);
+        }
+        return plan;
+    }
+
+    // Global greedy: repeatedly take the highest-similarity (node, slot)
+    // pair. Deterministic tie-break by (slot index, server id).
+    let mut free_nodes: Vec<&CurrentNode> = current.iter().collect();
+    let mut free_slots: Vec<(usize, SuggestedNode)> = suggested.into_iter().enumerate().collect();
+    let mut matched: Vec<(Option<ServerId>, usize, SuggestedNode)> = Vec::new();
+
+    while !free_nodes.is_empty() && !free_slots.is_empty() {
+        let mut best: Option<(u64, usize, usize)> = None; // (score, slot_i, node_i)
+        for (si, (_, slot)) in free_slots.iter().enumerate() {
+            for (ni, node) in free_nodes.iter().enumerate() {
+                let score = similarity(node, slot);
+                let better = match best {
+                    None => true,
+                    Some((bs, bsi, bni)) => {
+                        score > bs
+                            || (score == bs
+                                && (free_slots[si].0, free_nodes[ni].server)
+                                    < (free_slots[bsi].0, free_nodes[bni].server))
+                    }
+                };
+                if better {
+                    best = Some((score, si, ni));
+                }
+            }
+        }
+        let (_, si, ni) = best.expect("both lists non-empty");
+        let (orig_idx, slot) = free_slots.remove(si);
+        let node = free_nodes.remove(ni);
+        matched.push((Some(node.server), orig_idx, slot));
+    }
+    // Leftover slots need new nodes.
+    for (orig_idx, slot) in free_slots {
+        matched.push((None, orig_idx, slot));
+    }
+    // Preserve the suggested order for determinism.
+    matched.sort_by_key(|(_, idx, _)| *idx);
+    plan.entries = matched.into_iter().map(|(s, _, slot)| (s, slot)).collect();
+    plan.decommission = free_nodes.into_iter().map(|n| n.server).collect();
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(i: u64) -> PartitionId {
+        PartitionId(i)
+    }
+
+    fn node(id: u64, profile: Option<ProfileKind>, parts: &[u64]) -> CurrentNode {
+        CurrentNode {
+            server: ServerId(id),
+            profile,
+            partitions: parts.iter().map(|p| pid(*p)).collect(),
+        }
+    }
+
+    fn slot(profile: ProfileKind, parts: &[u64]) -> SuggestedNode {
+        SuggestedNode { profile, partitions: parts.iter().map(|p| pid(*p)).collect() }
+    }
+
+    #[test]
+    fn identical_layout_needs_nothing() {
+        let current = vec![
+            node(1, Some(ProfileKind::Read), &[1, 2]),
+            node(2, Some(ProfileKind::Write), &[3, 4]),
+        ];
+        let suggested = vec![
+            slot(ProfileKind::Read, &[1, 2]),
+            slot(ProfileKind::Write, &[3, 4]),
+        ];
+        let plan = compute_output(&current, suggested, false);
+        assert_eq!(plan.moves_required(&current), 0);
+        assert_eq!(plan.restarts_required(&current), 0);
+        assert!(plan.decommission.is_empty());
+    }
+
+    #[test]
+    fn matching_minimizes_moves_over_naive_order() {
+        // Suggested slots arrive in an order that, zipped naively, would
+        // move everything; similarity matching moves nothing.
+        let current = vec![
+            node(1, Some(ProfileKind::Write), &[3, 4]),
+            node(2, Some(ProfileKind::Read), &[1, 2]),
+        ];
+        let suggested = vec![
+            slot(ProfileKind::Read, &[1, 2]),
+            slot(ProfileKind::Write, &[3, 4]),
+        ];
+        let plan = compute_output(&current, suggested, false);
+        assert_eq!(plan.moves_required(&current), 0);
+        assert_eq!(plan.restarts_required(&current), 0);
+        // Slot order preserved; servers crossed over.
+        assert_eq!(plan.entries[0].0, Some(ServerId(2)));
+        assert_eq!(plan.entries[1].0, Some(ServerId(1)));
+    }
+
+    #[test]
+    fn extra_slots_become_new_nodes() {
+        let current = vec![node(1, Some(ProfileKind::Read), &[1])];
+        let suggested = vec![
+            slot(ProfileKind::Read, &[1]),
+            slot(ProfileKind::Write, &[2, 3]),
+        ];
+        let plan = compute_output(&current, suggested, false);
+        assert_eq!(plan.entries.len(), 2);
+        assert_eq!(plan.entries[0].0, Some(ServerId(1)));
+        assert_eq!(plan.entries[1].0, None, "second slot needs provisioning");
+        assert!(plan.decommission.is_empty());
+    }
+
+    #[test]
+    fn surplus_nodes_are_decommissioned() {
+        let current = vec![
+            node(1, Some(ProfileKind::Read), &[1]),
+            node(2, Some(ProfileKind::Write), &[2]),
+            node(3, Some(ProfileKind::Scan), &[]),
+        ];
+        let suggested = vec![slot(ProfileKind::ReadWrite, &[1, 2])];
+        let plan = compute_output(&current, suggested, false);
+        assert_eq!(plan.entries.len(), 1);
+        assert_eq!(plan.decommission.len(), 2);
+    }
+
+    #[test]
+    fn profile_match_breaks_ties() {
+        // Two nodes with zero overlap; the slot should go to the node
+        // already running its profile.
+        let current = vec![
+            node(1, Some(ProfileKind::Write), &[]),
+            node(2, Some(ProfileKind::Read), &[]),
+        ];
+        let suggested = vec![
+            slot(ProfileKind::Read, &[10]),
+            slot(ProfileKind::Write, &[11]),
+        ];
+        let plan = compute_output(&current, suggested, false);
+        assert_eq!(plan.restarts_required(&current), 0);
+        assert_eq!(plan.entries[0].0, Some(ServerId(2)));
+        assert_eq!(plan.entries[1].0, Some(ServerId(1)));
+    }
+
+    #[test]
+    fn first_time_maps_in_order() {
+        let current = vec![node(1, None, &[1, 2]), node(2, None, &[3])];
+        let suggested = vec![
+            slot(ProfileKind::Read, &[1, 3]),
+            slot(ProfileKind::Write, &[2]),
+        ];
+        let plan = compute_output(&current, suggested, true);
+        assert_eq!(plan.entries[0].0, Some(ServerId(1)));
+        assert_eq!(plan.entries[1].0, Some(ServerId(2)));
+        // Initial reconfiguration restarts everything (homogeneous → profiles).
+        assert_eq!(plan.restarts_required(&current), 2);
+    }
+
+    #[test]
+    fn overlap_dominates_profile_bonus() {
+        // Node 1 runs the right profile but node 2 holds the data; data
+        // gravity must win (2·overlap > profile bonus).
+        let current = vec![
+            node(1, Some(ProfileKind::Read), &[]),
+            node(2, Some(ProfileKind::Write), &[5, 6, 7]),
+        ];
+        let suggested = vec![slot(ProfileKind::Read, &[5, 6, 7])];
+        let plan = compute_output(&current, suggested, false);
+        assert_eq!(plan.entries[0].0, Some(ServerId(2)));
+    }
+}

@@ -1,0 +1,125 @@
+//! The four node configuration profiles of Table 1.
+//!
+//! | Node profile | Cache size | Memstore size | Block size |
+//! |--------------|-----------|---------------|------------|
+//! | Read         | 55 %      | 10 %          | 32 KiB     |
+//! | Write        | 10 %      | 55 %          | 64 KiB     |
+//! | Read/Write   | 45 %      | 20 %          | 32 KiB     |
+//! | Scan         | 55 %      | 10 %          | 128 KiB    |
+
+use hstore::StoreConfig;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The access-pattern groups MeT distinguishes (§3.3, §4.2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ProfileKind {
+    /// Read-intensive partitions.
+    Read,
+    /// Write-intensive partitions.
+    Write,
+    /// Mixed read/write partitions.
+    ReadWrite,
+    /// Scan-intensive partitions.
+    Scan,
+}
+
+impl ProfileKind {
+    /// All four profiles, in Table 1 order.
+    pub const ALL: [ProfileKind; 4] =
+        [ProfileKind::Read, ProfileKind::Write, ProfileKind::ReadWrite, ProfileKind::Scan];
+
+    /// Table 1's `(cache fraction, memstore fraction, block size)` row.
+    pub fn knobs(self) -> (f64, f64, u64) {
+        match self {
+            ProfileKind::Read => (0.55, 0.10, 32 * 1024),
+            ProfileKind::Write => (0.10, 0.55, 64 * 1024),
+            ProfileKind::ReadWrite => (0.45, 0.20, 32 * 1024),
+            ProfileKind::Scan => (0.55, 0.10, 128 * 1024),
+        }
+    }
+
+    /// The full store configuration for a server with `heap_bytes` of heap,
+    /// inheriting the non-Table-1 parameters from the baseline config.
+    pub fn config(self, base: &StoreConfig) -> StoreConfig {
+        let (cache, memstore, block) = self.knobs();
+        StoreConfig {
+            block_cache_fraction: cache,
+            memstore_fraction: memstore,
+            block_size: block,
+            ..base.clone()
+        }
+    }
+
+    /// Recovers the profile a config was derived from, if it matches a
+    /// Table 1 row exactly.
+    pub fn of_config(config: &StoreConfig) -> Option<ProfileKind> {
+        ProfileKind::ALL.into_iter().find(|p| {
+            let (c, m, b) = p.knobs();
+            (config.block_cache_fraction - c).abs() < 1e-9
+                && (config.memstore_fraction - m).abs() < 1e-9
+                && config.block_size == b
+        })
+    }
+
+    /// The locality threshold below which the actuator issues a major
+    /// compact after moving data onto a node of this profile (§5: 70 % for
+    /// write-profile nodes, 90 % for all others).
+    pub fn locality_threshold(self) -> f64 {
+        match self {
+            ProfileKind::Write => 0.70,
+            _ => 0.90,
+        }
+    }
+}
+
+impl fmt::Display for ProfileKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ProfileKind::Read => "read",
+            ProfileKind::Write => "write",
+            ProfileKind::ReadWrite => "read/write",
+            ProfileKind::Scan => "scan",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_validate_against_heap_budget() {
+        let base = StoreConfig::default_homogeneous();
+        for p in ProfileKind::ALL {
+            let cfg = p.config(&base);
+            cfg.validate().unwrap_or_else(|e| panic!("{p}: {e}"));
+        }
+    }
+
+    #[test]
+    fn knobs_match_table_1() {
+        assert_eq!(ProfileKind::Read.knobs(), (0.55, 0.10, 32 * 1024));
+        assert_eq!(ProfileKind::Write.knobs(), (0.10, 0.55, 64 * 1024));
+        assert_eq!(ProfileKind::ReadWrite.knobs(), (0.45, 0.20, 32 * 1024));
+        assert_eq!(ProfileKind::Scan.knobs(), (0.55, 0.10, 128 * 1024));
+    }
+
+    #[test]
+    fn of_config_round_trips() {
+        let base = StoreConfig::default_homogeneous();
+        for p in ProfileKind::ALL {
+            assert_eq!(ProfileKind::of_config(&p.config(&base)), Some(p));
+        }
+        assert_eq!(ProfileKind::of_config(&base), None);
+    }
+
+    #[test]
+    fn locality_thresholds_follow_section_5() {
+        assert_eq!(ProfileKind::Write.locality_threshold(), 0.70);
+        assert_eq!(ProfileKind::Read.locality_threshold(), 0.90);
+        assert_eq!(ProfileKind::Scan.locality_threshold(), 0.90);
+        assert_eq!(ProfileKind::ReadWrite.locality_threshold(), 0.90);
+    }
+}

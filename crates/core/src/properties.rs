@@ -1,0 +1,246 @@
+//! The properties file of §5.
+//!
+//! > "each one of these parameters is configurable in a properties file" —
+//! > the prototype configures monitoring intervals, history sizes, the
+//! > classification thresholds and `SubOptimalNodesThreshold` this way.
+//!
+//! This module parses Java-style `.properties` text (the format the
+//! Python/Java prototype used) into a [`MetConfig`], with unknown keys
+//! rejected so typos fail loudly.
+
+use crate::config::MetConfig;
+use simcore::SimDuration;
+use std::fmt;
+
+/// A parse/validation error with its line number (1-based, 0 = global).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PropertiesError {
+    /// Line of the offending entry (0 for whole-file problems).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for PropertiesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for PropertiesError {}
+
+fn parse_f64(line: usize, key: &str, value: &str) -> Result<f64, PropertiesError> {
+    value.parse().map_err(|_| PropertiesError {
+        line,
+        message: format!("{key}: expected a number, got '{value}'"),
+    })
+}
+
+fn parse_usize(line: usize, key: &str, value: &str) -> Result<usize, PropertiesError> {
+    value.parse().map_err(|_| PropertiesError {
+        line,
+        message: format!("{key}: expected an integer, got '{value}'"),
+    })
+}
+
+fn parse_bool(line: usize, key: &str, value: &str) -> Result<bool, PropertiesError> {
+    match value {
+        "true" | "yes" | "1" => Ok(true),
+        "false" | "no" | "0" => Ok(false),
+        _ => Err(PropertiesError {
+            line,
+            message: format!("{key}: expected true/false, got '{value}'"),
+        }),
+    }
+}
+
+fn parse_secs(line: usize, key: &str, value: &str) -> Result<SimDuration, PropertiesError> {
+    let secs = parse_f64(line, key, value)?;
+    if secs <= 0.0 {
+        return Err(PropertiesError { line, message: format!("{key}: must be positive") });
+    }
+    Ok(SimDuration::from_secs_f64(secs))
+}
+
+/// Parses `.properties` text into a [`MetConfig`], starting from defaults.
+///
+/// Recognized keys (all optional):
+///
+/// ```properties
+/// # MeT prototype configuration
+/// met.monitor.interval.seconds = 30
+/// met.monitor.samples = 6
+/// met.monitor.smoothing.alpha = 0.5
+/// met.threshold.cpu.high = 0.85
+/// met.threshold.io.high = 0.90
+/// met.threshold.cpu.low = 0.30
+/// met.threshold.io.low = 0.35
+/// met.threshold.suboptimal.nodes = 0.5
+/// met.classification.threshold = 0.6
+/// met.scaling.enabled = true
+/// met.scaling.min.nodes = 1
+/// met.scaling.max.nodes = 64
+/// met.scaling.remove.cooldown.seconds = 240
+/// met.scaling.add.fraction = 0.25
+/// ```
+pub fn parse_properties(text: &str) -> Result<MetConfig, PropertiesError> {
+    let mut cfg = MetConfig::default();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('!') {
+            continue;
+        }
+        let Some((key, value)) = trimmed.split_once('=') else {
+            return Err(PropertiesError {
+                line,
+                message: format!("expected 'key = value', got '{trimmed}'"),
+            });
+        };
+        let key = key.trim();
+        let value = value.trim();
+        match key {
+            "met.monitor.interval.seconds" => {
+                cfg.monitor_interval = parse_secs(line, key, value)?;
+            }
+            "met.monitor.samples" => cfg.min_samples = parse_usize(line, key, value)?,
+            "met.monitor.smoothing.alpha" => {
+                cfg.smoothing_alpha = parse_f64(line, key, value)?;
+            }
+            "met.threshold.cpu.high" => cfg.cpu_high = parse_f64(line, key, value)?,
+            "met.threshold.io.high" => cfg.io_high = parse_f64(line, key, value)?,
+            "met.threshold.cpu.low" => cfg.cpu_low = parse_f64(line, key, value)?,
+            "met.threshold.io.low" => cfg.io_low = parse_f64(line, key, value)?,
+            "met.threshold.suboptimal.nodes" => {
+                cfg.suboptimal_nodes_threshold = parse_f64(line, key, value)?;
+            }
+            "met.classification.threshold" => {
+                cfg.classify_threshold = parse_f64(line, key, value)?;
+            }
+            "met.scaling.enabled" => cfg.allow_scaling = parse_bool(line, key, value)?,
+            "met.scaling.min.nodes" => cfg.min_nodes = parse_usize(line, key, value)?,
+            "met.scaling.max.nodes" => cfg.max_nodes = parse_usize(line, key, value)?,
+            "met.scaling.remove.cooldown.seconds" => {
+                cfg.remove_cooldown = parse_secs(line, key, value)?;
+            }
+            "met.scaling.add.fraction" => cfg.add_fraction = parse_f64(line, key, value)?,
+            other => {
+                return Err(PropertiesError {
+                    line,
+                    message: format!("unknown property '{other}'"),
+                });
+            }
+        }
+    }
+    cfg.validate().map_err(|message| PropertiesError { line: 0, message })?;
+    Ok(cfg)
+}
+
+/// Renders a config back to `.properties` text (round-trips through
+/// [`parse_properties`]).
+pub fn to_properties(cfg: &MetConfig) -> String {
+    format!(
+        "# MeT configuration (§5)\n\
+         met.monitor.interval.seconds = {}\n\
+         met.monitor.samples = {}\n\
+         met.monitor.smoothing.alpha = {}\n\
+         met.threshold.cpu.high = {}\n\
+         met.threshold.io.high = {}\n\
+         met.threshold.cpu.low = {}\n\
+         met.threshold.io.low = {}\n\
+         met.threshold.suboptimal.nodes = {}\n\
+         met.classification.threshold = {}\n\
+         met.scaling.enabled = {}\n\
+         met.scaling.min.nodes = {}\n\
+         met.scaling.max.nodes = {}\n\
+         met.scaling.remove.cooldown.seconds = {}\n\
+         met.scaling.add.fraction = {}\n",
+        cfg.monitor_interval.as_secs_f64(),
+        cfg.min_samples,
+        cfg.smoothing_alpha,
+        cfg.cpu_high,
+        cfg.io_high,
+        cfg.cpu_low,
+        cfg.io_low,
+        cfg.suboptimal_nodes_threshold,
+        cfg.classify_threshold,
+        cfg.allow_scaling,
+        cfg.min_nodes,
+        if cfg.max_nodes == usize::MAX { 9_999_999 } else { cfg.max_nodes },
+        cfg.remove_cooldown.as_secs_f64(),
+        cfg.add_fraction,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_text_yields_defaults() {
+        let cfg = parse_properties("").expect("parses");
+        let d = MetConfig::default();
+        assert_eq!(cfg.min_samples, d.min_samples);
+        assert_eq!(cfg.monitor_interval, d.monitor_interval);
+    }
+
+    #[test]
+    fn parses_the_paper_configuration() {
+        let text = "
+            # §6.1 configuration
+            met.monitor.interval.seconds = 30
+            met.monitor.samples = 6
+            met.threshold.suboptimal.nodes = 0.5
+            met.classification.threshold = 0.6
+        ";
+        let cfg = parse_properties(text).expect("parses");
+        assert_eq!(cfg.monitor_interval, SimDuration::from_secs(30));
+        assert_eq!(cfg.min_samples, 6);
+        assert_eq!(cfg.suboptimal_nodes_threshold, 0.5);
+        assert_eq!(cfg.classify_threshold, 0.6);
+    }
+
+    #[test]
+    fn unknown_keys_fail_with_line_numbers() {
+        let err = parse_properties("met.monitor.samples = 6\nmet.typo = 1").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("unknown property"));
+    }
+
+    #[test]
+    fn bad_values_fail() {
+        assert!(parse_properties("met.monitor.samples = six").is_err());
+        assert!(parse_properties("met.scaling.enabled = maybe").is_err());
+        assert!(parse_properties("met.monitor.interval.seconds = -3").is_err());
+        assert!(parse_properties("this is not a property").is_err());
+    }
+
+    #[test]
+    fn cross_field_validation_applies() {
+        // cpu_low above cpu_high is structurally parseable but invalid.
+        let err = parse_properties(
+            "met.threshold.cpu.low = 0.9\nmet.threshold.cpu.high = 0.5",
+        )
+        .unwrap_err();
+        assert_eq!(err.line, 0);
+        assert!(err.message.contains("cpu_low"));
+    }
+
+    #[test]
+    fn round_trips() {
+        let cfg = MetConfig {
+            min_samples: 4,
+            cpu_high: 0.9,
+            allow_scaling: false,
+            min_nodes: 3,
+            max_nodes: 10,
+            ..MetConfig::default()
+        };
+        let parsed = parse_properties(&to_properties(&cfg)).expect("round trip");
+        assert_eq!(parsed.min_samples, 4);
+        assert_eq!(parsed.cpu_high, 0.9);
+        assert!(!parsed.allow_scaling);
+        assert_eq!(parsed.min_nodes, 3);
+        assert_eq!(parsed.max_nodes, 10);
+    }
+}

@@ -1,0 +1,293 @@
+//! The RegionServer block cache.
+//!
+//! HBase keeps one LRU block cache per RegionServer, shared by every region
+//! it serves, sized as a fraction of the heap — the single most important
+//! read-path knob MeT tunes (§2.1, Table 1). The cache here is an exact LRU
+//! over `(file, block)` identifiers with byte-capacity accounting and
+//! hit/miss statistics; the cached payloads themselves stay in the in-memory
+//! [`HFile`](crate::hfile::HFile), so the cache models *admission and
+//! eviction*, which is what the performance model consumes.
+
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Identifies an immutable store file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileId(pub u64);
+
+/// Identifies one block within a file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId {
+    /// Owning file.
+    pub file: FileId,
+    /// Block index within the file.
+    pub index: u32,
+}
+
+/// Outcome of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// The block was resident.
+    Hit,
+    /// The block was loaded (disk read) and admitted.
+    Miss,
+}
+
+/// Cumulative cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses that found the block resident.
+    pub hits: u64,
+    /// Accesses that had to load the block.
+    pub misses: u64,
+    /// Blocks evicted to make room.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio in `[0, 1]`; `1.0` for an untouched cache.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A byte-bounded LRU cache of block identifiers.
+#[derive(Debug)]
+pub struct BlockCache {
+    capacity_bytes: u64,
+    used_bytes: u64,
+    // BlockId → (size, LRU stamp); stamp → BlockId gives eviction order.
+    resident: HashMap<BlockId, (u64, u64)>,
+    lru: BTreeMap<u64, BlockId>,
+    next_stamp: u64,
+    stats: CacheStats,
+}
+
+impl BlockCache {
+    /// Creates a cache with the given byte capacity.
+    pub fn new(capacity_bytes: u64) -> Self {
+        BlockCache {
+            capacity_bytes,
+            used_bytes: 0,
+            resident: HashMap::new(),
+            lru: BTreeMap::new(),
+            next_stamp: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Records an access to `block` of `size` bytes, admitting it on a miss
+    /// and evicting LRU blocks as needed.
+    pub fn touch(&mut self, block: BlockId, size: u64) -> Access {
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        if let Some((sz, old_stamp)) = self.resident.get_mut(&block) {
+            let old = *old_stamp;
+            *old_stamp = stamp;
+            let sz = *sz;
+            self.lru.remove(&old);
+            self.lru.insert(stamp, block);
+            let _ = sz;
+            self.stats.hits += 1;
+            return Access::Hit;
+        }
+        self.stats.misses += 1;
+        // Blocks larger than the whole cache are read but never admitted.
+        if size > self.capacity_bytes {
+            return Access::Miss;
+        }
+        while self.used_bytes + size > self.capacity_bytes {
+            let (&oldest, &victim) = self.lru.iter().next().expect("cache accounting corrupt");
+            self.lru.remove(&oldest);
+            let (vsz, _) = self.resident.remove(&victim).expect("lru/resident out of sync");
+            self.used_bytes -= vsz;
+            self.stats.evictions += 1;
+        }
+        self.resident.insert(block, (size, stamp));
+        self.lru.insert(stamp, block);
+        self.used_bytes += size;
+        Access::Miss
+    }
+
+    /// Drops every block belonging to `file` (file deleted by compaction).
+    pub fn invalidate_file(&mut self, file: FileId) {
+        let victims: Vec<BlockId> =
+            self.resident.keys().filter(|b| b.file == file).copied().collect();
+        for b in victims {
+            let (sz, stamp) = self.resident.remove(&b).expect("key vanished");
+            self.lru.remove(&stamp);
+            self.used_bytes -= sz;
+        }
+    }
+
+    /// Drops everything (server restart: the cache starts cold — part of
+    /// the reconfiguration cost the paper measures in §6.2).
+    pub fn clear(&mut self) {
+        self.resident.clear();
+        self.lru.clear();
+        self.used_bytes = 0;
+    }
+
+    /// True when the block is resident (no LRU side effect).
+    pub fn contains(&self, block: &BlockId) -> bool {
+        self.resident.contains_key(block)
+    }
+
+    /// Bytes currently cached.
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    /// Configured capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets the statistics (kept orthogonal to residency).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+}
+
+/// A cache handle shared by every store on one RegionServer.
+#[derive(Debug, Clone)]
+pub struct SharedBlockCache(Arc<Mutex<BlockCache>>);
+
+impl SharedBlockCache {
+    /// Creates a shared cache with the given capacity.
+    pub fn new(capacity_bytes: u64) -> Self {
+        SharedBlockCache(Arc::new(Mutex::new(BlockCache::new(capacity_bytes))))
+    }
+
+    /// Records an access (see [`BlockCache::touch`]).
+    pub fn touch(&self, block: BlockId, size: u64) -> Access {
+        self.0.lock().touch(block, size)
+    }
+
+    /// Drops blocks of a deleted file.
+    pub fn invalidate_file(&self, file: FileId) {
+        self.0.lock().invalidate_file(file)
+    }
+
+    /// Clears all residency (restart).
+    pub fn clear(&self) {
+        self.0.lock().clear()
+    }
+
+    /// Cumulative statistics snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.0.lock().stats()
+    }
+
+    /// Resets statistics.
+    pub fn reset_stats(&self) {
+        self.0.lock().reset_stats()
+    }
+
+    /// Bytes currently cached.
+    pub fn used_bytes(&self) -> u64 {
+        self.0.lock().used_bytes()
+    }
+
+    /// Configured capacity.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.0.lock().capacity_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bid(f: u64, i: u32) -> BlockId {
+        BlockId { file: FileId(f), index: i }
+    }
+
+    #[test]
+    fn hit_after_miss() {
+        let mut c = BlockCache::new(1_000);
+        assert_eq!(c.touch(bid(1, 0), 100), Access::Miss);
+        assert_eq!(c.touch(bid(1, 0), 100), Access::Hit);
+        assert_eq!(c.stats(), CacheStats { hits: 1, misses: 1, evictions: 0 });
+        assert_eq!(c.used_bytes(), 100);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = BlockCache::new(300);
+        c.touch(bid(1, 0), 100);
+        c.touch(bid(1, 1), 100);
+        c.touch(bid(1, 2), 100);
+        // Refresh block 0 so block 1 is now LRU.
+        c.touch(bid(1, 0), 100);
+        // Admitting a new block evicts block 1, not block 0.
+        c.touch(bid(2, 0), 100);
+        assert!(c.contains(&bid(1, 0)));
+        assert!(!c.contains(&bid(1, 1)));
+        assert!(c.contains(&bid(1, 2)));
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let mut c = BlockCache::new(250);
+        for i in 0..100 {
+            c.touch(bid(1, i), 100);
+            assert!(c.used_bytes() <= 250, "over capacity: {}", c.used_bytes());
+        }
+        assert_eq!(c.used_bytes(), 200); // two 100-byte blocks fit
+    }
+
+    #[test]
+    fn oversized_block_is_never_admitted() {
+        let mut c = BlockCache::new(100);
+        assert_eq!(c.touch(bid(1, 0), 500), Access::Miss);
+        assert_eq!(c.touch(bid(1, 0), 500), Access::Miss);
+        assert_eq!(c.used_bytes(), 0);
+    }
+
+    #[test]
+    fn invalidate_file_frees_bytes() {
+        let mut c = BlockCache::new(1_000);
+        c.touch(bid(1, 0), 100);
+        c.touch(bid(1, 1), 100);
+        c.touch(bid(2, 0), 100);
+        c.invalidate_file(FileId(1));
+        assert_eq!(c.used_bytes(), 100);
+        assert!(!c.contains(&bid(1, 0)));
+        assert!(c.contains(&bid(2, 0)));
+    }
+
+    #[test]
+    fn clear_is_cold_restart() {
+        let mut c = BlockCache::new(1_000);
+        c.touch(bid(1, 0), 100);
+        c.clear();
+        assert_eq!(c.used_bytes(), 0);
+        assert_eq!(c.touch(bid(1, 0), 100), Access::Miss);
+    }
+
+    #[test]
+    fn hit_ratio_of_untouched_cache_is_one() {
+        assert_eq!(CacheStats::default().hit_ratio(), 1.0);
+    }
+
+    #[test]
+    fn shared_handle_is_really_shared() {
+        let a = SharedBlockCache::new(1_000);
+        let b = a.clone();
+        a.touch(bid(1, 0), 100);
+        assert_eq!(b.touch(bid(1, 0), 100), Access::Hit);
+    }
+}

@@ -1,0 +1,222 @@
+//! RegionServer storage configuration — the knobs MeT turns.
+//!
+//! The paper identifies the parameters that most affect HBase performance
+//! (§2.1): `block cache size` and `memstore size` (fractions of the Java
+//! heap whose sum must not exceed 65 %), the block-cache `block size`
+//! (64 KiB default, smaller favours random reads, larger favours scans) and
+//! the `handler count` (request threads, default 10). Table 1 of the paper
+//! instantiates these into the four node profiles MeT deploys.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors produced by configuration validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// cache + memstore fraction exceeded the HBase-documented 65 % cap.
+    HeapBudgetExceeded {
+        /// Configured block-cache fraction.
+        cache: f64,
+        /// Configured memstore fraction.
+        memstore: f64,
+    },
+    /// A fraction was outside `[0, 1]`.
+    FractionOutOfRange(&'static str, f64),
+    /// A size or count was zero.
+    MustBePositive(&'static str),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::HeapBudgetExceeded { cache, memstore } => write!(
+                f,
+                "block cache ({cache:.2}) + memstore ({memstore:.2}) fractions exceed the 65% heap budget"
+            ),
+            ConfigError::FractionOutOfRange(name, v) => {
+                write!(f, "{name} fraction {v} outside [0,1]")
+            }
+            ConfigError::MustBePositive(name) => write!(f, "{name} must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// The fraction of heap that cache + memstore may jointly claim (HBase
+/// guidance cited in §2.1, footnote 1).
+pub const HEAP_BUDGET_CAP: f64 = 0.65;
+
+/// Storage engine configuration for one RegionServer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoreConfig {
+    /// Total Java-heap equivalent available to the server, in bytes. The
+    /// paper's RegionServers run with a 3 GiB heap.
+    pub heap_bytes: u64,
+    /// Fraction of heap for the block cache (read path).
+    pub block_cache_fraction: f64,
+    /// Fraction of heap for memstores (write path).
+    pub memstore_fraction: f64,
+    /// Block-cache block size in bytes (64 KiB HBase default).
+    pub block_size: u64,
+    /// Number of RPC handler threads (10 HBase default).
+    pub handler_count: u32,
+    /// Per-region memstore flush threshold in bytes (HBase default 128 MiB,
+    /// scaled in experiments).
+    pub memstore_flush_bytes: u64,
+    /// Region size that triggers an automatic split (250 MB in the paper's
+    /// HBase version; scaled in experiments).
+    pub region_split_bytes: u64,
+    /// Number of store files that triggers a minor compaction.
+    pub compaction_threshold: usize,
+}
+
+impl StoreConfig {
+    /// The paper's baseline homogeneous configuration: the §3.3
+    /// Random-Homogeneous "direct mapping" — 60 % of memory to the block
+    /// cache, 40 % to memstores, scaled into the 65 % budget, with HBase
+    /// defaults elsewhere.
+    pub fn default_homogeneous() -> Self {
+        StoreConfig {
+            heap_bytes: 3 * 1024 * 1024 * 1024,
+            // 60/40 read/write split of the 65% budget: 0.39 / 0.26.
+            block_cache_fraction: 0.39,
+            memstore_fraction: 0.26,
+            block_size: 64 * 1024,
+            handler_count: 10,
+            memstore_flush_bytes: 128 * 1024 * 1024,
+            region_split_bytes: 250 * 1000 * 1000,
+            compaction_threshold: 3,
+        }
+    }
+
+    /// A configuration scaled down for fast unit tests and examples.
+    pub fn small_for_tests() -> Self {
+        StoreConfig {
+            heap_bytes: 64 * 1024 * 1024,
+            block_cache_fraction: 0.40,
+            memstore_fraction: 0.25,
+            block_size: 4 * 1024,
+            handler_count: 4,
+            memstore_flush_bytes: 256 * 1024,
+            region_split_bytes: 4 * 1024 * 1024,
+            compaction_threshold: 3,
+        }
+    }
+
+    /// Validates fractions, budgets and positivity.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        for (name, v) in [
+            ("block_cache", self.block_cache_fraction),
+            ("memstore", self.memstore_fraction),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(ConfigError::FractionOutOfRange(name, v));
+            }
+        }
+        if self.block_cache_fraction + self.memstore_fraction > HEAP_BUDGET_CAP + 1e-9 {
+            return Err(ConfigError::HeapBudgetExceeded {
+                cache: self.block_cache_fraction,
+                memstore: self.memstore_fraction,
+            });
+        }
+        if self.heap_bytes == 0 {
+            return Err(ConfigError::MustBePositive("heap_bytes"));
+        }
+        if self.block_size == 0 {
+            return Err(ConfigError::MustBePositive("block_size"));
+        }
+        if self.handler_count == 0 {
+            return Err(ConfigError::MustBePositive("handler_count"));
+        }
+        if self.memstore_flush_bytes == 0 {
+            return Err(ConfigError::MustBePositive("memstore_flush_bytes"));
+        }
+        if self.region_split_bytes == 0 {
+            return Err(ConfigError::MustBePositive("region_split_bytes"));
+        }
+        if self.compaction_threshold < 2 {
+            return Err(ConfigError::MustBePositive("compaction_threshold"));
+        }
+        Ok(())
+    }
+
+    /// Absolute block-cache capacity in bytes.
+    pub fn block_cache_bytes(&self) -> u64 {
+        (self.heap_bytes as f64 * self.block_cache_fraction) as u64
+    }
+
+    /// Absolute global memstore capacity in bytes.
+    pub fn memstore_bytes(&self) -> u64 {
+        (self.heap_bytes as f64 * self.memstore_fraction) as u64
+    }
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig::default_homogeneous()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        StoreConfig::default_homogeneous().validate().unwrap();
+        StoreConfig::small_for_tests().validate().unwrap();
+    }
+
+    #[test]
+    fn heap_budget_cap_enforced() {
+        let mut c = StoreConfig::default_homogeneous();
+        c.block_cache_fraction = 0.55;
+        c.memstore_fraction = 0.20;
+        assert!(matches!(c.validate(), Err(ConfigError::HeapBudgetExceeded { .. })));
+    }
+
+    #[test]
+    fn paper_profiles_fit_budget() {
+        // Table 1 rows: (cache, memstore) — all must satisfy the 65 % cap.
+        for (cache, mem) in [(0.55, 0.10), (0.10, 0.55), (0.45, 0.20), (0.55, 0.10)] {
+            let mut c = StoreConfig::default_homogeneous();
+            c.block_cache_fraction = cache;
+            c.memstore_fraction = mem;
+            c.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn rejects_nonsense() {
+        let mut c = StoreConfig::default_homogeneous();
+        c.block_cache_fraction = -0.1;
+        assert!(matches!(c.validate(), Err(ConfigError::FractionOutOfRange("block_cache", _))));
+
+        let mut c = StoreConfig::default_homogeneous();
+        c.handler_count = 0;
+        assert!(matches!(c.validate(), Err(ConfigError::MustBePositive("handler_count"))));
+
+        let mut c = StoreConfig::default_homogeneous();
+        c.block_size = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn absolute_capacities_derive_from_heap() {
+        let c = StoreConfig {
+            heap_bytes: 1_000,
+            block_cache_fraction: 0.5,
+            memstore_fraction: 0.1,
+            ..StoreConfig::default_homogeneous()
+        };
+        assert_eq!(c.block_cache_bytes(), 500);
+        assert_eq!(c.memstore_bytes(), 100);
+    }
+
+    #[test]
+    fn error_display_mentions_budget() {
+        let e = ConfigError::HeapBudgetExceeded { cache: 0.5, memstore: 0.3 };
+        assert!(e.to_string().contains("65%"));
+    }
+}

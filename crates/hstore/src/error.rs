@@ -1,0 +1,40 @@
+//! Storage-engine error types.
+
+use crate::types::{Family, KeyRange, RowKey};
+use std::fmt;
+
+/// Errors surfaced by the storage engine and regions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreError {
+    /// The request addressed a column family the table does not declare.
+    UnknownFamily(Family),
+    /// The request's row key is outside the region's range — the HBase
+    /// `WrongRegionException`, which clients handle by re-consulting the
+    /// assignment metadata.
+    WrongRegion {
+        /// Offending row.
+        row: RowKey,
+        /// The region's actual range.
+        range: KeyRange,
+    },
+    /// A split was requested at an unusable point (outside the range, at the
+    /// range start, or on an empty region).
+    BadSplitPoint(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::UnknownFamily(fam) => write!(f, "unknown column family '{fam}'"),
+            StoreError::WrongRegion { row, range } => {
+                write!(f, "row '{row}' outside region range {range}")
+            }
+            StoreError::BadSplitPoint(msg) => write!(f, "bad split point: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Result alias for storage operations.
+pub type Result<T> = std::result::Result<T, StoreError>;

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! An HBase-like storage engine, built from scratch for the MeT
+//! reproduction.
+//!
+//! This crate provides the single-node storage substrate the paper's system
+//! manages: the HBase data model (§2.1 of the paper) — a multi-dimensional
+//! sorted map indexed by row key, column and timestamp — implemented as a
+//! real LSM engine:
+//!
+//! * [`memstore`] — the in-memory write buffer, flushed at a threshold.
+//! * [`hfile`] — immutable block-structured sorted files with Bloom
+//!   filters ([`bloom`]).
+//! * [`block_cache`] — the per-server LRU block cache, the read-path knob
+//!   MeT tunes per node profile.
+//! * [`store`] — the per-column-family LSM store: merge reads, scans,
+//!   flushes, minor/major compactions.
+//! * [`region`] — key-range partitions with per-type request counters, the
+//!   unit of placement MeT moves between servers.
+//! * [`config`] — RegionServer configuration with the documented
+//!   cache+memstore ≤ 65 % heap rule.
+//!
+//! What is intentionally *not* here: a write-ahead log (crash recovery is
+//! out of scope for the elasticity experiments — a restart in the
+//! simulation is modelled as the availability/caching cost the paper
+//! measures, not data loss), and compression (a constant factor the paper
+//! does not vary).
+
+pub mod block_cache;
+pub mod bloom;
+pub mod config;
+pub mod error;
+pub mod hfile;
+pub mod memstore;
+pub mod region;
+pub mod store;
+pub mod types;
+
+pub use block_cache::{Access, BlockCache, BlockId, CacheStats, FileId, SharedBlockCache};
+pub use config::{ConfigError, StoreConfig, HEAP_BUDGET_CAP};
+pub use error::{Result, StoreError};
+pub use region::{Region, RegionCounters, RegionId};
+pub use store::{CfStore, CompactionOutcome, FileIdAllocator, FlushOutcome};
+pub use types::{Family, KeyRange, Qualifier, RowKey, Timestamp};

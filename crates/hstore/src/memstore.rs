@@ -1,0 +1,199 @@
+//! The in-memory write buffer of a column-family store.
+//!
+//! Writes land in the memstore (§2.1); when it reaches the configured flush
+//! threshold its contents are frozen into an immutable sorted file. The
+//! memstore keeps cells in `InternalKey` order with byte-accurate size
+//! accounting so the flush policy and MeT's memstore-fraction knob have
+//! real effect.
+
+use crate::types::{CellVersion, InternalKey, KeyRange, RowKey};
+use bytes::Bytes;
+use std::collections::BTreeMap;
+
+/// A sorted in-memory buffer of cell versions awaiting flush.
+#[derive(Debug, Clone, Default)]
+pub struct MemStore {
+    cells: BTreeMap<InternalKey, Option<Bytes>>,
+    heap_bytes: usize,
+}
+
+impl MemStore {
+    /// Creates an empty memstore.
+    pub fn new() -> Self {
+        MemStore::default()
+    }
+
+    /// Inserts a cell version (a put, or a tombstone when `value` is
+    /// `None`). Returns the net change in heap bytes.
+    pub fn insert(&mut self, key: InternalKey, value: Option<Bytes>) -> isize {
+        let added = CellVersion { key: key.clone(), value: value.clone() }.heap_size();
+        let removed = self
+            .cells
+            .insert(key.clone(), value)
+            .map(|old| CellVersion { key, value: old }.heap_size())
+            .unwrap_or(0);
+        self.heap_bytes = self.heap_bytes + added - removed;
+        added as isize - removed as isize
+    }
+
+    /// Newest visible version at `key`'s coordinate with timestamp ≤ any.
+    ///
+    /// Returns `Some(None)` for a tombstone (delete wins), `Some(Some(v))`
+    /// for a live value, `None` when the memstore has no version at all for
+    /// the coordinate.
+    pub fn get_newest(&self, row: &RowKey, qualifier: &crate::types::Qualifier) -> Option<Option<Bytes>> {
+        // The first entry ≥ (row, qualifier, MAX ts) within the coordinate is
+        // the newest version, because timestamps sort descending.
+        let probe = InternalKey::new(row.clone(), qualifier.clone(), crate::types::Timestamp(u64::MAX));
+        self.cells
+            .range(probe..)
+            .next()
+            .filter(|(k, _)| k.coord.row == *row && k.coord.qualifier == *qualifier)
+            .map(|(_, v)| v.clone())
+    }
+
+    /// Iterates all versions whose row falls inside `range`, in key order.
+    pub fn range_iter<'a>(
+        &'a self,
+        range: &'a KeyRange,
+    ) -> impl Iterator<Item = (&'a InternalKey, &'a Option<Bytes>)> + 'a {
+        let start = range
+            .start
+            .as_ref()
+            .map(|r| InternalKey::row_start(r.clone()));
+        let iter = match start {
+            Some(s) => self.cells.range(s..),
+            None => self.cells.range(..),
+        };
+        iter.take_while(move |(k, _)| range.end.as_ref().is_none_or(|e| &k.coord.row < e))
+    }
+
+    /// Current heap footprint in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.heap_bytes
+    }
+
+    /// Number of buffered cell versions.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Freezes the contents into a sorted vector (flush input) and clears
+    /// the memstore.
+    pub fn drain_sorted(&mut self) -> Vec<CellVersion> {
+        let cells = std::mem::take(&mut self.cells);
+        self.heap_bytes = 0;
+        cells
+            .into_iter()
+            .map(|(key, value)| CellVersion { key, value })
+            .collect()
+    }
+
+    /// Immutable snapshot of contents in key order without clearing.
+    pub fn snapshot_sorted(&self) -> Vec<CellVersion> {
+        self.cells
+            .iter()
+            .map(|(key, value)| CellVersion { key: key.clone(), value: value.clone() })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Qualifier, Timestamp};
+
+    fn key(row: &str, q: &str, ts: u64) -> InternalKey {
+        InternalKey::new(row.into(), q.into(), Timestamp(ts))
+    }
+
+    fn val(s: &str) -> Option<Bytes> {
+        Some(Bytes::copy_from_slice(s.as_bytes()))
+    }
+
+    #[test]
+    fn newest_version_wins() {
+        let mut m = MemStore::new();
+        m.insert(key("r", "c", 1), val("old"));
+        m.insert(key("r", "c", 9), val("new"));
+        m.insert(key("r", "c", 5), val("mid"));
+        let got = m.get_newest(&"r".into(), &Qualifier::from("c")).unwrap();
+        assert_eq!(got, val("new"));
+    }
+
+    #[test]
+    fn tombstone_is_visible() {
+        let mut m = MemStore::new();
+        m.insert(key("r", "c", 1), val("x"));
+        m.insert(key("r", "c", 2), None);
+        assert_eq!(m.get_newest(&"r".into(), &Qualifier::from("c")), Some(None));
+    }
+
+    #[test]
+    fn missing_coordinate_is_distinct_from_tombstone() {
+        let mut m = MemStore::new();
+        m.insert(key("r", "c", 1), val("x"));
+        assert_eq!(m.get_newest(&"r".into(), &Qualifier::from("other")), None);
+        assert_eq!(m.get_newest(&"zz".into(), &Qualifier::from("c")), None);
+    }
+
+    #[test]
+    fn size_accounting_tracks_inserts_and_overwrites() {
+        let mut m = MemStore::new();
+        assert_eq!(m.heap_bytes(), 0);
+        m.insert(key("row1", "col", 1), val("0123456789"));
+        let sz1 = m.heap_bytes();
+        assert!(sz1 > 10);
+        // Same exact version key replaces, not accumulates.
+        m.insert(key("row1", "col", 1), val("0123456789"));
+        assert_eq!(m.heap_bytes(), sz1);
+        // Different timestamp is a new version.
+        m.insert(key("row1", "col", 2), val("0123456789"));
+        assert!(m.heap_bytes() > sz1);
+    }
+
+    #[test]
+    fn drain_returns_sorted_and_clears() {
+        let mut m = MemStore::new();
+        m.insert(key("b", "c", 1), val("1"));
+        m.insert(key("a", "c", 1), val("2"));
+        m.insert(key("a", "c", 5), val("3"));
+        let cells = m.drain_sorted();
+        assert!(m.is_empty());
+        assert_eq!(m.heap_bytes(), 0);
+        let keys: Vec<_> = cells.iter().map(|c| c.key.clone()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        // Newest version of "a"/"c" first.
+        assert_eq!(cells[0].key.ts, Timestamp(5));
+    }
+
+    #[test]
+    fn snapshot_preserves_contents() {
+        let mut m = MemStore::new();
+        m.insert(key("a", "c", 1), val("1"));
+        m.insert(key("b", "c", 2), val("2"));
+        let snap = m.snapshot_sorted();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(m.len(), 2, "snapshot must not drain");
+        assert!(snap.windows(2).all(|w| w[0].key <= w[1].key));
+    }
+
+    #[test]
+    fn range_iter_respects_bounds() {
+        let mut m = MemStore::new();
+        for r in ["a", "b", "c", "d"] {
+            m.insert(key(r, "c", 1), val(r));
+        }
+        let range = KeyRange::new(Some("b".into()), Some("d".into()));
+        let rows: Vec<String> =
+            m.range_iter(&range).map(|(k, _)| k.coord.row.to_string()).collect();
+        assert_eq!(rows, vec!["b", "c"]);
+    }
+}

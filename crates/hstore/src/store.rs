@@ -1,0 +1,677 @@
+//! A single column-family LSM store: memstore + immutable files + cache.
+//!
+//! Invariant: `files` is ordered oldest → newest and, because flushes and
+//! compactions preserve it, for any cell coordinate every version in a later
+//! file is newer than every version in an earlier file. Point reads may
+//! therefore stop at the first file (newest-first) holding any version of
+//! the coordinate, exactly as HBase does.
+
+use crate::block_cache::{FileId, SharedBlockCache};
+use crate::hfile::HFile;
+use crate::types::{CellCoord, CellVersion, InternalKey, KeyRange, Qualifier, RowKey, Timestamp};
+use bytes::Bytes;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::memstore::MemStore;
+
+/// Allocates unique [`FileId`]s across every store of a process.
+#[derive(Debug, Default)]
+pub struct FileIdAllocator(AtomicU64);
+
+impl FileIdAllocator {
+    /// Creates an allocator starting at id 1.
+    pub fn new() -> Arc<Self> {
+        Arc::new(FileIdAllocator(AtomicU64::new(1)))
+    }
+
+    /// Returns the next unused id.
+    pub fn next(&self) -> FileId {
+        FileId(self.0.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+/// Counters describing read-path work, for the performance model and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReadPathStats {
+    /// Files consulted by point reads (after Bloom filtering).
+    pub files_probed: u64,
+    /// Point reads answered entirely by the memstore.
+    pub memstore_hits: u64,
+    /// Files skipped by their Bloom filter.
+    pub bloom_skips: u64,
+}
+
+/// Outcome of a flush.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlushOutcome {
+    /// The id of the newly written file.
+    pub file: FileId,
+    /// Bytes written.
+    pub bytes: u64,
+}
+
+/// Outcome of a compaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompactionOutcome {
+    /// Files that were replaced (their cache blocks are invalidated).
+    pub replaced: Vec<FileId>,
+    /// The merged output file.
+    pub output: FileId,
+    /// Bytes read plus written — drives the modelled compaction duration
+    /// (the paper observes ≈ 1 minute/GB for major compactions, §6.2).
+    pub bytes_rewritten: u64,
+}
+
+/// One column family's storage.
+#[derive(Debug)]
+pub struct CfStore {
+    memstore: MemStore,
+    files: Vec<Arc<HFile>>, // oldest → newest
+    cache: SharedBlockCache,
+    ids: Arc<FileIdAllocator>,
+    block_size: u64,
+    next_ts: u64,
+    read_stats: ReadPathStats,
+}
+
+impl CfStore {
+    /// Creates an empty store writing blocks of `block_size` bytes.
+    pub fn new(cache: SharedBlockCache, ids: Arc<FileIdAllocator>, block_size: u64) -> Self {
+        assert!(block_size > 0);
+        CfStore {
+            memstore: MemStore::new(),
+            files: Vec::new(),
+            cache,
+            ids,
+            block_size,
+            next_ts: 1,
+            read_stats: ReadPathStats::default(),
+        }
+    }
+
+    fn alloc_ts(&mut self) -> Timestamp {
+        let t = Timestamp(self.next_ts);
+        self.next_ts += 1;
+        t
+    }
+
+    /// Writes a value; returns the assigned timestamp.
+    pub fn put(&mut self, row: RowKey, qualifier: Qualifier, value: Bytes) -> Timestamp {
+        let ts = self.alloc_ts();
+        self.memstore.insert(InternalKey::new(row, qualifier, ts), Some(value));
+        ts
+    }
+
+    /// Deletes a cell by writing a tombstone; returns the tombstone's
+    /// timestamp.
+    pub fn delete(&mut self, row: RowKey, qualifier: Qualifier) -> Timestamp {
+        let ts = self.alloc_ts();
+        self.memstore.insert(InternalKey::new(row, qualifier, ts), None);
+        ts
+    }
+
+    /// Atomically compares the current value and writes `new` if it
+    /// matches `expected` (`None` = expects absence). Returns whether the
+    /// write happened — HBase's `checkAndPut`, the primitive behind its
+    /// "write operations are atomic" guarantee (§2.1).
+    pub fn check_and_put(
+        &mut self,
+        row: RowKey,
+        qualifier: Qualifier,
+        expected: Option<&Bytes>,
+        new: Bytes,
+    ) -> bool {
+        let current = self.get(&row, &qualifier);
+        if current.as_ref() == expected {
+            self.put(row, qualifier, new);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Atomically adds `delta` to a cell holding a decimal integer
+    /// (absent cells count as 0) and returns the new value — HBase's
+    /// `incrementColumnValue`.
+    pub fn increment(&mut self, row: RowKey, qualifier: Qualifier, delta: i64) -> i64 {
+        let current = self
+            .get(&row, &qualifier)
+            .and_then(|v| std::str::from_utf8(&v).ok().and_then(|s| s.parse::<i64>().ok()))
+            .unwrap_or(0);
+        let next = current + delta;
+        self.put(row, qualifier, Bytes::from(next.to_string().into_bytes()));
+        next
+    }
+
+    /// Reads the newest live value at `(row, qualifier)`.
+    pub fn get(&mut self, row: &RowKey, qualifier: &Qualifier) -> Option<Bytes> {
+        if let Some(v) = self.memstore.get_newest(row, qualifier) {
+            self.read_stats.memstore_hits += 1;
+            return v; // tombstone → None
+        }
+        for file in self.files.iter().rev() {
+            let (result, bloom_rejected, _access) = file.get(row, qualifier, &self.cache);
+            if bloom_rejected {
+                self.read_stats.bloom_skips += 1;
+                continue;
+            }
+            self.read_stats.files_probed += 1;
+            if let Some(v) = result {
+                return v;
+            }
+        }
+        None
+    }
+
+    /// Scans up to `row_limit` rows starting at `start` (inclusive),
+    /// returning each live row's cells in column order.
+    pub fn scan(&self, start: &RowKey, row_limit: usize) -> Vec<(RowKey, Vec<(Qualifier, Bytes)>)> {
+        self.scan_range(&KeyRange::new(Some(start.clone()), None), row_limit)
+    }
+
+    /// Scans up to `row_limit` rows within `range`.
+    pub fn scan_range(
+        &self,
+        range: &KeyRange,
+        row_limit: usize,
+    ) -> Vec<(RowKey, Vec<(Qualifier, Bytes)>)> {
+        let mut out: Vec<(RowKey, Vec<(Qualifier, Bytes)>)> = Vec::new();
+        let mut current_row: Option<RowKey> = None;
+        let mut current_cells: Vec<(Qualifier, Bytes)> = Vec::new();
+        let mut last_coord: Option<CellCoord> = None;
+
+        for cell in self.merge_iter(range) {
+            // The first version seen for a coordinate is the newest (heap
+            // order); later versions of the same coordinate are shadowed.
+            if last_coord.as_ref() == Some(&cell.key.coord) {
+                continue;
+            }
+            last_coord = Some(cell.key.coord.clone());
+
+            if current_row.as_ref() != Some(&cell.key.coord.row) {
+                if let Some(row) = current_row.take() {
+                    if !current_cells.is_empty() {
+                        out.push((row, std::mem::take(&mut current_cells)));
+                        if out.len() >= row_limit {
+                            return out;
+                        }
+                    } else {
+                        current_cells.clear();
+                    }
+                }
+                current_row = Some(cell.key.coord.row.clone());
+            }
+            if let Some(v) = &cell.value {
+                current_cells.push((cell.key.coord.qualifier.clone(), v.clone()));
+            }
+        }
+        if let Some(row) = current_row {
+            if !current_cells.is_empty() && out.len() < row_limit {
+                out.push((row, current_cells));
+            }
+        }
+        out
+    }
+
+    /// K-way merge of memstore and file iterators over `range`, in
+    /// `InternalKey` order.
+    fn merge_iter<'a>(&'a self, range: &KeyRange) -> impl Iterator<Item = CellVersion> + 'a {
+        // Memstore range is materialized (small by construction: it is
+        // bounded by the flush threshold).
+        let mem: Vec<CellVersion> = self
+            .memstore
+            .range_iter(range)
+            .map(|(k, v)| CellVersion { key: k.clone(), value: v.clone() })
+            .collect();
+        let mut sources: Vec<Box<dyn Iterator<Item = CellVersion> + 'a>> =
+            vec![Box::new(mem.into_iter())];
+        for file in &self.files {
+            sources.push(Box::new(file.range_scan(range, &self.cache).cloned()));
+        }
+        KMerge::new(sources)
+    }
+
+    /// Flushes the memstore into a new file. Returns `None` when there was
+    /// nothing to flush.
+    pub fn flush(&mut self) -> Option<FlushOutcome> {
+        if self.memstore.is_empty() {
+            return None;
+        }
+        let cells = self.memstore.drain_sorted();
+        let file = HFile::build(self.ids.next(), cells, self.block_size);
+        let outcome = FlushOutcome { file: file.id(), bytes: file.total_bytes() };
+        self.files.push(Arc::new(file));
+        Some(outcome)
+    }
+
+    /// Merges the oldest `k` files into one (minor compaction). All versions
+    /// and tombstones are retained — only a major compaction may drop them.
+    pub fn compact_minor(&mut self, k: usize) -> Option<CompactionOutcome> {
+        if self.files.len() < 2 || k < 2 {
+            return None;
+        }
+        let k = k.min(self.files.len());
+        let inputs: Vec<Arc<HFile>> = self.files.drain(..k).collect();
+        self.merge_files(inputs, false)
+    }
+
+    /// Merges *all* files into one, keeping only the newest version of each
+    /// coordinate and dropping tombstones — HBase's major compact, which is
+    /// also what restores DFS locality after region moves (§2.1).
+    pub fn compact_major(&mut self) -> Option<CompactionOutcome> {
+        if self.files.is_empty() {
+            return None;
+        }
+        let inputs: Vec<Arc<HFile>> = self.files.drain(..).collect();
+        self.merge_files(inputs, true)
+    }
+
+    fn merge_files(&mut self, inputs: Vec<Arc<HFile>>, major: bool) -> Option<CompactionOutcome> {
+        let replaced: Vec<FileId> = inputs.iter().map(|f| f.id()).collect();
+        let bytes_read: u64 = inputs.iter().map(|f| f.total_bytes()).sum();
+
+        let sources: Vec<Box<dyn Iterator<Item = CellVersion>>> = inputs
+            .iter()
+            .map(|f| {
+                // Compaction reads bypass the block cache (HBase does not
+                // pollute the cache with compaction IO), so collect directly.
+                let cells: Vec<CellVersion> = f
+                    .range_scan(&KeyRange::all(), &SharedBlockCache::new(0))
+                    .cloned()
+                    .collect();
+                Box::new(cells.into_iter()) as Box<dyn Iterator<Item = CellVersion>>
+            })
+            .collect();
+
+        let mut merged: Vec<CellVersion> = Vec::new();
+        let mut last_coord: Option<CellCoord> = None;
+        for cell in KMerge::new(sources) {
+            if major {
+                if last_coord.as_ref() == Some(&cell.key.coord) {
+                    continue; // shadowed older version
+                }
+                last_coord = Some(cell.key.coord.clone());
+                if cell.value.is_none() {
+                    continue; // tombstone dropped once it has shadowed
+                }
+            }
+            merged.push(cell);
+        }
+
+        let file = HFile::build(self.ids.next(), merged, self.block_size);
+        let bytes_written = file.total_bytes();
+        let output = file.id();
+        // New file is "oldest" relative to files written after the inputs —
+        // insert at the front to preserve the ordering invariant.
+        self.files.insert(0, Arc::new(file));
+        for id in &replaced {
+            self.cache.invalidate_file(*id);
+        }
+        Some(CompactionOutcome { replaced, output, bytes_rewritten: bytes_read + bytes_written })
+    }
+
+    /// Current memstore footprint in bytes.
+    pub fn memstore_bytes(&self) -> usize {
+        self.memstore.heap_bytes()
+    }
+
+    /// Total bytes across immutable files.
+    pub fn file_bytes(&self) -> u64 {
+        self.files.iter().map(|f| f.total_bytes()).sum()
+    }
+
+    /// Number of immutable files (read amplification indicator).
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Ids and sizes of the current files (DFS registration).
+    pub fn file_manifest(&self) -> Vec<(FileId, u64)> {
+        self.files.iter().map(|f| (f.id(), f.total_bytes())).collect()
+    }
+
+    /// Read-path statistics.
+    pub fn read_stats(&self) -> ReadPathStats {
+        self.read_stats
+    }
+
+    /// A row at roughly the byte-midpoint of the stored data — HBase's
+    /// split-point heuristic (the middle block of the largest store file).
+    pub fn midpoint_row(&self) -> Option<RowKey> {
+        let largest = self.files.iter().max_by_key(|f| f.total_bytes());
+        if let Some(f) = largest {
+            if f.block_count() > 1 {
+                // First key of the middle block.
+                let mid = f.block_count() / 2;
+                let row = f
+                    .range_scan(&KeyRange::all(), &SharedBlockCache::new(0))
+                    .nth(self.nth_cell_of_block(f, mid))
+                    .map(|c| c.key.coord.row.clone());
+                if row.is_some() {
+                    return row;
+                }
+            }
+        }
+        // Fall back to the median memstore row.
+        let snapshot = self.memstore.snapshot_sorted();
+        if snapshot.is_empty() {
+            return None;
+        }
+        Some(snapshot[snapshot.len() / 2].key.coord.row.clone())
+    }
+
+    fn nth_cell_of_block(&self, file: &HFile, block: usize) -> usize {
+        // Approximate: blocks before `block` hold entry_count/block_count
+        // cells each on average.
+        if file.block_count() == 0 {
+            return 0;
+        }
+        (file.entry_count() as usize / file.block_count()) * block
+    }
+
+    /// Every cell version in `range`, newest-first per coordinate — used to
+    /// physically split a region.
+    pub fn export_range(&self, range: &KeyRange) -> Vec<CellVersion> {
+        self.merge_iter(range).collect()
+    }
+
+    /// Rebuilds a store from exported cells (post-split daughter region).
+    /// The data lands as a single flushed file, mirroring HBase's post-split
+    /// reference-file compaction.
+    pub fn from_cells(
+        cache: SharedBlockCache,
+        ids: Arc<FileIdAllocator>,
+        block_size: u64,
+        cells: Vec<CellVersion>,
+        next_ts: u64,
+    ) -> Self {
+        let mut store = CfStore::new(cache, ids, block_size);
+        store.next_ts = next_ts;
+        if !cells.is_empty() {
+            let mut sorted = cells;
+            sorted.sort_by(|a, b| a.key.cmp(&b.key));
+            let file = HFile::build(store.ids.next(), sorted, block_size);
+            store.files.push(Arc::new(file));
+        }
+        store
+    }
+
+    /// The timestamp the next write would receive (split bookkeeping).
+    pub fn next_ts(&self) -> u64 {
+        self.next_ts
+    }
+}
+
+/// K-way merge over sorted cell-version iterators.
+struct KMerge<'a> {
+    heap: BinaryHeap<Reverse<(InternalKey, usize)>>,
+    pending: Vec<Option<CellVersion>>,
+    sources: Vec<Box<dyn Iterator<Item = CellVersion> + 'a>>,
+}
+
+impl<'a> KMerge<'a> {
+    fn new(mut sources: Vec<Box<dyn Iterator<Item = CellVersion> + 'a>>) -> Self {
+        let mut heap = BinaryHeap::new();
+        let mut pending = Vec::with_capacity(sources.len());
+        for (i, src) in sources.iter_mut().enumerate() {
+            match src.next() {
+                Some(cell) => {
+                    heap.push(Reverse((cell.key.clone(), i)));
+                    pending.push(Some(cell));
+                }
+                None => pending.push(None),
+            }
+        }
+        KMerge { heap, pending, sources }
+    }
+}
+
+impl<'a> Iterator for KMerge<'a> {
+    type Item = CellVersion;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let Reverse((_, idx)) = self.heap.pop()?;
+        let cell = self.pending[idx].take().expect("heap/pending out of sync");
+        if let Some(next) = self.sources[idx].next() {
+            self.heap.push(Reverse((next.key.clone(), idx)));
+            self.pending[idx] = Some(next);
+        }
+        Some(cell)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> CfStore {
+        CfStore::new(SharedBlockCache::new(1 << 20), FileIdAllocator::new(), 512)
+    }
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let mut s = store();
+        s.put("row1".into(), "c".into(), b("hello"));
+        assert_eq!(s.get(&"row1".into(), &"c".into()), Some(b("hello")));
+        assert_eq!(s.get(&"row2".into(), &"c".into()), None);
+    }
+
+    #[test]
+    fn overwrite_returns_latest() {
+        let mut s = store();
+        s.put("r".into(), "c".into(), b("v1"));
+        s.put("r".into(), "c".into(), b("v2"));
+        assert_eq!(s.get(&"r".into(), &"c".into()), Some(b("v2")));
+    }
+
+    #[test]
+    fn delete_hides_value_across_flush() {
+        let mut s = store();
+        s.put("r".into(), "c".into(), b("v1"));
+        s.flush().unwrap();
+        s.delete("r".into(), "c".into());
+        assert_eq!(s.get(&"r".into(), &"c".into()), None);
+        s.flush().unwrap();
+        // Tombstone now lives in a newer file than the value.
+        assert_eq!(s.get(&"r".into(), &"c".into()), None);
+    }
+
+    #[test]
+    fn reads_span_memstore_and_files() {
+        let mut s = store();
+        s.put("a".into(), "c".into(), b("file"));
+        s.flush().unwrap();
+        s.put("b".into(), "c".into(), b("mem"));
+        assert_eq!(s.get(&"a".into(), &"c".into()), Some(b("file")));
+        assert_eq!(s.get(&"b".into(), &"c".into()), Some(b("mem")));
+        let stats = s.read_stats();
+        assert_eq!(stats.memstore_hits, 1);
+        assert!(stats.files_probed >= 1);
+    }
+
+    #[test]
+    fn newest_file_wins_over_older() {
+        let mut s = store();
+        s.put("r".into(), "c".into(), b("old"));
+        s.flush().unwrap();
+        s.put("r".into(), "c".into(), b("new"));
+        s.flush().unwrap();
+        assert_eq!(s.get(&"r".into(), &"c".into()), Some(b("new")));
+    }
+
+    #[test]
+    fn scan_merges_all_sources_newest_versions() {
+        let mut s = store();
+        for i in 0..10 {
+            s.put(format!("row{i}").into(), "c".into(), b("old"));
+        }
+        s.flush().unwrap();
+        s.put("row3".into(), "c".into(), b("new3"));
+        s.delete("row5".into(), "c".into());
+        let rows = s.scan(&"row0".into(), 100);
+        assert_eq!(rows.len(), 9, "deleted row must vanish");
+        let row3 = rows.iter().find(|(r, _)| r.to_string() == "row3").unwrap();
+        assert_eq!(row3.1[0].1, b("new3"));
+        assert!(!rows.iter().any(|(r, _)| r.to_string() == "row5"));
+    }
+
+    #[test]
+    fn scan_respects_limit_and_start() {
+        let mut s = store();
+        for i in 0..20 {
+            s.put(format!("row{i:02}").into(), "c".into(), b("v"));
+        }
+        let rows = s.scan(&"row05".into(), 3);
+        let names: Vec<String> = rows.iter().map(|(r, _)| r.to_string()).collect();
+        assert_eq!(names, vec!["row05", "row06", "row07"]);
+    }
+
+    #[test]
+    fn scan_collects_multiple_qualifiers_per_row() {
+        let mut s = store();
+        s.put("r".into(), "q1".into(), b("a"));
+        s.put("r".into(), "q2".into(), b("b"));
+        s.flush().unwrap();
+        s.put("r".into(), "q3".into(), b("c"));
+        let rows = s.scan(&"r".into(), 10);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].1.len(), 3);
+    }
+
+    #[test]
+    fn minor_compaction_reduces_file_count_preserving_data() {
+        let mut s = store();
+        for round in 0..4 {
+            for i in 0..5 {
+                s.put(format!("row{i}").into(), "c".into(), b(&format!("v{round}")));
+            }
+            s.flush().unwrap();
+        }
+        assert_eq!(s.file_count(), 4);
+        let out = s.compact_minor(3).unwrap();
+        assert_eq!(out.replaced.len(), 3);
+        assert_eq!(s.file_count(), 2);
+        for i in 0..5 {
+            assert_eq!(s.get(&format!("row{i}").as_str().into(), &"c".into()), Some(b("v3")));
+        }
+    }
+
+    #[test]
+    fn major_compaction_drops_tombstones_and_old_versions() {
+        let mut s = store();
+        s.put("keep".into(), "c".into(), b("v1"));
+        s.put("kill".into(), "c".into(), b("x"));
+        s.flush().unwrap();
+        s.put("keep".into(), "c".into(), b("v2"));
+        s.delete("kill".into(), "c".into());
+        s.flush().unwrap();
+        let before = s.file_bytes();
+        let out = s.compact_major().unwrap();
+        assert_eq!(s.file_count(), 1);
+        assert!(s.file_bytes() < before, "garbage must be reclaimed");
+        assert!(out.bytes_rewritten > 0);
+        assert_eq!(s.get(&"keep".into(), &"c".into()), Some(b("v2")));
+        assert_eq!(s.get(&"kill".into(), &"c".into()), None);
+    }
+
+    #[test]
+    fn compaction_preserves_newest_file_wins_invariant() {
+        let mut s = store();
+        s.put("r".into(), "c".into(), b("v1"));
+        s.flush().unwrap();
+        s.put("r".into(), "c".into(), b("v2"));
+        s.flush().unwrap();
+        s.compact_minor(2).unwrap();
+        s.put("r".into(), "c".into(), b("v3"));
+        s.flush().unwrap();
+        assert_eq!(s.get(&"r".into(), &"c".into()), Some(b("v3")));
+        s.compact_major().unwrap();
+        assert_eq!(s.get(&"r".into(), &"c".into()), Some(b("v3")));
+    }
+
+    #[test]
+    fn memstore_accounting_resets_on_flush() {
+        let mut s = store();
+        s.put("r".into(), "c".into(), b("0123456789"));
+        assert!(s.memstore_bytes() > 0);
+        s.flush().unwrap();
+        assert_eq!(s.memstore_bytes(), 0);
+        assert!(s.file_bytes() > 0);
+    }
+
+    #[test]
+    fn flush_empty_memstore_is_noop() {
+        let mut s = store();
+        assert!(s.flush().is_none());
+        assert_eq!(s.file_count(), 0);
+    }
+
+    #[test]
+    fn export_and_rebuild_split_halves() {
+        let mut s = store();
+        for i in 0..20 {
+            s.put(format!("row{i:02}").into(), "c".into(), b("v"));
+        }
+        s.flush().unwrap();
+        let next_ts = s.next_ts();
+        let lo = s.export_range(&KeyRange::new(None, Some("row10".into())));
+        let hi = s.export_range(&KeyRange::new(Some("row10".into()), None));
+        assert_eq!(lo.len() + hi.len(), 20);
+        let mut rebuilt = CfStore::from_cells(
+            SharedBlockCache::new(1 << 20),
+            FileIdAllocator::new(),
+            512,
+            hi,
+            next_ts,
+        );
+        assert_eq!(rebuilt.get(&"row15".into(), &"c".into()), Some(b("v")));
+        assert_eq!(rebuilt.get(&"row05".into(), &"c".into()), None);
+    }
+
+    #[test]
+    fn check_and_put_is_conditional() {
+        let mut s = store();
+        // Expecting absence on an absent cell succeeds.
+        assert!(s.check_and_put("r".into(), "c".into(), None, b("v1")));
+        // Expecting absence now fails.
+        assert!(!s.check_and_put("r".into(), "c".into(), None, b("v2")));
+        assert_eq!(s.get(&"r".into(), &"c".into()), Some(b("v1")));
+        // Expecting the right value succeeds.
+        let v1 = b("v1");
+        assert!(s.check_and_put("r".into(), "c".into(), Some(&v1), b("v2")));
+        assert_eq!(s.get(&"r".into(), &"c".into()), Some(b("v2")));
+        // Works across a flush boundary too.
+        s.flush();
+        let v2 = b("v2");
+        assert!(s.check_and_put("r".into(), "c".into(), Some(&v2), b("v3")));
+        assert_eq!(s.get(&"r".into(), &"c".into()), Some(b("v3")));
+    }
+
+    #[test]
+    fn increment_counts_from_zero_and_persists() {
+        let mut s = store();
+        assert_eq!(s.increment("ctr".into(), "n".into(), 5), 5);
+        assert_eq!(s.increment("ctr".into(), "n".into(), -2), 3);
+        s.flush();
+        assert_eq!(s.increment("ctr".into(), "n".into(), 7), 10);
+        assert_eq!(s.get(&"ctr".into(), &"n".into()), Some(b("10")));
+    }
+
+    #[test]
+    fn midpoint_row_is_interior() {
+        let mut s = store();
+        for i in 0..100 {
+            s.put(format!("row{i:03}").into(), "c".into(), b("0123456789012345"));
+        }
+        s.flush().unwrap();
+        let mid = s.midpoint_row().unwrap();
+        assert!(mid > "row010".into() && mid < "row090".into(), "mid = {mid}");
+    }
+}

@@ -1,0 +1,297 @@
+//! VM lifecycle: flavors, quota, boot, terminate.
+
+use cluster::admin::{AdminError, ClusterSnapshot, ElasticCluster};
+use cluster::{ServerId, SimCluster};
+use hstore::StoreConfig;
+use simcore::{SimDuration, SimTime};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// An instance flavor (the paper's experiments use 3 GB-RAM VMs, §6.4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Flavor {
+    /// Flavor name (e.g. "m1.medium").
+    pub name: String,
+    /// Virtual CPUs.
+    pub vcpus: u32,
+    /// RAM in MiB.
+    pub ram_mb: u64,
+    /// Root disk in GiB.
+    pub disk_gb: u64,
+}
+
+impl Flavor {
+    /// The 3 GB flavor used throughout the paper's evaluation.
+    pub fn paper_medium() -> Self {
+        Flavor { name: "m1.medium".into(), vcpus: 2, ram_mb: 3 * 1024, disk_gb: 40 }
+    }
+
+    /// The Java heap a RegionServer on this flavor gets (all of RAM in the
+    /// paper's configuration).
+    pub fn heap_bytes(&self) -> u64 {
+        self.ram_mb * 1024 * 1024
+    }
+}
+
+/// Tenant quota.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Quota {
+    /// Maximum concurrently existing (non-deleted) instances.
+    pub max_instances: usize,
+}
+
+/// Identifies a VM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VmId(pub u64);
+
+impl fmt::Display for VmId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vm-{}", self.0)
+    }
+}
+
+/// VM lifecycle state (OpenStack naming).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmState {
+    /// Being provisioned.
+    Building,
+    /// Running.
+    Active,
+    /// Terminated.
+    Deleted,
+}
+
+/// Bookkeeping for one VM.
+#[derive(Debug, Clone)]
+pub struct VmRecord {
+    /// VM identity.
+    pub id: VmId,
+    /// Flavor it was booted with.
+    pub flavor: Flavor,
+    /// The RegionServer running on it.
+    pub server: ServerId,
+    /// Boot request time.
+    pub requested_at: SimTime,
+}
+
+/// IaaS-level errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CloudError {
+    /// The quota would be exceeded.
+    QuotaExceeded {
+        /// Configured limit.
+        limit: usize,
+    },
+    /// Unknown VM.
+    UnknownVm(VmId),
+}
+
+impl fmt::Display for CloudError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CloudError::QuotaExceeded { limit } => write!(f, "instance quota ({limit}) exceeded"),
+            CloudError::UnknownVm(id) => write!(f, "unknown VM {id}"),
+        }
+    }
+}
+
+impl std::error::Error for CloudError {}
+
+/// A simulated cluster deployed on a simulated cloud.
+pub struct CloudCluster {
+    inner: SimCluster,
+    flavor: Flavor,
+    quota: Quota,
+    boot_delay: SimDuration,
+    vms: BTreeMap<VmId, VmRecord>,
+    server_to_vm: BTreeMap<ServerId, VmId>,
+    deleted: BTreeSet<VmId>,
+    next_vm: u64,
+}
+
+impl CloudCluster {
+    /// Deploys on the cloud: every subsequent provision goes through VM
+    /// boot with `boot_delay`.
+    pub fn new(mut inner: SimCluster, flavor: Flavor, quota: Quota, boot_delay: SimDuration) -> Self {
+        inner.set_provision_delay(boot_delay);
+        CloudCluster {
+            inner,
+            flavor,
+            quota,
+            boot_delay,
+            vms: BTreeMap::new(),
+            server_to_vm: BTreeMap::new(),
+            deleted: BTreeSet::new(),
+            next_vm: 1,
+        }
+    }
+
+    /// Boots the initial fleet synchronously (cluster bring-up before the
+    /// experiment starts). Returns the server ids.
+    pub fn boot_initial_fleet(
+        &mut self,
+        count: usize,
+        config: StoreConfig,
+    ) -> Result<Vec<ServerId>, CloudError> {
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            self.check_quota()?;
+            let server = self.inner.add_server_immediate(config.clone());
+            out.push(server);
+            self.record_vm(server);
+        }
+        Ok(out)
+    }
+
+    fn check_quota(&self) -> Result<(), CloudError> {
+        let active = self.vms.len() - self.deleted.len();
+        if active >= self.quota.max_instances {
+            return Err(CloudError::QuotaExceeded { limit: self.quota.max_instances });
+        }
+        Ok(())
+    }
+
+    fn record_vm(&mut self, server: ServerId) -> VmId {
+        let id = VmId(self.next_vm);
+        self.next_vm += 1;
+        self.vms.insert(
+            id,
+            VmRecord {
+                id,
+                flavor: self.flavor.clone(),
+                server,
+                requested_at: self.inner.time(),
+            },
+        );
+        self.server_to_vm.insert(server, id);
+        id
+    }
+
+    /// Advances the simulation by `n` ticks.
+    pub fn run_ticks(&mut self, n: usize) {
+        self.inner.run_ticks(n);
+    }
+
+    /// The underlying simulated cluster.
+    pub fn inner(&self) -> &SimCluster {
+        &self.inner
+    }
+
+    /// Mutable access to the underlying simulated cluster.
+    pub fn inner_mut(&mut self) -> &mut SimCluster {
+        &mut self.inner
+    }
+
+    /// The VM running a given server, if any.
+    pub fn vm_of(&self, server: ServerId) -> Option<&VmRecord> {
+        self.server_to_vm.get(&server).and_then(|id| self.vms.get(id))
+    }
+
+    /// Number of non-deleted VMs.
+    pub fn active_vm_count(&self) -> usize {
+        self.vms.len() - self.deleted.len()
+    }
+
+    /// Configured boot delay.
+    pub fn boot_delay(&self) -> SimDuration {
+        self.boot_delay
+    }
+}
+
+impl ElasticCluster for CloudCluster {
+    fn now(&self) -> SimTime {
+        self.inner.now()
+    }
+
+    fn snapshot(&self) -> ClusterSnapshot {
+        self.inner.snapshot()
+    }
+
+    fn move_partition(
+        &mut self,
+        partition: cluster::PartitionId,
+        to: ServerId,
+    ) -> Result<(), AdminError> {
+        self.inner.move_partition(partition, to)
+    }
+
+    fn restart_server(&mut self, server: ServerId, config: StoreConfig) -> Result<(), AdminError> {
+        self.inner.restart_server(server, config)
+    }
+
+    fn major_compact(&mut self, partition: cluster::PartitionId) -> Result<(), AdminError> {
+        self.inner.major_compact(partition)
+    }
+
+    fn provision_server(&mut self, config: StoreConfig) -> Result<ServerId, AdminError> {
+        self.check_quota().map_err(|e| AdminError::ProvisioningFailed(e.to_string()))?;
+        let server = self.inner.provision_server(config)?;
+        self.record_vm(server);
+        Ok(server)
+    }
+
+    fn decommission_server(&mut self, server: ServerId) -> Result<(), AdminError> {
+        self.inner.decommission_server(server)?;
+        if let Some(vm) = self.server_to_vm.remove(&server) {
+            self.deleted.insert(vm);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::admin::{AdminError, ElasticCluster};
+    use cluster::{CostParams, SimCluster};
+
+    fn cloud(quota: usize) -> CloudCluster {
+        let sim = SimCluster::new(CostParams::default(), 1);
+        CloudCluster::new(
+            sim,
+            Flavor::paper_medium(),
+            Quota { max_instances: quota },
+            SimDuration::from_secs(30),
+        )
+    }
+
+    #[test]
+    fn initial_fleet_counts_against_quota() {
+        let mut c = cloud(3);
+        let servers = c.boot_initial_fleet(3, StoreConfig::default_homogeneous()).unwrap();
+        assert_eq!(servers.len(), 3);
+        assert_eq!(c.active_vm_count(), 3);
+        let err = c.provision_server(StoreConfig::default_homogeneous());
+        assert!(matches!(err, Err(AdminError::ProvisioningFailed(_))));
+    }
+
+    #[test]
+    fn boot_initial_fleet_rejects_over_quota() {
+        let mut c = cloud(2);
+        let err = c.boot_initial_fleet(3, StoreConfig::default_homogeneous());
+        assert!(matches!(err, Err(CloudError::QuotaExceeded { limit: 2 })));
+    }
+
+    #[test]
+    fn decommission_frees_quota() {
+        let mut c = cloud(2);
+        let servers = c.boot_initial_fleet(2, StoreConfig::default_homogeneous()).unwrap();
+        c.decommission_server(servers[1]).unwrap();
+        assert_eq!(c.active_vm_count(), 1);
+        // The freed slot is usable again.
+        let id = c.provision_server(StoreConfig::default_homogeneous()).unwrap();
+        assert!(c.vm_of(id).is_some());
+        assert_eq!(c.active_vm_count(), 2);
+    }
+
+    #[test]
+    fn vm_records_track_servers_and_flavor() {
+        let mut c = cloud(4);
+        let servers = c.boot_initial_fleet(1, StoreConfig::default_homogeneous()).unwrap();
+        let vm = c.vm_of(servers[0]).expect("vm recorded");
+        assert_eq!(vm.server, servers[0]);
+        assert_eq!(vm.flavor.name, "m1.medium");
+        assert_eq!(vm.flavor.heap_bytes(), 3 * 1024 * 1024 * 1024);
+        assert_eq!(c.boot_delay(), SimDuration::from_secs(30));
+    }
+}

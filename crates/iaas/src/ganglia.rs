@@ -1,0 +1,109 @@
+//! Ganglia-style system-metrics reporting.
+//!
+//! The paper's monitor "gathers data about CPU usage, memory usage and I/O
+//! wait of the various nodes through Ganglia" (§5). This module exposes the
+//! same three metrics per VM, derived from the cluster snapshot — the
+//! system-metrics half of MeT's monitoring (the NoSQL half comes from the
+//! JMX-equivalent partition counters).
+
+use cluster::admin::{ClusterSnapshot, ServerHealth};
+use cluster::ServerId;
+use serde::{Deserialize, Serialize};
+
+/// One node's system metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemMetrics {
+    /// CPU utilization in `[0, 1]`.
+    pub cpu_util: f64,
+    /// I/O wait in `[0, 1]`.
+    pub io_wait: f64,
+    /// Memory utilization in `[0, 1]`.
+    pub mem_util: f64,
+}
+
+/// A metrics report across the fleet at one instant.
+#[derive(Debug, Clone, Default)]
+pub struct GangliaReport {
+    entries: Vec<(ServerId, SystemMetrics)>,
+}
+
+impl GangliaReport {
+    /// Builds a report from a cluster snapshot, covering online servers
+    /// only (a booting or restarting node reports nothing, as a real
+    /// Ganglia deployment would miss it).
+    pub fn from_snapshot(snapshot: &ClusterSnapshot) -> Self {
+        let entries = snapshot
+            .servers
+            .iter()
+            .filter(|s| s.health == ServerHealth::Online)
+            .map(|s| {
+                (
+                    s.server,
+                    SystemMetrics {
+                        cpu_util: s.cpu_util,
+                        io_wait: s.io_wait,
+                        mem_util: s.mem_util,
+                    },
+                )
+            })
+            .collect();
+        GangliaReport { entries }
+    }
+
+    /// Metrics for one node, if it reported.
+    pub fn node(&self, id: ServerId) -> Option<SystemMetrics> {
+        self.entries.iter().find(|(s, _)| *s == id).map(|(_, m)| *m)
+    }
+
+    /// All reporting nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = (ServerId, SystemMetrics)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Number of reporting nodes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nobody reported.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Fleet-average CPU utilization (0 when empty).
+    pub fn avg_cpu(&self) -> f64 {
+        if self.entries.is_empty() {
+            0.0
+        } else {
+            self.entries.iter().map(|(_, m)| m.cpu_util).sum::<f64>() / self.entries.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::{CostParams, ElasticCluster, PartitionSpec, SimCluster};
+    use hstore::StoreConfig;
+
+    #[test]
+    fn report_covers_online_nodes_only() {
+        let mut sim = SimCluster::new(CostParams::default(), 1);
+        let a = sim.add_server_immediate(StoreConfig::default_homogeneous());
+        let b = sim.add_server_immediate(StoreConfig::default_homogeneous());
+        let p = sim.create_partition(PartitionSpec {
+            table: "t".into(),
+            size_bytes: 1e9,
+            record_bytes: 1_000.0,
+            hot_set_fraction: 0.4,
+            hot_ops_fraction: 0.5,
+        });
+        sim.assign_partition(p, a).unwrap();
+        sim.restart_server(b, StoreConfig::default_homogeneous()).unwrap();
+        sim.run_ticks(2);
+        let report = GangliaReport::from_snapshot(&sim.snapshot());
+        assert!(report.node(a).is_some());
+        assert!(report.node(b).is_none(), "restarting node must not report");
+        assert_eq!(report.len(), 1);
+    }
+}

@@ -1,0 +1,145 @@
+//! A monotone event queue for scheduled simulation actions.
+//!
+//! The cluster simulation is tick-driven (throughput is integrated every
+//! tick), but long-running asynchronous actions — VM boots, RegionServer
+//! restarts, major compactions, region drains — complete at scheduled
+//! instants. [`EventQueue`] orders those completions; ties break by insertion
+//! sequence so the simulation is fully deterministic.
+
+use crate::clock::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A pending event carrying a caller-defined payload.
+#[derive(Debug, Clone)]
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        other.at.cmp(&self.at).then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-queue of timestamped events.
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// Schedules `payload` to fire at `at`.
+    pub fn schedule(&mut self, at: SimTime, payload: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, payload });
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Pops the earliest event if it is due at or before `now`.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<(SimTime, E)> {
+        if self.heap.peek().map(|s| s.at <= now).unwrap_or(false) {
+            let s = self.heap.pop().expect("peeked event vanished");
+            Some((s.at, s.payload))
+        } else {
+            None
+        }
+    }
+
+    /// Drains every event due at or before `now`, in order.
+    pub fn drain_due(&mut self, now: SimTime) -> Vec<(SimTime, E)> {
+        let mut out = Vec::new();
+        while let Some(ev) = self.pop_due(now) {
+            out.push(ev);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::SimTime;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(5), "b");
+        q.schedule(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(9), "c");
+        let drained: Vec<_> =
+            q.drain_due(SimTime::from_secs(100)).into_iter().map(|(_, p)| p).collect();
+        assert_eq!(drained, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(2);
+        for i in 0..10 {
+            q.schedule(t, i);
+        }
+        let drained: Vec<_> = q.drain_due(t).into_iter().map(|(_, p)| p).collect();
+        assert_eq!(drained, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_due_leaves_future_events() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), 1);
+        q.schedule(SimTime::from_secs(10), 2);
+        assert_eq!(q.pop_due(SimTime::from_secs(5)), Some((SimTime::from_secs(1), 1)));
+        assert_eq!(q.pop_due(SimTime::from_secs(5)), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(10)));
+    }
+
+    #[test]
+    fn empty_queue_behaves() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        assert_eq!(q.pop_due(SimTime::from_mins(1)), None);
+    }
+}

@@ -1,0 +1,129 @@
+//! Brown's simple exponential smoothing.
+//!
+//! MeT's monitor (§4.1) smooths every metric "to account for temporary load
+//! spikes that could result in poor decisions", weighting the latest
+//! observation most and decaying exponentially toward the first, and it
+//! *resets* the history after each actuator action so stale pre-action
+//! observations cannot bias the next decision. [`ExpSmoother`] implements
+//! exactly that contract.
+
+use serde::{Deserialize, Serialize};
+
+/// Simple exponential smoothing with reset-on-action semantics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExpSmoother {
+    alpha: f64,
+    value: Option<f64>,
+    samples: usize,
+}
+
+impl ExpSmoother {
+    /// Creates a smoother with smoothing factor `alpha ∈ (0, 1]`.
+    ///
+    /// Higher `alpha` weights recent observations more. MeT uses the
+    /// conventional 0.5 via [`ExpSmoother::default_met`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not in `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1], got {alpha}");
+        ExpSmoother { alpha, value: None, samples: 0 }
+    }
+
+    /// The smoother configuration used by MeT's monitor.
+    pub fn default_met() -> Self {
+        ExpSmoother::new(0.5)
+    }
+
+    /// Feeds one observation and returns the updated smoothed value.
+    pub fn observe(&mut self, x: f64) -> f64 {
+        let next = match self.value {
+            None => x,
+            Some(prev) => self.alpha * x + (1.0 - self.alpha) * prev,
+        };
+        self.value = Some(next);
+        self.samples += 1;
+        next
+    }
+
+    /// The current smoothed value, if at least one sample has been seen.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// Number of observations since construction or the last [`reset`].
+    ///
+    /// MeT's decision maker waits for a minimum sample count (6 in the
+    /// paper's configuration) before acting.
+    ///
+    /// [`reset`]: ExpSmoother::reset
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Discards all history. Called after every actuator action so that only
+    /// post-action observations feed the next decision (§4.1).
+    pub fn reset(&mut self) {
+        self.value = None;
+        self.samples = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_passes_through() {
+        let mut s = ExpSmoother::new(0.3);
+        assert_eq!(s.observe(10.0), 10.0);
+        assert_eq!(s.value(), Some(10.0));
+    }
+
+    #[test]
+    fn recent_samples_dominate() {
+        let mut s = ExpSmoother::new(0.5);
+        s.observe(0.0);
+        s.observe(0.0);
+        s.observe(100.0);
+        // One large recent spike pulls halfway: 0.5·100 + 0.5·0 = 50.
+        assert!((s.value().unwrap() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn converges_to_constant_input() {
+        let mut s = ExpSmoother::new(0.4);
+        s.observe(3.0);
+        for _ in 0..100 {
+            s.observe(20.0);
+        }
+        assert!((s.value().unwrap() - 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut s = ExpSmoother::new(0.5);
+        s.observe(1.0);
+        s.observe(2.0);
+        assert_eq!(s.samples(), 2);
+        s.reset();
+        assert_eq!(s.samples(), 0);
+        assert_eq!(s.value(), None);
+        // Post-reset behaves like a fresh smoother.
+        assert_eq!(s.observe(7.0), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn rejects_bad_alpha() {
+        let _ = ExpSmoother::new(0.0);
+    }
+
+    #[test]
+    fn alpha_one_tracks_exactly() {
+        let mut s = ExpSmoother::new(1.0);
+        s.observe(4.0);
+        assert_eq!(s.observe(9.0), 9.0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Online statistics and percentile summaries.
+//!
+//! Figure 1 of the paper reports per-workload throughput as CDF percentile
+//! bars (5th/25th/50th/75th/90th over five runs); [`PercentileSummary`]
+//! produces exactly those rows. [`OnlineStats`] (Welford) backs utilization
+//! accounting and test assertions.
+
+use serde::{Deserialize, Serialize};
+
+/// Numerically stable online mean/variance (Welford's algorithm).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 with fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+}
+
+/// The CDF observation points reported in Figure 1.
+pub const FIG1_PERCENTILES: [f64; 5] = [5.0, 25.0, 50.0, 75.0, 90.0];
+
+/// Percentile summary over a stored sample set.
+///
+/// Samples are retained (experiments keep at most a few thousand per series)
+/// and sorted on demand; `percentile` uses nearest-rank interpolation.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PercentileSummary {
+    samples: Vec<f64>,
+}
+
+impl PercentileSummary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        PercentileSummary { samples: Vec::new() }
+    }
+
+    /// Builds a summary from a slice of samples.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        PercentileSummary { samples: samples.to_vec() }
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, x: f64) {
+        self.samples.push(x);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// The `p`-th percentile (`0 ≤ p ≤ 100`) by linear interpolation between
+    /// closest ranks. Returns `None` when empty.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        let rank = p / 100.0 * (sorted.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+
+    /// Sample mean. Returns `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+        }
+    }
+
+    /// The five Figure-1 percentiles, in ascending order.
+    pub fn fig1_bars(&self) -> Option<[f64; 5]> {
+        let mut out = [0.0; 5];
+        for (slot, p) in out.iter_mut().zip(FIG1_PERCENTILES) {
+            *slot = self.percentile(p)?;
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_direct_computation() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = OnlineStats::new();
+        for x in data {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn empty_stats_are_sane() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let s = PercentileSummary::from_samples(&[10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(s.percentile(0.0), Some(10.0));
+        assert_eq!(s.percentile(100.0), Some(40.0));
+        assert_eq!(s.percentile(50.0), Some(25.0));
+    }
+
+    #[test]
+    fn fig1_bars_are_monotone() {
+        let mut s = PercentileSummary::new();
+        for i in 0..100 {
+            s.push(i as f64);
+        }
+        let bars = s.fig1_bars().unwrap();
+        for w in bars.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn empty_summary_returns_none() {
+        let s = PercentileSummary::new();
+        assert_eq!(s.percentile(50.0), None);
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.fig1_bars(), None);
+    }
+}

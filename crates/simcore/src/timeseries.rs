@@ -1,0 +1,211 @@
+//! Time-stamped series recording for the experiment figures.
+//!
+//! Figures 4–6 of the paper plot throughput (and node count) against time;
+//! [`TimeSeries`] records the raw points and offers the derived views the
+//! figures need: per-interval averages, cumulative sums (Figure 5), and
+//! windowed resampling.
+
+use crate::clock::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A named sequence of `(time, value)` points, appended in time order.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeSeries {
+    name: String,
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new(name: impl Into<String>) -> Self {
+        TimeSeries { name: name.into(), points: Vec::new() }
+    }
+
+    /// The series name (used as the figure legend label).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes the previously recorded point — series are
+    /// simulation outputs and must be monotone.
+    pub fn record(&mut self, t: SimTime, value: f64) {
+        if let Some(&(last, _)) = self.points.last() {
+            assert!(t >= last, "time went backwards: {t} < {last}");
+        }
+        self.points.push((t, value));
+    }
+
+    /// All recorded points.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Running cumulative sum of values — the Figure 5 view.
+    pub fn cumulative(&self) -> TimeSeries {
+        let mut out = TimeSeries::new(format!("{} (cumulative)", self.name));
+        let mut acc = 0.0;
+        for &(t, v) in &self.points {
+            acc += v;
+            out.points.push((t, acc));
+        }
+        out
+    }
+
+    /// Sum of all values.
+    pub fn total(&self) -> f64 {
+        self.points.iter().map(|&(_, v)| v).sum()
+    }
+
+    /// Mean of values with `t ≥ from` (e.g. post-reconfiguration steady
+    /// state). Returns `None` if the window is empty.
+    pub fn mean_after(&self, from: SimTime) -> Option<f64> {
+        let vals: Vec<f64> =
+            self.points.iter().filter(|&&(t, _)| t >= from).map(|&(_, v)| v).collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    }
+
+    /// Mean of values in `[from, to)`. Returns `None` if the window is empty.
+    pub fn mean_between(&self, from: SimTime, to: SimTime) -> Option<f64> {
+        let vals: Vec<f64> = self
+            .points
+            .iter()
+            .filter(|&&(t, _)| t >= from && t < to)
+            .map(|&(_, v)| v)
+            .collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    }
+
+    /// Minimum value in `[from, to)`. Returns `None` if the window is empty.
+    pub fn min_between(&self, from: SimTime, to: SimTime) -> Option<f64> {
+        self.points
+            .iter()
+            .filter(|&&(t, _)| t >= from && t < to)
+            .map(|&(_, v)| v)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.min(v))))
+    }
+
+    /// Resamples into fixed windows of `window_ms`, averaging values inside
+    /// each window. Windows with no points are skipped.
+    pub fn resample_avg(&self, window_ms: u64) -> TimeSeries {
+        assert!(window_ms > 0);
+        let mut out = TimeSeries::new(self.name.clone());
+        let mut win_start: Option<u64> = None;
+        let mut sum = 0.0;
+        let mut n = 0u64;
+        for &(t, v) in &self.points {
+            let w = t.as_millis() / window_ms;
+            match win_start {
+                Some(cur) if cur == w => {
+                    sum += v;
+                    n += 1;
+                }
+                Some(cur) => {
+                    out.points.push((SimTime(cur * window_ms), sum / n as f64));
+                    win_start = Some(w);
+                    sum = v;
+                    n = 1;
+                    let _ = cur;
+                }
+                None => {
+                    win_start = Some(w);
+                    sum = v;
+                    n = 1;
+                }
+            }
+        }
+        if let (Some(cur), true) = (win_start, n > 0) {
+            out.points.push((SimTime(cur * window_ms), sum / n as f64));
+        }
+        out
+    }
+
+    /// Value at or immediately before `t` (step interpolation).
+    pub fn value_at(&self, t: SimTime) -> Option<f64> {
+        self.points.iter().rev().find(|&&(pt, _)| pt <= t).map(|&(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn cumulative_accumulates() {
+        let mut ts = TimeSeries::new("ops");
+        ts.record(secs(1), 10.0);
+        ts.record(secs(2), 5.0);
+        ts.record(secs(3), 1.0);
+        let c = ts.cumulative();
+        let vals: Vec<f64> = c.points().iter().map(|&(_, v)| v).collect();
+        assert_eq!(vals, vec![10.0, 15.0, 16.0]);
+        assert_eq!(ts.total(), 16.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn rejects_out_of_order() {
+        let mut ts = TimeSeries::new("x");
+        ts.record(secs(5), 1.0);
+        ts.record(secs(4), 1.0);
+    }
+
+    #[test]
+    fn windowed_means() {
+        let mut ts = TimeSeries::new("x");
+        for s in 0..10 {
+            ts.record(secs(s), s as f64);
+        }
+        assert_eq!(ts.mean_between(secs(0), secs(5)), Some(2.0));
+        assert_eq!(ts.mean_after(secs(8)), Some(8.5));
+        assert_eq!(ts.min_between(secs(3), secs(7)), Some(3.0));
+        assert_eq!(ts.mean_between(secs(20), secs(30)), None);
+    }
+
+    #[test]
+    fn resample_averages_windows() {
+        let mut ts = TimeSeries::new("x");
+        ts.record(SimTime(0), 1.0);
+        ts.record(SimTime(500), 3.0);
+        ts.record(SimTime(1_000), 10.0);
+        let r = ts.resample_avg(1_000);
+        assert_eq!(r.points().len(), 2);
+        assert_eq!(r.points()[0], (SimTime(0), 2.0));
+        assert_eq!(r.points()[1], (SimTime(1_000), 10.0));
+    }
+
+    #[test]
+    fn value_at_steps() {
+        let mut ts = TimeSeries::new("x");
+        ts.record(secs(1), 1.0);
+        ts.record(secs(5), 5.0);
+        assert_eq!(ts.value_at(secs(0)), None);
+        assert_eq!(ts.value_at(secs(3)), Some(1.0));
+        assert_eq!(ts.value_at(secs(9)), Some(5.0));
+    }
+}

@@ -1,0 +1,214 @@
+//! The nine TPC-C tables and their HBase key encodings.
+//!
+//! Follows the PyTPCC HBase driver's approach (§6.3 of the paper): every
+//! table is a key-value mapping with warehouse-prefixed composite row keys
+//! so that tables partition horizontally by warehouse (the usual setting
+//! for distributed TPC-C, Stonebraker et al.). ITEM is global and
+//! read-only.
+
+use hstore::{Family, RowKey};
+
+/// The nine TPC-C tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Table {
+    /// WAREHOUSE (W rows).
+    Warehouse,
+    /// DISTRICT (10 per warehouse).
+    District,
+    /// CUSTOMER (3 000 per district).
+    Customer,
+    /// HISTORY (append-only).
+    History,
+    /// NEW-ORDER (pending orders).
+    NewOrder,
+    /// ORDERS.
+    Orders,
+    /// ORDER-LINE (~10 per order).
+    OrderLine,
+    /// ITEM (100 000, global, read-only).
+    Item,
+    /// STOCK (100 000 per warehouse).
+    Stock,
+}
+
+impl Table {
+    /// All nine tables.
+    pub const ALL: [Table; 9] = [
+        Table::Warehouse,
+        Table::District,
+        Table::Customer,
+        Table::History,
+        Table::NewOrder,
+        Table::Orders,
+        Table::OrderLine,
+        Table::Item,
+        Table::Stock,
+    ];
+
+    /// The table's name in the store.
+    pub fn name(self) -> &'static str {
+        match self {
+            Table::Warehouse => "warehouse",
+            Table::District => "district",
+            Table::Customer => "customer",
+            Table::History => "history",
+            Table::NewOrder => "new_order",
+            Table::Orders => "orders",
+            Table::OrderLine => "order_line",
+            Table::Item => "item",
+            Table::Stock => "stock",
+        }
+    }
+
+    /// The single column family every TPC-C table uses.
+    pub fn family() -> Family {
+        Family::from("d")
+    }
+}
+
+/// Row-key constructors (zero-padded so lexicographic order matches
+/// numeric order, keeping warehouse ranges contiguous).
+pub mod keys {
+    use super::RowKey;
+
+    /// WAREHOUSE row key.
+    pub fn warehouse(w: u32) -> RowKey {
+        RowKey::from(format!("{w:05}").as_str())
+    }
+
+    /// DISTRICT row key.
+    pub fn district(w: u32, d: u32) -> RowKey {
+        RowKey::from(format!("{w:05}.{d:02}").as_str())
+    }
+
+    /// CUSTOMER row key.
+    pub fn customer(w: u32, d: u32, c: u32) -> RowKey {
+        RowKey::from(format!("{w:05}.{d:02}.{c:05}").as_str())
+    }
+
+    /// HISTORY row key (unique per payment).
+    pub fn history(w: u32, d: u32, c: u32, seq: u64) -> RowKey {
+        RowKey::from(format!("{w:05}.{d:02}.{c:05}.{seq:010}").as_str())
+    }
+
+    /// NEW-ORDER row key; order ids are inverted so the *oldest* pending
+    /// order sorts first (Delivery pops the front with a 1-row scan).
+    pub fn new_order(w: u32, d: u32, o: u32) -> RowKey {
+        RowKey::from(format!("{w:05}.{d:02}.{:08}", o).as_str())
+    }
+
+    /// ORDERS row key.
+    pub fn order(w: u32, d: u32, o: u32) -> RowKey {
+        RowKey::from(format!("{w:05}.{d:02}.{o:08}").as_str())
+    }
+
+    /// ORDER-LINE row key.
+    pub fn order_line(w: u32, d: u32, o: u32, l: u32) -> RowKey {
+        RowKey::from(format!("{w:05}.{d:02}.{o:08}.{l:02}").as_str())
+    }
+
+    /// ITEM row key (global).
+    pub fn item(i: u32) -> RowKey {
+        RowKey::from(format!("{i:06}").as_str())
+    }
+
+    /// STOCK row key.
+    pub fn stock(w: u32, i: u32) -> RowKey {
+        RowKey::from(format!("{w:05}.{i:06}").as_str())
+    }
+}
+
+/// Scale parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TpccScale {
+    /// Number of warehouses.
+    pub warehouses: u32,
+    /// Districts per warehouse (TPC-C: 10).
+    pub districts_per_warehouse: u32,
+    /// Customers per district (TPC-C: 3 000).
+    pub customers_per_district: u32,
+    /// Items in the catalog (TPC-C: 100 000).
+    pub items: u32,
+    /// Initial orders per district (TPC-C: 3 000).
+    pub initial_orders_per_district: u32,
+}
+
+impl TpccScale {
+    /// The paper's configuration: 30 warehouses (≈ 15 GB).
+    pub fn paper() -> Self {
+        TpccScale {
+            warehouses: 30,
+            districts_per_warehouse: 10,
+            customers_per_district: 3_000,
+            items: 100_000,
+            initial_orders_per_district: 3_000,
+        }
+    }
+
+    /// A tiny scale for functional tests.
+    pub fn tiny() -> Self {
+        TpccScale {
+            warehouses: 2,
+            districts_per_warehouse: 2,
+            customers_per_district: 20,
+            items: 100,
+            initial_orders_per_district: 5,
+        }
+    }
+
+    /// HBase stores every column as a full KeyValue that repeats the row
+    /// key, family, qualifier and timestamp; with TPC-C's long composite
+    /// keys and ~9 columns per row that inflates the raw relational bytes
+    /// by roughly this factor. The paper's 30 warehouses (~2 GB relational)
+    /// load as ≈ 15 GB in HBase (§6.3).
+    pub const HBASE_CELL_OVERHEAD: u64 = 7;
+
+    /// Approximate *stored* bytes (for the simulation's partition sizes):
+    /// representative TPC-C row widths times the HBase cell overhead.
+    pub fn approx_bytes(&self) -> u64 {
+        let w = self.warehouses as u64;
+        let d = w * self.districts_per_warehouse as u64;
+        let c = d * self.customers_per_district as u64;
+        let o = d * self.initial_orders_per_district as u64;
+        // Row-width estimates: customer 655 B, stock 306 B, order-line 54 B,
+        // orders 24 B, item 82 B, district 95 B, warehouse 89 B.
+        let relational = w * 89
+            + d * 95
+            + c * 655
+            + o * 24
+            + o * 10 * 54
+            + self.items as u64 * 82
+            + w * self.items as u64 * 306;
+        relational * Self::HBASE_CELL_OVERHEAD
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_order_keeps_warehouses_contiguous() {
+        assert!(keys::stock(1, 99) < keys::stock(2, 0));
+        assert!(keys::customer(1, 2, 3) < keys::customer(1, 2, 4));
+        assert!(keys::customer(1, 9, 0) < keys::customer(2, 0, 0));
+        assert!(keys::order_line(3, 1, 7, 1) < keys::order_line(3, 1, 7, 2));
+    }
+
+    #[test]
+    fn paper_scale_is_about_15_gb() {
+        let bytes = TpccScale::paper().approx_bytes();
+        assert!(
+            (8_000_000_000..20_000_000_000).contains(&bytes),
+            "scale estimate {bytes} should be near the paper's 15 GB"
+        );
+    }
+
+    #[test]
+    fn all_tables_have_distinct_names() {
+        let mut names: Vec<&str> = Table::ALL.iter().map(|t| t.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 9);
+    }
+}

@@ -1,0 +1,408 @@
+//! The five TPC-C transactions, with HBase semantics.
+//!
+//! As the paper notes (§6.3), the PyTPCC HBase driver offers only
+//! record-level atomicity, not full ACID — each transaction is a sequence
+//! of independent key-value operations. The read/write/scan footprint of
+//! each transaction matches the standard profile; that footprint is what
+//! both MeT's classifier and the performance model observe.
+
+use crate::schema::{keys, Table, TpccScale};
+use cluster::functional::{FResult, FunctionalCluster};
+use hstore::Qualifier;
+use bytes::Bytes;
+use simcore::SimRng;
+
+fn q(name: &str) -> Qualifier {
+    Qualifier::from(name)
+}
+
+fn parse_num(v: &Bytes) -> u64 {
+    std::str::from_utf8(v).ok().and_then(|s| s.parse().ok()).unwrap_or(0)
+}
+
+fn num(v: u64) -> Bytes {
+    Bytes::from(v.to_string().into_bytes())
+}
+
+/// The five transaction types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TxnKind {
+    /// Enter a new order (45 %). The tpmC metric counts these.
+    NewOrder,
+    /// Record a payment (43 %).
+    Payment,
+    /// Query an order's status (4 %, read-only).
+    OrderStatus,
+    /// Deliver pending orders (4 %).
+    Delivery,
+    /// Check stock levels (4 %, read-only).
+    StockLevel,
+}
+
+impl TxnKind {
+    /// The standard mix weights.
+    pub fn mix() -> [(TxnKind, f64); 5] {
+        [
+            (TxnKind::NewOrder, 0.45),
+            (TxnKind::Payment, 0.43),
+            (TxnKind::OrderStatus, 0.04),
+            (TxnKind::Delivery, 0.04),
+            (TxnKind::StockLevel, 0.04),
+        ]
+    }
+
+    /// Draws a transaction kind from the standard mix.
+    pub fn draw(rng: &mut SimRng) -> TxnKind {
+        let r = rng.next_f64();
+        let mut acc = 0.0;
+        for (kind, w) in TxnKind::mix() {
+            acc += w;
+            if r < acc {
+                return kind;
+            }
+        }
+        TxnKind::StockLevel
+    }
+}
+
+/// Per-kind execution counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TxnCounts {
+    /// NewOrder transactions completed.
+    pub new_order: u64,
+    /// Payment transactions completed.
+    pub payment: u64,
+    /// OrderStatus transactions completed.
+    pub order_status: u64,
+    /// Delivery transactions completed.
+    pub delivery: u64,
+    /// StockLevel transactions completed.
+    pub stock_level: u64,
+}
+
+impl TxnCounts {
+    /// Total transactions.
+    pub fn total(&self) -> u64 {
+        self.new_order + self.payment + self.order_status + self.delivery + self.stock_level
+    }
+}
+
+/// Executes transactions against the functional cluster.
+pub struct TxnExecutor {
+    scale: TpccScale,
+    rng: SimRng,
+    history_seq: u64,
+    counts: TxnCounts,
+}
+
+impl TxnExecutor {
+    /// Creates an executor over a loaded database.
+    pub fn new(scale: TpccScale, seed: u64) -> Self {
+        TxnExecutor {
+            scale,
+            rng: SimRng::new(seed).derive("tpcc-txn"),
+            history_seq: 0,
+            counts: TxnCounts::default(),
+        }
+    }
+
+    /// Counts so far.
+    pub fn counts(&self) -> TxnCounts {
+        self.counts
+    }
+
+    fn pick_warehouse(&mut self) -> u32 {
+        self.rng.next_range(1, self.scale.warehouses as u64) as u32
+    }
+
+    fn pick_district(&mut self) -> u32 {
+        self.rng.next_range(1, self.scale.districts_per_warehouse as u64) as u32
+    }
+
+    fn pick_customer(&mut self) -> u32 {
+        self.rng.next_range(1, self.scale.customers_per_district as u64) as u32
+    }
+
+    fn pick_item(&mut self) -> u32 {
+        self.rng.next_below(self.scale.items as u64) as u32
+    }
+
+    /// Runs `n` transactions from the standard mix.
+    pub fn run(&mut self, cluster: &mut FunctionalCluster, n: u64) -> FResult<TxnCounts> {
+        for _ in 0..n {
+            match TxnKind::draw(&mut self.rng) {
+                TxnKind::NewOrder => self.new_order(cluster)?,
+                TxnKind::Payment => self.payment(cluster)?,
+                TxnKind::OrderStatus => self.order_status(cluster)?,
+                TxnKind::Delivery => self.delivery(cluster)?,
+                TxnKind::StockLevel => self.stock_level(cluster)?,
+            }
+        }
+        Ok(self.counts)
+    }
+
+    /// NewOrder: ~23 reads, ~23 writes.
+    pub fn new_order(&mut self, cluster: &mut FunctionalCluster) -> FResult<()> {
+        let fam = Table::family();
+        let w = self.pick_warehouse();
+        let d = self.pick_district();
+        let c = self.pick_customer();
+
+        let _tax = cluster.get(Table::Warehouse.name(), &fam, &keys::warehouse(w), &q("W_TAX"))?;
+        // The district cursor advances atomically (HBase increment), the
+        // one record-level atomic step TPC-C's NewOrder really needs.
+        let drow = keys::district(w, d);
+        let next = cluster.increment(Table::District.name(), &fam, drow, q("D_NEXT_O_ID"), 1)?;
+        let o = (next - 1).max(1) as u32;
+        let _cust =
+            cluster.get(Table::Customer.name(), &fam, &keys::customer(w, d, c), &q("C_LAST"))?;
+
+        let orow = keys::order(w, d, o);
+        cluster.put(Table::Orders.name(), &fam, orow.clone(), q("O_C_ID"), num(c as u64))?;
+        let lines = self.rng.next_range(5, 15) as u32;
+        cluster.put(Table::Orders.name(), &fam, orow, q("O_OL_CNT"), num(lines as u64))?;
+        cluster.put(Table::NewOrder.name(), &fam, keys::new_order(w, d, o), q("NO_O_ID"), num(o as u64))?;
+
+        for l in 1..=lines {
+            let i = self.pick_item();
+            let _price = cluster.get(Table::Item.name(), &fam, &keys::item(i), &q("I_PRICE"))?;
+            let srow = keys::stock(w, i);
+            let qty = parse_num(
+                &cluster.get(Table::Stock.name(), &fam, &srow, &q("S_QUANTITY"))?.unwrap_or_default(),
+            );
+            let taken = self.rng.next_range(1, 10);
+            let new_qty = if qty >= taken + 10 { qty - taken } else { qty + 91 - taken };
+            cluster.put(Table::Stock.name(), &fam, srow, q("S_QUANTITY"), num(new_qty))?;
+            let lrow = keys::order_line(w, d, o, l);
+            cluster.put(Table::OrderLine.name(), &fam, lrow.clone(), q("OL_I_ID"), num(i as u64))?;
+            cluster.put(Table::OrderLine.name(), &fam, lrow, q("OL_AMOUNT"), num(taken * 100))?;
+        }
+        self.counts.new_order += 1;
+        Ok(())
+    }
+
+    /// Payment: ~3 reads, ~4 writes.
+    pub fn payment(&mut self, cluster: &mut FunctionalCluster) -> FResult<()> {
+        let fam = Table::family();
+        let w = self.pick_warehouse();
+        let d = self.pick_district();
+        let c = self.pick_customer();
+        let amount = self.rng.next_range(100, 500_000);
+
+        let wrow = keys::warehouse(w);
+        let ytd = parse_num(&cluster.get(Table::Warehouse.name(), &fam, &wrow, &q("W_YTD"))?.unwrap_or_default());
+        cluster.put(Table::Warehouse.name(), &fam, wrow, q("W_YTD"), num(ytd + amount))?;
+
+        let drow = keys::district(w, d);
+        let dytd = parse_num(&cluster.get(Table::District.name(), &fam, &drow, &q("D_YTD"))?.unwrap_or_default());
+        cluster.put(Table::District.name(), &fam, drow, q("D_YTD"), num(dytd + amount))?;
+
+        let crow = keys::customer(w, d, c);
+        let bal = parse_num(&cluster.get(Table::Customer.name(), &fam, &crow, &q("C_BALANCE"))?.unwrap_or_default());
+        cluster.put(Table::Customer.name(), &fam, crow, q("C_BALANCE"), num(bal + amount))?;
+
+        self.history_seq += 1;
+        cluster.put(
+            Table::History.name(),
+            &fam,
+            keys::history(w, d, c, self.history_seq),
+            q("H_AMOUNT"),
+            num(amount),
+        )?;
+        self.counts.payment += 1;
+        Ok(())
+    }
+
+    /// OrderStatus (read-only): customer, last order, its lines.
+    pub fn order_status(&mut self, cluster: &mut FunctionalCluster) -> FResult<()> {
+        let fam = Table::family();
+        let w = self.pick_warehouse();
+        let d = self.pick_district();
+        let c = self.pick_customer();
+        let _cust = cluster.get(Table::Customer.name(), &fam, &keys::customer(w, d, c), &q("C_BALANCE"))?;
+        // Scan the district's most recent orders and their lines.
+        let _orders = cluster.scan(Table::Orders.name(), &fam, &keys::order(w, d, 1), 1)?;
+        let _lines = cluster.scan(Table::OrderLine.name(), &fam, &keys::order_line(w, d, 1, 1), 15)?;
+        self.counts.order_status += 1;
+        Ok(())
+    }
+
+    /// Delivery: pops the oldest NEW-ORDER of each district.
+    pub fn delivery(&mut self, cluster: &mut FunctionalCluster) -> FResult<()> {
+        let fam = Table::family();
+        let w = self.pick_warehouse();
+        for d in 1..=self.scale.districts_per_warehouse {
+            let start = keys::new_order(w, d, 0);
+            let pending = cluster.scan(Table::NewOrder.name(), &fam, &start, 1)?;
+            let Some((row, cells)) = pending.into_iter().next() else { continue };
+            // Only rows of this district qualify (scan may cross into the
+            // next district's range).
+            let prefix = format!("{w:05}.{d:02}.");
+            if !row.to_string().starts_with(&prefix) {
+                continue;
+            }
+            let o = cells
+                .iter()
+                .find(|(q_, _)| q_ == &q("NO_O_ID"))
+                .map(|(_, v)| parse_num(v))
+                .unwrap_or(0) as u32;
+            cluster.delete(Table::NewOrder.name(), &fam, row, q("NO_O_ID"))?;
+            let orow = keys::order(w, d, o);
+            cluster.put(Table::Orders.name(), &fam, orow, q("O_CARRIER_ID"), num(self.rng.next_range(1, 10)))?;
+            // Credit the customer with the order total.
+            let lines = cluster.scan(Table::OrderLine.name(), &fam, &keys::order_line(w, d, o, 1), 15)?;
+            let total: u64 = lines
+                .iter()
+                .flat_map(|(_, cs)| cs.iter())
+                .filter(|(q_, _)| q_ == &q("OL_AMOUNT"))
+                .map(|(_, v)| parse_num(v))
+                .sum();
+            let c = self.pick_customer();
+            let crow = keys::customer(w, d, c);
+            let bal = parse_num(&cluster.get(Table::Customer.name(), &fam, &crow, &q("C_BALANCE"))?.unwrap_or_default());
+            cluster.put(Table::Customer.name(), &fam, crow, q("C_BALANCE"), num(bal + total))?;
+        }
+        self.counts.delivery += 1;
+        Ok(())
+    }
+
+    /// StockLevel (read-only): district cursor, recent order lines, stock.
+    pub fn stock_level(&mut self, cluster: &mut FunctionalCluster) -> FResult<()> {
+        let fam = Table::family();
+        let w = self.pick_warehouse();
+        let d = self.pick_district();
+        let next = parse_num(
+            &cluster.get(Table::District.name(), &fam, &keys::district(w, d), &q("D_NEXT_O_ID"))?
+                .unwrap_or_default(),
+        ) as u32;
+        let from = next.saturating_sub(20).max(1);
+        let lines = cluster.scan(Table::OrderLine.name(), &fam, &keys::order_line(w, d, from, 1), 40)?;
+        let mut checked = 0;
+        for (_, cells) in lines.iter().take(20) {
+            if let Some((_, v)) = cells.iter().find(|(q_, _)| q_ == &q("OL_I_ID")) {
+                let i = parse_num(v) as u32;
+                let _ = cluster.get(Table::Stock.name(), &fam, &keys::stock(w, i), &q("S_QUANTITY"))?;
+                checked += 1;
+            }
+        }
+        let _ = checked;
+        self.counts.stock_level += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loader;
+    use hstore::StoreConfig;
+
+    fn loaded() -> (FunctionalCluster, TpccScale) {
+        let mut cluster = FunctionalCluster::new(3);
+        for _ in 0..2 {
+            cluster.add_server(StoreConfig::small_for_tests()).unwrap();
+        }
+        let scale = TpccScale::tiny();
+        loader::load(&mut cluster, &scale, 42).unwrap();
+        (cluster, scale)
+    }
+
+    #[test]
+    fn new_order_advances_district_cursor_and_creates_rows() {
+        let (mut cluster, scale) = loaded();
+        let mut ex = TxnExecutor::new(scale, 1);
+        let fam = Table::family();
+        let before: Vec<u64> = (1..=scale.warehouses)
+            .flat_map(|w| (1..=scale.districts_per_warehouse).map(move |d| (w, d)))
+            .map(|(w, d)| {
+                parse_num(
+                    &cluster
+                        .get(Table::District.name(), &fam, &keys::district(w, d), &q("D_NEXT_O_ID"))
+                        .unwrap()
+                        .unwrap(),
+                )
+            })
+            .collect();
+        ex.new_order(&mut cluster).unwrap();
+        let after: Vec<u64> = (1..=scale.warehouses)
+            .flat_map(|w| (1..=scale.districts_per_warehouse).map(move |d| (w, d)))
+            .map(|(w, d)| {
+                parse_num(
+                    &cluster
+                        .get(Table::District.name(), &fam, &keys::district(w, d), &q("D_NEXT_O_ID"))
+                        .unwrap()
+                        .unwrap(),
+                )
+            })
+            .collect();
+        assert_eq!(before.iter().sum::<u64>() + 1, after.iter().sum::<u64>());
+        assert_eq!(ex.counts().new_order, 1);
+    }
+
+    #[test]
+    fn payment_conserves_money() {
+        let (mut cluster, scale) = loaded();
+        let mut ex = TxnExecutor::new(scale, 2);
+        let fam = Table::family();
+        ex.payment(&mut cluster).unwrap();
+        // Warehouse YTD total equals district YTD total equals the sum of
+        // history amounts.
+        let mut w_ytd = 0;
+        let mut d_ytd = 0;
+        for w in 1..=scale.warehouses {
+            w_ytd += parse_num(
+                &cluster.get(Table::Warehouse.name(), &fam, &keys::warehouse(w), &q("W_YTD")).unwrap().unwrap(),
+            );
+            for d in 1..=scale.districts_per_warehouse {
+                d_ytd += parse_num(
+                    &cluster.get(Table::District.name(), &fam, &keys::district(w, d), &q("D_YTD")).unwrap().unwrap(),
+                );
+            }
+        }
+        assert_eq!(w_ytd, d_ytd);
+        assert!(w_ytd > 0);
+    }
+
+    #[test]
+    fn delivery_consumes_pending_orders() {
+        let (mut cluster, scale) = loaded();
+        let fam = Table::family();
+        let count_pending = |cluster: &mut FunctionalCluster| {
+            cluster.scan(Table::NewOrder.name(), &fam, &keys::new_order(1, 1, 0), 1_000).unwrap().len()
+        };
+        let before = count_pending(&mut cluster);
+        assert!(before > 0, "loader must leave pending orders");
+        let mut ex = TxnExecutor::new(scale, 3);
+        ex.delivery(&mut cluster).unwrap();
+        let after = count_pending(&mut cluster);
+        assert!(after < before, "delivery consumed nothing: {before} → {after}");
+    }
+
+    #[test]
+    fn full_mix_runs_clean() {
+        let (mut cluster, scale) = loaded();
+        let mut ex = TxnExecutor::new(scale, 4);
+        let counts = ex.run(&mut cluster, 200).unwrap();
+        assert_eq!(counts.total(), 200);
+        // The mix should be roughly honoured.
+        assert!(counts.new_order > 60, "{counts:?}");
+        assert!(counts.payment > 60, "{counts:?}");
+        assert!(counts.order_status + counts.delivery + counts.stock_level > 5, "{counts:?}");
+    }
+
+    #[test]
+    fn read_only_txns_write_nothing() {
+        let (mut cluster, scale) = loaded();
+        let fam = Table::family();
+        let snapshot = |cluster: &mut FunctionalCluster| {
+            parse_num(
+                &cluster.get(Table::Warehouse.name(), &fam, &keys::warehouse(1), &q("W_YTD")).unwrap().unwrap(),
+            )
+        };
+        let before = snapshot(&mut cluster);
+        let mut ex = TxnExecutor::new(scale, 5);
+        ex.order_status(&mut cluster).unwrap();
+        ex.stock_level(&mut cluster).unwrap();
+        assert_eq!(snapshot(&mut cluster), before);
+    }
+}

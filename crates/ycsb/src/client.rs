@@ -1,0 +1,281 @@
+//! A functional YCSB client executing real operations against the
+//! functional cluster layer.
+//!
+//! This is how we validate workload semantics end to end: records are
+//! actually inserted, read back, scanned and updated on real regions.
+//! Experiments at cluster scale use the demand layer instead
+//! ([`crate::demand`]).
+
+use crate::workload::WorkloadSpec;
+use cluster::functional::{FResult, FunctionalCluster};
+use hstore::{Family, Qualifier, RowKey};
+use bytes::Bytes;
+use simcore::dist::{Dist, KeyDistribution};
+use simcore::SimRng;
+
+/// The column family YCSB tables use.
+pub fn family() -> Family {
+    Family::from("cf")
+}
+
+/// Cumulative statistics of executed operations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpStats {
+    /// Reads issued.
+    pub reads: u64,
+    /// Reads that found a record.
+    pub read_hits: u64,
+    /// Updates issued.
+    pub updates: u64,
+    /// Inserts issued.
+    pub inserts: u64,
+    /// Scans issued.
+    pub scans: u64,
+    /// Rows returned by scans.
+    pub scan_rows: u64,
+    /// Read-modify-writes issued.
+    pub rmws: u64,
+}
+
+impl OpStats {
+    /// Total client operations.
+    pub fn total_ops(&self) -> u64 {
+        self.reads + self.updates + self.inserts + self.scans + self.rmws
+    }
+}
+
+/// A closed-loop functional client for one workload.
+pub struct FunctionalClient {
+    spec: WorkloadSpec,
+    dist: Dist,
+    rng: SimRng,
+    record_count: u64,
+    stats: OpStats,
+}
+
+impl FunctionalClient {
+    /// Creates a client; `load` must be called before `run_ops`.
+    pub fn new(spec: WorkloadSpec, seed: u64) -> Self {
+        let dist = spec.request_dist.build(spec.records.max(1));
+        FunctionalClient {
+            rng: SimRng::new(seed).derive(&format!("ycsb-client-{}", spec.name)),
+            record_count: spec.records,
+            dist,
+            spec,
+            stats: OpStats::default(),
+        }
+    }
+
+    /// The spec driving this client.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> OpStats {
+        self.stats
+    }
+
+    fn value(&mut self) -> Bytes {
+        // Deterministic filler of the configured field size.
+        Bytes::from(vec![b'v'; self.spec.field_bytes as usize])
+    }
+
+    fn field(&mut self) -> Qualifier {
+        let f = self.rng.next_below(self.spec.field_count as u64);
+        Qualifier::from(format!("field{f}").as_str())
+    }
+
+    /// Creates the table (pre-split per the spec) and loads the initial
+    /// records. `load_limit` caps the rows actually inserted so unit tests
+    /// stay fast while key routing still spans every region.
+    pub fn load(
+        &mut self,
+        cluster: &mut FunctionalCluster,
+        load_limit: Option<u64>,
+    ) -> FResult<u64> {
+        let splits: Vec<RowKey> =
+            self.spec.split_keys().iter().map(|s| RowKey::from(s.as_str())).collect();
+        cluster.create_table(self.spec.table.clone(), &[family()], &splits)?;
+        let n = load_limit.unwrap_or(self.spec.records).min(self.spec.records);
+        let stride = (self.spec.records / n.max(1)).max(1);
+        let mut loaded = 0;
+        let mut idx = 0;
+        while loaded < n && idx < self.spec.records {
+            let row = RowKey::from(self.spec.row_key(idx).as_str());
+            for f in 0..self.spec.field_count {
+                let v = self.value();
+                cluster.put(
+                    &self.spec.table.clone(),
+                    &family(),
+                    row.clone(),
+                    Qualifier::from(format!("field{f}").as_str()),
+                    v,
+                )?;
+            }
+            loaded += 1;
+            idx += stride;
+        }
+        Ok(loaded)
+    }
+
+    fn next_key(&mut self) -> RowKey {
+        let idx = self.dist.next_index(&mut self.rng).min(self.record_count - 1);
+        RowKey::from(self.spec.row_key(idx).as_str())
+    }
+
+    /// Executes `n` client operations drawn from the workload proportions.
+    pub fn run_ops(&mut self, cluster: &mut FunctionalCluster, n: u64) -> FResult<OpStats> {
+        let table = self.spec.table.clone();
+        let fam = family();
+        for _ in 0..n {
+            let p = self.spec.proportions;
+            let r = self.rng.next_f64();
+            if r < p.read {
+                let row = self.next_key();
+                let q = self.field();
+                let got = cluster.get(&table, &fam, &row, &q)?;
+                self.stats.reads += 1;
+                if got.is_some() {
+                    self.stats.read_hits += 1;
+                }
+            } else if r < p.read + p.update {
+                let row = self.next_key();
+                let q = self.field();
+                let v = self.value();
+                cluster.put(&table, &fam, row, q, v)?;
+                self.stats.updates += 1;
+            } else if r < p.read + p.update + p.insert {
+                let row = RowKey::from(self.spec.row_key(self.record_count).as_str());
+                self.record_count += 1;
+                self.dist.grow(self.record_count);
+                let q = self.field();
+                let v = self.value();
+                cluster.put(&table, &fam, row, q, v)?;
+                self.stats.inserts += 1;
+            } else if r < p.read + p.update + p.insert + p.scan {
+                let row = self.next_key();
+                let len = self.rng.next_range(1, self.spec.max_scan_len.max(1) as u64);
+                let rows = cluster.scan(&table, &fam, &row, len as usize)?;
+                self.stats.scans += 1;
+                self.stats.scan_rows += rows.len() as u64;
+            } else {
+                // Read-modify-write.
+                let row = self.next_key();
+                let q = self.field();
+                let _ = cluster.get(&table, &fam, &row, &q)?;
+                let v = self.value();
+                cluster.put(&table, &fam, row, q, v)?;
+                self.stats.rmws += 1;
+            }
+        }
+        Ok(self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use hstore::StoreConfig;
+
+    fn small_cluster() -> FunctionalCluster {
+        let mut c = FunctionalCluster::new(5);
+        for _ in 0..3 {
+            c.add_server(StoreConfig::small_for_tests()).unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn workload_a_round_trips() {
+        let mut cluster = small_cluster();
+        let mut spec = presets::workload_a();
+        spec.records = 2_000;
+        spec.field_count = 2;
+        spec.field_bytes = 16;
+        let mut client = FunctionalClient::new(spec, 42);
+        let loaded = client.load(&mut cluster, Some(2_000)).unwrap();
+        assert_eq!(loaded, 2_000);
+        let stats = client.run_ops(&mut cluster, 2_000).unwrap();
+        assert!(stats.reads > 800 && stats.updates > 800, "{stats:?}");
+        // Every read of a loaded keyspace must hit.
+        assert_eq!(stats.reads, stats.read_hits);
+    }
+
+    #[test]
+    fn workload_d_grows_the_table() {
+        let mut cluster = small_cluster();
+        let mut spec = presets::workload_d();
+        spec.records = 500;
+        spec.field_count = 1;
+        spec.field_bytes = 8;
+        let mut client = FunctionalClient::new(spec, 43);
+        client.load(&mut cluster, Some(500)).unwrap();
+        let stats = client.run_ops(&mut cluster, 1_000).unwrap();
+        assert!(stats.inserts > 900, "{stats:?}");
+        // The newest inserted record is readable.
+        let last = client.stats().inserts + 500 - 1;
+        let row = RowKey::from(format!("user{last:010}").as_str());
+        // At least one field of the last insert exists.
+        let mut found = false;
+        for f in 0..1 {
+            if cluster
+                .get("usertable_d", &family(), &row, &Qualifier::from(format!("field{f}").as_str()))
+                .unwrap()
+                .is_some()
+            {
+                found = true;
+            }
+        }
+        assert!(found, "latest insert unreadable");
+    }
+
+    #[test]
+    fn workload_e_scans_return_rows() {
+        let mut cluster = small_cluster();
+        let mut spec = presets::workload_e();
+        spec.records = 1_000;
+        spec.field_count = 1;
+        spec.field_bytes = 8;
+        spec.max_scan_len = 10;
+        let mut client = FunctionalClient::new(spec, 44);
+        client.load(&mut cluster, Some(1_000)).unwrap();
+        let stats = client.run_ops(&mut cluster, 500).unwrap();
+        assert!(stats.scans > 400, "{stats:?}");
+        assert!(stats.scan_rows as f64 / stats.scans as f64 > 2.0, "scans too short: {stats:?}");
+    }
+
+    #[test]
+    fn workload_f_issues_rmws() {
+        let mut cluster = small_cluster();
+        let mut spec = presets::workload_f();
+        spec.records = 1_000;
+        spec.field_count = 1;
+        spec.field_bytes = 8;
+        let mut client = FunctionalClient::new(spec, 45);
+        client.load(&mut cluster, Some(1_000)).unwrap();
+        let stats = client.run_ops(&mut cluster, 1_000).unwrap();
+        assert!(stats.rmws > 400, "{stats:?}");
+        assert!(stats.reads > 400, "{stats:?}");
+    }
+
+    #[test]
+    fn sparse_load_still_routes_everywhere() {
+        let mut cluster = small_cluster();
+        let mut spec = presets::workload_c();
+        spec.records = 100_000;
+        spec.field_count = 1;
+        spec.field_bytes = 8;
+        let mut client = FunctionalClient::new(spec.clone(), 46);
+        // Load only 1 000 of the 100 000 records.
+        let loaded = client.load(&mut cluster, Some(1_000)).unwrap();
+        assert_eq!(loaded, 1_000);
+        // Reads may miss, but must not error (routing covers the keyspace).
+        let stats = client.run_ops(&mut cluster, 500).unwrap();
+        assert_eq!(stats.reads, 500);
+        assert!(stats.read_hits <= 500);
+        // All four regions of the table exist.
+        assert_eq!(cluster.table_regions(&spec.table).len(), 4);
+    }
+}

@@ -1,0 +1,163 @@
+//! Deploying YCSB workloads onto the cluster simulation.
+//!
+//! A [`WorkloadSpec`] becomes (a) a set of simulated partitions with the
+//! data shape its key distribution implies and (b) a closed-loop
+//! [`ClientGroup`] presenting its thread pool, op mix and per-partition
+//! request weights to the equilibrium solver.
+
+use crate::workload::{RequestDistribution, WorkloadSpec};
+use cluster::{ClientGroup, PartitionId, PartitionSpec, SimCluster};
+use simcore::SimRng;
+
+/// Client-side per-op overhead (network + YCSB bookkeeping), milliseconds.
+const CLIENT_THINK_MS: f64 = 2.5;
+/// Samples used to estimate partition weights.
+const WEIGHT_SAMPLES: u32 = 200_000;
+
+/// A workload deployed into the simulation.
+#[derive(Debug, Clone)]
+pub struct DeployedWorkload {
+    /// The source specification.
+    pub spec: WorkloadSpec,
+    /// The partitions created, in key order.
+    pub partitions: Vec<PartitionId>,
+    /// Per-partition request weights (sum 1), same order.
+    pub weights: Vec<f64>,
+}
+
+impl DeployedWorkload {
+    /// The client group driving this workload.
+    pub fn client_group(&self) -> ClientGroup {
+        self.client_group_with_think(CLIENT_THINK_MS)
+    }
+
+    /// The client group with an explicit client-side overhead (the §6.4
+    /// cloud deployment runs its YCSB clients on slower virtualized
+    /// machines).
+    pub fn client_group_with_think(&self, think_ms: f64) -> ClientGroup {
+        ClientGroup::with_common_weights(
+            format!("workload-{}", self.spec.name),
+            self.spec.threads as f64,
+            think_ms,
+            self.spec.target_ops_per_sec,
+            self.spec.proportions.to_op_mix(),
+            self.partitions.iter().zip(&self.weights).map(|(p, w)| (*p, *w)).collect(),
+            self.spec.avg_scan_len(),
+            self.spec.proportions.insert_fraction_of_writes(),
+        )
+    }
+}
+
+/// Per-partition (hot-set-fraction, hot-ops-fraction) for the cache model,
+/// derived from the workload's key distribution geometry.
+pub fn partition_heat(spec: &WorkloadSpec, weights: &[f64]) -> Vec<(f64, f64)> {
+    let n = spec.partitions as usize;
+    match spec.request_dist {
+        RequestDistribution::Uniform => vec![(1.0, 1.0); n],
+        // Zipfian/latest: a small head of keys dominates within every
+        // partition slice it intersects.
+        RequestDistribution::Zipfian | RequestDistribution::Latest => vec![(0.10, 0.80); n],
+        RequestDistribution::HotspotPaper => {
+            // Hot set = first 40 % of the key space, receiving 50 % of ops
+            // uniformly; the rest uniform over the cold 60 %.
+            let hot_frac_total = 0.4;
+            let hot_ops_total = 0.5;
+            (0..n)
+                .map(|i| {
+                    let lo = i as f64 / n as f64;
+                    let hi = (i + 1) as f64 / n as f64;
+                    let width = hi - lo;
+                    let hot_overlap = (hi.min(hot_frac_total) - lo).max(0.0);
+                    let hot_set_fraction = hot_overlap / width;
+                    if weights[i] <= 0.0 || hot_overlap <= 0.0 {
+                        return (0.0, 0.0);
+                    }
+                    // Ops to this partition's hot slice, as a share of all ops.
+                    let hot_ops_share = hot_ops_total * (hot_overlap / hot_frac_total);
+                    let hot_ops_fraction = (hot_ops_share / weights[i]).min(1.0);
+                    (hot_set_fraction, hot_ops_fraction)
+                })
+                .collect()
+        }
+    }
+}
+
+/// Creates the workload's partitions in the simulation (unassigned) and
+/// returns the deployment. Placement is done separately by the strategy
+/// under test.
+pub fn deploy(spec: &WorkloadSpec, sim: &mut SimCluster, rng: &mut SimRng) -> DeployedWorkload {
+    let mut wrng = rng.derive(&format!("ycsb-weights-{}", spec.name));
+    let weights = spec.partition_weights(WEIGHT_SAMPLES, &mut wrng);
+    let heat = partition_heat(spec, &weights);
+    let per_partition_bytes = spec.initial_bytes() as f64 / spec.partitions as f64;
+    let partitions = (0..spec.partitions as usize)
+        .map(|i| {
+            sim.create_partition(PartitionSpec {
+                table: spec.table.clone(),
+                size_bytes: per_partition_bytes,
+                record_bytes: spec.stored_record_bytes() as f64,
+                hot_set_fraction: heat[i].0,
+                hot_ops_fraction: heat[i].1,
+            })
+        })
+        .collect();
+    DeployedWorkload { spec: spec.clone(), partitions, weights }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use cluster::CostParams;
+
+    #[test]
+    fn deploy_creates_partitions_and_weights() {
+        let mut sim = SimCluster::new(CostParams::default(), 1);
+        let mut rng = SimRng::new(1);
+        let d = deploy(&presets::workload_a(), &mut sim, &mut rng);
+        assert_eq!(d.partitions.len(), 4);
+        assert!((d.weights.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let g = d.client_group();
+        assert_eq!(g.read_weights.len(), 4);
+        assert_eq!(g.threads, 50.0);
+        assert!(g.active);
+    }
+
+    #[test]
+    fn hotspot_heat_geometry() {
+        let spec = presets::workload_c();
+        let mut rng = SimRng::new(2);
+        let weights = spec.partition_weights(100_000, &mut rng);
+        let heat = partition_heat(&spec, &weights);
+        // Partition 0 is entirely inside the hot set.
+        assert!((heat[0].0 - 1.0).abs() < 1e-9);
+        assert!(heat[0].1 > 0.9);
+        // Partition 1 straddles the boundary: 60 % of its bytes are hot.
+        assert!((heat[1].0 - 0.6).abs() < 1e-9);
+        assert!(heat[1].1 > 0.5 && heat[1].1 < 0.9, "heat {:?}", heat[1]);
+        // Partitions 2 and 3 are all cold.
+        assert_eq!(heat[2], (0.0, 0.0));
+        assert_eq!(heat[3], (0.0, 0.0));
+    }
+
+    #[test]
+    fn workload_d_group_is_capped_insert_heavy() {
+        let mut sim = SimCluster::new(CostParams::default(), 3);
+        let mut rng = SimRng::new(3);
+        let d = deploy(&presets::workload_d(), &mut sim, &mut rng);
+        let g = d.client_group();
+        assert_eq!(g.target_rate, Some(1_500.0));
+        assert!(g.insert_fraction > 0.99);
+        assert_eq!(g.read_weights.len(), 1);
+    }
+
+    #[test]
+    fn deterministic_weights_per_seed() {
+        let spec = presets::workload_f();
+        let mut sim1 = SimCluster::new(CostParams::default(), 7);
+        let mut sim2 = SimCluster::new(CostParams::default(), 7);
+        let mut r1 = SimRng::new(7);
+        let mut r2 = SimRng::new(7);
+        assert_eq!(deploy(&spec, &mut sim1, &mut r1).weights, deploy(&spec, &mut sim2, &mut r2).weights);
+    }
+}

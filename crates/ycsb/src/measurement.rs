@@ -1,0 +1,140 @@
+//! Per-workload run measurement, YCSB-style.
+//!
+//! YCSB reports, per workload: overall throughput and per-operation
+//! latency statistics. [`WorkloadReport`] assembles the same summary from
+//! the simulation's per-group throughput and latency series.
+
+use simcore::stats::PercentileSummary;
+use simcore::timeseries::TimeSeries;
+use simcore::SimTime;
+
+/// Latency statistics over a measurement window, in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyStats {
+    /// Mean request latency.
+    pub mean_ms: f64,
+    /// Median request latency.
+    pub p50_ms: f64,
+    /// 95th percentile.
+    pub p95_ms: f64,
+    /// 99th percentile.
+    pub p99_ms: f64,
+}
+
+/// One workload's run summary.
+#[derive(Debug, Clone)]
+pub struct WorkloadReport {
+    /// Workload name.
+    pub name: String,
+    /// Mean throughput over the window, requests/s.
+    pub throughput: f64,
+    /// Total requests completed in the window.
+    pub operations: f64,
+    /// Latency statistics over the window (from the per-tick mean request
+    /// latencies the closed-loop solver produces).
+    pub latency: LatencyStats,
+}
+
+impl WorkloadReport {
+    /// Builds a report from a workload's throughput and latency series
+    /// over `[from, to)`. Returns `None` when the window holds no points.
+    pub fn from_series(
+        name: impl Into<String>,
+        throughput: &TimeSeries,
+        latency_ms: &TimeSeries,
+        from: SimTime,
+        to: SimTime,
+    ) -> Option<WorkloadReport> {
+        let thr_points: Vec<f64> = throughput
+            .points()
+            .iter()
+            .filter(|(t, _)| *t >= from && *t < to)
+            .map(|(_, v)| *v)
+            .collect();
+        if thr_points.is_empty() {
+            return None;
+        }
+        let operations: f64 = thr_points.iter().sum();
+        let mean_thr = operations / thr_points.len() as f64;
+
+        let lat = PercentileSummary::from_samples(
+            &latency_ms
+                .points()
+                .iter()
+                .filter(|(t, _)| *t >= from && *t < to)
+                .map(|(_, v)| *v)
+                .collect::<Vec<_>>(),
+        );
+        let latency = LatencyStats {
+            mean_ms: lat.mean().unwrap_or(0.0),
+            p50_ms: lat.percentile(50.0).unwrap_or(0.0),
+            p95_ms: lat.percentile(95.0).unwrap_or(0.0),
+            p99_ms: lat.percentile(99.0).unwrap_or(0.0),
+        };
+        Some(WorkloadReport { name: name.into(), throughput: mean_thr, operations, latency })
+    }
+
+    /// A one-line YCSB-style summary.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "[{}] {:.0} ops/s, {:.0} ops total, latency mean {:.2} ms / p95 {:.2} ms / p99 {:.2} ms",
+            self.name,
+            self.throughput,
+            self.operations,
+            self.latency.mean_ms,
+            self.latency.p95_ms,
+            self.latency.p99_ms,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use cluster::{CostParams, SimCluster};
+    use simcore::SimRng;
+
+    #[test]
+    fn report_from_a_real_run() {
+        let mut sim = SimCluster::new(CostParams::default(), 3);
+        let mut rng = SimRng::new(3);
+        let d = crate::deploy(&presets::workload_c(), &mut sim, &mut rng);
+        for _ in 0..3 {
+            sim.add_server_immediate(hstore::StoreConfig::default_homogeneous());
+        }
+        sim.random_balance_unassigned();
+        sim.add_group(d.client_group());
+        sim.run_ticks(120);
+
+        let thr = sim.group_throughput("workload-C").expect("series exists");
+        let lat = sim.group_latency_ms("workload-C").expect("series exists");
+        let report = WorkloadReport::from_series(
+            "C",
+            thr,
+            lat,
+            SimTime::from_secs(60),
+            SimTime::from_secs(120),
+        )
+        .expect("window has points");
+        assert!(report.throughput > 0.0);
+        assert!(report.operations >= report.throughput * 59.0);
+        assert!(report.latency.mean_ms > 0.0);
+        assert!(report.latency.p99_ms >= report.latency.p50_ms);
+        assert!(report.summary_line().contains("[C]"));
+    }
+
+    #[test]
+    fn empty_window_yields_none() {
+        let thr = TimeSeries::new("t");
+        let lat = TimeSeries::new("l");
+        assert!(WorkloadReport::from_series(
+            "x",
+            &thr,
+            &lat,
+            SimTime::ZERO,
+            SimTime::from_mins(1)
+        )
+        .is_none());
+    }
+}

@@ -1,0 +1,176 @@
+//! The six workloads of §3.1, with the paper's modifications.
+//!
+//! The stock YCSB workloads B and D were altered by the authors to reach an
+//! overall read/write ratio of ≈ 1.9:1 across the tenant mix:
+//! * **WorkloadB** becomes 100 % updates ("stocks management").
+//! * **WorkloadD** becomes 5 % reads / 95 % inserts ("logging/history"),
+//!   starts with only 100 000 records, runs 5 threads and is capped at
+//!   1 500 ops/s (§3.2).
+//!
+//! Everything else follows §3.1–3.2: 1 000 000 records, four equal data
+//! partitions per workload (one for D), hotspot key distribution, 50
+//! client threads.
+
+use crate::workload::{Proportions, RequestDistribution, WorkloadSpec};
+
+fn base(name: &str, table: &str) -> WorkloadSpec {
+    WorkloadSpec {
+        name: name.into(),
+        table: table.into(),
+        records: 1_000_000,
+        field_count: 10,
+        field_bytes: 100,
+        proportions: Proportions {
+            read: 1.0,
+            update: 0.0,
+            insert: 0.0,
+            scan: 0.0,
+            read_modify_write: 0.0,
+        },
+        request_dist: RequestDistribution::HotspotPaper,
+        max_scan_len: 1,
+        threads: 50,
+        target_ops_per_sec: None,
+        partitions: 4,
+    }
+}
+
+/// WorkloadA — session store: 50 % reads, 50 % updates.
+pub fn workload_a() -> WorkloadSpec {
+    let mut w = base("A", "usertable_a");
+    w.proportions = Proportions {
+        read: 0.5,
+        update: 0.5,
+        insert: 0.0,
+        scan: 0.0,
+        read_modify_write: 0.0,
+    };
+    w
+}
+
+/// WorkloadB (modified) — stocks management: 100 % updates.
+pub fn workload_b() -> WorkloadSpec {
+    let mut w = base("B", "usertable_b");
+    w.proportions = Proportions {
+        read: 0.0,
+        update: 1.0,
+        insert: 0.0,
+        scan: 0.0,
+        read_modify_write: 0.0,
+    };
+    w
+}
+
+/// WorkloadC — user-profile cache: 100 % reads.
+pub fn workload_c() -> WorkloadSpec {
+    base("C", "usertable_c")
+}
+
+/// WorkloadD (modified) — logging/history: 5 % reads, 95 % inserts, small
+/// initial population, 5 threads, 1 500 ops/s cap, one partition.
+pub fn workload_d() -> WorkloadSpec {
+    let mut w = base("D", "usertable_d");
+    w.records = 100_000;
+    w.proportions = Proportions {
+        read: 0.05,
+        update: 0.0,
+        insert: 0.95,
+        scan: 0.0,
+        read_modify_write: 0.0,
+    };
+    w.request_dist = RequestDistribution::Latest;
+    w.threads = 5;
+    w.target_ops_per_sec = Some(1_500.0);
+    w.partitions = 1;
+    w
+}
+
+/// WorkloadE — threaded conversations: 95 % scans, 5 % inserts.
+pub fn workload_e() -> WorkloadSpec {
+    let mut w = base("E", "usertable_e");
+    w.proportions = Proportions {
+        read: 0.0,
+        update: 0.0,
+        insert: 0.05,
+        scan: 0.95,
+        read_modify_write: 0.0,
+    };
+    w.max_scan_len = 100;
+    w
+}
+
+/// WorkloadF — user database: 50 % reads, 50 % read-modify-writes.
+pub fn workload_f() -> WorkloadSpec {
+    let mut w = base("F", "usertable_f");
+    w.proportions = Proportions {
+        read: 0.5,
+        update: 0.0,
+        insert: 0.0,
+        scan: 0.0,
+        read_modify_write: 0.5,
+    };
+    w
+}
+
+/// All six §3.1 workloads, in order.
+pub fn paper_suite() -> Vec<WorkloadSpec> {
+    vec![workload_a(), workload_b(), workload_c(), workload_d(), workload_e(), workload_f()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_six_validated_workloads() {
+        let suite = paper_suite();
+        assert_eq!(suite.len(), 6);
+        for w in &suite {
+            w.proportions.validate();
+        }
+    }
+
+    #[test]
+    fn initial_volume_matches_paper() {
+        // "the cluster starts with around 7GB of data": 5 workloads × 1 GB
+        // plus D's 0.1 GB of logical data (the paper's figure includes
+        // storage overheads and replication effects).
+        let total: u64 = paper_suite().iter().map(|w| w.initial_bytes()).sum();
+        assert!(total > 4_500_000_000 && total < 7_500_000_000, "total {total}");
+    }
+
+    #[test]
+    fn overall_read_write_ratio_near_paper() {
+        // §3.1 targets ≈ 1.9:1 read:write across the tenant mix.
+        // Weight each workload's mix by its offered load (threads, with D
+        // capped low). A coarse check: unweighted storage-op ratio across
+        // the five uncapped workloads lands in a plausible band.
+        let suite = paper_suite();
+        let mut reads = 0.0;
+        let mut writes = 0.0;
+        for w in &suite {
+            let m = w.proportions.to_op_mix();
+            let weight = w.threads as f64;
+            reads += (m.read + m.scan) * weight; // scans are reads
+            writes += m.write * weight;
+        }
+        let ratio = reads / writes;
+        assert!(ratio > 1.2 && ratio < 2.5, "read/write ratio {ratio}");
+    }
+
+    #[test]
+    fn d_is_capped_and_single_partition() {
+        let d = workload_d();
+        assert_eq!(d.partitions, 1);
+        assert_eq!(d.threads, 5);
+        assert_eq!(d.target_ops_per_sec, Some(1_500.0));
+    }
+
+    #[test]
+    fn e_is_scan_heavy() {
+        let e = workload_e();
+        let mix = e.proportions.to_op_mix();
+        assert!(mix.scan > 0.9);
+        assert!(e.avg_scan_len() > 10.0);
+    }
+}

@@ -1,0 +1,232 @@
+//! The YCSB core-workload model.
+//!
+//! Mirrors YCSB's `CoreWorkload` knobs (Cooper et al., SoCC'10): record
+//! count, field shape, operation proportions and the request-key
+//! distribution. §3.1 of the paper modifies the stock workloads B and D and
+//! draws keys from the hotspot distribution (50 % of requests → 40 % of the
+//! key space).
+
+use cluster::OpMix;
+use serde::{Deserialize, Serialize};
+use simcore::dist::{Dist, HotspotDist, KeyDistribution, LatestDist, UniformDist, ZipfianDist};
+use simcore::SimRng;
+
+/// Which request-key distribution a workload draws from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RequestDistribution {
+    /// Uniform over all records.
+    Uniform,
+    /// Zipfian by key popularity.
+    Zipfian,
+    /// The paper's hotspot: 50 % of ops on 40 % of keys.
+    HotspotPaper,
+    /// Most-recently-inserted first (logging workloads).
+    Latest,
+}
+
+impl RequestDistribution {
+    /// Instantiates the distribution over `records` keys.
+    pub fn build(self, records: u64) -> Dist {
+        match self {
+            RequestDistribution::Uniform => Dist::Uniform(UniformDist::new(records)),
+            RequestDistribution::Zipfian => Dist::Zipfian(ZipfianDist::new(records)),
+            RequestDistribution::HotspotPaper => Dist::Hotspot(HotspotDist::paper(records)),
+            RequestDistribution::Latest => Dist::Latest(LatestDist::new(records)),
+        }
+    }
+}
+
+/// Operation proportions of a workload (client-request level).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Proportions {
+    /// Fraction of reads.
+    pub read: f64,
+    /// Fraction of updates.
+    pub update: f64,
+    /// Fraction of inserts.
+    pub insert: f64,
+    /// Fraction of scans.
+    pub scan: f64,
+    /// Fraction of read-modify-writes.
+    pub read_modify_write: f64,
+}
+
+impl Proportions {
+    /// Validates that proportions are non-negative and sum to 1.
+    pub fn validate(&self) {
+        let parts =
+            [self.read, self.update, self.insert, self.scan, self.read_modify_write];
+        assert!(parts.iter().all(|p| *p >= 0.0), "negative proportion");
+        let sum: f64 = parts.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "proportions sum to {sum}");
+    }
+
+    /// Storage operations per client request, by kind.
+    pub fn to_op_mix(&self) -> OpMix {
+        OpMix::new(
+            self.read + self.read_modify_write,
+            self.update + self.insert + self.read_modify_write,
+            self.scan,
+        )
+    }
+
+    /// Fraction of *writes* that are inserts (data growth).
+    pub fn insert_fraction_of_writes(&self) -> f64 {
+        let writes = self.update + self.insert + self.read_modify_write;
+        if writes <= 0.0 {
+            0.0
+        } else {
+            self.insert / writes
+        }
+    }
+}
+
+/// A full workload specification.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Short name ("A".."F").
+    pub name: String,
+    /// Table the workload targets.
+    pub table: String,
+    /// Initially loaded records.
+    pub records: u64,
+    /// Fields per record.
+    pub field_count: u32,
+    /// Bytes per field.
+    pub field_bytes: u32,
+    /// Operation proportions.
+    pub proportions: Proportions,
+    /// Request-key distribution.
+    pub request_dist: RequestDistribution,
+    /// Maximum scan length in rows (YCSB draws uniformly from 1..=max).
+    pub max_scan_len: u32,
+    /// Client threads (§3.2).
+    pub threads: u32,
+    /// Optional throughput cap, ops/s (§3.2 caps WorkloadD at 1 500).
+    pub target_ops_per_sec: Option<f64>,
+    /// Number of pre-split data partitions (§3.1: four each, one for D).
+    pub partitions: u32,
+}
+
+impl WorkloadSpec {
+    /// Logical bytes per record (all fields).
+    pub fn record_bytes(&self) -> u64 {
+        self.field_count as u64 * self.field_bytes as u64
+    }
+
+    /// Per-cell HBase KeyValue overhead: row key, family, qualifier,
+    /// timestamp and framing stored with every field.
+    pub const CELL_OVERHEAD_BYTES: u64 = 45;
+
+    /// Bytes a record occupies in HBase (one KeyValue per field). This is
+    /// what sizes partitions in the simulation; it is why the paper's six
+    /// 1 GB-logical workloads "start with around 7GB of data" (§3.1).
+    pub fn stored_record_bytes(&self) -> u64 {
+        self.field_count as u64 * (self.field_bytes as u64 + Self::CELL_OVERHEAD_BYTES)
+    }
+
+    /// Average scan length (uniform over 1..=max).
+    pub fn avg_scan_len(&self) -> f64 {
+        (1.0 + self.max_scan_len as f64) / 2.0
+    }
+
+    /// Total initial stored data volume.
+    pub fn initial_bytes(&self) -> u64 {
+        self.records * self.stored_record_bytes()
+    }
+
+    /// Empirical per-partition request weights: the fraction of requests
+    /// landing on each of the `partitions` equal key-range slices,
+    /// estimated by sampling `samples` keys. Deterministic given `rng`.
+    pub fn partition_weights(&self, samples: u32, rng: &mut SimRng) -> Vec<f64> {
+        let n = self.partitions as usize;
+        let mut dist = self.request_dist.build(self.records);
+        let mut counts = vec![0u64; n];
+        for _ in 0..samples {
+            let k = dist.next_index(rng);
+            let bucket = (k as u128 * n as u128 / self.records as u128) as usize;
+            counts[bucket.min(n - 1)] += 1;
+        }
+        counts.iter().map(|c| *c as f64 / samples as f64).collect()
+    }
+
+    /// The YCSB row key for a record index.
+    pub fn row_key(&self, index: u64) -> String {
+        format!("user{index:010}")
+    }
+
+    /// Equal key-range split points pre-splitting the table into
+    /// `partitions` regions.
+    pub fn split_keys(&self) -> Vec<String> {
+        (1..self.partitions as u64)
+            .map(|i| self.row_key(i * self.records / self.partitions as u64))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn proportions_validate_and_convert() {
+        let p = Proportions {
+            read: 0.5,
+            update: 0.0,
+            insert: 0.0,
+            scan: 0.0,
+            read_modify_write: 0.5,
+        };
+        p.validate();
+        let mix = p.to_op_mix();
+        // 50% read + 50% RMW → 1 read + 0.5 writes per client request.
+        assert!((mix.read - 1.0).abs() < 1e-9);
+        assert!((mix.write - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn insert_fraction_of_writes() {
+        let p = Proportions {
+            read: 0.05,
+            update: 0.0,
+            insert: 0.95,
+            scan: 0.0,
+            read_modify_write: 0.0,
+        };
+        assert!((p.insert_fraction_of_writes() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hotspot_partition_weights_match_paper() {
+        // §3.1: one hotspot partition (34 %), one intermediate (26 %), two
+        // light (20 % each). The analytic values are 31.25/27.1/20.8/20.8;
+        // the paper quotes its observed split.
+        let spec = presets::workload_c();
+        let mut rng = SimRng::new(42);
+        let w = spec.partition_weights(200_000, &mut rng);
+        assert_eq!(w.len(), 4);
+        assert!(w[0] > 0.30 && w[0] < 0.36, "hot partition {w:?}");
+        assert!(w[1] > 0.24 && w[1] < 0.29, "intermediate {w:?}");
+        assert!((w[2] - w[3]).abs() < 0.01, "tails uneven {w:?}");
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn split_keys_partition_keyspace() {
+        let spec = presets::workload_a();
+        let keys = spec.split_keys();
+        assert_eq!(keys.len(), 3);
+        assert_eq!(keys[0], "user0000250000");
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn record_geometry() {
+        let spec = presets::workload_a();
+        assert_eq!(spec.record_bytes(), 1_000);
+        // Stored: 10 cells × (100 B value + 45 B KeyValue overhead).
+        assert_eq!(spec.stored_record_bytes(), 1_450);
+        assert_eq!(spec.initial_bytes(), 1_450_000_000);
+    }
+}

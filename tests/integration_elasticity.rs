@@ -1,0 +1,147 @@
+//! Cross-crate integration of the elasticity stack: MeT driving the
+//! OpenStack-like cloud wrapper, tiramola in comparison, quotas, and the
+//! scale-out / scale-in cycle of §6.4.
+
+use baselines::{Tiramola, TiramolaConfig};
+use cluster::admin::{AdminError, ElasticCluster};
+use cluster::{ClientGroup, CostParams, OpMix, PartitionId, PartitionSpec, SimCluster};
+use hstore::StoreConfig;
+use iaas::{CloudCluster, Flavor, Quota};
+use met::{Met, MetConfig};
+use simcore::SimDuration;
+
+fn overloadable_cloud(seed: u64, quota: usize) -> (CloudCluster, Vec<PartitionId>) {
+    let mut sim = SimCluster::new(CostParams::default(), seed);
+    let parts: Vec<PartitionId> = (0..8)
+        .map(|_| {
+            sim.create_partition(PartitionSpec {
+                table: "t".into(),
+                size_bytes: 2e9,
+                record_bytes: 1_450.0,
+                hot_set_fraction: 0.4,
+                hot_ops_fraction: 0.5,
+            })
+        })
+        .collect();
+    let mut cloud = CloudCluster::new(
+        sim,
+        Flavor::paper_medium(),
+        Quota { max_instances: quota },
+        SimDuration::from_secs(45),
+    );
+    let servers = cloud
+        .boot_initial_fleet(2, StoreConfig::default_homogeneous())
+        .expect("quota covers fleet");
+    for (i, p) in parts.iter().enumerate() {
+        cloud.inner_mut().assign_partition(*p, servers[i % servers.len()]).expect("fresh");
+    }
+    let w = 1.0 / parts.len() as f64;
+    cloud.inner_mut().add_group(ClientGroup::with_common_weights(
+        "load",
+        400.0,
+        2.0,
+        None,
+        OpMix::new(0.6, 0.4, 0.0),
+        parts.iter().map(|p| (*p, w)).collect(),
+        1.0,
+        0.05,
+    ));
+    (cloud, parts)
+}
+
+#[test]
+fn met_scales_out_under_overload_and_back_in_when_idle() {
+    let (mut cloud, _parts) = overloadable_cloud(1, 10);
+    let cfg = MetConfig {
+        min_nodes: 2,
+        remove_cooldown: SimDuration::from_mins(2),
+        ..MetConfig::default()
+    };
+    let mut met = Met::new(cfg, StoreConfig::default_homogeneous());
+    for _ in 0..(20 * 60) {
+        cloud.run_ticks(1);
+        met.tick(&mut cloud);
+    }
+    let grown = cloud.inner().online_server_ids().len();
+    assert!(grown > 2, "MeT never scaled out: {grown} nodes");
+    assert!(met.actuator_stats().provisions > 0);
+
+    // Kill the load; MeT must shed nodes down to its floor.
+    cloud.inner_mut().set_group_active("load", false);
+    for _ in 0..(25 * 60) {
+        cloud.run_ticks(1);
+        met.tick(&mut cloud);
+    }
+    let shrunk = cloud.inner().online_server_ids().len();
+    assert!(shrunk < grown, "MeT never scaled in: {grown} → {shrunk}");
+    assert!(shrunk >= 2, "MeT violated its min_nodes floor");
+}
+
+#[test]
+fn quota_bounds_met_provisioning() {
+    let (mut cloud, _parts) = overloadable_cloud(2, 3);
+    let mut met = Met::new(MetConfig::default(), StoreConfig::default_homogeneous());
+    for _ in 0..(15 * 60) {
+        cloud.run_ticks(1);
+        met.tick(&mut cloud);
+    }
+    assert!(cloud.active_vm_count() <= 3, "quota exceeded: {}", cloud.active_vm_count());
+    // Direct provisioning past the quota is rejected with the IaaS error.
+    let err = cloud.provision_server(StoreConfig::default_homogeneous());
+    assert!(
+        matches!(err, Err(AdminError::ProvisioningFailed(_))),
+        "expected quota rejection, got {err:?}"
+    );
+}
+
+#[test]
+fn tiramola_only_shrinks_when_every_node_idles() {
+    let (mut cloud, parts) = overloadable_cloud(3, 8);
+    // Second group concentrated on one partition keeps one node busy.
+    cloud.inner_mut().add_group(ClientGroup::with_common_weights(
+        "hot",
+        150.0,
+        2.0,
+        None,
+        OpMix::read_only(),
+        vec![(parts[0], 1.0)],
+        1.0,
+        0.0,
+    ));
+    let mut tiramola =
+        Tiramola::new(TiramolaConfig::default(), StoreConfig::default_homogeneous());
+    for _ in 0..(15 * 60) {
+        cloud.run_ticks(1);
+        tiramola.tick(&mut cloud);
+    }
+    // Turn off the broad load but keep the hot partition busy: tiramola
+    // must NOT remove anything.
+    cloud.inner_mut().set_group_active("load", false);
+    let nodes_before = cloud.inner().online_server_ids().len();
+    for _ in 0..(12 * 60) {
+        cloud.run_ticks(1);
+        tiramola.tick(&mut cloud);
+    }
+    assert_eq!(tiramola.removals(), 0, "tiramola removed despite a busy node");
+    assert_eq!(cloud.inner().online_server_ids().len(), nodes_before);
+}
+
+#[test]
+fn booting_vms_come_online_after_the_delay_and_serve() {
+    let (mut cloud, parts) = overloadable_cloud(4, 10);
+    let before = cloud.inner().online_server_ids().len();
+    let id = cloud.provision_server(StoreConfig::default_homogeneous()).expect("quota ok");
+    cloud.run_ticks(20);
+    assert_eq!(
+        cloud.inner().online_server_ids().len(),
+        before,
+        "VM served before its boot completed"
+    );
+    cloud.run_ticks(40);
+    assert_eq!(cloud.inner().online_server_ids().len(), before + 1);
+    // The new node can host partitions.
+    cloud.move_partition(parts[0], id).expect("move onto booted VM");
+    cloud.run_ticks(10);
+    assert_eq!(cloud.inner().partition_server(parts[0]), Some(id));
+    assert!(cloud.vm_of(id).is_some(), "VM bookkeeping lost the server");
+}

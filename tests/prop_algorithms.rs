@@ -1,0 +1,256 @@
+//! Property-based tests of MeT's decision algorithms and the simulation
+//! kernel's distributions.
+
+use cluster::{PartitionId, ServerId};
+use met::assignment::{assign_lpt, makespan};
+use met::classify::{classify, PartitionRates};
+use met::grouping::nodes_per_group;
+use met::output::{compute_output, CurrentNode, SuggestedNode};
+use met::ProfileKind;
+use proptest::prelude::*;
+use simcore::dist::{HotspotDist, KeyDistribution, ZipfianDist};
+use simcore::smoothing::ExpSmoother;
+use simcore::SimRng;
+use std::collections::{BTreeMap, BTreeSet};
+
+fn profile_strategy() -> impl Strategy<Value = ProfileKind> {
+    prop_oneof![
+        Just(ProfileKind::Read),
+        Just(ProfileKind::Write),
+        Just(ProfileKind::ReadWrite),
+        Just(ProfileKind::Scan),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// LPT (Algorithm 2): every job assigned exactly once, the per-node
+    /// count cap holds, and the makespan respects LPT's approximation
+    /// bound against the trivial lower bound.
+    #[test]
+    fn lpt_assignment_invariants(
+        loads in prop::collection::vec(1.0f64..1000.0, 1..40),
+        nodes in 1usize..8,
+    ) {
+        let jobs: Vec<(usize, f64)> = loads.iter().copied().enumerate().collect();
+        let out = assign_lpt(&jobs, nodes);
+        prop_assert_eq!(out.len(), nodes);
+        // Exactly-once assignment.
+        let mut seen: Vec<usize> =
+            out.iter().flat_map(|n| n.partitions.iter().copied()).collect();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..jobs.len()).collect::<Vec<_>>());
+        // Count cap.
+        let cap = jobs.len().div_ceil(nodes);
+        for n in &out {
+            prop_assert!(n.partitions.len() <= cap);
+        }
+        // Load accounting and approximation bound.
+        let total: f64 = loads.iter().sum();
+        let assigned: f64 = out.iter().map(|n| n.load).sum();
+        prop_assert!((total - assigned).abs() < 1e-6);
+        let lb = (total / nodes as f64).max(loads.iter().cloned().fold(0.0, f64::max));
+        prop_assert!(makespan(&out) <= 2.0 * lb + 1e-9, "makespan {} vs lb {lb}", makespan(&out));
+    }
+
+    /// Grouping: allocations use every node, give at least one node to any
+    /// surviving group, and are monotone in group size.
+    #[test]
+    fn grouping_invariants(
+        read in 0usize..30,
+        write in 0usize..30,
+        rw in 0usize..30,
+        scan in 0usize..30,
+        nodes in 1usize..16,
+    ) {
+        let mut counts = BTreeMap::new();
+        counts.insert(ProfileKind::Read, read);
+        counts.insert(ProfileKind::Write, write);
+        counts.insert(ProfileKind::ReadWrite, rw);
+        counts.insert(ProfileKind::Scan, scan);
+        let alloc = nodes_per_group(&counts, nodes);
+        let total_parts = read + write + rw + scan;
+        if total_parts == 0 {
+            prop_assert!(alloc.is_empty());
+            return Ok(());
+        }
+        let used: usize = alloc.values().sum();
+        prop_assert_eq!(used, nodes, "must use every node");
+        for n in alloc.values() {
+            prop_assert!(*n >= 1);
+        }
+        // Proportionality sanity: a strictly larger group never receives
+        // fewer nodes than a strictly smaller one (ties may order freely).
+        let largest = counts.iter().filter(|(_, c)| **c > 0).max_by_key(|(_, c)| **c);
+        let smallest = counts.iter().filter(|(_, c)| **c > 0).min_by_key(|(_, c)| **c);
+        if let (Some((lk, lc)), Some((sk, sc))) = (largest, smallest) {
+            if lc > sc {
+                if let (Some(ln), Some(sn)) = (alloc.get(lk), alloc.get(sk)) {
+                    prop_assert!(ln >= sn, "{lk}:{ln} < {sk}:{sn}");
+                }
+            }
+        }
+    }
+
+    /// Classification is total and exclusive: every rate triple maps to
+    /// exactly one group, and scaling all rates leaves the class unchanged.
+    #[test]
+    fn classification_total_and_scale_invariant(
+        reads in 0.0f64..10_000.0,
+        writes in 0.0f64..10_000.0,
+        scans in 0.0f64..10_000.0,
+        scale in 0.01f64..100.0,
+    ) {
+        let a = classify(PartitionRates { reads, writes, scans }, 0.6);
+        let b = classify(
+            PartitionRates { reads: reads * scale, writes: writes * scale, scans: scans * scale },
+            0.6,
+        );
+        prop_assert_eq!(a, b, "classification must depend only on ratios");
+    }
+
+    /// Output computation (Algorithm 3): every suggested partition appears
+    /// exactly once, decommissioned servers never appear in entries, and
+    /// the matching never does worse (in moves) than the naive in-order
+    /// assignment.
+    #[test]
+    fn output_computation_invariants(
+        placements in prop::collection::vec((0u64..6, profile_strategy()), 1..24),
+        suggested_shape in prop::collection::vec((profile_strategy(), 1usize..6), 1..8),
+    ) {
+        // Current: partitions i placed on server placements[i].0.
+        let mut by_server: BTreeMap<u64, Vec<PartitionId>> = BTreeMap::new();
+        for (i, (srv, _)) in placements.iter().enumerate() {
+            by_server.entry(*srv).or_default().push(PartitionId(i as u64));
+        }
+        let current: Vec<CurrentNode> = by_server
+            .iter()
+            .map(|(srv, parts)| CurrentNode {
+                server: ServerId(*srv),
+                profile: placements.get(*srv as usize).map(|(_, p)| *p),
+                partitions: parts.clone(),
+            })
+            .collect();
+        // Suggested: carve the same partitions into slots.
+        let all: Vec<PartitionId> = (0..placements.len() as u64).map(PartitionId).collect();
+        let mut suggested = Vec::new();
+        let mut cursor = 0usize;
+        for (profile, width) in &suggested_shape {
+            let end = (cursor + width).min(all.len());
+            suggested.push(SuggestedNode {
+                profile: *profile,
+                partitions: all[cursor..end].to_vec(),
+            });
+            cursor = end;
+        }
+        if cursor < all.len() {
+            suggested.push(SuggestedNode {
+                profile: ProfileKind::ReadWrite,
+                partitions: all[cursor..].to_vec(),
+            });
+        }
+        let plan = compute_output(&current, suggested.clone(), false);
+
+        // Exactly-once coverage of suggested partitions.
+        let mut covered: Vec<u64> = plan
+            .entries
+            .iter()
+            .flat_map(|(_, s)| s.partitions.iter().map(|p| p.0))
+            .collect();
+        covered.sort_unstable();
+        let mut expected: Vec<u64> =
+            suggested.iter().flat_map(|s| s.partitions.iter().map(|p| p.0)).collect();
+        expected.sort_unstable();
+        prop_assert_eq!(covered, expected);
+
+        // Decommissioned servers do not also receive a slot.
+        let slot_servers: BTreeSet<ServerId> =
+            plan.entries.iter().filter_map(|(s, _)| *s).collect();
+        for d in &plan.decommission {
+            prop_assert!(!slot_servers.contains(d), "{d} both decommissioned and assigned");
+        }
+        // No server receives two slots.
+        prop_assert_eq!(
+            slot_servers.len(),
+            plan.entries.iter().filter(|(s, _)| s.is_some()).count()
+        );
+
+        // Move count is bounded by the total partition count (each
+        // partition moves at most once in a plan).
+        prop_assert!(plan.moves_required(&current) <= placements.len());
+
+        // The identity case needs no moves at all: re-suggesting exactly
+        // the current layout (same sets, same profiles) is a no-op.
+        let identity: Vec<SuggestedNode> = current
+            .iter()
+            .map(|c| SuggestedNode {
+                profile: c.profile.unwrap_or(ProfileKind::ReadWrite),
+                partitions: c.partitions.clone(),
+            })
+            .collect();
+        let id_plan = compute_output(&current, identity, false);
+        prop_assert_eq!(
+            id_plan.moves_required(&current),
+            0,
+            "identity layout required moves"
+        );
+    }
+
+    /// The hotspot distribution respects its bounds and its hot-set
+    /// concentration under arbitrary parameters.
+    #[test]
+    fn hotspot_bounds(
+        items in 100u64..100_000,
+        hot_set in 0.05f64..0.95,
+        hot_ops in 0.05f64..0.95,
+        seed in any::<u64>(),
+    ) {
+        let mut dist = HotspotDist::new(items, hot_set, hot_ops);
+        let mut rng = SimRng::new(seed);
+        let hot_items = ((items as f64 * hot_set) as u64).max(1);
+        let draws = 4_000;
+        let mut hot_hits = 0u64;
+        for _ in 0..draws {
+            let k = dist.next_index(&mut rng);
+            prop_assert!(k < items);
+            if k < hot_items {
+                hot_hits += 1;
+            }
+        }
+        // Observed hot share within a generous tolerance of the target.
+        let observed = hot_hits as f64 / draws as f64;
+        prop_assert!(
+            (observed - hot_ops).abs() < 0.1 + 1.5 * hot_set,
+            "hot share {observed} for target {hot_ops}"
+        );
+    }
+
+    /// Zipfian draws stay in range and the generator never panics across
+    /// parameter space.
+    #[test]
+    fn zipfian_in_range(items in 2u64..50_000, theta in 0.1f64..0.99, seed in any::<u64>()) {
+        let mut dist = ZipfianDist::with_theta(items, theta);
+        let mut rng = SimRng::new(seed);
+        for _ in 0..500 {
+            prop_assert!(dist.next_index(&mut rng) < items);
+        }
+    }
+
+    /// Exponential smoothing stays within the observed min/max envelope.
+    #[test]
+    fn smoothing_bounded_by_observations(
+        alpha in 0.05f64..1.0,
+        xs in prop::collection::vec(-1_000.0f64..1_000.0, 1..50),
+    ) {
+        let mut s = ExpSmoother::new(alpha);
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for x in xs {
+            lo = lo.min(x);
+            hi = hi.max(x);
+            let v = s.observe(x);
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "smoothed {v} outside [{lo}, {hi}]");
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Property-based tests of the storage engine: the LSM store is checked
+//! against a reference model (a plain `BTreeMap`) under arbitrary
+//! operation sequences, and structural invariants (cache capacity, split
+//! partitioning) are checked under arbitrary inputs.
+
+use bytes::Bytes;
+use hstore::{
+    BlockCache, BlockId, CfStore, FileId, FileIdAllocator, KeyRange, Region, RegionId,
+    SharedBlockCache, StoreError,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// An operation against the store.
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u8, u8, Vec<u8>),
+    Delete(u8, u8),
+    Get(u8, u8),
+    Scan(u8, u8),
+    Flush,
+    CompactMinor,
+    CompactMajor,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>(), prop::collection::vec(any::<u8>(), 0..16))
+            .prop_map(|(r, q, v)| Op::Put(r, q, v)),
+        (any::<u8>(), any::<u8>()).prop_map(|(r, q)| Op::Delete(r, q)),
+        (any::<u8>(), any::<u8>()).prop_map(|(r, q)| Op::Get(r, q)),
+        (any::<u8>(), 1u8..20).prop_map(|(r, n)| Op::Scan(r, n)),
+        Just(Op::Flush),
+        Just(Op::CompactMinor),
+        Just(Op::CompactMajor),
+    ]
+}
+
+fn row(r: u8) -> hstore::RowKey {
+    format!("row{r:03}").as_str().into()
+}
+
+fn qual(q: u8) -> hstore::Qualifier {
+    format!("q{:02}", q % 4).as_str().into()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The LSM store agrees with a `BTreeMap` reference under any sequence
+    /// of puts, deletes, gets, scans, flushes and compactions.
+    #[test]
+    fn store_matches_reference_model(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        let mut store = CfStore::new(SharedBlockCache::new(1 << 18), FileIdAllocator::new(), 256);
+        let mut model: BTreeMap<(hstore::RowKey, hstore::Qualifier), Bytes> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Put(r, q, v) => {
+                    let v = Bytes::from(v);
+                    store.put(row(r), qual(q), v.clone());
+                    model.insert((row(r), qual(q)), v);
+                }
+                Op::Delete(r, q) => {
+                    store.delete(row(r), qual(q));
+                    model.remove(&(row(r), qual(q)));
+                }
+                Op::Get(r, q) => {
+                    let got = store.get(&row(r), &qual(q));
+                    let want = model.get(&(row(r), qual(q))).cloned();
+                    prop_assert_eq!(got, want, "get(row{}, q{}) diverged", r, q % 4);
+                }
+                Op::Scan(r, n) => {
+                    let got = store.scan(&row(r), n as usize);
+                    // Reference: first n live rows at/after the start key.
+                    let mut want_rows: Vec<hstore::RowKey> = model
+                        .keys()
+                        .filter(|(rk, _)| *rk >= row(r))
+                        .map(|(rk, _)| rk.clone())
+                        .collect();
+                    want_rows.dedup();
+                    want_rows.truncate(n as usize);
+                    let got_rows: Vec<hstore::RowKey> =
+                        got.iter().map(|(rk, _)| rk.clone()).collect();
+                    prop_assert_eq!(&got_rows, &want_rows, "scan rows diverged");
+                    // Every returned row carries exactly its live cells.
+                    for (rk, cells) in &got {
+                        let want_cells: Vec<(hstore::Qualifier, Bytes)> = model
+                            .iter()
+                            .filter(|((mr, _), _)| mr == rk)
+                            .map(|((_, mq), v)| (mq.clone(), v.clone()))
+                            .collect();
+                        prop_assert_eq!(cells, &want_cells, "cells diverged for {}", rk);
+                    }
+                }
+                Op::Flush => {
+                    store.flush();
+                }
+                Op::CompactMinor => {
+                    store.compact_minor(3);
+                }
+                Op::CompactMajor => {
+                    store.compact_major();
+                }
+            }
+        }
+    }
+
+    /// The block cache never exceeds its byte capacity and hit/miss counts
+    /// add up, under arbitrary access sequences.
+    #[test]
+    fn block_cache_capacity_invariant(
+        capacity in 64u64..4096,
+        accesses in prop::collection::vec((0u64..20, 0u32..16, 16u64..512), 1..300),
+    ) {
+        let mut cache = BlockCache::new(capacity);
+        for (file, index, size) in accesses {
+            cache.touch(BlockId { file: FileId(file), index }, size);
+            prop_assert!(
+                cache.used_bytes() <= capacity,
+                "cache over capacity: {} > {}",
+                cache.used_bytes(),
+                capacity
+            );
+        }
+        let stats = cache.stats();
+        prop_assert!(stats.hits + stats.misses >= 1);
+        prop_assert!(stats.hit_ratio() >= 0.0 && stats.hit_ratio() <= 1.0);
+    }
+
+    /// Splitting a region at any interior row partitions the data exactly:
+    /// every row lands in exactly one daughter, on the correct side.
+    #[test]
+    fn region_split_partitions_rows(
+        rows in prop::collection::btree_set(0u8..200, 2..60),
+        split_sel in 1usize..59,
+    ) {
+        let cache = SharedBlockCache::new(1 << 20);
+        let ids = FileIdAllocator::new();
+        let mut region = Region::new(
+            RegionId(1),
+            "t",
+            KeyRange::all(),
+            &["cf".into()],
+            cache.clone(),
+            ids.clone(),
+            512,
+            1 << 20,
+        );
+        let fam: hstore::Family = "cf".into();
+        for r in &rows {
+            region
+                .put(&fam, row(*r), qual(0), Bytes::from(vec![*r]))
+                .expect("row in open range");
+        }
+        region.flush_all();
+        let rows: Vec<u8> = rows.into_iter().collect();
+        // Pick an interior split point (not ≤ the first row).
+        let mid_row = rows[split_sel.min(rows.len() - 1).max(1)];
+        if mid_row == rows[0] {
+            return Ok(()); // split at range start is rejected by design
+        }
+        let (mut lo, mut hi) = region
+            .split(row(mid_row), RegionId(2), RegionId(3), cache, ids, 512)
+            .expect("interior split point");
+        for r in rows {
+            let in_lo = lo.get(&fam, &row(r), &qual(0));
+            let in_hi = hi.get(&fam, &row(r), &qual(0));
+            if r < mid_row {
+                prop_assert!(in_lo.expect("lo covers").is_some(), "row{r} lost from lo");
+                prop_assert!(
+                    matches!(in_hi, Err(StoreError::WrongRegion { .. })),
+                    "row{r} readable from hi"
+                );
+            } else {
+                prop_assert!(in_hi.expect("hi covers").is_some(), "row{r} lost from hi");
+                prop_assert!(
+                    matches!(in_lo, Err(StoreError::WrongRegion { .. })),
+                    "row{r} readable from lo"
+                );
+            }
+        }
+    }
+
+    /// Major compaction is semantically invisible: any read sequence sees
+    /// the same values before and after, and file count drops to one.
+    #[test]
+    fn major_compaction_is_transparent(
+        writes in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..80),
+        flush_every in 5usize..20,
+    ) {
+        let mut store = CfStore::new(SharedBlockCache::new(1 << 18), FileIdAllocator::new(), 256);
+        for (i, (r, q, v)) in writes.iter().enumerate() {
+            store.put(row(*r), qual(*q), Bytes::from(vec![*v]));
+            if i % flush_every == 0 {
+                store.flush();
+            }
+        }
+        store.flush();
+        let before: Vec<_> = writes
+            .iter()
+            .map(|(r, q, _)| store.get(&row(*r), &qual(*q)))
+            .collect();
+        store.compact_major();
+        prop_assert!(store.file_count() <= 1);
+        let after: Vec<_> = writes
+            .iter()
+            .map(|(r, q, _)| store.get(&row(*r), &qual(*q)))
+            .collect();
+        prop_assert_eq!(before, after);
+    }
+}
