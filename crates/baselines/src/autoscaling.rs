@@ -12,6 +12,7 @@
 use cluster::admin::{ElasticCluster, ServerHealth};
 use hstore::StoreConfig;
 use simcore::{SimDuration, SimTime};
+use telemetry::{Telemetry, TelemetryEvent};
 
 /// Which system metric an alarm watches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -114,6 +115,7 @@ pub struct AutoScaler {
     last_sample: Option<SimTime>,
     last_action: Option<SimTime>,
     actions: Vec<(SimTime, ScalingAction)>,
+    telemetry: Telemetry,
 }
 
 impl AutoScaler {
@@ -140,7 +142,14 @@ impl AutoScaler {
             last_sample: None,
             last_action: None,
             actions: Vec::new(),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Records each alarm firing as a [`TelemetryEvent::RuleFired`] audit
+    /// entry through `telemetry`.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Scaling actions taken so far.
@@ -191,12 +200,11 @@ impl AutoScaler {
         if nodes.is_empty() {
             return;
         }
-        let provisioning =
-            snapshot.servers.iter().any(|s| s.health == ServerHealth::Provisioning);
+        let provisioning = snapshot.servers.iter().any(|s| s.health == ServerHealth::Provisioning);
 
         // Evaluate every alarm's breach streak even during cooldown — the
         // streak is a property of the metric, not of our ability to act.
-        let mut fired: Option<ScalingAction> = None;
+        let mut fired: Option<(usize, f64, ScalingAction)> = None;
         for (i, rule) in self.rules.iter().enumerate() {
             let stat = self.statistic(rule, &nodes);
             let breached = match rule.comparison {
@@ -206,14 +214,14 @@ impl AutoScaler {
             if breached {
                 self.breach_counts[i] += 1;
                 if self.breach_counts[i] >= rule.periods && fired.is_none() {
-                    fired = Some(rule.action);
+                    fired = Some((i, stat, rule.action));
                 }
             } else {
                 self.breach_counts[i] = 0;
             }
         }
 
-        let Some(action) = fired else { return };
+        let Some((rule_idx, observed, action)) = fired else { return };
         if provisioning {
             return; // a scaling activity is already in flight
         }
@@ -232,7 +240,7 @@ impl AutoScaler {
                     }
                 }
                 if room > 0 {
-                    self.record(now, action);
+                    self.record(now, rule_idx, observed, action);
                 }
             }
             ScalingAction::Remove(n) => {
@@ -244,17 +252,48 @@ impl AutoScaler {
                     }
                 }
                 if removed > 0 {
-                    self.record(now, action);
+                    self.record(now, rule_idx, observed, action);
                 }
             }
         }
     }
 
-    fn record(&mut self, now: SimTime, action: ScalingAction) {
+    fn record(&mut self, now: SimTime, rule_idx: usize, observed: f64, action: ScalingAction) {
         self.actions.push((now, action));
         self.last_action = Some(now);
         for c in &mut self.breach_counts {
             *c = 0;
+        }
+        if self.telemetry.is_enabled() {
+            let rule = &self.rules[rule_idx];
+            self.telemetry.counter_add(
+                "baseline_rules_fired_total",
+                &[("controller", "autoscaler")],
+                1,
+            );
+            self.telemetry.emit(
+                now,
+                TelemetryEvent::RuleFired {
+                    controller: "autoscaler".into(),
+                    rule: format!(
+                        "{:?}({:?}) {} {} for {} periods",
+                        rule.aggregate,
+                        rule.metric,
+                        match rule.comparison {
+                            Comparison::GreaterThan => ">",
+                            Comparison::LessThan => "<",
+                        },
+                        rule.threshold,
+                        rule.periods,
+                    ),
+                    observed,
+                    threshold: rule.threshold,
+                    action: match action {
+                        ScalingAction::Add(n) => format!("add {n} node(s)"),
+                        ScalingAction::Remove(n) => format!("remove {n} node(s)"),
+                    },
+                },
+            );
         }
     }
 }

@@ -14,9 +14,9 @@ pub mod autoscaling;
 pub mod manual;
 pub mod tiramola;
 
+pub use autoscaling::{Aggregate, AutoScaler, Comparison, Metric, Rule, ScalingAction};
 pub use manual::{
     build_manual_heterogeneous, build_manual_homogeneous, build_random_homogeneous,
     search_balanced_placement, MANUAL_SEARCH_CANDIDATES,
 };
-pub use autoscaling::{Aggregate, AutoScaler, Comparison, Metric, Rule, ScalingAction};
 pub use tiramola::{Tiramola, TiramolaConfig};

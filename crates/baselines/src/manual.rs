@@ -101,16 +101,12 @@ pub fn build_manual_heterogeneous(
     groups: &[(ProfileKind, Vec<LoadedPartition>)],
 ) -> Vec<(ServerId, ProfileKind)> {
     let base = StoreConfig::default_homogeneous();
-    let counts: BTreeMap<ProfileKind, usize> =
-        groups.iter().map(|(k, v)| (*k, v.len())).collect();
+    let counts: BTreeMap<ProfileKind, usize> = groups.iter().map(|(k, v)| (*k, v.len())).collect();
     let alloc = nodes_per_group(&counts, n);
     let mut out = Vec::new();
     for (kind, node_count) in &alloc {
-        let parts: Vec<LoadedPartition> = groups
-            .iter()
-            .filter(|(k, _)| k == kind)
-            .flat_map(|(_, v)| v.iter().copied())
-            .collect();
+        let parts: Vec<LoadedPartition> =
+            groups.iter().filter(|(k, _)| k == kind).flat_map(|(_, v)| v.iter().copied()).collect();
         let assignment = assign_lpt(&parts, *node_count);
         for node in assignment {
             let server = sim.add_server_immediate(kind.config(&base));
@@ -170,11 +166,8 @@ mod tests {
         let snap = sim.snapshot();
         // Load per node under the placement.
         let load_of = |pid: PartitionId| parts.iter().find(|(p, _)| *p == pid).unwrap().1;
-        let loads: Vec<f64> = snap
-            .servers
-            .iter()
-            .map(|s| s.partitions.iter().map(|p| load_of(*p)).sum())
-            .collect();
+        let loads: Vec<f64> =
+            snap.servers.iter().map(|s| s.partitions.iter().map(|p| load_of(*p)).sum()).collect();
         let spread = loads.iter().cloned().fold(0.0_f64, f64::max)
             - loads.iter().cloned().fold(f64::INFINITY, f64::min);
         // 16 partitions averaging 25 load → 100 per node; the search should

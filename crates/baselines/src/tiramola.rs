@@ -15,6 +15,7 @@ use cluster::admin::{ElasticCluster, ServerHealth};
 use hstore::StoreConfig;
 use simcore::smoothing::ExpSmoother;
 use simcore::{SimDuration, SimTime};
+use telemetry::{Telemetry, TelemetryEvent};
 
 /// tiramola's thresholds and timing.
 #[derive(Debug, Clone)]
@@ -55,6 +56,7 @@ pub struct Tiramola {
     last_action: Option<SimTime>,
     additions: u64,
     removals: u64,
+    telemetry: Telemetry,
 }
 
 impl Tiramola {
@@ -70,7 +72,14 @@ impl Tiramola {
             last_action: None,
             additions: 0,
             removals: 0,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Records each threshold-rule firing as a [`TelemetryEvent::RuleFired`]
+    /// audit entry through `telemetry`.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Nodes added so far.
@@ -96,17 +105,11 @@ impl Tiramola {
         self.last_sample = Some(now);
 
         let snapshot = cluster.snapshot();
-        let online: Vec<_> = snapshot
-            .servers
-            .iter()
-            .filter(|s| s.health == ServerHealth::Online)
-            .collect();
+        let online: Vec<_> =
+            snapshot.servers.iter().filter(|s| s.health == ServerHealth::Online).collect();
         // Nodes still provisioning gate scaling decisions: CloudWatch-style
         // rules pause while a scaling activity is in flight.
-        let provisioning = snapshot
-            .servers
-            .iter()
-            .any(|s| s.health == ServerHealth::Provisioning);
+        let provisioning = snapshot.servers.iter().any(|s| s.health == ServerHealth::Provisioning);
         if online.is_empty() {
             return;
         }
@@ -135,6 +138,7 @@ impl Tiramola {
                 self.additions += 1;
                 self.last_action = Some(now);
                 self.reset_window();
+                self.rule_fired(now, "avg_util_high", smoothed_avg, self.cfg.cpu_high, "add_node");
             }
         } else if smoothed_max < self.cfg.cpu_low && online.len() > 1 {
             // Every node underutilized → release one (the last).
@@ -143,6 +147,13 @@ impl Tiramola {
                 self.removals += 1;
                 self.last_action = Some(now);
                 self.reset_window();
+                self.rule_fired(
+                    now,
+                    "all_nodes_idle",
+                    smoothed_max,
+                    self.cfg.cpu_low,
+                    "remove_node",
+                );
             }
         }
     }
@@ -150,6 +161,23 @@ impl Tiramola {
     fn reset_window(&mut self) {
         self.cpu.reset();
         self.max_underutil_cpu.reset();
+    }
+
+    fn rule_fired(&self, now: SimTime, rule: &str, observed: f64, threshold: f64, action: &str) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        self.telemetry.counter_add("baseline_rules_fired_total", &[("controller", "tiramola")], 1);
+        self.telemetry.emit(
+            now,
+            TelemetryEvent::RuleFired {
+                controller: "tiramola".into(),
+                rule: rule.into(),
+                observed,
+                threshold,
+                action: action.into(),
+            },
+        );
     }
 }
 

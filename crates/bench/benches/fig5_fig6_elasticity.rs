@@ -13,9 +13,7 @@ fn bench_elasticity(c: &mut Criterion) {
         b.iter(|| black_box(run_one_for(Controller::Met, black_box(42), 10).cumulative_phase1))
     });
     group.bench_function("tiramola-10min", |b| {
-        b.iter(|| {
-            black_box(run_one_for(Controller::Tiramola, black_box(42), 10).cumulative_phase1)
-        })
+        b.iter(|| black_box(run_one_for(Controller::Tiramola, black_box(42), 10).cumulative_phase1))
     });
     group.finish();
 }

@@ -10,11 +10,7 @@ use std::hint::black_box;
 fn loaded_store(records: usize, flush_every: usize) -> CfStore {
     let mut s = CfStore::new(SharedBlockCache::new(8 << 20), FileIdAllocator::new(), 4 << 10);
     for i in 0..records {
-        s.put(
-            format!("user{i:08}").as_str().into(),
-            "f0".into(),
-            Bytes::from(vec![b'v'; 100]),
-        );
+        s.put(format!("user{i:08}").as_str().into(), "f0".into(), Bytes::from(vec![b'v'; 100]));
         if i % flush_every == flush_every - 1 {
             s.flush();
         }

@@ -49,9 +49,8 @@ pub fn assignment_quality(rounds: usize, seed: u64) -> Vec<(String, f64)> {
     let mut ratios = [0.0f64; 3]; // lpt, round-robin, random
     for _ in 0..rounds {
         let n = 3 + rng.next_below(5) as usize;
-        let jobs: Vec<(u64, f64)> = (0..(n as u64 * 4))
-            .map(|i| (i, rng.next_range(5, 40) as f64))
-            .collect();
+        let jobs: Vec<(u64, f64)> =
+            (0..(n as u64 * 4)).map(|i| (i, rng.next_range(5, 40) as f64)).collect();
         let total: f64 = jobs.iter().map(|(_, c)| c).sum();
         let lb = (total / n as f64).max(jobs.iter().map(|(_, c)| *c).fold(0.0, f64::max));
 
@@ -157,20 +156,15 @@ pub fn suboptimal_threshold_sweep(seed: u64) -> Vec<(f64, f64)> {
     let mut out = Vec::new();
     for threshold in [0.25, 0.5, 0.75] {
         let (mut sim, _) = spike_scenario(seed);
-        let cfg = MetConfig {
-            suboptimal_nodes_threshold: threshold,
-            ..MetConfig::default()
-        };
+        let cfg = MetConfig { suboptimal_nodes_threshold: threshold, ..MetConfig::default() };
         let mut met = Met::new(cfg, StoreConfig::default_homogeneous());
         for _ in 0..(25 * 60) {
             sim.step();
             met.tick(&mut sim);
         }
         let end = sim.time();
-        let steady = sim
-            .total_series()
-            .mean_between(SimTime(end.0 - 5 * 60_000), end)
-            .unwrap_or(0.0);
+        let steady =
+            sim.total_series().mean_between(SimTime(end.0 - 5 * 60_000), end).unwrap_or(0.0);
         let reach = sim
             .total_series()
             .resample_avg(30_000)
@@ -208,10 +202,8 @@ pub fn locality_threshold_sweep(seed: u64) -> Vec<(f64, f64)> {
         // queued per server) to finish and caches to re-warm.
         sim.run_ticks(20 * 60);
         let end = sim.time();
-        let steady = sim
-            .total_series()
-            .mean_between(SimTime(end.0 - 3 * 60_000), end)
-            .unwrap_or(0.0);
+        let steady =
+            sim.total_series().mean_between(SimTime(end.0 - 3 * 60_000), end).unwrap_or(0.0);
         out.push((threshold, steady));
     }
     out

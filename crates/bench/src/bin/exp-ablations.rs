@@ -5,7 +5,9 @@ use met_bench::ablations;
 fn main() {
     println!("Ablation 1 — node addition policy (Algorithm 1, §4.2.2, need 8 nodes):");
     for (name, iterations, overshoot) in ablations::addition_policy(8) {
-        println!("  {name:<10} {iterations:>3} iterations, {overshoot:>2} nodes of temporary overshoot");
+        println!(
+            "  {name:<10} {iterations:>3} iterations, {overshoot:>2} nodes of temporary overshoot"
+        );
     }
     println!("  (paper's worked example: quadratic 11 iterations vs linear 8, trading");
     println!("   temporary over-provision for a logarithmic response to demand)");
@@ -28,7 +30,11 @@ fn main() {
     println!("\nAblation 5 — locality compaction trigger (§5), steady ops/s after moves:");
     let locality = ablations::locality_threshold_sweep(7);
     for (threshold, thr) in &locality {
-        let label = if *threshold == 0.0 { "never compact".into() } else { format!("compact below {threshold:.1}") };
+        let label = if *threshold == 0.0 {
+            "never compact".into()
+        } else {
+            format!("compact below {threshold:.1}")
+        };
         println!("  {label:<20} {thr:>8.0} ops/s");
     }
 

@@ -4,7 +4,8 @@ use met_bench::fig4;
 
 fn main() {
     eprintln!("fig4: 32 simulated minutes × 3 curves...");
-    let r = fig4::run(1_000, 30);
+    let telemetry = met_bench::telemetry_from_env();
+    let r = fig4::run_traced(1_000, 30, telemetry.clone());
     println!("Figure 4 — throughput over time (ops/s, 30 s resolution)");
     println!("{:>6} {:>12} {:>12} {:>12}", "min", "MeT", "Man-Homog", "Man-Het");
     let met = &r.curves["MeT"];
@@ -22,7 +23,11 @@ fn main() {
     println!("\nreconfigurations completed: {}", r.reconfigurations);
     println!("MeT floor during reconfiguration: {:.0} ops/s (paper ≈ 7500)", r.met_reconfig_floor);
     println!("MeT steady state:   {:.0} ops/s", r.met_steady);
-    println!("Manual-Het steady:  {:.0} ops/s (MeT/Het = {:.2})", r.het_steady, r.met_steady / r.het_steady);
+    println!(
+        "Manual-Het steady:  {:.0} ops/s (MeT/Het = {:.2})",
+        r.het_steady,
+        r.met_steady / r.het_steady
+    );
     println!("Manual-Homog steady:{:.0} ops/s", r.homog_steady);
     match r.met_overtakes_homog_at_min {
         Some(m) => println!("MeT cumulative overtakes Manual-Homog at minute {m:.1} (paper: <15)"),
@@ -40,6 +45,7 @@ fn main() {
         "homog_steady": r.homog_steady,
         "met_overtakes_homog_at_min": r.met_overtakes_homog_at_min,
         "reconfigurations": r.reconfigurations,
+        "telemetry": met_bench::report::telemetry_summary(&telemetry),
     });
     if let Some(path) = met_bench::report::write_json("fig4", &json) {
         eprintln!("wrote {}", path.display());

@@ -7,10 +7,7 @@ fn main() {
     eprintln!("fig5/6: 2 × 60 simulated minutes on the simulated cloud...");
     let r = elastic::run(1_000);
     println!("Figure 6 — throughput (ops/s) and online nodes, 60 min");
-    println!(
-        "{:>6} {:>12} {:>7} {:>12} {:>7}",
-        "min", "MeT ops/s", "nodes", "tira ops/s", "nodes"
-    );
+    println!("{:>6} {:>12} {:>7} {:>12} {:>7}", "min", "MeT ops/s", "nodes", "tira ops/s", "nodes");
     let met_thr = r.met.throughput.resample_avg(60_000);
     let tir_thr = r.tiramola.throughput.resample_avg(60_000);
     let met_nodes = r.met.nodes.resample_avg(60_000);
@@ -26,10 +23,20 @@ fn main() {
             tir_nodes.points().get(i).map(|p| p.1).unwrap_or(f64::NAN),
         );
     }
-    println!("\nPeak nodes:  MeT {:.0} (paper 9)  tiramola {:.0} (paper 11)", r.met.peak_nodes, r.tiramola.peak_nodes);
-    println!("Final nodes: MeT {:.0} (paper ≈ 6)  tiramola {:.0} (paper: barely shrinks)", r.met.final_nodes, r.tiramola.final_nodes);
-    let met_peak = r.met.throughput.resample_avg(60_000).points().iter().map(|p| p.1).fold(0.0, f64::max);
-    println!("MeT peak throughput: {:.0} ops/s (paper ≈ 22000, the client saturation ceiling)", met_peak);
+    println!(
+        "\nPeak nodes:  MeT {:.0} (paper 9)  tiramola {:.0} (paper 11)",
+        r.met.peak_nodes, r.tiramola.peak_nodes
+    );
+    println!(
+        "Final nodes: MeT {:.0} (paper ≈ 6)  tiramola {:.0} (paper: barely shrinks)",
+        r.met.final_nodes, r.tiramola.final_nodes
+    );
+    let met_peak =
+        r.met.throughput.resample_avg(60_000).points().iter().map(|p| p.1).fold(0.0, f64::max);
+    println!(
+        "MeT peak throughput: {:.0} ops/s (paper ≈ 22000, the client saturation ceiling)",
+        met_peak
+    );
 
     let minute_curve = |ts: &simcore::timeseries::TimeSeries| {
         met_bench::report::curve_json(

@@ -8,10 +8,22 @@ fn main() {
     println!("Table 2 — PyTPCC average throughput (tpmC)");
     println!("{:<42} {:>10} {:>10}", "Setting", "measured", "paper");
     println!("{:<42} {:>10.0} {:>10}", "i) Manual-Homogeneous", r.manual_homogeneous, 25380);
-    println!("{:<42} {:>10.0} {:>10}", "ii) MeT with reconfiguration overhead", r.met_with_overhead, 31020);
-    println!("{:<42} {:>10.0} {:>10}", "iii) MeT w/o reconfiguration overhead", r.met_without_overhead, 33720);
-    println!("\nheterogeneous gain (iii/i): {:.2}x (paper 1.33x)", r.met_without_overhead / r.manual_homogeneous);
-    println!("overhead gap (iii vs ii):   {:.1}% (paper 8%)", (1.0 - r.met_with_overhead / r.met_without_overhead) * 100.0);
+    println!(
+        "{:<42} {:>10.0} {:>10}",
+        "ii) MeT with reconfiguration overhead", r.met_with_overhead, 31020
+    );
+    println!(
+        "{:<42} {:>10.0} {:>10}",
+        "iii) MeT w/o reconfiguration overhead", r.met_without_overhead, 33720
+    );
+    println!(
+        "\nheterogeneous gain (iii/i): {:.2}x (paper 1.33x)",
+        r.met_without_overhead / r.manual_homogeneous
+    );
+    println!(
+        "overhead gap (iii vs ii):   {:.1}% (paper 8%)",
+        (1.0 - r.met_with_overhead / r.met_without_overhead) * 100.0
+    );
     println!("reconfigurations in (ii):   {}", r.reconfigurations);
 
     let json = serde_json::json!({

@@ -138,7 +138,20 @@ pub fn run_one(controller: Controller, seed: u64) -> ElasticRun {
 /// Runs one controller for `minutes` simulated minutes (benchmarks use a
 /// shortened horizon).
 pub fn run_one_for(controller: Controller, seed: u64, minutes: u64) -> ElasticRun {
+    run_one_traced(controller, seed, minutes, telemetry::Telemetry::disabled())
+}
+
+/// [`run_one_for`] with the controller, the IaaS layer and the simulator
+/// all reporting through `telemetry` — the scale-out run this produces is
+/// what the audit-trail integration test inspects.
+pub fn run_one_traced(
+    controller: Controller,
+    seed: u64,
+    minutes: u64,
+    telemetry: telemetry::Telemetry,
+) -> ElasticRun {
     let (mut cloud, _deployments) = build_cloud(seed);
+    cloud.set_telemetry(telemetry.clone());
     let met_cfg = MetConfig {
         min_nodes: INITIAL_SERVERS,
         max_nodes: QUOTA - 2,
@@ -149,7 +162,7 @@ pub fn run_one_for(controller: Controller, seed: u64, minutes: u64) -> ElasticRu
         cpu_high: 0.92,
         ..MetConfig::default()
     };
-    let mut met = Met::new(met_cfg, cloud_node_config());
+    let mut met = Met::with_telemetry(met_cfg, cloud_node_config(), telemetry.clone());
     // tiramola's thresholds are user-defined rules (§7); these are the
     // values a CloudWatch-style operator would set after profiling this
     // deployment: scale out above 60 % average utilization, scale in only
@@ -161,6 +174,7 @@ pub fn run_one_for(controller: Controller, seed: u64, minutes: u64) -> ElasticRu
         ..TiramolaConfig::default()
     };
     let mut tiramola = Tiramola::new(tiramola_cfg, cloud_node_config());
+    tiramola.set_telemetry(telemetry.clone());
     if controller == Controller::Tiramola {
         // Without MeT, HBase's own periodic count balancer spreads regions
         // onto nodes tiramola adds.
@@ -188,6 +202,7 @@ pub fn run_one_for(controller: Controller, seed: u64, minutes: u64) -> ElasticRu
         }
     }
 
+    telemetry.flush();
     let throughput = cloud.inner().total_series().clone();
     let nodes = cloud.inner().node_series().clone();
     let cumulative_phase1 = throughput

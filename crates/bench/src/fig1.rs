@@ -111,8 +111,7 @@ pub fn manual_homog_best_placement(seed: u64) -> Vec<Vec<PartitionId>> {
         let mut scenario = ycsb_scenario(seed);
         let parts = scenario.loaded_partitions();
         let mut rng = SimRng::new(seed).derive("manual-homog-search").derive_idx(candidate);
-        let placement =
-            baselines::search_balanced_placement(&parts, FIG1_SERVERS, &mut rng);
+        let placement = baselines::search_balanced_placement(&parts, FIG1_SERVERS, &mut rng);
         apply_placement(&mut scenario, &placement);
         scenario.start_clients();
         // 5 measured minutes per candidate (the administrator's trial run).

@@ -39,22 +39,29 @@ pub struct Fig4Result {
 }
 
 fn resample(series: &TimeSeries) -> Curve {
-    series
-        .resample_avg(30_000)
-        .points()
-        .iter()
-        .map(|(t, v)| (t.as_mins_f64(), *v))
-        .collect()
+    series.resample_avg(30_000).points().iter().map(|(t, v)| (t.as_mins_f64(), *v)).collect()
 }
 
 /// Runs the MeT curve: Random-Homogeneous start, MeT attached at minute 2.
 pub fn run_met_curve(seed: u64, minutes: u64) -> (TimeSeries, u64) {
+    run_met_curve_traced(seed, minutes, telemetry::Telemetry::disabled())
+}
+
+/// [`run_met_curve`] with the control loop and simulator reporting through
+/// `telemetry` — the registry feeds the report summary and, when a JSONL
+/// sink is attached, the run leaves a full audit trail behind.
+pub fn run_met_curve_traced(
+    seed: u64,
+    minutes: u64,
+    telemetry: telemetry::Telemetry,
+) -> (TimeSeries, u64) {
     let mut scenario = ycsb_scenario(seed);
     build_random_homogeneous(&mut scenario.sim, FIG1_SERVERS);
     scenario.start_clients();
+    scenario.sim.set_telemetry(telemetry.clone());
     // §6.2 runs MeT against the database alone: reconfiguration only.
     let cfg = MetConfig { allow_scaling: false, ..MetConfig::default() };
-    let mut met = Met::new(cfg, StoreConfig::default_homogeneous());
+    let mut met = Met::with_telemetry(cfg, StoreConfig::default_homogeneous(), telemetry.clone());
     let total_ticks = (minutes + 2) * 60;
     for tick in 0..total_ticks {
         scenario.sim.step();
@@ -62,6 +69,7 @@ pub fn run_met_curve(seed: u64, minutes: u64) -> (TimeSeries, u64) {
             met.tick(&mut scenario.sim);
         }
     }
+    telemetry.flush();
     (scenario.sim.total_series().clone(), met.reconfigurations())
 }
 
@@ -109,7 +117,13 @@ pub fn best_seed(strategy: Strategy, candidates: u64, minutes: u64) -> u64 {
 
 /// Runs the full Figure 4 experiment.
 pub fn run(seed: u64, minutes: u64) -> Fig4Result {
-    let (met_series, reconfigurations) = run_met_curve(seed, minutes);
+    run_traced(seed, minutes, telemetry::Telemetry::disabled())
+}
+
+/// [`run`] with the MeT curve instrumented through `telemetry` (the manual
+/// baselines have no control loop to audit).
+pub fn run_traced(seed: u64, minutes: u64, telemetry: telemetry::Telemetry) -> Fig4Result {
+    let (met_series, reconfigurations) = run_met_curve_traced(seed, minutes, telemetry);
     let homog = run_manual_curve(Strategy::ManualHomogeneous, seed, minutes);
     let het = run_manual_curve(Strategy::ManualHeterogeneous, seed, minutes);
 

@@ -9,3 +9,36 @@ pub mod fig4;
 pub mod report;
 pub mod scenario;
 pub mod table2;
+
+/// Builds the telemetry pipeline an experiment binary should use.
+///
+/// The registry always aggregates (it feeds the JSON report); the event
+/// stream is controlled by two environment variables:
+///
+/// * `MET_TRACE=<path>` — export the full audit trail as JSONL to `path`
+///   and keep the tail in an in-memory ring buffer;
+/// * `MET_TRACE_LEVEL=off|info|debug` — event verbosity for the trace
+///   (default `debug` so monitor samples appear alongside the decisions
+///   and actions they caused).
+pub fn telemetry_from_env() -> telemetry::Telemetry {
+    let trace_path = std::env::var_os("MET_TRACE");
+    let level = std::env::var("MET_TRACE_LEVEL")
+        .ok()
+        .and_then(|s| telemetry::Verbosity::parse(&s))
+        .unwrap_or(if trace_path.is_some() {
+            telemetry::Verbosity::Debug
+        } else {
+            telemetry::Verbosity::Off
+        });
+    let t = telemetry::Telemetry::new(level);
+    if let Some(path) = trace_path {
+        let path = std::path::PathBuf::from(path);
+        t.attach_ring(1 << 16);
+        if let Err(e) = t.attach_jsonl(&path) {
+            eprintln!("telemetry: cannot create trace file {}: {e}", path.display());
+        } else {
+            eprintln!("telemetry: exporting {level:?}-level trace to {}", path.display());
+        }
+    }
+    t
+}

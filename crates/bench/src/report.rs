@@ -6,6 +6,7 @@
 
 use serde_json::Value;
 use std::path::PathBuf;
+use telemetry::{MetricsSnapshot, Telemetry};
 
 /// Directory results are written to (created if missing).
 pub fn results_dir() -> PathBuf {
@@ -39,14 +40,91 @@ pub fn write_json(name: &str, value: &Value) -> Option<PathBuf> {
     }
 }
 
+/// Summarizes a run's telemetry registry for the JSON report: modelled
+/// block-cache hit rate, per-kind actuator action counts, reconfiguration
+/// totals, and decision-loop latency percentiles.
+///
+/// Returns `Null` for a disabled pipeline so reports stay diffable whether
+/// or not telemetry was wired in.
+pub fn telemetry_summary(telemetry: &Telemetry) -> Value {
+    if !telemetry.is_enabled() {
+        return Value::Null;
+    }
+    metrics_summary(&telemetry.metrics())
+}
+
+/// [`telemetry_summary`] over an already-captured snapshot.
+pub fn metrics_summary(snapshot: &MetricsSnapshot) -> Value {
+    // Fleet-wide modelled cache hit rate: sum the per-server cumulative
+    // hit/miss gauges published by the simulator.
+    let gauge_sum = |name: &str| -> f64 {
+        snapshot.gauges.iter().filter(|(k, _)| k.name == name).map(|(_, v)| v).sum()
+    };
+    let hits = gauge_sum("sim_block_cache_hits");
+    let misses = gauge_sum("sim_block_cache_misses");
+    let cache_hit_rate = if hits + misses > 0.0 { hits / (hits + misses) } else { 1.0 };
+
+    // Per-kind actuator action counts (`met_actions_total{action=...}`).
+    let mut actions = serde_json::Map::new();
+    for (key, count) in &snapshot.counters {
+        if key.name != "met_actions_total" {
+            continue;
+        }
+        for (label, value) in &key.labels {
+            if label == "action" {
+                actions.insert(value.clone(), serde_json::json!(*count));
+            }
+        }
+    }
+
+    let histogram_json = |name: &str| -> Value {
+        match snapshot.histogram(name) {
+            None => Value::Null,
+            Some(h) => serde_json::json!({
+                "count": h.count,
+                "mean": round3(h.mean()),
+                "p50": round3(h.p50),
+                "p95": round3(h.p95),
+                "p99": round3(h.p99),
+                "max": round3(h.max),
+            }),
+        }
+    };
+
+    serde_json::json!({
+        "cache_hit_rate": round3(cache_hit_rate),
+        "monitor_samples": snapshot.counter_total("met_monitor_samples_total"),
+        "decisions": {
+            "healthy": snapshot
+                .counters
+                .iter()
+                .filter(|(k, _)| {
+                    k.name == "met_decisions_total"
+                        && k.labels.iter().any(|(l, v)| l == "verdict" && v == "healthy")
+                })
+                .map(|(_, v)| v)
+                .sum::<u64>(),
+            "reconfigure": snapshot
+                .counters
+                .iter()
+                .filter(|(k, _)| {
+                    k.name == "met_decisions_total"
+                        && k.labels.iter().any(|(l, v)| l == "verdict" && v == "reconfigure")
+                })
+                .map(|(_, v)| v)
+                .sum::<u64>(),
+        },
+        "actions": Value::Object(actions),
+        "reconfigurations": snapshot.counter_total("met_reconfigurations_total"),
+        "decision_interval_ms": histogram_json("met_decision_interval_ms"),
+        "action_duration_ms": histogram_json("met_action_duration_ms"),
+        "reconfig_duration_ms": histogram_json("met_reconfig_duration_ms"),
+    })
+}
+
 /// Converts a `(minutes, value)` curve into a JSON array of pairs.
 pub fn curve_json(curve: &[(f64, f64)]) -> Value {
-    Value::Array(
-        curve
-            .iter()
-            .map(|(t, v)| serde_json::json!([round3(*t), round3(*v)]))
-            .collect(),
-    )
+    Value::Array(curve.iter().map(|(t, v)| serde_json::json!([round3(*t), round3(*v)])).collect())
 }
 
 fn round3(v: f64) -> f64 {

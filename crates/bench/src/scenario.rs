@@ -30,10 +30,8 @@ pub struct YcsbScenario {
 pub fn ycsb_scenario(seed: u64) -> YcsbScenario {
     let mut sim = SimCluster::new(paper_params(), seed);
     let mut rng = SimRng::new(seed).derive("scenario");
-    let deployments: Vec<DeployedWorkload> = ycsb::presets::paper_suite()
-        .iter()
-        .map(|spec| deploy(spec, &mut sim, &mut rng))
-        .collect();
+    let deployments: Vec<DeployedWorkload> =
+        ycsb::presets::paper_suite().iter().map(|spec| deploy(spec, &mut sim, &mut rng)).collect();
     YcsbScenario { sim, deployments }
 }
 
@@ -54,10 +52,7 @@ impl YcsbScenario {
             .iter()
             .flat_map(|d| {
                 let rate_proxy = offered_load_proxy(&d.spec);
-                d.partitions
-                    .iter()
-                    .zip(&d.weights)
-                    .map(move |(p, w)| (*p, rate_proxy * w))
+                d.partitions.iter().zip(&d.weights).map(move |(p, w)| (*p, rate_proxy * w))
             })
             .collect()
     }
@@ -69,12 +64,8 @@ impl YcsbScenario {
         for d in &self.deployments {
             let kind = expected_profile(&d.spec);
             let rate_proxy = offered_load_proxy(&d.spec);
-            let parts: Vec<LoadedPartition> = d
-                .partitions
-                .iter()
-                .zip(&d.weights)
-                .map(|(p, w)| (*p, rate_proxy * w))
-                .collect();
+            let parts: Vec<LoadedPartition> =
+                d.partitions.iter().zip(&d.weights).map(|(p, w)| (*p, rate_proxy * w)).collect();
             match out.iter_mut().find(|(k, _)| *k == kind) {
                 Some((_, v)) => v.extend(parts),
                 None => out.push((kind, parts)),

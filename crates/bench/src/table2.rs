@@ -12,8 +12,8 @@
 //! 30 warehouses (≈ 15 GB stored), 6 RegionServers, 300 clients, 45 min.
 
 use crate::scenario::paper_params;
-use cluster::CostParams;
 use cluster::admin::{ElasticCluster, ServerHealth};
+use cluster::CostParams;
 use cluster::{PartitionId, ServerId, SimCluster};
 use hstore::StoreConfig;
 use met::{Met, MetConfig, ProfileKind};
@@ -168,10 +168,5 @@ pub fn run(seed: u64) -> Table2Result {
     let manual_homogeneous = run_manual(seed, MINUTES);
     let (met_with_overhead, layout, reconfigurations) = run_met(seed, MINUTES);
     let met_without_overhead = run_captured(seed, MINUTES, &layout);
-    Table2Result {
-        manual_homogeneous,
-        met_with_overhead,
-        met_without_overhead,
-        reconfigurations,
-    }
+    Table2Result { manual_homogeneous, met_with_overhead, met_without_overhead, reconfigurations }
 }

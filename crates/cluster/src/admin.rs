@@ -89,11 +89,7 @@ impl ClusterSnapshot {
 
     /// Ids of servers currently online.
     pub fn online_servers(&self) -> Vec<ServerId> {
-        self.servers
-            .iter()
-            .filter(|s| s.health == ServerHealth::Online)
-            .map(|s| s.server)
-            .collect()
+        self.servers.iter().filter(|s| s.health == ServerHealth::Online).map(|s| s.server).collect()
     }
 
     /// Total requests per second across online servers.
@@ -145,14 +141,12 @@ pub trait ElasticCluster {
     /// Moves a partition to another online server. The partition is briefly
     /// unavailable (region close/open); its files do not move, so locality
     /// on the destination typically drops until a major compaction.
-    fn move_partition(&mut self, partition: PartitionId, to: ServerId)
-        -> Result<(), AdminError>;
+    fn move_partition(&mut self, partition: PartitionId, to: ServerId) -> Result<(), AdminError>;
 
     /// Restarts a server with a new storage configuration. HBase has no
     /// online reconfiguration (§5), so the server serves nothing until the
     /// restart completes and its cache restarts cold.
-    fn restart_server(&mut self, server: ServerId, config: StoreConfig)
-        -> Result<(), AdminError>;
+    fn restart_server(&mut self, server: ServerId, config: StoreConfig) -> Result<(), AdminError>;
 
     /// Schedules a major compaction of one partition on its current server
     /// (≈ 1 min/GB of background IO), after which its data is fully local.

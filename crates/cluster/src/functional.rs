@@ -11,11 +11,11 @@
 
 use crate::admin::AdminError;
 use crate::types::ServerId;
+use bytes::Bytes;
 use hstore::{
     Family, FileIdAllocator, KeyRange, Qualifier, Region, RegionCounters, RegionId, RowKey,
     SharedBlockCache, StoreConfig, StoreError,
 };
-use bytes::Bytes;
 use simcore::SimRng;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -294,8 +294,7 @@ impl FunctionalCluster {
                 let s = &self.servers[&sid];
                 (s.config.compaction_threshold, s.config.region_split_bytes)
             };
-            let rids: Vec<RegionId> =
-                self.servers[&sid].regions.keys().copied().collect();
+            let rids: Vec<RegionId> = self.servers[&sid].regions.keys().copied().collect();
             for rid in rids {
                 {
                     let region = self.region_mut(rid, sid);
@@ -315,10 +314,10 @@ impl FunctionalCluster {
     /// Splits a region at its byte-midpoint; daughters stay on the same
     /// server (HBase behaviour — the balancer may move them later).
     pub fn split_region(&mut self, rid: RegionId) -> FResult<(RegionId, RegionId)> {
-        let sid =
-            *self.assignment.get(&rid).ok_or(AdminError::UnknownPartition(
-                crate::types::PartitionId(rid.0),
-            ))?;
+        let sid = *self
+            .assignment
+            .get(&rid)
+            .ok_or(AdminError::UnknownPartition(crate::types::PartitionId(rid.0)))?;
         let server = self.servers.get_mut(&sid).expect("assignment broken");
         let region = server.regions.get_mut(&rid).expect("assignment broken");
         let Some(mid) = region.split_point() else {
@@ -368,10 +367,13 @@ impl FunctionalCluster {
         if !self.servers.contains_key(&to) {
             return Err(AdminError::UnknownServer(to).into());
         }
-        let mut region =
-            self.servers.get_mut(&from).expect("assignment broken").regions.remove(&rid).expect(
-                "assignment broken",
-            );
+        let mut region = self
+            .servers
+            .get_mut(&from)
+            .expect("assignment broken")
+            .regions
+            .remove(&rid)
+            .expect("assignment broken");
         // Close: flush so all data is in immutable files.
         region.flush_all();
         let dst = self.servers.get_mut(&to).expect("just checked");
@@ -443,8 +445,7 @@ impl FunctionalCluster {
         if !self.servers.contains_key(&sid) {
             return Err(AdminError::UnknownServer(sid).into());
         }
-        let survivors: Vec<ServerId> =
-            self.servers.keys().copied().filter(|s| *s != sid).collect();
+        let survivors: Vec<ServerId> = self.servers.keys().copied().filter(|s| *s != sid).collect();
         if survivors.is_empty() {
             return Err(AdminError::LastServer.into());
         }
@@ -505,11 +506,7 @@ impl FunctionalCluster {
     }
 }
 
-fn rebuild_region(
-    region: Region,
-    dst: &mut FunctionalServer,
-    ids: Arc<FileIdAllocator>,
-) -> Region {
+fn rebuild_region(region: Region, dst: &mut FunctionalServer, ids: Arc<FileIdAllocator>) -> Region {
     // Export everything and rebuild with the destination's parameters.
     let id = region.id();
     let table = region.table().to_string();
@@ -544,10 +541,7 @@ fn rebuild_region(
     rebuilt
 }
 
-fn region_scan_all(
-    region: &Region,
-    family: &Family,
-) -> Vec<(RowKey, Vec<(Qualifier, Bytes)>)> {
+fn region_scan_all(region: &Region, family: &Family) -> Vec<(RowKey, Vec<(Qualifier, Bytes)>)> {
     // A region is immutable here (already flushed); scan from its start.
     // We need a mutable receiver for scan(); clone-free workaround: use the
     // export API instead.
@@ -617,8 +611,7 @@ mod tests {
     #[test]
     fn create_table_distributes_regions_evenly() {
         let mut c = cluster_with(4);
-        let splits: Vec<RowKey> =
-            (1..8).map(|i| format!("k{i}").as_str().into()).collect();
+        let splits: Vec<RowKey> = (1..8).map(|i| format!("k{i}").as_str().into()).collect();
         let regions = c.create_table("t", &[Family::from("cf")], &splits).unwrap();
         assert_eq!(regions.len(), 8);
         for sid in c.server_ids() {

@@ -140,9 +140,7 @@ impl ElasticCluster for FunctionalElastic {
     }
 
     fn restart_server(&mut self, server: ServerId, config: StoreConfig) -> Result<(), AdminError> {
-        self.db
-            .reconfigure_server(server, config)
-            .map_err(|_| AdminError::UnknownServer(server))
+        self.db.reconfigure_server(server, config).map_err(|_| AdminError::UnknownServer(server))
     }
 
     fn major_compact(&mut self, partition: PartitionId) -> Result<(), AdminError> {
@@ -218,10 +216,7 @@ mod tests {
         fe.restart_server(to, cfg.clone()).expect("restart");
         assert_eq!(fe.db_ref().server_config(to).expect("config").block_size, 16 * 1024);
         // Data survived the rebuild.
-        let got = fe
-            .db()
-            .get("t", &"cf".into(), &"k000".into(), &"q".into())
-            .expect("routed");
+        let got = fe.db().get("t", &"cf".into(), &"k000".into(), &"q".into()).expect("routed");
         assert!(got.is_some(), "restart lost data");
 
         fe.major_compact(p).expect("compact");
@@ -238,18 +233,20 @@ mod tests {
         for round in 0..8 {
             for i in 0..250 {
                 fe.db()
-                    .get("t", &"cf".into(), &format!("k{:03}", i % 100).as_str().into(), &"q".into())
+                    .get(
+                        "t",
+                        &"cf".into(),
+                        &format!("k{:03}", i % 100).as_str().into(),
+                        &"q".into(),
+                    )
                     .expect("routed");
             }
             fe.advance(SimDuration::from_secs(30));
             let _ = round;
         }
         let snap = fe.snapshot();
-        let hot = snap
-            .partitions
-            .iter()
-            .max_by_key(|p| p.counters.reads)
-            .expect("partitions exist");
+        let hot =
+            snap.partitions.iter().max_by_key(|p| p.counters.reads).expect("partitions exist");
         assert!(hot.counters.reads >= 1_000, "traffic not recorded: {:?}", hot.counters);
     }
 }

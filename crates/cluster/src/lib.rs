@@ -26,7 +26,7 @@ pub mod types;
 pub use admin::{
     AdminError, ClusterSnapshot, ElasticCluster, PartitionMetrics, ServerHealth, ServerMetrics,
 };
-pub use model::{CostParams, PartitionDemand};
 pub use functional_elastic::FunctionalElastic;
+pub use model::{CostParams, PartitionDemand};
 pub use sim::{ClientGroup, PartitionSpec, SimCluster};
 pub use types::{OpKind, OpMix, PartitionCounters, PartitionId, ServerId};

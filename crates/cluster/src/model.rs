@@ -251,11 +251,8 @@ pub fn cache_hit_ratios(cache_bytes: f64, parts: &[PartitionDemand]) -> Vec<(f64
         .iter()
         .enumerate()
         .map(|(i, p)| {
-            let read_hit = if p.read_rps <= 0.0 {
-                1.0
-            } else {
-                (covered_rate[i] / p.read_rps).min(1.0)
-            };
+            let read_hit =
+                if p.read_rps <= 0.0 { 1.0 } else { (covered_rate[i] / p.read_rps).min(1.0) };
             let s = if p.scan_rps > 0.0 { scan_hit } else { 1.0 };
             (read_hit, s)
         })
@@ -291,9 +288,8 @@ pub fn evaluate_server(
     // Only ~85 % of the configured cache holds data blocks (eviction
     // watermark, index/bloom blocks).
     const USABLE_CACHE_FRACTION: f64 = 0.85;
-    let cache_bytes = config.block_cache_bytes() as f64
-        * USABLE_CACHE_FRACTION
-        * warmth.clamp(0.0, 1.0);
+    let cache_bytes =
+        config.block_cache_bytes() as f64 * USABLE_CACHE_FRACTION * warmth.clamp(0.0, 1.0);
     // Write churn: flushes and compactions continuously invalidate cached
     // blocks and put the heap under pressure, degrading the cache from its
     // ideal (density-ordered) residency toward an indiscriminate one.
@@ -301,11 +297,8 @@ pub fn evaluate_server(
     let calm = 1.0 / (1.0 + churn_write_rate / (params.cache_churn_write_mb_s * 1e6));
     // Residency under churn spreads over the data that read traffic
     // actually touches (write-only partitions pass through the cache).
-    let total_data: f64 = parts
-        .iter()
-        .filter(|p| p.read_rps > 0.0 || p.scan_rps > 0.0)
-        .map(|p| p.data_bytes)
-        .sum();
+    let total_data: f64 =
+        parts.iter().filter(|p| p.read_rps > 0.0 || p.scan_rps > 0.0).map(|p| p.data_bytes).sum();
     let uniform_coverage = if total_data > 0.0 { (cache_bytes / total_data).min(1.0) } else { 1.0 };
     let hits: Vec<(f64, f64)> = cache_hit_ratios(cache_bytes, parts)
         .into_iter()
@@ -366,7 +359,8 @@ pub fn evaluate_server(
         let scan_disk = scan_miss
             * (blocks * params.disk_seek_ms * params.scan_seek_discount
                 + scan_bytes / 1e6 / params.disk_bw_mb_s * 1_000.0
-                + remote_frac * (params.net_lat_ms + scan_bytes / 1e6 / params.net_bw_mb_s * 1_000.0));
+                + remote_frac
+                    * (params.net_lat_ms + scan_bytes / 1e6 / params.net_bw_mb_s * 1_000.0));
         let scan = (p.scan_rows.max(1.0) * params.cpu_scan_row_ms, scan_disk);
 
         cpu_ms_per_s += p.read_rps * read.0 + p.write_rps * write.0 + p.scan_rps * scan.0;
@@ -390,8 +384,7 @@ pub fn evaluate_server(
 
     // Memory: populated cache plus memstore fill pressure (30 s of writes,
     // capped at the memstore budget), over the heap.
-    let memstore_fill =
-        (write_byte_rate * 30.0).min(config.memstore_bytes() as f64);
+    let memstore_fill = (write_byte_rate * 30.0).min(config.memstore_bytes() as f64);
     let mem_util = ((cache_bytes + memstore_fill) / config.heap_bytes as f64).min(1.0);
 
     ServerEval { per_partition, rho_cpu, rho_disk, mem_util, total_rps }

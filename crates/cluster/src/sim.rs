@@ -20,15 +20,14 @@
 use crate::admin::{
     AdminError, ClusterSnapshot, ElasticCluster, PartitionMetrics, ServerHealth, ServerMetrics,
 };
-use crate::model::{
-    evaluate_server, queue_inflation, CostParams, PartitionDemand, ServerEval,
-};
+use crate::model::{evaluate_server, queue_inflation, CostParams, PartitionDemand, ServerEval};
 use crate::types::{OpMix, PartitionCounters, PartitionId, ServerId};
 use dfs::{DataNodeId, DfsFileId, Namenode};
 use hstore::StoreConfig;
 use simcore::timeseries::TimeSeries;
 use simcore::{SimDuration, SimRng, SimTime};
 use std::collections::{BTreeMap, VecDeque};
+use telemetry::{Telemetry, TelemetryEvent};
 
 /// Fixed-point iterations per tick.
 const SOLVER_ITERS: usize = 48;
@@ -191,6 +190,9 @@ struct SimServer {
     last_io: f64,
     last_mem: f64,
     last_rps: f64,
+    // Cumulative modelled block-cache accesses (hit fraction ≈ warmth).
+    cache_hits: u64,
+    cache_misses: u64,
 }
 
 impl SimServer {
@@ -228,6 +230,7 @@ pub struct SimCluster {
     node_series: TimeSeries,
     auto_split_bytes: Option<f64>,
     splits: u64,
+    telemetry: Telemetry,
 }
 
 impl SimCluster {
@@ -258,7 +261,16 @@ impl SimCluster {
             node_series: TimeSeries::new("online nodes"),
             auto_split_bytes: None,
             splits: 0,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Routes storage-layer telemetry (flushes, compactions, splits, cache
+    /// and locality metrics) to `telemetry`; the embedded namenode reports
+    /// through the same handle.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.namenode.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
     }
 
     /// Sets the VM boot delay applied by [`ElasticCluster::provision_server`]
@@ -294,6 +306,8 @@ impl SimCluster {
                 last_io: 0.0,
                 last_mem: 0.0,
                 last_rps: 0.0,
+                cache_hits: 0,
+                cache_misses: 0,
             },
         );
         self.namenode.add_datanode(DataNodeId(id.0));
@@ -353,12 +367,8 @@ impl SimCluster {
     /// Randomized even-count placement of all unassigned partitions — the
     /// out-of-the-box HBase balancer behaviour (§2.1).
     pub fn random_balance_unassigned(&mut self) {
-        let unassigned: Vec<PartitionId> = self
-            .partitions
-            .keys()
-            .filter(|p| !self.assignment.contains_key(p))
-            .copied()
-            .collect();
+        let unassigned: Vec<PartitionId> =
+            self.partitions.keys().filter(|p| !self.assignment.contains_key(p)).copied().collect();
         let mut online = self.online_server_ids();
         assert!(!online.is_empty(), "no online servers to balance onto");
         self.rng.shuffle(&mut online);
@@ -552,17 +562,37 @@ impl SimCluster {
         self.now += self.tick;
 
         // 1. Server lifecycle transitions.
-        for server in self.servers.values_mut() {
+        for (sid, server) in self.servers.iter_mut() {
             match server.state {
                 ServerState::Provisioning { until } if until <= self.now => {
                     server.state = ServerState::Online;
                     server.warmth = 0.05;
+                    // A fresh node joins with an empty cache: report it so
+                    // the trace shows why its early latencies are cold.
+                    self.telemetry.emit(
+                        self.now,
+                        TelemetryEvent::CacheReport {
+                            server: sid.0,
+                            hits: server.cache_hits,
+                            misses: server.cache_misses,
+                            evictions: 0,
+                        },
+                    );
                 }
                 ServerState::Restarting { until } if until <= self.now => {
                     server.state = ServerState::Online;
                     // Post-restart cache is cold but refills its hottest
                     // fraction quickly (first touches admit immediately).
                     server.warmth = 0.25;
+                    self.telemetry.emit(
+                        self.now,
+                        TelemetryEvent::CacheReport {
+                            server: sid.0,
+                            hits: server.cache_hits,
+                            misses: server.cache_misses,
+                            evictions: 0,
+                        },
+                    );
                 }
                 _ => {}
             }
@@ -626,10 +656,20 @@ impl SimCluster {
             let fid = DfsFileId(self.next_file);
             self.next_file += 1;
             if self.namenode.create_file(fid, bytes as u64, DataNodeId(sid.0)).is_ok() {
-                self.partitions.get_mut(&p).expect("flushed unknown partition").files.push((
-                    fid,
-                    bytes as u64,
-                ));
+                self.partitions
+                    .get_mut(&p)
+                    .expect("flushed unknown partition")
+                    .files
+                    .push((fid, bytes as u64));
+                self.telemetry.counter_add("sim_memstore_flushes_total", &[], 1);
+                self.telemetry.emit(
+                    self.now,
+                    TelemetryEvent::MemstoreFlush {
+                        server: sid.0,
+                        region: p.0,
+                        bytes: bytes as u64,
+                    },
+                );
             }
         }
 
@@ -725,6 +765,30 @@ impl SimCluster {
             server.last_io = eval.rho_disk.min(1.0);
             server.last_mem = eval.mem_util;
             server.last_rps = eval.total_rps;
+            // Modelled block-cache traffic: the warmth fraction of this
+            // tick's requests hit the cache, the remainder go to disk.
+            let served = (eval.total_rps * dt).round().max(0.0) as u64;
+            let hits = ((served as f64) * server.warmth).round() as u64;
+            server.cache_hits += hits.min(served);
+            server.cache_misses += served - hits.min(served);
+            if self.telemetry.is_enabled() {
+                let label = sid.0.to_string();
+                let labels = [("server", label.as_str())];
+                self.telemetry.gauge_set("sim_block_cache_hits", &labels, server.cache_hits as f64);
+                self.telemetry.gauge_set(
+                    "sim_block_cache_misses",
+                    &labels,
+                    server.cache_misses as f64,
+                );
+                let total = server.cache_hits + server.cache_misses;
+                if total > 0 {
+                    self.telemetry.gauge_set(
+                        "sim_block_cache_hit_ratio",
+                        &labels,
+                        server.cache_hits as f64 / total as f64,
+                    );
+                }
+            }
         }
     }
 
@@ -741,6 +805,16 @@ impl SimCluster {
             part.files.push((fid, size));
         }
         part.unflushed_bytes = 0.0;
+        if self.telemetry.is_enabled() {
+            self.telemetry.counter_add("sim_compactions_total", &[], 1);
+            self.telemetry
+                .emit(self.now, TelemetryEvent::CompactionDone { server: sid.0, bytes: size });
+            // A local rewrite is exactly what restores data locality; sample
+            // the post-compaction index so traces show the recovery.
+            let files = &self.partitions.get(&p).expect("compacted unknown partition").files;
+            let value = self.namenode.locality_index(DataNodeId(sid.0), files);
+            self.telemetry.emit(self.now, TelemetryEvent::LocalitySample { server: sid.0, value });
+        }
     }
 
     /// Splits a partition in two (the daughter takes half the data, files
@@ -807,16 +881,18 @@ impl SimCluster {
             }
         }
         self.splits += 1;
+        self.telemetry.counter_add("sim_region_splits_total", &[], 1);
+        self.telemetry.emit(
+            self.now,
+            TelemetryEvent::RegionSplit { server: sid.0, region: p.0, new_region: q.0 },
+        );
         Some(q)
     }
 
     /// Builds the per-server demand vectors for a given group-throughput
     /// estimate. Returns `(server → (partition list, demand list))` plus the
     /// set of unavailable partitions.
-    fn build_demands(
-        &self,
-        group_x: &[f64],
-    ) -> BTreeMap<ServerId, Vec<PartitionDemand>> {
+    fn build_demands(&self, group_x: &[f64]) -> BTreeMap<ServerId, Vec<PartitionDemand>> {
         let mut rates: BTreeMap<PartitionId, (f64, f64, f64, f64, f64)> = BTreeMap::new();
         for (gi, g) in self.groups.iter().enumerate() {
             if !g.active {
@@ -848,8 +924,7 @@ impl SimCluster {
         for (p, (r, w, s, rows, wf)) in rates {
             let Some(sid) = self.assignment.get(&p) else { continue };
             let part = &self.partitions[&p];
-            let locality =
-                self.namenode.locality_index(DataNodeId(sid.0), &part.files);
+            let locality = self.namenode.locality_index(DataNodeId(sid.0), &part.files);
             let unavailable = part.moving_until.map(|t| t > self.now).unwrap_or(false);
             by_server.entry(*sid).or_default().push(PartitionDemand {
                 partition: p,
@@ -911,13 +986,8 @@ impl SimCluster {
                 } else {
                     self.params.compact_mb_s
                 };
-                let eval = evaluate_server(
-                    &self.params,
-                    &server.config,
-                    server.warmth,
-                    background,
-                    parts,
-                );
+                let eval =
+                    evaluate_server(&self.params, &server.config, server.warmth, background, parts);
                 let icpu = queue_inflation(&self.params, eval.rho_cpu);
                 let idisk = queue_inflation(&self.params, eval.rho_disk);
                 // Handler pressure: outstanding requests beyond the handler
@@ -931,8 +1001,7 @@ impl SimCluster {
                             + d.scan_rps * (t.scan.0 + t.scan.1)
                     })
                     .sum();
-                let rho_handler =
-                    svc_ms / 1_000.0 / server.config.handler_count as f64;
+                let rho_handler = svc_ms / 1_000.0 / server.config.handler_count as f64;
                 let ihandler = if self.params.use_handler_bound {
                     queue_inflation(&self.params, rho_handler / 4.0)
                 } else {
@@ -1020,8 +1089,8 @@ impl ElasticCluster for SimCluster {
                     let part = &self.partitions[p];
                     let bytes: u64 = part.files.iter().map(|(_, b)| *b).sum();
                     total += bytes as f64;
-                    local += bytes as f64
-                        * self.namenode.locality_index(DataNodeId(id.0), &part.files);
+                    local +=
+                        bytes as f64 * self.namenode.locality_index(DataNodeId(id.0), &part.files);
                 }
                 let locality = if total > 0.0 { local / total } else { 1.0 };
                 ServerMetrics {
@@ -1047,9 +1116,7 @@ impl ElasticCluster for SimCluster {
                 size_bytes: p.size_bytes as u64,
                 assigned_to: self.assignment.get(id).copied(),
                 locality: match self.assignment.get(id) {
-                    Some(sid) => {
-                        self.namenode.locality_index(DataNodeId(sid.0), &p.files)
-                    }
+                    Some(sid) => self.namenode.locality_index(DataNodeId(sid.0), &p.files),
                     None => 1.0,
                 },
             })
@@ -1092,11 +1159,10 @@ impl ElasticCluster for SimCluster {
     }
 
     fn major_compact(&mut self, partition: PartitionId) -> Result<(), AdminError> {
-        let sid = *self
-            .assignment
-            .get(&partition)
-            .ok_or(AdminError::UnknownPartition(partition))?;
-        let part = self.partitions.get(&partition).ok_or(AdminError::UnknownPartition(partition))?;
+        let sid =
+            *self.assignment.get(&partition).ok_or(AdminError::UnknownPartition(partition))?;
+        let part =
+            self.partitions.get(&partition).ok_or(AdminError::UnknownPartition(partition))?;
         let bytes: u64 = part.files.iter().map(|(_, b)| *b).sum();
         let server = self.servers.get_mut(&sid).ok_or(AdminError::UnknownServer(sid))?;
         if server.state != ServerState::Online {
@@ -1127,6 +1193,8 @@ impl ElasticCluster for SimCluster {
                 last_io: 0.0,
                 last_mem: 0.0,
                 last_rps: 0.0,
+                cache_hits: 0,
+                cache_misses: 0,
             },
         );
         self.namenode.add_datanode(DataNodeId(id.0));
@@ -1143,12 +1211,8 @@ impl ElasticCluster for SimCluster {
             return Err(AdminError::LastServer);
         }
         // HBase master reassigns the closed server's regions (randomly).
-        let victims: Vec<PartitionId> = self
-            .assignment
-            .iter()
-            .filter(|(_, s)| **s == server)
-            .map(|(p, _)| *p)
-            .collect();
+        let victims: Vec<PartitionId> =
+            self.assignment.iter().filter(|(_, s)| **s == server).map(|(p, _)| *p).collect();
         for p in victims {
             let target = *self.rng.pick(&remaining);
             self.do_move(p, target);
@@ -1266,14 +1330,12 @@ mod tests {
         ));
         sim.run_ticks(30);
         let snap = sim.snapshot();
-        let totals: PartitionCounters = snap.partitions.iter().fold(
-            PartitionCounters::default(),
-            |acc, p| PartitionCounters {
+        let totals: PartitionCounters =
+            snap.partitions.iter().fold(PartitionCounters::default(), |acc, p| PartitionCounters {
                 reads: acc.reads + p.counters.reads,
                 writes: acc.writes + p.counters.writes,
                 scans: acc.scans + p.counters.scans,
-            },
-        );
+            });
         assert!(totals.reads > 0 && totals.writes > 0);
         assert_eq!(totals.scans, 0);
         let ratio = totals.reads as f64 / totals.writes as f64;
@@ -1429,21 +1491,15 @@ mod tests {
         let (mut sim, parts) = basic_cluster(2, 41);
         sim.add_group(read_group(&parts, 10.0));
         sim.run_ticks(30);
-        let light = sim
-            .group_latency_ms("readers")
-            .unwrap()
-            .mean_after(SimTime::from_secs(20))
-            .unwrap();
+        let light =
+            sim.group_latency_ms("readers").unwrap().mean_after(SimTime::from_secs(20)).unwrap();
         assert!(light > 0.0, "latency must be positive");
         // Much heavier concurrency raises the response time.
         let (mut sim2, parts2) = basic_cluster(2, 41);
         sim2.add_group(read_group(&parts2, 800.0));
         sim2.run_ticks(30);
-        let heavy = sim2
-            .group_latency_ms("readers")
-            .unwrap()
-            .mean_after(SimTime::from_secs(20))
-            .unwrap();
+        let heavy =
+            sim2.group_latency_ms("readers").unwrap().mean_after(SimTime::from_secs(20)).unwrap();
         assert!(heavy > light, "heavy load latency {heavy} ≤ light {light}");
     }
 
@@ -1487,8 +1543,7 @@ mod tests {
         sim.add_group(read_group(&parts, 50.0));
         sim.run_ticks(10);
         let before = sim.snapshot();
-        let total_before: u64 =
-            before.partitions.iter().map(|p| p.size_bytes).sum();
+        let total_before: u64 = before.partitions.iter().map(|p| p.size_bytes).sum();
         let q = sim.split_partition(parts[0]).expect("splittable");
         let after = sim.snapshot();
         let total_after: u64 = after.partitions.iter().map(|p| p.size_bytes).sum();
@@ -1531,10 +1586,7 @@ mod tests {
         // Invalid configs are rejected up front.
         let mut bad = StoreConfig::default_homogeneous();
         bad.block_cache_fraction = 0.9;
-        assert!(matches!(
-            sim.provision_server(bad),
-            Err(AdminError::BadConfig(_))
-        ));
+        assert!(matches!(sim.provision_server(bad), Err(AdminError::BadConfig(_))));
     }
 
     #[test]

@@ -22,7 +22,9 @@ use crate::profiles::ProfileKind;
 use cluster::admin::{ClusterSnapshot, ElasticCluster, ServerHealth};
 use cluster::{PartitionId, ServerId};
 use hstore::StoreConfig;
-use std::collections::VecDeque;
+use simcore::SimTime;
+use std::collections::{BTreeMap, VecDeque};
+use telemetry::{Telemetry, TelemetryEvent};
 
 /// Cumulative actuator statistics (observable in experiments).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -69,6 +71,9 @@ pub struct Actuator {
     steps: VecDeque<Step>,
     stats: ActuatorStats,
     log: Vec<String>,
+    telemetry: Telemetry,
+    /// Start time of each in-flight action, keyed by (slot, action name).
+    started: BTreeMap<(usize, &'static str), SimTime>,
 }
 
 impl Actuator {
@@ -81,7 +86,66 @@ impl Actuator {
             steps: VecDeque::new(),
             stats: ActuatorStats::default(),
             log: Vec::new(),
+            telemetry: Telemetry::disabled(),
+            started: BTreeMap::new(),
         }
+    }
+
+    /// Routes the action audit trail (step starts/completions, provisions,
+    /// decommissions) to `telemetry`.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// Emits `ActionStarted` once per (slot, action), remembering the start
+    /// time so the matching completion can report a duration.
+    fn begin_action(
+        &mut self,
+        now: SimTime,
+        slot: usize,
+        action: &'static str,
+        server: ServerId,
+        partition: Option<PartitionId>,
+        detail: String,
+    ) {
+        if !self.telemetry.is_enabled() || self.started.contains_key(&(slot, action)) {
+            return;
+        }
+        self.started.insert((slot, action), now);
+        self.telemetry.counter_add("met_actions_total", &[("action", action)], 1);
+        self.telemetry.emit(
+            now,
+            TelemetryEvent::ActionStarted {
+                action: action.to_string(),
+                server: server.0,
+                partition: partition.map(|p| p.0),
+                detail,
+            },
+        );
+    }
+
+    /// Emits `ActionCompleted` with the simulated duration since the
+    /// matching [`begin_action`](Actuator::begin_action).
+    fn finish_action(
+        &mut self,
+        now: SimTime,
+        slot: usize,
+        action: &'static str,
+        server: ServerId,
+        partition: Option<PartitionId>,
+    ) {
+        let Some(start) = self.started.remove(&(slot, action)) else { return };
+        let duration_ms = now.since(start).as_millis();
+        self.telemetry.observe("met_action_duration_ms", &[("action", action)], duration_ms as f64);
+        self.telemetry.emit(
+            now,
+            TelemetryEvent::ActionCompleted {
+                action: action.to_string(),
+                server: server.0,
+                partition: partition.map(|p| p.0),
+                duration_ms,
+            },
+        );
     }
 
     /// True while a plan is executing.
@@ -167,6 +231,7 @@ impl Actuator {
 
     /// Executes ready steps; returns `true` when the plan has completed.
     pub fn advance(&mut self, cluster: &mut dyn ElasticCluster) -> bool {
+        let now = cluster.now();
         while let Some(&step) = self.steps.front() {
             match step {
                 Step::Provision { slot } => {
@@ -177,6 +242,21 @@ impl Actuator {
                             self.slots[slot].server = Some(id);
                             self.stats.provisions += 1;
                             self.note(format!("provisioned {id} as {profile}"));
+                            self.begin_action(
+                                now,
+                                slot,
+                                "provision",
+                                id,
+                                None,
+                                format!("profile={profile}"),
+                            );
+                            self.telemetry.emit(
+                                now,
+                                TelemetryEvent::NodeProvisioned {
+                                    server: id.0,
+                                    profile: profile.to_string(),
+                                },
+                            );
                         }
                         Err(e) => {
                             self.stats.errors += 1;
@@ -194,6 +274,7 @@ impl Actuator {
                     let snap = cluster.snapshot();
                     match snap.server(server).map(|s| s.health) {
                         Some(ServerHealth::Online) => {
+                            self.finish_action(now, slot, "provision", server, None);
                             self.steps.pop_front();
                         }
                         Some(ServerHealth::Provisioning) => return false,
@@ -210,17 +291,24 @@ impl Actuator {
                         continue;
                     };
                     let snap = cluster.snapshot();
-                    let held = snap
-                        .server(server)
-                        .map(|s| s.partitions.clone())
-                        .unwrap_or_default();
+                    let held =
+                        snap.server(server).map(|s| s.partitions.clone()).unwrap_or_default();
                     // HBase moves regions one at a time; stagger one move
                     // per tick so availability dips stay shallow (§5's
                     // incremental strategy).
                     let Some(&p) = held.first() else {
+                        self.finish_action(now, slot, "drain", server, None);
                         self.steps.pop_front();
                         continue;
                     };
+                    self.begin_action(
+                        now,
+                        slot,
+                        "drain",
+                        server,
+                        None,
+                        format!("{} partitions to drain before restart", held.len()),
+                    );
                     let target = self.final_destination(p, server, &snap);
                     if let Some(t) = target {
                         match cluster.move_partition(p, t) {
@@ -231,12 +319,14 @@ impl Actuator {
                             }
                         }
                     } else {
+                        self.finish_action(now, slot, "drain", server, None);
                         self.steps.pop_front();
                         continue;
                     }
                     if held.len() > 1 {
                         return false; // continue draining next tick
                     }
+                    self.finish_action(now, slot, "drain", server, None);
                     self.steps.pop_front();
                 }
                 Step::Restart { slot } => {
@@ -249,6 +339,14 @@ impl Actuator {
                         Ok(()) => {
                             self.stats.restarts += 1;
                             self.note(format!("restarting {server} as {profile}"));
+                            self.begin_action(
+                                now,
+                                slot,
+                                "restart",
+                                server,
+                                None,
+                                format!("reconfigure to profile={profile}"),
+                            );
                         }
                         Err(e) => {
                             self.stats.errors += 1;
@@ -265,6 +363,7 @@ impl Actuator {
                     let snap = cluster.snapshot();
                     match snap.server(server).map(|s| s.health) {
                         Some(ServerHealth::Online) => {
+                            self.finish_action(now, slot, "restart", server, None);
                             self.steps.pop_front();
                         }
                         Some(ServerHealth::Restarting) => return false,
@@ -295,9 +394,18 @@ impl Actuator {
                         .copied()
                         .collect();
                     let Some(&p) = pending.first() else {
+                        self.finish_action(now, slot, "move_in", server, None);
                         self.steps.pop_front();
                         continue;
                     };
+                    self.begin_action(
+                        now,
+                        slot,
+                        "move_in",
+                        server,
+                        Some(p),
+                        format!("{} partitions to place on final node", pending.len()),
+                    );
                     match cluster.move_partition(p, server) {
                         Ok(()) => self.stats.moves += 1,
                         Err(e) => {
@@ -308,6 +416,7 @@ impl Actuator {
                     if pending.len() > 1 {
                         return false;
                     }
+                    self.finish_action(now, slot, "move_in", server, None);
                     self.steps.pop_front();
                 }
                 Step::Compact { slot } => {
@@ -317,15 +426,33 @@ impl Actuator {
                     };
                     let threshold = self.slots[slot].profile.locality_threshold();
                     let snap = cluster.snapshot();
-                    let victims: Vec<PartitionId> = snap
+                    let victims: Vec<(PartitionId, f64)> = snap
                         .partitions
                         .iter()
                         .filter(|m| m.assigned_to == Some(server) && m.locality < threshold)
-                        .map(|m| m.partition)
+                        .map(|m| (m.partition, m.locality))
                         .collect();
-                    for p in victims {
+                    for (p, locality) in victims {
                         match cluster.major_compact(p) {
-                            Ok(()) => self.stats.compactions += 1,
+                            Ok(()) => {
+                                self.stats.compactions += 1;
+                                self.telemetry.counter_add(
+                                    "met_actions_total",
+                                    &[("action", "compact")],
+                                    1,
+                                );
+                                self.telemetry.emit(
+                                    now,
+                                    TelemetryEvent::ActionStarted {
+                                        action: "compact".to_string(),
+                                        server: server.0,
+                                        partition: Some(p.0),
+                                        detail: format!(
+                                            "locality {locality:.3} < threshold {threshold:.3}"
+                                        ),
+                                    },
+                                );
+                            }
                             Err(e) => {
                                 self.stats.errors += 1;
                                 self.note(format!("compact {p} failed: {e}"));
@@ -339,6 +466,22 @@ impl Actuator {
                         Ok(()) => {
                             self.stats.decommissions += 1;
                             self.note(format!("decommissioned {server}"));
+                            self.telemetry.counter_add(
+                                "met_actions_total",
+                                &[("action", "decommission")],
+                                1,
+                            );
+                            self.telemetry.emit(
+                                now,
+                                TelemetryEvent::ActionStarted {
+                                    action: "decommission".to_string(),
+                                    server: server.0,
+                                    partition: None,
+                                    detail: "surplus node released".to_string(),
+                                },
+                            );
+                            self.telemetry
+                                .emit(now, TelemetryEvent::NodeDecommissioned { server: server.0 });
                         }
                         Err(e) => {
                             self.stats.errors += 1;

@@ -90,14 +90,8 @@ mod tests {
     fn count_constraint_is_enforced() {
         // 6 partitions, 3 nodes → max 2 per node even though one partition
         // dominates the load.
-        let parts = vec![
-            ("hot", 100.0),
-            ("a", 1.0),
-            ("b", 1.0),
-            ("c", 1.0),
-            ("d", 1.0),
-            ("e", 1.0),
-        ];
+        let parts =
+            vec![("hot", 100.0), ("a", 1.0), ("b", 1.0), ("c", 1.0), ("d", 1.0), ("e", 1.0)];
         let out = assign_lpt(&parts, 3);
         for n in &out {
             assert!(n.partitions.len() <= 2, "{:?}", n.partitions);

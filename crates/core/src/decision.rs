@@ -23,6 +23,7 @@ use crate::profiles::ProfileKind;
 use cluster::admin::{ClusterSnapshot, ServerHealth};
 use simcore::SimTime;
 use std::collections::BTreeMap;
+use telemetry::{Telemetry, TelemetryEvent};
 
 /// The decision maker's verdict for one invocation.
 #[derive(Debug, Clone)]
@@ -56,9 +57,7 @@ impl HealthAssessment {
     /// underutilization" (§6.4): a majority of idle nodes suffices,
     /// because the reconfiguration redistributes the survivors' load.
     pub fn remove(&self) -> bool {
-        self.overloaded == 0
-            && self.online > 1
-            && self.underloaded * 2 > self.online
+        self.overloaded == 0 && self.online > 1 && self.underloaded * 2 > self.online
     }
 
     /// Fraction of nodes in a sub-optimal state.
@@ -79,6 +78,7 @@ pub struct DecisionMaker {
     nodes_to_change: usize,
     first_time: bool,
     last_remove: Option<SimTime>,
+    telemetry: Telemetry,
 }
 
 impl DecisionMaker {
@@ -86,7 +86,19 @@ impl DecisionMaker {
     /// `firstTime ← true`).
     pub fn new(cfg: MetConfig) -> Self {
         cfg.validate().expect("invalid MeT configuration");
-        DecisionMaker { cfg, nodes_to_change: 1, first_time: true, last_remove: None }
+        DecisionMaker {
+            cfg,
+            nodes_to_change: 1,
+            first_time: true,
+            last_remove: None,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Routes the decision audit trail (health assessments, classification
+    /// verdicts, computed plans) to `telemetry`.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// True until the InitialReconfiguration has happened.
@@ -115,9 +127,8 @@ impl DecisionMaker {
         if !self.cfg.allow_scaling {
             return 0; // fixed fleet: reconfiguration only
         }
-        let over_threshold =
-            health.overloaded as f64 / health.online.max(1) as f64
-                > self.cfg.suboptimal_nodes_threshold;
+        let over_threshold = health.overloaded as f64 / health.online.max(1) as f64
+            > self.cfg.suboptimal_nodes_threshold;
         if over_threshold {
             let result = self.nodes_to_change as isize;
             self.nodes_to_change *= 2;
@@ -149,7 +160,23 @@ impl DecisionMaker {
         report: &MonitorReport,
         snapshot: &ClusterSnapshot,
     ) -> Decision {
+        let decision = self.decide_inner(now, report, snapshot);
+        let verdict = match &decision {
+            Decision::Healthy => "healthy",
+            Decision::Reconfigure(_) => "reconfigure",
+        };
+        self.telemetry.counter_add("met_decisions_total", &[("verdict", verdict)], 1);
+        decision
+    }
+
+    fn decide_inner(
+        &mut self,
+        now: SimTime,
+        report: &MonitorReport,
+        snapshot: &ClusterSnapshot,
+    ) -> Decision {
         let health = self.assess(report);
+        self.emit_health(now, report, &health);
         if health.online == 0 {
             return Decision::Healthy;
         }
@@ -172,15 +199,38 @@ impl DecisionMaker {
         // StageB.
         let first_time = self.first_time;
         let delta = self.node_delta(&health);
+        self.telemetry.emit(
+            now,
+            TelemetryEvent::NodeDelta {
+                current: health.online as u64,
+                delta: delta as i64,
+                overloaded: health.overloaded as u64,
+                underloaded: health.underloaded as u64,
+            },
+        );
         self.first_time = false;
         let target_nodes = ((health.online as isize + delta).max(1) as usize)
             .clamp(self.cfg.min_nodes.min(health.online), self.cfg.max_nodes);
 
         // StageC: classification.
-        let mut by_group: BTreeMap<ProfileKind, Vec<(cluster::PartitionId, f64)>> =
-            BTreeMap::new();
+        let mut by_group: BTreeMap<ProfileKind, Vec<(cluster::PartitionId, f64)>> = BTreeMap::new();
         for p in &report.partitions {
             let kind = classify(p.rates, self.cfg.classify_threshold);
+            if self.telemetry.is_enabled() {
+                let total = p.rates.total();
+                let frac = |v: f64| if total > 0.0 { v / total } else { 0.0 };
+                self.telemetry.emit(
+                    now,
+                    TelemetryEvent::PartitionClassified {
+                        partition: p.partition.0,
+                        profile: kind.to_string(),
+                        read_frac: frac(p.rates.reads),
+                        write_frac: frac(p.rates.writes),
+                        scan_frac: frac(p.rates.scans),
+                        threshold: self.cfg.classify_threshold,
+                    },
+                );
+            }
             by_group.entry(kind).or_default().push((p.partition, p.rates.total()));
         }
         let counts: BTreeMap<ProfileKind, usize> =
@@ -227,7 +277,54 @@ impl DecisionMaker {
         if !plan.decommission.is_empty() {
             self.last_remove = Some(now);
         }
+        if self.telemetry.is_enabled() {
+            let mut groups: BTreeMap<String, u64> = BTreeMap::new();
+            for (_, node) in &plan.entries {
+                *groups.entry(node.profile.to_string()).or_insert(0) += 1;
+            }
+            self.telemetry.emit(
+                now,
+                TelemetryEvent::PlanComputed {
+                    moves: plan.moves_required(&current) as u64,
+                    restarts: plan.restarts_required(&current) as u64,
+                    decommissions: plan.decommission.len() as u64,
+                    groups: groups.into_iter().collect(),
+                },
+            );
+        }
         Decision::Reconfigure(plan)
+    }
+
+    /// Emits the Stage A verdict with the per-server evidence: which
+    /// servers crossed which thresholds.
+    fn emit_health(&self, now: SimTime, report: &MonitorReport, health: &HealthAssessment) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let overloaded: Vec<u64> = report
+            .servers
+            .iter()
+            .filter(|s| s.cpu > self.cfg.cpu_high || s.io > self.cfg.io_high)
+            .map(|s| s.server.0)
+            .collect();
+        let underloaded: Vec<u64> = report
+            .servers
+            .iter()
+            .filter(|s| s.cpu < self.cfg.cpu_low && s.io < self.cfg.io_low)
+            .map(|s| s.server.0)
+            .collect();
+        self.telemetry.emit(
+            now,
+            TelemetryEvent::HealthAssessed {
+                online: health.online as u64,
+                overloaded,
+                underloaded,
+                cpu_high: self.cfg.cpu_high,
+                io_high: self.cfg.io_high,
+                cpu_low: self.cfg.cpu_low,
+                io_low: self.cfg.io_low,
+            },
+        );
     }
 }
 
@@ -347,7 +444,10 @@ mod tests {
         let _ = dm.decide(SimTime::from_mins(1), &hot, &snap);
         // Recovery.
         let ok = mixed_report(0.5);
-        assert!(matches!(dm.decide(SimTime::from_mins(2), &ok, &snapshot_for(&ok)), Decision::Healthy));
+        assert!(matches!(
+            dm.decide(SimTime::from_mins(2), &ok, &snapshot_for(&ok)),
+            Decision::Healthy
+        ));
         // Next overload starts at 1 again.
         match dm.decide(SimTime::from_mins(3), &hot, &snap) {
             Decision::Reconfigure(plan) => {
@@ -388,15 +488,16 @@ mod tests {
         let mut report = mixed_report(0.5);
         // 8 partitions: 4 read, 4 write on 4 servers.
         report.servers = (1..=4).map(|i| server_load(i, 0.5, 0.2)).collect();
-        report.partitions = (0..8)
-            .map(|i| {
-                if i < 4 {
-                    part_load(i, 100.0, 0.0, 0.0)
-                } else {
-                    part_load(i, 0.0, 100.0, 0.0)
-                }
-            })
-            .collect();
+        report.partitions =
+            (0..8)
+                .map(|i| {
+                    if i < 4 {
+                        part_load(i, 100.0, 0.0, 0.0)
+                    } else {
+                        part_load(i, 0.0, 100.0, 0.0)
+                    }
+                })
+                .collect();
         let snap = snapshot_for(&report);
         match dm.decide(SimTime::ZERO, &report, &snap) {
             Decision::Reconfigure(plan) => {
@@ -407,11 +508,8 @@ mod tests {
                 assert_eq!(read_nodes, 2, "{plan:?}");
                 assert_eq!(write_nodes, 2, "{plan:?}");
                 // Every partition appears exactly once.
-                let mut all: Vec<_> = plan
-                    .entries
-                    .iter()
-                    .flat_map(|(_, s)| s.partitions.iter().copied())
-                    .collect();
+                let mut all: Vec<_> =
+                    plan.entries.iter().flat_map(|(_, s)| s.partitions.iter().copied()).collect();
                 all.sort();
                 all.dedup();
                 assert_eq!(all.len(), 8);

@@ -16,6 +16,7 @@ use crate::profiles::ProfileKind;
 use cluster::admin::{ElasticCluster, ServerHealth};
 use hstore::StoreConfig;
 use simcore::SimTime;
+use telemetry::{Telemetry, TelemetryEvent};
 
 /// Things MeT did, timestamped — the experiment narrative.
 #[derive(Debug, Clone)]
@@ -35,6 +36,9 @@ pub struct Met {
     last_sample: Option<SimTime>,
     events: Vec<MetEvent>,
     reconfigurations: u64,
+    telemetry: Telemetry,
+    reconfig_started_at: Option<SimTime>,
+    last_decision_at: Option<SimTime>,
 }
 
 impl Met {
@@ -50,7 +54,32 @@ impl Met {
             last_sample: None,
             events: Vec::new(),
             reconfigurations: 0,
+            telemetry: Telemetry::disabled(),
+            reconfig_started_at: None,
+            last_decision_at: None,
         }
+    }
+
+    /// Creates a MeT instance whose whole control loop (monitor samples,
+    /// decision audit trail, actuator actions) reports to `telemetry`.
+    pub fn with_telemetry(cfg: MetConfig, base_config: StoreConfig, telemetry: Telemetry) -> Self {
+        let mut met = Met::new(cfg, base_config);
+        met.set_telemetry(telemetry);
+        met
+    }
+
+    /// Routes the control loop's telemetry to `telemetry` (shared with the
+    /// monitor, decision maker and actuator).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.monitor.set_telemetry(telemetry.clone());
+        self.decision.set_telemetry(telemetry.clone());
+        self.actuator.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
+    }
+
+    /// The telemetry handle this instance reports to.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The event log.
@@ -73,6 +102,16 @@ impl Met {
         self.actuator.busy()
     }
 
+    /// Records the end of a reconfiguration: the `ReconfigCompleted` event,
+    /// the duration histogram, and the completion counter.
+    fn note_reconfig_complete(&mut self, now: SimTime) {
+        let duration_ms =
+            self.reconfig_started_at.take().map(|t| now.since(t).as_millis()).unwrap_or(0);
+        self.telemetry.counter_add("met_reconfigurations_total", &[], 1);
+        self.telemetry.observe("met_reconfig_duration_ms", &[], duration_ms as f64);
+        self.telemetry.emit(now, TelemetryEvent::ReconfigCompleted { duration_ms });
+    }
+
     /// Drives MeT for one simulation tick.
     pub fn tick(&mut self, cluster: &mut dyn ElasticCluster) {
         let now = cluster.now();
@@ -89,6 +128,7 @@ impl Met {
                         self.actuator.stats()
                     ),
                 });
+                self.note_reconfig_complete(now);
                 // Only post-action observations feed the next decision.
                 self.monitor.reset();
                 self.last_sample = None;
@@ -112,6 +152,14 @@ impl Met {
             return;
         }
         let Some(report) = self.monitor.report(&snapshot) else { return };
+        if let Some(last) = self.last_decision_at {
+            self.telemetry.observe(
+                "met_decision_interval_ms",
+                &[],
+                now.since(last).as_millis() as f64,
+            );
+        }
+        self.last_decision_at = Some(now);
         match self.decision.decide(now, &report, &snapshot) {
             Decision::Healthy => {
                 // Stay in StageA; keep the sliding window of samples.
@@ -136,24 +184,21 @@ impl Met {
                 // layout — the move outages would cost more than the
                 // rebalance gains.
                 let total_partitions = snapshot.partitions.len().max(1);
-                if adds == 0
-                    && removes == 0
-                    && restarts == 0
-                    && moves * 5 < total_partitions
-                {
+                if adds == 0 && removes == 0 && restarts == 0 && moves * 5 < total_partitions {
                     return;
                 }
-                self.events.push(MetEvent {
-                    at: now,
-                    what: format!(
-                        "plan: {} slots, +{adds} nodes, -{removes} nodes, {moves} moves, {restarts} restarts",
-                        plan.entries.len(),
-                    ),
-                });
+                let reason = format!(
+                    "plan: {} slots, +{adds} nodes, -{removes} nodes, {moves} moves, {restarts} restarts",
+                    plan.entries.len(),
+                );
+                self.events.push(MetEvent { at: now, what: reason.clone() });
+                self.reconfig_started_at = Some(now);
+                self.telemetry.emit(now, TelemetryEvent::ReconfigStarted { reason });
                 self.actuator.start(plan, &snapshot);
                 // Begin executing immediately.
                 if self.actuator.advance(cluster) {
                     self.reconfigurations += 1;
+                    self.note_reconfig_complete(now);
                     self.monitor.reset();
                     self.last_sample = None;
                 }
@@ -190,13 +235,34 @@ mod tests {
             (0..4).map(|i| (parts[offset + i], 0.25)).collect()
         };
         sim.add_group(ClientGroup::with_common_weights(
-            "readers", 60.0, 0.5, None, OpMix::read_only(), third(0), 1.0, 0.0,
+            "readers",
+            60.0,
+            0.5,
+            None,
+            OpMix::read_only(),
+            third(0),
+            1.0,
+            0.0,
         ));
         sim.add_group(ClientGroup::with_common_weights(
-            "writers", 60.0, 0.5, None, OpMix::write_only(), third(4), 1.0, 0.2,
+            "writers",
+            60.0,
+            0.5,
+            None,
+            OpMix::write_only(),
+            third(4),
+            1.0,
+            0.2,
         ));
         sim.add_group(ClientGroup::with_common_weights(
-            "mixed", 60.0, 0.5, None, OpMix::new(0.5, 0.5, 0.0), third(8), 1.0, 0.0,
+            "mixed",
+            60.0,
+            0.5,
+            None,
+            OpMix::new(0.5, 0.5, 0.0),
+            third(8),
+            1.0,
+            0.0,
         ));
         (sim, parts)
     }
@@ -231,13 +297,8 @@ mod tests {
 
         // Steady-state throughput beats the homogeneous baseline.
         let end = sim.time();
-        let steady = sim
-            .total_series()
-            .mean_between(
-                simcore::SimTime(end.0 - 5 * 60_000),
-                end,
-            )
-            .unwrap();
+        let steady =
+            sim.total_series().mean_between(simcore::SimTime(end.0 - 5 * 60_000), end).unwrap();
         assert!(
             steady > baseline * 1.1,
             "MeT should improve throughput: baseline {baseline:.0} → {steady:.0}"

@@ -25,11 +25,8 @@ pub fn nodes_per_group(
     total_nodes: usize,
 ) -> BTreeMap<ProfileKind, usize> {
     assert!(total_nodes > 0, "no nodes to allocate");
-    let mut groups: Vec<(ProfileKind, usize)> = partitions_per_group
-        .iter()
-        .filter(|(_, n)| **n > 0)
-        .map(|(k, n)| (*k, *n))
-        .collect();
+    let mut groups: Vec<(ProfileKind, usize)> =
+        partitions_per_group.iter().filter(|(_, n)| **n > 0).map(|(k, n)| (*k, *n)).collect();
     if groups.is_empty() {
         return BTreeMap::new();
     }

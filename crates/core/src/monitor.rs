@@ -12,6 +12,7 @@ use cluster::admin::{ClusterSnapshot, ServerHealth};
 use cluster::{PartitionCounters, PartitionId, ServerId};
 use simcore::smoothing::ExpSmoother;
 use std::collections::BTreeMap;
+use telemetry::{Telemetry, TelemetryEvent};
 
 /// Smoothed per-server load.
 #[derive(Debug, Clone, Copy)]
@@ -75,6 +76,7 @@ pub struct Monitor {
     samples: usize,
     history: std::collections::VecDeque<(simcore::SimTime, MonitorReport)>,
     history_size: usize,
+    telemetry: Telemetry,
 }
 
 /// Default retained report history (§5: the prototype's "data history
@@ -98,7 +100,13 @@ impl Monitor {
             samples: 0,
             history: std::collections::VecDeque::new(),
             history_size,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Routes monitor telemetry (per-sample smoothed loads) to `telemetry`.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Past reports, oldest first (up to the configured history size).
@@ -131,7 +139,33 @@ impl Monitor {
             entry.io.observe(s.io_wait);
             entry.mem.observe(s.mem_util);
             entry.locality = s.locality;
+            self.telemetry.emit(
+                snapshot.at,
+                TelemetryEvent::MonitorSample {
+                    server: s.server.0,
+                    cpu: entry.cpu.value().unwrap_or(s.cpu_util),
+                    io_wait: entry.io.value().unwrap_or(s.io_wait),
+                    mem: entry.mem.value().unwrap_or(s.mem_util),
+                    locality: s.locality,
+                },
+            );
+            self.telemetry.gauge_set(
+                "met_server_cpu",
+                &[("server", &s.server.0.to_string())],
+                entry.cpu.value().unwrap_or(s.cpu_util),
+            );
+            self.telemetry.gauge_set(
+                "met_server_io_wait",
+                &[("server", &s.server.0.to_string())],
+                entry.io.value().unwrap_or(s.io_wait),
+            );
+            self.telemetry.gauge_set(
+                "met_server_locality",
+                &[("server", &s.server.0.to_string())],
+                s.locality,
+            );
         }
+        self.telemetry.counter_add("met_monitor_samples_total", &[], 1);
         // Drop servers that left the cluster.
         let live: Vec<ServerId> = snapshot
             .servers
@@ -235,11 +269,7 @@ mod tests {
     use hstore::StoreConfig;
     use simcore::SimTime;
 
-    fn snap(
-        t: u64,
-        cpu: f64,
-        counters: PartitionCounters,
-    ) -> ClusterSnapshot {
+    fn snap(t: u64, cpu: f64, counters: PartitionCounters) -> ClusterSnapshot {
         ClusterSnapshot {
             at: SimTime::from_secs(t),
             servers: vec![ServerMetrics {

@@ -176,10 +176,7 @@ mod tests {
             node(1, Some(ProfileKind::Read), &[1, 2]),
             node(2, Some(ProfileKind::Write), &[3, 4]),
         ];
-        let suggested = vec![
-            slot(ProfileKind::Read, &[1, 2]),
-            slot(ProfileKind::Write, &[3, 4]),
-        ];
+        let suggested = vec![slot(ProfileKind::Read, &[1, 2]), slot(ProfileKind::Write, &[3, 4])];
         let plan = compute_output(&current, suggested, false);
         assert_eq!(plan.moves_required(&current), 0);
         assert_eq!(plan.restarts_required(&current), 0);
@@ -194,10 +191,7 @@ mod tests {
             node(1, Some(ProfileKind::Write), &[3, 4]),
             node(2, Some(ProfileKind::Read), &[1, 2]),
         ];
-        let suggested = vec![
-            slot(ProfileKind::Read, &[1, 2]),
-            slot(ProfileKind::Write, &[3, 4]),
-        ];
+        let suggested = vec![slot(ProfileKind::Read, &[1, 2]), slot(ProfileKind::Write, &[3, 4])];
         let plan = compute_output(&current, suggested, false);
         assert_eq!(plan.moves_required(&current), 0);
         assert_eq!(plan.restarts_required(&current), 0);
@@ -209,10 +203,7 @@ mod tests {
     #[test]
     fn extra_slots_become_new_nodes() {
         let current = vec![node(1, Some(ProfileKind::Read), &[1])];
-        let suggested = vec![
-            slot(ProfileKind::Read, &[1]),
-            slot(ProfileKind::Write, &[2, 3]),
-        ];
+        let suggested = vec![slot(ProfileKind::Read, &[1]), slot(ProfileKind::Write, &[2, 3])];
         let plan = compute_output(&current, suggested, false);
         assert_eq!(plan.entries.len(), 2);
         assert_eq!(plan.entries[0].0, Some(ServerId(1)));
@@ -237,14 +228,9 @@ mod tests {
     fn profile_match_breaks_ties() {
         // Two nodes with zero overlap; the slot should go to the node
         // already running its profile.
-        let current = vec![
-            node(1, Some(ProfileKind::Write), &[]),
-            node(2, Some(ProfileKind::Read), &[]),
-        ];
-        let suggested = vec![
-            slot(ProfileKind::Read, &[10]),
-            slot(ProfileKind::Write, &[11]),
-        ];
+        let current =
+            vec![node(1, Some(ProfileKind::Write), &[]), node(2, Some(ProfileKind::Read), &[])];
+        let suggested = vec![slot(ProfileKind::Read, &[10]), slot(ProfileKind::Write, &[11])];
         let plan = compute_output(&current, suggested, false);
         assert_eq!(plan.restarts_required(&current), 0);
         assert_eq!(plan.entries[0].0, Some(ServerId(2)));
@@ -254,10 +240,7 @@ mod tests {
     #[test]
     fn first_time_maps_in_order() {
         let current = vec![node(1, None, &[1, 2]), node(2, None, &[3])];
-        let suggested = vec![
-            slot(ProfileKind::Read, &[1, 3]),
-            slot(ProfileKind::Write, &[2]),
-        ];
+        let suggested = vec![slot(ProfileKind::Read, &[1, 3]), slot(ProfileKind::Write, &[2])];
         let plan = compute_output(&current, suggested, true);
         assert_eq!(plan.entries[0].0, Some(ServerId(1)));
         assert_eq!(plan.entries[1].0, Some(ServerId(2)));

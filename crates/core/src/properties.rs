@@ -218,10 +218,8 @@ mod tests {
     #[test]
     fn cross_field_validation_applies() {
         // cpu_low above cpu_high is structurally parseable but invalid.
-        let err = parse_properties(
-            "met.threshold.cpu.low = 0.9\nmet.threshold.cpu.high = 0.5",
-        )
-        .unwrap_err();
+        let err = parse_properties("met.threshold.cpu.low = 0.9\nmet.threshold.cpu.high = 0.5")
+            .unwrap_err();
         assert_eq!(err.line, 0);
         assert!(err.message.contains("cpu_low"));
     }

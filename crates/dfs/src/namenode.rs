@@ -75,11 +75,7 @@ impl FileMeta {
     }
 
     fn local_bytes(&self, node: DataNodeId) -> u64 {
-        self.blocks
-            .iter()
-            .filter(|b| b.replicas.contains(&node))
-            .map(|b| b.size_bytes)
-            .sum()
+        self.blocks.iter().filter(|b| b.replicas.contains(&node)).map(|b| b.size_bytes).sum()
     }
 }
 
@@ -90,6 +86,7 @@ pub struct Namenode {
     nodes: BTreeSet<DataNodeId>,
     files: BTreeMap<DfsFileId, FileMeta>,
     rng: SimRng,
+    telemetry: telemetry::Telemetry,
 }
 
 impl Namenode {
@@ -97,12 +94,25 @@ impl Namenode {
     /// experiments use 2).
     pub fn new(replication: usize, rng: SimRng) -> Self {
         assert!(replication >= 1, "replication factor must be at least 1");
-        Namenode { replication, nodes: BTreeSet::new(), files: BTreeMap::new(), rng }
+        Namenode {
+            replication,
+            nodes: BTreeSet::new(),
+            files: BTreeMap::new(),
+            rng,
+            telemetry: telemetry::Telemetry::disabled(),
+        }
+    }
+
+    /// Routes namespace metrics (file/block creation, re-replication
+    /// traffic, datanode count) to `telemetry`.
+    pub fn set_telemetry(&mut self, telemetry: telemetry::Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Registers a DataNode.
     pub fn add_datanode(&mut self, node: DataNodeId) {
         self.nodes.insert(node);
+        self.telemetry.gauge_set("dfs_datanodes", &[], self.nodes.len() as f64);
     }
 
     /// Registered DataNodes.
@@ -152,13 +162,20 @@ impl Namenode {
         }
         let meta = FileMeta { size_bytes, blocks };
         let out: Vec<DataNodeId> = meta.all_replica_nodes().into_iter().collect();
+        self.telemetry.counter_add("dfs_files_created_total", &[], 1);
+        self.telemetry.counter_add("dfs_blocks_created_total", &[], meta.blocks.len() as u64);
+        self.telemetry.counter_add("dfs_bytes_written_total", &[], size_bytes);
         self.files.insert(id, meta);
         Ok(out)
     }
 
     /// Deletes a file and its replicas.
     pub fn delete_file(&mut self, id: DfsFileId) -> Result<(), DfsError> {
-        self.files.remove(&id).map(|_| ()).ok_or(DfsError::UnknownFile(id))
+        let removed = self.files.remove(&id).map(|_| ()).ok_or(DfsError::UnknownFile(id));
+        if removed.is_ok() {
+            self.telemetry.counter_add("dfs_files_deleted_total", &[], 1);
+        }
+        removed
     }
 
     /// The nodes holding at least one replica of any of the file's blocks.
@@ -200,8 +217,7 @@ impl Namenode {
             total += size;
             if let Some(meta) = self.files.get(id) {
                 if meta.size_bytes > 0 {
-                    local += *size as f64 * meta.local_bytes(node) as f64
-                        / meta.size_bytes as f64;
+                    local += *size as f64 * meta.local_bytes(node) as f64 / meta.size_bytes as f64;
                 }
             }
         }
@@ -229,6 +245,7 @@ impl Namenode {
         if !self.nodes.remove(&node) {
             return Err(DfsError::UnknownDataNode(node));
         }
+        self.telemetry.gauge_set("dfs_datanodes", &[], self.nodes.len() as f64);
         let mut moved = 0u64;
         let live: Vec<DataNodeId> = self.nodes.iter().copied().collect();
         for meta in self.files.values_mut() {
@@ -236,11 +253,8 @@ impl Namenode {
                 if !block.replicas.remove(&node) {
                     continue;
                 }
-                let mut candidates: Vec<DataNodeId> = live
-                    .iter()
-                    .copied()
-                    .filter(|n| !block.replicas.contains(n))
-                    .collect();
+                let mut candidates: Vec<DataNodeId> =
+                    live.iter().copied().filter(|n| !block.replicas.contains(n)).collect();
                 if candidates.is_empty() {
                     if block.replicas.is_empty() {
                         return Err(DfsError::NoReplicaTarget);
@@ -252,6 +266,7 @@ impl Namenode {
                 moved += block.size_bytes;
             }
         }
+        self.telemetry.counter_add("dfs_rereplicated_bytes_total", &[], moved);
         Ok(moved)
     }
 }
@@ -374,9 +389,8 @@ mod tests {
         assert!(n.is_local(DfsFileId(1), DataNodeId(0)).unwrap());
         // Secondary replicas scatter per block: some other node usually
         // holds a strict subset of blocks → fractional locality.
-        let fractions: Vec<f64> = (1..4)
-            .map(|d| n.local_fraction(DfsFileId(1), DataNodeId(d)).unwrap())
-            .collect();
+        let fractions: Vec<f64> =
+            (1..4).map(|d| n.local_fraction(DfsFileId(1), DataNodeId(d)).unwrap()).collect();
         let total: f64 = fractions.iter().sum();
         // rf=2 → exactly one extra replica per block: fractions sum to 1.
         assert!((total - 1.0).abs() < 1e-9, "fractions {fractions:?}");

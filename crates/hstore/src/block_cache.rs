@@ -55,6 +55,17 @@ impl CacheStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Publishes these cumulative counters as gauges labelled with the
+    /// owning server, so the report layer can compute fleet-wide hit rates
+    /// from a registry snapshot.
+    pub fn publish(&self, telemetry: &telemetry::Telemetry, server: &str) {
+        let labels = [("server", server)];
+        telemetry.gauge_set("hstore_block_cache_hits", &labels, self.hits as f64);
+        telemetry.gauge_set("hstore_block_cache_misses", &labels, self.misses as f64);
+        telemetry.gauge_set("hstore_block_cache_evictions", &labels, self.evictions as f64);
+        telemetry.gauge_set("hstore_block_cache_hit_ratio", &labels, self.hit_ratio());
+    }
 }
 
 /// A byte-bounded LRU cache of block identifiers.
@@ -203,6 +214,11 @@ impl SharedBlockCache {
     /// Configured capacity.
     pub fn capacity_bytes(&self) -> u64 {
         self.0.lock().capacity_bytes()
+    }
+
+    /// Publishes the current statistics (see [`CacheStats::publish`]).
+    pub fn publish(&self, telemetry: &telemetry::Telemetry, server: &str) {
+        self.stats().publish(telemetry, server)
     }
 }
 

@@ -89,9 +89,8 @@ mod tests {
         for i in 0..10_000u32 {
             f.insert(format!("key{i}").as_bytes());
         }
-        let fp = (10_000..100_000u32)
-            .filter(|i| f.may_contain(format!("key{i}").as_bytes()))
-            .count();
+        let fp =
+            (10_000..100_000u32).filter(|i| f.may_contain(format!("key{i}").as_bytes())).count();
         let rate = fp as f64 / 90_000.0;
         assert!(rate < 0.03, "false positive rate {rate}");
     }

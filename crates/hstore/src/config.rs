@@ -106,10 +106,9 @@ impl StoreConfig {
 
     /// Validates fractions, budgets and positivity.
     pub fn validate(&self) -> Result<(), ConfigError> {
-        for (name, v) in [
-            ("block_cache", self.block_cache_fraction),
-            ("memstore", self.memstore_fraction),
-        ] {
+        for (name, v) in
+            [("block_cache", self.block_cache_fraction), ("memstore", self.memstore_fraction)]
+        {
             if !(0.0..=1.0).contains(&v) {
                 return Err(ConfigError::FractionOutOfRange(name, v));
             }

@@ -58,10 +58,7 @@ impl HFile {
     /// `block_size == 0`.
     pub fn build(id: FileId, cells: Vec<CellVersion>, block_size: u64) -> Self {
         assert!(block_size > 0, "block_size must be positive");
-        debug_assert!(
-            cells.windows(2).all(|w| w[0].key <= w[1].key),
-            "HFile input must be sorted"
-        );
+        debug_assert!(cells.windows(2).all(|w| w[0].key <= w[1].key), "HFile input must be sorted");
         let mut bloom = BloomFilter::with_capacity(cells.len());
         let mut blocks: Vec<Block> = Vec::new();
         let mut cur: Vec<CellVersion> = Vec::new();
@@ -86,11 +83,7 @@ impl HFile {
             cur.push(cell);
         }
         if !cur.is_empty() {
-            blocks.push(Block {
-                first_key: cur[0].key.clone(),
-                byte_size: cur_bytes,
-                cells: cur,
-            });
+            blocks.push(Block { first_key: cur[0].key.clone(), byte_size: cur_bytes, cells: cur });
         }
         HFile { id, blocks, bloom, total_bytes: total, entry_count, first_row, last_row }
     }
@@ -188,10 +181,7 @@ impl HFile {
         range: &KeyRange,
         cache: &'a SharedBlockCache,
     ) -> HFileScanIter<'a> {
-        let start_key = range
-            .start
-            .as_ref()
-            .map(|r| InternalKey::row_start(r.clone()));
+        let start_key = range.start.as_ref().map(|r| InternalKey::row_start(r.clone()));
         let (block_idx, cell_idx) = match &start_key {
             None => (0, 0),
             Some(k) => match self.block_for(k) {

@@ -41,10 +41,15 @@ impl MemStore {
     /// Returns `Some(None)` for a tombstone (delete wins), `Some(Some(v))`
     /// for a live value, `None` when the memstore has no version at all for
     /// the coordinate.
-    pub fn get_newest(&self, row: &RowKey, qualifier: &crate::types::Qualifier) -> Option<Option<Bytes>> {
+    pub fn get_newest(
+        &self,
+        row: &RowKey,
+        qualifier: &crate::types::Qualifier,
+    ) -> Option<Option<Bytes>> {
         // The first entry ≥ (row, qualifier, MAX ts) within the coordinate is
         // the newest version, because timestamps sort descending.
-        let probe = InternalKey::new(row.clone(), qualifier.clone(), crate::types::Timestamp(u64::MAX));
+        let probe =
+            InternalKey::new(row.clone(), qualifier.clone(), crate::types::Timestamp(u64::MAX));
         self.cells
             .range(probe..)
             .next()
@@ -57,10 +62,7 @@ impl MemStore {
         &'a self,
         range: &'a KeyRange,
     ) -> impl Iterator<Item = (&'a InternalKey, &'a Option<Bytes>)> + 'a {
-        let start = range
-            .start
-            .as_ref()
-            .map(|r| InternalKey::row_start(r.clone()));
+        let start = range.start.as_ref().map(|r| InternalKey::row_start(r.clone()));
         let iter = match start {
             Some(s) => self.cells.range(s..),
             None => self.cells.range(..),
@@ -88,10 +90,7 @@ impl MemStore {
     pub fn drain_sorted(&mut self) -> Vec<CellVersion> {
         let cells = std::mem::take(&mut self.cells);
         self.heap_bytes = 0;
-        cells
-            .into_iter()
-            .map(|(key, value)| CellVersion { key, value })
-            .collect()
+        cells.into_iter().map(|(key, value)| CellVersion { key, value }).collect()
     }
 
     /// Immutable snapshot of contents in key order without clearing.

@@ -54,6 +54,7 @@ pub struct Region {
     families: BTreeMap<Family, CfStore>,
     counters: RegionCounters,
     memstore_flush_bytes: u64,
+    telemetry: telemetry::Telemetry,
 }
 
 impl Region {
@@ -83,7 +84,16 @@ impl Region {
             families: stores,
             counters: RegionCounters::default(),
             memstore_flush_bytes,
+            telemetry: telemetry::Telemetry::disabled(),
         }
+    }
+
+    /// Routes storage metrics (flush/compaction/split counters and byte
+    /// histograms) to `telemetry`. Regions have no clock, so only registry
+    /// metrics are published here; timed events belong to the layer that
+    /// owns the simulation clock.
+    pub fn set_telemetry(&mut self, telemetry: telemetry::Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Region identifier.
@@ -211,38 +221,65 @@ impl Region {
     /// threshold; returns the flush outcomes.
     pub fn maybe_flush(&mut self) -> Vec<FlushOutcome> {
         let threshold = self.memstore_flush_bytes;
-        self.families
+        let outcomes: Vec<FlushOutcome> = self
+            .families
             .values_mut()
             .filter(|s| s.memstore_bytes() as u64 >= threshold)
             .filter_map(|s| s.flush())
-            .collect()
+            .collect();
+        self.record_flushes(&outcomes);
+        outcomes
     }
 
     /// Unconditionally flushes every family.
     pub fn flush_all(&mut self) -> Vec<FlushOutcome> {
-        self.families.values_mut().filter_map(|s| s.flush()).collect()
+        let outcomes: Vec<FlushOutcome> =
+            self.families.values_mut().filter_map(|s| s.flush()).collect();
+        self.record_flushes(&outcomes);
+        outcomes
+    }
+
+    fn record_flushes(&self, outcomes: &[FlushOutcome]) {
+        for o in outcomes {
+            self.telemetry.counter_add("hstore_memstore_flushes_total", &[], 1);
+            self.telemetry.observe("hstore_flush_bytes", &[], o.bytes as f64);
+        }
+    }
+
+    fn record_compactions(&self, kind: &'static str, outcomes: &[CompactionOutcome]) {
+        for o in outcomes {
+            self.telemetry.counter_add("hstore_compactions_total", &[("kind", kind)], 1);
+            self.telemetry.observe(
+                "hstore_compaction_bytes",
+                &[("kind", kind)],
+                o.bytes_rewritten as f64,
+            );
+        }
     }
 
     /// Runs a minor compaction on families at/over the file-count threshold.
     pub fn maybe_compact(&mut self, threshold: usize) -> Vec<CompactionOutcome> {
-        self.families
+        let outcomes: Vec<CompactionOutcome> = self
+            .families
             .values_mut()
             .filter(|s| s.file_count() >= threshold)
             .filter_map(|s| s.compact_minor(threshold))
-            .collect()
+            .collect();
+        self.record_compactions("minor", &outcomes);
+        outcomes
     }
 
     /// Major-compacts every family, returning total bytes rewritten.
     pub fn major_compact(&mut self) -> Vec<CompactionOutcome> {
-        self.families.values_mut().filter_map(|s| s.compact_major()).collect()
+        let outcomes: Vec<CompactionOutcome> =
+            self.families.values_mut().filter_map(|s| s.compact_major()).collect();
+        self.record_compactions("major", &outcomes);
+        outcomes
     }
 
     /// Total stored bytes (files + memstores) across families.
     pub fn size_bytes(&self) -> u64 {
-        self.families
-            .values()
-            .map(|s| s.file_bytes() + s.memstore_bytes() as u64)
-            .sum()
+        self.families.values().map(|s| s.file_bytes() + s.memstore_bytes() as u64).sum()
     }
 
     /// Total memstore bytes across families.
@@ -274,10 +311,8 @@ impl Region {
     /// A suitable split row near the byte-midpoint, if the region has enough
     /// data to split.
     pub fn split_point(&self) -> Option<RowKey> {
-        let largest = self
-            .families
-            .values()
-            .max_by_key(|s| s.file_bytes() + s.memstore_bytes() as u64)?;
+        let largest =
+            self.families.values().max_by_key(|s| s.file_bytes() + s.memstore_bytes() as u64)?;
         let mid = largest.midpoint_row()?;
         // The split point must be strictly inside the range.
         if self.range.contains(&mid) && self.range.start.as_ref() != Some(&mid) {
@@ -330,6 +365,7 @@ impl Region {
             scans: self.counters.scans / 2,
             scan_rows: self.counters.scan_rows / 2,
         };
+        self.telemetry.counter_add("hstore_region_splits_total", &[], 1);
         let lo = Region {
             id: lo_id,
             table: self.table.clone(),
@@ -337,6 +373,7 @@ impl Region {
             families: lo_families,
             counters: half,
             memstore_flush_bytes: flush,
+            telemetry: self.telemetry.clone(),
         };
         let hi = Region {
             id: hi_id,
@@ -345,6 +382,7 @@ impl Region {
             families: hi_families,
             counters: half,
             memstore_flush_bytes: flush,
+            telemetry: self.telemetry,
         };
         Ok((lo, hi))
     }
@@ -438,8 +476,14 @@ mod tests {
             r.split("row20".into(), RegionId(2), RegionId(3), cache, ids, 512).unwrap();
         assert_eq!(lo.range().end.clone().unwrap(), "row20".into());
         assert_eq!(hi.range().start.clone().unwrap(), "row20".into());
-        assert_eq!(lo.get(&"cf".into(), &"row10".into(), &"c".into()).unwrap(), Some(b("0123456789")));
-        assert_eq!(hi.get(&"cf".into(), &"row30".into(), &"c".into()).unwrap(), Some(b("0123456789")));
+        assert_eq!(
+            lo.get(&"cf".into(), &"row10".into(), &"c".into()).unwrap(),
+            Some(b("0123456789"))
+        );
+        assert_eq!(
+            hi.get(&"cf".into(), &"row30".into(), &"c".into()).unwrap(),
+            Some(b("0123456789"))
+        );
         assert!(lo.get(&"cf".into(), &"row30".into(), &"c".into()).is_err());
     }
 
@@ -461,9 +505,7 @@ mod tests {
         r.put(&"cf".into(), "b".into(), "c".into(), b("v")).unwrap();
         let cache = SharedBlockCache::new(1 << 20);
         let ids = FileIdAllocator::new();
-        let err = r
-            .split("z".into(), RegionId(2), RegionId(3), cache, ids, 512)
-            .unwrap_err();
+        let err = r.split("z".into(), RegionId(2), RegionId(3), cache, ids, 512).unwrap_err();
         assert!(matches!(err, StoreError::BadSplitPoint(_)));
     }
 
@@ -472,8 +514,13 @@ mod tests {
         let mut r = region(KeyRange::all());
         for round in 0..3 {
             for i in 0..20 {
-                r.put(&"cf".into(), format!("row{i:02}").into(), "c".into(), b(&format!("v{round}")))
-                    .unwrap();
+                r.put(
+                    &"cf".into(),
+                    format!("row{i:02}").into(),
+                    "c".into(),
+                    b(&format!("v{round}")),
+                )
+                .unwrap();
             }
             r.flush_all();
         }

@@ -278,10 +278,8 @@ impl CfStore {
             .map(|f| {
                 // Compaction reads bypass the block cache (HBase does not
                 // pollute the cache with compaction IO), so collect directly.
-                let cells: Vec<CellVersion> = f
-                    .range_scan(&KeyRange::all(), &SharedBlockCache::new(0))
-                    .cloned()
-                    .collect();
+                let cells: Vec<CellVersion> =
+                    f.range_scan(&KeyRange::all(), &SharedBlockCache::new(0)).cloned().collect();
                 Box::new(cells.into_iter()) as Box<dyn Iterator<Item = CellVersion>>
             })
             .collect();

@@ -107,12 +107,18 @@ pub struct CloudCluster {
     server_to_vm: BTreeMap<ServerId, VmId>,
     deleted: BTreeSet<VmId>,
     next_vm: u64,
+    telemetry: telemetry::Telemetry,
 }
 
 impl CloudCluster {
     /// Deploys on the cloud: every subsequent provision goes through VM
     /// boot with `boot_delay`.
-    pub fn new(mut inner: SimCluster, flavor: Flavor, quota: Quota, boot_delay: SimDuration) -> Self {
+    pub fn new(
+        mut inner: SimCluster,
+        flavor: Flavor,
+        quota: Quota,
+        boot_delay: SimDuration,
+    ) -> Self {
         inner.set_provision_delay(boot_delay);
         CloudCluster {
             inner,
@@ -123,7 +129,16 @@ impl CloudCluster {
             server_to_vm: BTreeMap::new(),
             deleted: BTreeSet::new(),
             next_vm: 1,
+            telemetry: telemetry::Telemetry::disabled(),
         }
+    }
+
+    /// Routes IaaS-level telemetry (VM boots, deletions, quota rejections)
+    /// through `telemetry`; the wrapped simulated cluster reports through
+    /// the same handle.
+    pub fn set_telemetry(&mut self, telemetry: telemetry::Telemetry) {
+        self.inner.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
     }
 
     /// Boots the initial fleet synchronously (cluster bring-up before the
@@ -146,6 +161,7 @@ impl CloudCluster {
     fn check_quota(&self) -> Result<(), CloudError> {
         let active = self.vms.len() - self.deleted.len();
         if active >= self.quota.max_instances {
+            self.telemetry.counter_add("iaas_quota_rejections_total", &[], 1);
             return Err(CloudError::QuotaExceeded { limit: self.quota.max_instances });
         }
         Ok(())
@@ -156,14 +172,11 @@ impl CloudCluster {
         self.next_vm += 1;
         self.vms.insert(
             id,
-            VmRecord {
-                id,
-                flavor: self.flavor.clone(),
-                server,
-                requested_at: self.inner.time(),
-            },
+            VmRecord { id, flavor: self.flavor.clone(), server, requested_at: self.inner.time() },
         );
         self.server_to_vm.insert(server, id);
+        self.telemetry.counter_add("iaas_vms_booted_total", &[], 1);
+        self.telemetry.gauge_set("iaas_active_vms", &[], self.active_vm_count() as f64);
         id
     }
 
@@ -234,6 +247,8 @@ impl ElasticCluster for CloudCluster {
         self.inner.decommission_server(server)?;
         if let Some(vm) = self.server_to_vm.remove(&server) {
             self.deleted.insert(vm);
+            self.telemetry.counter_add("iaas_vms_deleted_total", &[], 1);
+            self.telemetry.gauge_set("iaas_active_vms", &[], self.active_vm_count() as f64);
         }
         Ok(())
     }

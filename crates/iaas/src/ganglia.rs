@@ -70,6 +70,23 @@ impl GangliaReport {
         self.entries.is_empty()
     }
 
+    /// Publishes the report as per-server gauges (`ganglia_cpu_util`,
+    /// `ganglia_io_wait`, `ganglia_mem_util`) plus the reporting-node count,
+    /// mirroring what a Ganglia gmetad round would push to a metrics store.
+    pub fn publish(&self, telemetry: &telemetry::Telemetry) {
+        if !telemetry.is_enabled() {
+            return;
+        }
+        for (sid, m) in &self.entries {
+            let label = sid.0.to_string();
+            let labels = [("server", label.as_str())];
+            telemetry.gauge_set("ganglia_cpu_util", &labels, m.cpu_util);
+            telemetry.gauge_set("ganglia_io_wait", &labels, m.io_wait);
+            telemetry.gauge_set("ganglia_mem_util", &labels, m.mem_util);
+        }
+        telemetry.gauge_set("ganglia_nodes_reporting", &[], self.entries.len() as f64);
+    }
+
     /// Fleet-average CPU utilization (0 when empty).
     pub fn avg_cpu(&self) -> f64 {
         if self.entries.is_empty() {

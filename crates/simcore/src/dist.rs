@@ -453,10 +453,12 @@ mod tests {
         let mut d = LatestDist::new(10_000);
         let mut rng = SimRng::new(5);
         let draws = 50_000;
-        let recent = (0..draws)
-            .filter(|_| d.next_index(&mut rng) >= 9_900)
-            .count();
-        assert!(recent as f64 / draws as f64 > 0.35, "recent share {}", recent as f64 / draws as f64);
+        let recent = (0..draws).filter(|_| d.next_index(&mut rng) >= 9_900).count();
+        assert!(
+            recent as f64 / draws as f64 > 0.35,
+            "recent share {}",
+            recent as f64 / draws as f64
+        );
     }
 
     #[test]

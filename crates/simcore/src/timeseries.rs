@@ -84,12 +84,8 @@ impl TimeSeries {
 
     /// Mean of values in `[from, to)`. Returns `None` if the window is empty.
     pub fn mean_between(&self, from: SimTime, to: SimTime) -> Option<f64> {
-        let vals: Vec<f64> = self
-            .points
-            .iter()
-            .filter(|&&(t, _)| t >= from && t < to)
-            .map(|&(_, v)| v)
-            .collect();
+        let vals: Vec<f64> =
+            self.points.iter().filter(|&&(t, _)| t >= from && t < to).map(|&(_, v)| v).collect();
         if vals.is_empty() {
             None
         } else {

@@ -73,7 +73,7 @@ impl TokenBucket {
     /// cluster simulation.
     pub fn budget_for_tick(&mut self, now: SimTime, tick_secs: f64) -> f64 {
         self.refill(now);
-        
+
         self.tokens + tick_secs * self.rate_per_sec
     }
 

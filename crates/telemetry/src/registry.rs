@@ -1,0 +1,300 @@
+//! Label-keyed counters, gauges and fixed-bucket histograms.
+//!
+//! Metric names are `&'static str` (they are part of the code, not data);
+//! label pairs distinguish instances (`server="3"`, `action="move_in"`).
+//! Histograms use a fixed log-spaced bucket layout tuned for simulated
+//! durations in milliseconds (1 ms – 10 min), so percentile queries are
+//! O(buckets) and fully deterministic.
+
+use std::collections::BTreeMap;
+
+/// Identity of one metric instance: name plus sorted label pairs.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    /// Metric name, e.g. `met_actions_total`.
+    pub name: String,
+    /// Label pairs, sorted by label name.
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    fn new(name: &'static str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> =
+            labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+        labels.sort();
+        MetricKey { name: name.to_string(), labels }
+    }
+
+    /// Renders the key in Prometheus-like form:
+    /// `name{label="value",...}`.
+    pub fn render(&self) -> String {
+        if self.labels.is_empty() {
+            return self.name.clone();
+        }
+        let labels: Vec<String> = self.labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+        format!("{}{{{}}}", self.name, labels.join(","))
+    }
+}
+
+/// Bucket upper bounds (inclusive) for duration histograms, in ms.
+pub const BUCKET_BOUNDS_MS: [f64; 18] = [
+    1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1_000.0, 2_500.0, 5_000.0, 10_000.0,
+    30_000.0, 60_000.0, 120_000.0, 300_000.0, 600_000.0,
+];
+
+#[derive(Debug, Clone)]
+struct Histogram {
+    /// One count per bound, plus a final overflow bucket.
+    counts: [u64; BUCKET_BOUNDS_MS.len() + 1],
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram {
+            counts: [0; BUCKET_BOUNDS_MS.len() + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn observe(&mut self, value: f64) {
+        let idx = BUCKET_BOUNDS_MS
+            .iter()
+            .position(|&bound| value <= bound)
+            .unwrap_or(BUCKET_BOUNDS_MS.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Upper-bound percentile estimate: the smallest bucket bound such
+    /// that at least `q` of the observations are ≤ it. Observations in
+    /// the overflow bucket report the true maximum.
+    fn percentile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (idx, &n) in self.counts.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= rank {
+                return Some(if idx < BUCKET_BOUNDS_MS.len() {
+                    BUCKET_BOUNDS_MS[idx].min(self.max)
+                } else {
+                    self.max
+                });
+            }
+        }
+        Some(self.max)
+    }
+
+    fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            sum: self.sum,
+            min: if self.count == 0 { 0.0 } else { self.min },
+            max: if self.count == 0 { 0.0 } else { self.max },
+            p50: self.percentile(0.50).unwrap_or(0.0),
+            p95: self.percentile(0.95).unwrap_or(0.0),
+            p99: self.percentile(0.99).unwrap_or(0.0),
+        }
+    }
+}
+
+/// Point-in-time digest of one histogram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Smallest observation (0 when empty).
+    pub min: f64,
+    /// Largest observation (0 when empty).
+    pub max: f64,
+    /// Median (bucket-bound estimate).
+    pub p50: f64,
+    /// 95th percentile (bucket-bound estimate).
+    pub p95: f64,
+    /// 99th percentile (bucket-bound estimate).
+    pub p99: f64,
+}
+
+impl HistogramSummary {
+    /// Mean observation, 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// The metric store. All maps are ordered so snapshots render stably.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<MetricKey, u64>,
+    gauges: BTreeMap<MetricKey, f64>,
+    histograms: BTreeMap<MetricKey, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `n` to a counter, creating it at zero first if needed.
+    pub fn counter_add(&mut self, name: &'static str, labels: &[(&str, &str)], n: u64) {
+        *self.counters.entry(MetricKey::new(name, labels)).or_insert(0) += n;
+    }
+
+    /// Sets a gauge to `value`.
+    pub fn gauge_set(&mut self, name: &'static str, labels: &[(&str, &str)], value: f64) {
+        self.gauges.insert(MetricKey::new(name, labels), value);
+    }
+
+    /// Records one histogram observation.
+    pub fn observe(&mut self, name: &'static str, labels: &[(&str, &str)], value: f64) {
+        self.histograms
+            .entry(MetricKey::new(name, labels))
+            .or_insert_with(Histogram::new)
+            .observe(value);
+    }
+
+    /// One labelled counter's value (0 when absent).
+    pub fn counter(&self, name: &'static str, labels: &[(&str, &str)]) -> u64 {
+        self.counters.get(&MetricKey::new(name, labels)).copied().unwrap_or(0)
+    }
+
+    /// A counter summed over every label set sharing `name`.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters.iter().filter(|(k, _)| k.name == name).map(|(_, v)| v).sum()
+    }
+
+    /// One labelled gauge's value.
+    pub fn gauge(&self, name: &'static str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.gauges.get(&MetricKey::new(name, labels)).copied()
+    }
+
+    /// One labelled histogram's digest.
+    pub fn histogram(
+        &self,
+        name: &'static str,
+        labels: &[(&str, &str)],
+    ) -> Option<HistogramSummary> {
+        self.histograms.get(&MetricKey::new(name, labels)).map(Histogram::summary)
+    }
+
+    /// A copy of every metric, sorted by key.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            gauges: self.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            histograms: self.histograms.iter().map(|(k, h)| (k.clone(), h.summary())).collect(),
+        }
+    }
+}
+
+/// Sorted point-in-time copy of a registry, for reports.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// All counters, sorted by key.
+    pub counters: Vec<(MetricKey, u64)>,
+    /// All gauges, sorted by key.
+    pub gauges: Vec<(MetricKey, f64)>,
+    /// All histogram digests, sorted by key.
+    pub histograms: Vec<(MetricKey, HistogramSummary)>,
+}
+
+impl MetricsSnapshot {
+    /// A counter summed over every label set sharing `name`.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters.iter().filter(|(k, _)| k.name == name).map(|(_, v)| v).sum()
+    }
+
+    /// Finds a histogram digest by metric name (first label set wins).
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms.iter().find(|(k, _)| k.name == name).map(|(_, h)| h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_aggregate_per_label_and_total() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("actions", &[("kind", "move")], 2);
+        r.counter_add("actions", &[("kind", "move")], 3);
+        r.counter_add("actions", &[("kind", "compact")], 1);
+        // Label order must not matter for identity.
+        r.counter_add("multi", &[("a", "1"), ("b", "2")], 1);
+        r.counter_add("multi", &[("b", "2"), ("a", "1")], 1);
+        assert_eq!(r.counter("actions", &[("kind", "move")]), 5);
+        assert_eq!(r.counter("actions", &[("kind", "compact")]), 1);
+        assert_eq!(r.counter("actions", &[("kind", "absent")]), 0);
+        assert_eq!(r.counter_total("actions"), 6);
+        assert_eq!(r.counter("multi", &[("a", "1"), ("b", "2")]), 2);
+    }
+
+    #[test]
+    fn histogram_percentiles_track_bucket_bounds() {
+        let mut r = MetricsRegistry::new();
+        // 100 observations: 1..=100 ms.
+        for v in 1..=100 {
+            r.observe("lat", &[], v as f64);
+        }
+        let h = r.histogram("lat", &[]).unwrap();
+        assert_eq!(h.count, 100);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 100.0);
+        // Rank 50 lands in the (25, 50] bucket → bound 50.
+        assert_eq!(h.p50, 50.0);
+        // Rank 95 lands in the (50, 100] bucket → bound 100.
+        assert_eq!(h.p95, 100.0);
+        assert_eq!(h.p99, 100.0);
+        assert!((h.mean() - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_overflow_and_singleton() {
+        let mut r = MetricsRegistry::new();
+        r.observe("big", &[], 10_000_000.0); // beyond the last bound
+        let h = r.histogram("big", &[]).unwrap();
+        assert_eq!(h.p50, 10_000_000.0);
+        assert_eq!(h.p99, 10_000_000.0);
+
+        let mut r = MetricsRegistry::new();
+        r.observe("one", &[], 3.0);
+        let h = r.histogram("one", &[]).unwrap();
+        // Single observation: every percentile is capped at the max.
+        assert_eq!(h.p50, 3.0);
+        assert_eq!(h.p99, 3.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_absent() {
+        let r = MetricsRegistry::new();
+        assert!(r.histogram("nope", &[]).is_none());
+        assert!(r.gauge("nope", &[]).is_none());
+    }
+
+    #[test]
+    fn render_is_prometheus_like() {
+        let key = MetricKey::new("hits", &[("server", "3"), ("cache", "block")]);
+        assert_eq!(key.render(), "hits{cache=\"block\",server=\"3\"}");
+        assert_eq!(MetricKey::new("plain", &[]).render(), "plain");
+    }
+}

@@ -1,0 +1,115 @@
+//! Event sinks: an in-memory ring buffer and a JSONL file exporter.
+
+use crate::event::Event;
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// Keeps the most recent `capacity` events in memory. Used by tests, the
+/// report layer, and any caller that wants to inspect a trace without
+/// touching the filesystem.
+#[derive(Debug)]
+pub struct RingBufferSink {
+    capacity: usize,
+    buf: VecDeque<Event>,
+    /// Events discarded because the buffer was full.
+    pub dropped: u64,
+}
+
+impl RingBufferSink {
+    /// A ring holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        RingBufferSink { capacity: capacity.max(1), buf: VecDeque::new(), dropped: 0 }
+    }
+
+    /// Appends an event, evicting the oldest when full.
+    pub fn push(&mut self, event: Event) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(event);
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.buf.iter().cloned().collect()
+    }
+}
+
+/// Streams events to a file, one JSON object per line. Write failures are
+/// counted, not propagated — tracing must never alter simulation
+/// behaviour.
+#[derive(Debug)]
+pub struct JsonlSink {
+    out: BufWriter<File>,
+    /// Events that failed to serialize or write.
+    pub write_errors: u64,
+}
+
+impl JsonlSink {
+    /// Creates (truncates) `path` for writing.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        Ok(JsonlSink { out: BufWriter::new(File::create(path)?), write_errors: 0 })
+    }
+
+    /// Appends one event line.
+    pub fn write(&mut self, event: &Event) {
+        let line = event.to_json_line();
+        if writeln!(self.out, "{line}").is_err() {
+            self.write_errors += 1;
+        }
+    }
+
+    /// Flushes buffered lines to the file.
+    pub fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TelemetryEvent;
+
+    fn event(seq: u64) -> Event {
+        Event {
+            time_ms: seq * 10,
+            seq,
+            data: TelemetryEvent::ReconfigCompleted { duration_ms: seq },
+        }
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut ring = RingBufferSink::new(3);
+        for seq in 0..5 {
+            ring.push(event(seq));
+        }
+        let seqs: Vec<u64> = ring.events().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+        assert_eq!(ring.dropped, 2);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let path = std::env::temp_dir().join("telemetry-sink-test.jsonl");
+        {
+            let mut sink = JsonlSink::create(&path).unwrap();
+            for seq in 0..3 {
+                sink.write(&event(seq));
+            }
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let parsed = crate::event::parse_trace(&text).unwrap();
+        assert_eq!(parsed, (0..3).map(event).collect::<Vec<_>>());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -84,8 +84,7 @@ impl TpccDeployment {
 
     /// The closed-loop terminal pool (the paper runs 300 clients, §6.3).
     pub fn client_group(&self, clients: f64, think_ms: f64) -> ClientGroup {
-        let (r_item, r_stock, r_cust, w_stock, w_orders, w_cust, s_orders) =
-            weighted_footprint();
+        let (r_item, r_stock, r_cust, w_stock, w_orders, w_cust, s_orders) = weighted_footprint();
         let reads = r_item + r_stock + r_cust;
         let writes = w_stock + w_orders + w_cust;
         let scans = s_orders;
@@ -172,16 +171,18 @@ pub fn deploy(scale: &TpccScale, n_slices: u32, sim: &mut SimCluster) -> TpccDep
     let (stock_bytes, orders_bytes, cust_bytes) = slice_bytes(scale, per_slice.max(1));
     let slices = (0..n_slices)
         .map(|_| {
-            let mk_stock = |sim: &mut SimCluster| sim.create_partition(PartitionSpec {
-                table: "stock".into(),
-                size_bytes: stock_bytes / 2.0,
-                record_bytes: 306.0 * TpccScale::HBASE_CELL_OVERHEAD as f64,
-                // TPC-C picks items with NURand(8191): the biased OR
-                // concentrates most touches on a modest slice of the
-                // catalog, and read-update stock rows ride the memstore.
-                hot_set_fraction: 0.15,
-                hot_ops_fraction: 0.85,
-            });
+            let mk_stock = |sim: &mut SimCluster| {
+                sim.create_partition(PartitionSpec {
+                    table: "stock".into(),
+                    size_bytes: stock_bytes / 2.0,
+                    record_bytes: 306.0 * TpccScale::HBASE_CELL_OVERHEAD as f64,
+                    // TPC-C picks items with NURand(8191): the biased OR
+                    // concentrates most touches on a modest slice of the
+                    // catalog, and read-update stock rows ride the memstore.
+                    hot_set_fraction: 0.15,
+                    hot_ops_fraction: 0.85,
+                })
+            };
             let stock_a = mk_stock(sim);
             let stock_b = mk_stock(sim);
             let orders = sim.create_partition(PartitionSpec {
@@ -244,11 +245,9 @@ mod tests {
         assert_eq!(d.slices.len(), 6);
         assert_eq!(d.item_partitions.len(), 4);
         let g = d.client_group(300.0, 5.0);
-        for (name, ws) in [
-            ("read", &g.read_weights),
-            ("write", &g.write_weights),
-            ("scan", &g.scan_weights),
-        ] {
+        for (name, ws) in
+            [("read", &g.read_weights), ("write", &g.write_weights), ("scan", &g.scan_weights)]
+        {
             let sum: f64 = ws.iter().map(|(_, w)| w).sum();
             assert!((sum - 1.0).abs() < 1e-9, "{name} weights sum {sum}");
         }

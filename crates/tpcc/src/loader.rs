@@ -1,9 +1,9 @@
 //! TPC-C database population.
 
 use crate::schema::{keys, Table, TpccScale};
+use bytes::Bytes;
 use cluster::functional::{FResult, FunctionalCluster};
 use hstore::{Qualifier, RowKey};
-use bytes::Bytes;
 use simcore::SimRng;
 
 fn q(name: &str) -> Qualifier {
@@ -24,18 +24,13 @@ fn text(rng: &mut SimRng, len: usize) -> Bytes {
 
 /// Creates the nine tables pre-split by warehouse and loads the initial
 /// population. Returns the number of rows written.
-pub fn load(
-    cluster: &mut FunctionalCluster,
-    scale: &TpccScale,
-    seed: u64,
-) -> FResult<u64> {
+pub fn load(cluster: &mut FunctionalCluster, scale: &TpccScale, seed: u64) -> FResult<u64> {
     let mut rng = SimRng::new(seed).derive("tpcc-load");
     let fam = Table::family();
     let mut rows = 0u64;
 
     // Pre-split warehouse-keyed tables at warehouse boundaries.
-    let wh_splits: Vec<RowKey> =
-        (2..=scale.warehouses).map(keys::warehouse).collect();
+    let wh_splits: Vec<RowKey> = (2..=scale.warehouses).map(keys::warehouse).collect();
     for t in [
         Table::Warehouse,
         Table::District,
@@ -49,37 +44,59 @@ pub fn load(
         cluster.create_table(t.name(), std::slice::from_ref(&fam), &wh_splits)?;
     }
     // ITEM is global: split into four ranges like any read table.
-    let item_splits: Vec<RowKey> = (1..4)
-        .map(|i| keys::item(i * scale.items / 4))
-        .collect();
+    let item_splits: Vec<RowKey> = (1..4).map(|i| keys::item(i * scale.items / 4)).collect();
     cluster.create_table(Table::Item.name(), std::slice::from_ref(&fam), &item_splits)?;
 
     // ITEM catalog.
     for i in 0..scale.items {
         let row = keys::item(i);
         cluster.put(Table::Item.name(), &fam, row.clone(), q("I_NAME"), text(&mut rng, 14))?;
-        cluster.put(Table::Item.name(), &fam, row, q("I_PRICE"), num(rng.next_range(100, 10_000)))?;
+        cluster.put(
+            Table::Item.name(),
+            &fam,
+            row,
+            q("I_PRICE"),
+            num(rng.next_range(100, 10_000)),
+        )?;
         rows += 1;
     }
 
     for w in 1..=scale.warehouses {
         let wrow = keys::warehouse(w);
         cluster.put(Table::Warehouse.name(), &fam, wrow.clone(), q("W_NAME"), text(&mut rng, 8))?;
-        cluster.put(Table::Warehouse.name(), &fam, wrow.clone(), q("W_TAX"), num(rng.next_below(20)))?;
+        cluster.put(
+            Table::Warehouse.name(),
+            &fam,
+            wrow.clone(),
+            q("W_TAX"),
+            num(rng.next_below(20)),
+        )?;
         cluster.put(Table::Warehouse.name(), &fam, wrow, q("W_YTD"), num(0))?;
         rows += 1;
 
         // STOCK for every item.
         for i in 0..scale.items {
             let srow = keys::stock(w, i);
-            cluster.put(Table::Stock.name(), &fam, srow.clone(), q("S_QUANTITY"), num(rng.next_range(10, 100)))?;
+            cluster.put(
+                Table::Stock.name(),
+                &fam,
+                srow.clone(),
+                q("S_QUANTITY"),
+                num(rng.next_range(10, 100)),
+            )?;
             cluster.put(Table::Stock.name(), &fam, srow, q("S_YTD"), num(0))?;
             rows += 1;
         }
 
         for d in 1..=scale.districts_per_warehouse {
             let drow = keys::district(w, d);
-            cluster.put(Table::District.name(), &fam, drow.clone(), q("D_TAX"), num(rng.next_below(20)))?;
+            cluster.put(
+                Table::District.name(),
+                &fam,
+                drow.clone(),
+                q("D_TAX"),
+                num(rng.next_below(20)),
+            )?;
             cluster.put(Table::District.name(), &fam, drow.clone(), q("D_YTD"), num(0))?;
             cluster.put(
                 Table::District.name(),
@@ -92,7 +109,13 @@ pub fn load(
 
             for c in 1..=scale.customers_per_district {
                 let crow = keys::customer(w, d, c);
-                cluster.put(Table::Customer.name(), &fam, crow.clone(), q("C_LAST"), text(&mut rng, 12))?;
+                cluster.put(
+                    Table::Customer.name(),
+                    &fam,
+                    crow.clone(),
+                    q("C_LAST"),
+                    text(&mut rng, 12),
+                )?;
                 cluster.put(Table::Customer.name(), &fam, crow.clone(), q("C_BALANCE"), num(0))?;
                 cluster.put(Table::Customer.name(), &fam, crow, q("C_DATA"), text(&mut rng, 50))?;
                 rows += 1;
@@ -101,20 +124,44 @@ pub fn load(
             for o in 1..=scale.initial_orders_per_district {
                 let orow = keys::order(w, d, o);
                 let c = rng.next_range(1, scale.customers_per_district as u64) as u32;
-                cluster.put(Table::Orders.name(), &fam, orow.clone(), q("O_C_ID"), num(c as u64))?;
+                cluster.put(
+                    Table::Orders.name(),
+                    &fam,
+                    orow.clone(),
+                    q("O_C_ID"),
+                    num(c as u64),
+                )?;
                 let lines = rng.next_range(5, 15) as u32;
                 cluster.put(Table::Orders.name(), &fam, orow, q("O_OL_CNT"), num(lines as u64))?;
                 rows += 1;
                 for l in 1..=lines {
                     let lrow = keys::order_line(w, d, o, l);
                     let item = rng.next_below(scale.items as u64) as u32;
-                    cluster.put(Table::OrderLine.name(), &fam, lrow.clone(), q("OL_I_ID"), num(item as u64))?;
-                    cluster.put(Table::OrderLine.name(), &fam, lrow, q("OL_AMOUNT"), num(rng.next_range(1, 9_999)))?;
+                    cluster.put(
+                        Table::OrderLine.name(),
+                        &fam,
+                        lrow.clone(),
+                        q("OL_I_ID"),
+                        num(item as u64),
+                    )?;
+                    cluster.put(
+                        Table::OrderLine.name(),
+                        &fam,
+                        lrow,
+                        q("OL_AMOUNT"),
+                        num(rng.next_range(1, 9_999)),
+                    )?;
                     rows += 1;
                 }
                 // The last third of initial orders are still undelivered.
                 if o > scale.initial_orders_per_district * 2 / 3 {
-                    cluster.put(Table::NewOrder.name(), &fam, keys::new_order(w, d, o), q("NO_O_ID"), num(o as u64))?;
+                    cluster.put(
+                        Table::NewOrder.name(),
+                        &fam,
+                        keys::new_order(w, d, o),
+                        q("NO_O_ID"),
+                        num(o as u64),
+                    )?;
                     rows += 1;
                 }
             }

@@ -7,9 +7,9 @@
 //! both MeT's classifier and the performance model observe.
 
 use crate::schema::{keys, Table, TpccScale};
+use bytes::Bytes;
 use cluster::functional::{FResult, FunctionalCluster};
 use hstore::Qualifier;
-use bytes::Bytes;
 use simcore::SimRng;
 
 fn q(name: &str) -> Qualifier {
@@ -161,20 +161,34 @@ impl TxnExecutor {
         cluster.put(Table::Orders.name(), &fam, orow.clone(), q("O_C_ID"), num(c as u64))?;
         let lines = self.rng.next_range(5, 15) as u32;
         cluster.put(Table::Orders.name(), &fam, orow, q("O_OL_CNT"), num(lines as u64))?;
-        cluster.put(Table::NewOrder.name(), &fam, keys::new_order(w, d, o), q("NO_O_ID"), num(o as u64))?;
+        cluster.put(
+            Table::NewOrder.name(),
+            &fam,
+            keys::new_order(w, d, o),
+            q("NO_O_ID"),
+            num(o as u64),
+        )?;
 
         for l in 1..=lines {
             let i = self.pick_item();
             let _price = cluster.get(Table::Item.name(), &fam, &keys::item(i), &q("I_PRICE"))?;
             let srow = keys::stock(w, i);
             let qty = parse_num(
-                &cluster.get(Table::Stock.name(), &fam, &srow, &q("S_QUANTITY"))?.unwrap_or_default(),
+                &cluster
+                    .get(Table::Stock.name(), &fam, &srow, &q("S_QUANTITY"))?
+                    .unwrap_or_default(),
             );
             let taken = self.rng.next_range(1, 10);
             let new_qty = if qty >= taken + 10 { qty - taken } else { qty + 91 - taken };
             cluster.put(Table::Stock.name(), &fam, srow, q("S_QUANTITY"), num(new_qty))?;
             let lrow = keys::order_line(w, d, o, l);
-            cluster.put(Table::OrderLine.name(), &fam, lrow.clone(), q("OL_I_ID"), num(i as u64))?;
+            cluster.put(
+                Table::OrderLine.name(),
+                &fam,
+                lrow.clone(),
+                q("OL_I_ID"),
+                num(i as u64),
+            )?;
             cluster.put(Table::OrderLine.name(), &fam, lrow, q("OL_AMOUNT"), num(taken * 100))?;
         }
         self.counts.new_order += 1;
@@ -190,15 +204,21 @@ impl TxnExecutor {
         let amount = self.rng.next_range(100, 500_000);
 
         let wrow = keys::warehouse(w);
-        let ytd = parse_num(&cluster.get(Table::Warehouse.name(), &fam, &wrow, &q("W_YTD"))?.unwrap_or_default());
+        let ytd = parse_num(
+            &cluster.get(Table::Warehouse.name(), &fam, &wrow, &q("W_YTD"))?.unwrap_or_default(),
+        );
         cluster.put(Table::Warehouse.name(), &fam, wrow, q("W_YTD"), num(ytd + amount))?;
 
         let drow = keys::district(w, d);
-        let dytd = parse_num(&cluster.get(Table::District.name(), &fam, &drow, &q("D_YTD"))?.unwrap_or_default());
+        let dytd = parse_num(
+            &cluster.get(Table::District.name(), &fam, &drow, &q("D_YTD"))?.unwrap_or_default(),
+        );
         cluster.put(Table::District.name(), &fam, drow, q("D_YTD"), num(dytd + amount))?;
 
         let crow = keys::customer(w, d, c);
-        let bal = parse_num(&cluster.get(Table::Customer.name(), &fam, &crow, &q("C_BALANCE"))?.unwrap_or_default());
+        let bal = parse_num(
+            &cluster.get(Table::Customer.name(), &fam, &crow, &q("C_BALANCE"))?.unwrap_or_default(),
+        );
         cluster.put(Table::Customer.name(), &fam, crow, q("C_BALANCE"), num(bal + amount))?;
 
         self.history_seq += 1;
@@ -219,10 +239,12 @@ impl TxnExecutor {
         let w = self.pick_warehouse();
         let d = self.pick_district();
         let c = self.pick_customer();
-        let _cust = cluster.get(Table::Customer.name(), &fam, &keys::customer(w, d, c), &q("C_BALANCE"))?;
+        let _cust =
+            cluster.get(Table::Customer.name(), &fam, &keys::customer(w, d, c), &q("C_BALANCE"))?;
         // Scan the district's most recent orders and their lines.
         let _orders = cluster.scan(Table::Orders.name(), &fam, &keys::order(w, d, 1), 1)?;
-        let _lines = cluster.scan(Table::OrderLine.name(), &fam, &keys::order_line(w, d, 1, 1), 15)?;
+        let _lines =
+            cluster.scan(Table::OrderLine.name(), &fam, &keys::order_line(w, d, 1, 1), 15)?;
         self.counts.order_status += 1;
         Ok(())
     }
@@ -248,9 +270,16 @@ impl TxnExecutor {
                 .unwrap_or(0) as u32;
             cluster.delete(Table::NewOrder.name(), &fam, row, q("NO_O_ID"))?;
             let orow = keys::order(w, d, o);
-            cluster.put(Table::Orders.name(), &fam, orow, q("O_CARRIER_ID"), num(self.rng.next_range(1, 10)))?;
+            cluster.put(
+                Table::Orders.name(),
+                &fam,
+                orow,
+                q("O_CARRIER_ID"),
+                num(self.rng.next_range(1, 10)),
+            )?;
             // Credit the customer with the order total.
-            let lines = cluster.scan(Table::OrderLine.name(), &fam, &keys::order_line(w, d, o, 1), 15)?;
+            let lines =
+                cluster.scan(Table::OrderLine.name(), &fam, &keys::order_line(w, d, o, 1), 15)?;
             let total: u64 = lines
                 .iter()
                 .flat_map(|(_, cs)| cs.iter())
@@ -259,7 +288,11 @@ impl TxnExecutor {
                 .sum();
             let c = self.pick_customer();
             let crow = keys::customer(w, d, c);
-            let bal = parse_num(&cluster.get(Table::Customer.name(), &fam, &crow, &q("C_BALANCE"))?.unwrap_or_default());
+            let bal = parse_num(
+                &cluster
+                    .get(Table::Customer.name(), &fam, &crow, &q("C_BALANCE"))?
+                    .unwrap_or_default(),
+            );
             cluster.put(Table::Customer.name(), &fam, crow, q("C_BALANCE"), num(bal + total))?;
         }
         self.counts.delivery += 1;
@@ -272,16 +305,19 @@ impl TxnExecutor {
         let w = self.pick_warehouse();
         let d = self.pick_district();
         let next = parse_num(
-            &cluster.get(Table::District.name(), &fam, &keys::district(w, d), &q("D_NEXT_O_ID"))?
+            &cluster
+                .get(Table::District.name(), &fam, &keys::district(w, d), &q("D_NEXT_O_ID"))?
                 .unwrap_or_default(),
         ) as u32;
         let from = next.saturating_sub(20).max(1);
-        let lines = cluster.scan(Table::OrderLine.name(), &fam, &keys::order_line(w, d, from, 1), 40)?;
+        let lines =
+            cluster.scan(Table::OrderLine.name(), &fam, &keys::order_line(w, d, from, 1), 40)?;
         let mut checked = 0;
         for (_, cells) in lines.iter().take(20) {
             if let Some((_, v)) = cells.iter().find(|(q_, _)| q_ == &q("OL_I_ID")) {
                 let i = parse_num(v) as u32;
-                let _ = cluster.get(Table::Stock.name(), &fam, &keys::stock(w, i), &q("S_QUANTITY"))?;
+                let _ =
+                    cluster.get(Table::Stock.name(), &fam, &keys::stock(w, i), &q("S_QUANTITY"))?;
                 checked += 1;
             }
         }
@@ -351,11 +387,17 @@ mod tests {
         let mut d_ytd = 0;
         for w in 1..=scale.warehouses {
             w_ytd += parse_num(
-                &cluster.get(Table::Warehouse.name(), &fam, &keys::warehouse(w), &q("W_YTD")).unwrap().unwrap(),
+                &cluster
+                    .get(Table::Warehouse.name(), &fam, &keys::warehouse(w), &q("W_YTD"))
+                    .unwrap()
+                    .unwrap(),
             );
             for d in 1..=scale.districts_per_warehouse {
                 d_ytd += parse_num(
-                    &cluster.get(Table::District.name(), &fam, &keys::district(w, d), &q("D_YTD")).unwrap().unwrap(),
+                    &cluster
+                        .get(Table::District.name(), &fam, &keys::district(w, d), &q("D_YTD"))
+                        .unwrap()
+                        .unwrap(),
                 );
             }
         }
@@ -368,7 +410,10 @@ mod tests {
         let (mut cluster, scale) = loaded();
         let fam = Table::family();
         let count_pending = |cluster: &mut FunctionalCluster| {
-            cluster.scan(Table::NewOrder.name(), &fam, &keys::new_order(1, 1, 0), 1_000).unwrap().len()
+            cluster
+                .scan(Table::NewOrder.name(), &fam, &keys::new_order(1, 1, 0), 1_000)
+                .unwrap()
+                .len()
         };
         let before = count_pending(&mut cluster);
         assert!(before > 0, "loader must leave pending orders");
@@ -396,7 +441,10 @@ mod tests {
         let fam = Table::family();
         let snapshot = |cluster: &mut FunctionalCluster| {
             parse_num(
-                &cluster.get(Table::Warehouse.name(), &fam, &keys::warehouse(1), &q("W_YTD")).unwrap().unwrap(),
+                &cluster
+                    .get(Table::Warehouse.name(), &fam, &keys::warehouse(1), &q("W_YTD"))
+                    .unwrap()
+                    .unwrap(),
             )
         };
         let before = snapshot(&mut cluster);

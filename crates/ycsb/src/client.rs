@@ -7,9 +7,9 @@
 //! ([`crate::demand`]).
 
 use crate::workload::WorkloadSpec;
+use bytes::Bytes;
 use cluster::functional::{FResult, FunctionalCluster};
 use hstore::{Family, Qualifier, RowKey};
-use bytes::Bytes;
 use simcore::dist::{Dist, KeyDistribution};
 use simcore::SimRng;
 

@@ -158,6 +158,9 @@ mod tests {
         let mut sim2 = SimCluster::new(CostParams::default(), 7);
         let mut r1 = SimRng::new(7);
         let mut r2 = SimRng::new(7);
-        assert_eq!(deploy(&spec, &mut sim1, &mut r1).weights, deploy(&spec, &mut sim2, &mut r2).weights);
+        assert_eq!(
+            deploy(&spec, &mut sim1, &mut r1).weights,
+            deploy(&spec, &mut sim2, &mut r2).weights
+        );
     }
 }

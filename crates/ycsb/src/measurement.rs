@@ -128,13 +128,7 @@ mod tests {
     fn empty_window_yields_none() {
         let thr = TimeSeries::new("t");
         let lat = TimeSeries::new("l");
-        assert!(WorkloadReport::from_series(
-            "x",
-            &thr,
-            &lat,
-            SimTime::ZERO,
-            SimTime::from_mins(1)
-        )
-        .is_none());
+        assert!(WorkloadReport::from_series("x", &thr, &lat, SimTime::ZERO, SimTime::from_mins(1))
+            .is_none());
     }
 }

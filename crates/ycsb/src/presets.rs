@@ -38,26 +38,16 @@ fn base(name: &str, table: &str) -> WorkloadSpec {
 /// WorkloadA — session store: 50 % reads, 50 % updates.
 pub fn workload_a() -> WorkloadSpec {
     let mut w = base("A", "usertable_a");
-    w.proportions = Proportions {
-        read: 0.5,
-        update: 0.5,
-        insert: 0.0,
-        scan: 0.0,
-        read_modify_write: 0.0,
-    };
+    w.proportions =
+        Proportions { read: 0.5, update: 0.5, insert: 0.0, scan: 0.0, read_modify_write: 0.0 };
     w
 }
 
 /// WorkloadB (modified) — stocks management: 100 % updates.
 pub fn workload_b() -> WorkloadSpec {
     let mut w = base("B", "usertable_b");
-    w.proportions = Proportions {
-        read: 0.0,
-        update: 1.0,
-        insert: 0.0,
-        scan: 0.0,
-        read_modify_write: 0.0,
-    };
+    w.proportions =
+        Proportions { read: 0.0, update: 1.0, insert: 0.0, scan: 0.0, read_modify_write: 0.0 };
     w
 }
 
@@ -71,13 +61,8 @@ pub fn workload_c() -> WorkloadSpec {
 pub fn workload_d() -> WorkloadSpec {
     let mut w = base("D", "usertable_d");
     w.records = 100_000;
-    w.proportions = Proportions {
-        read: 0.05,
-        update: 0.0,
-        insert: 0.95,
-        scan: 0.0,
-        read_modify_write: 0.0,
-    };
+    w.proportions =
+        Proportions { read: 0.05, update: 0.0, insert: 0.95, scan: 0.0, read_modify_write: 0.0 };
     w.request_dist = RequestDistribution::Latest;
     w.threads = 5;
     w.target_ops_per_sec = Some(1_500.0);
@@ -88,13 +73,8 @@ pub fn workload_d() -> WorkloadSpec {
 /// WorkloadE — threaded conversations: 95 % scans, 5 % inserts.
 pub fn workload_e() -> WorkloadSpec {
     let mut w = base("E", "usertable_e");
-    w.proportions = Proportions {
-        read: 0.0,
-        update: 0.0,
-        insert: 0.05,
-        scan: 0.95,
-        read_modify_write: 0.0,
-    };
+    w.proportions =
+        Proportions { read: 0.0, update: 0.0, insert: 0.05, scan: 0.95, read_modify_write: 0.0 };
     w.max_scan_len = 100;
     w
 }
@@ -102,13 +82,8 @@ pub fn workload_e() -> WorkloadSpec {
 /// WorkloadF — user database: 50 % reads, 50 % read-modify-writes.
 pub fn workload_f() -> WorkloadSpec {
     let mut w = base("F", "usertable_f");
-    w.proportions = Proportions {
-        read: 0.5,
-        update: 0.0,
-        insert: 0.0,
-        scan: 0.0,
-        read_modify_write: 0.5,
-    };
+    w.proportions =
+        Proportions { read: 0.5, update: 0.0, insert: 0.0, scan: 0.0, read_modify_write: 0.5 };
     w
 }
 

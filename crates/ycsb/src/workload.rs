@@ -54,8 +54,7 @@ pub struct Proportions {
 impl Proportions {
     /// Validates that proportions are non-negative and sum to 1.
     pub fn validate(&self) {
-        let parts =
-            [self.read, self.update, self.insert, self.scan, self.read_modify_write];
+        let parts = [self.read, self.update, self.insert, self.scan, self.read_modify_write];
         assert!(parts.iter().all(|p| *p >= 0.0), "negative proportion");
         let sum: f64 = parts.iter().sum();
         assert!((sum - 1.0).abs() < 1e-6, "proportions sum to {sum}");
@@ -171,13 +170,8 @@ mod tests {
 
     #[test]
     fn proportions_validate_and_convert() {
-        let p = Proportions {
-            read: 0.5,
-            update: 0.0,
-            insert: 0.0,
-            scan: 0.0,
-            read_modify_write: 0.5,
-        };
+        let p =
+            Proportions { read: 0.5, update: 0.0, insert: 0.0, scan: 0.0, read_modify_write: 0.5 };
         p.validate();
         let mix = p.to_op_mix();
         // 50% read + 50% RMW → 1 read + 0.5 writes per client request.

@@ -16,7 +16,10 @@ fn main() {
     let met = run_one(Controller::Met, 2_024);
     let tira = run_one(Controller::Tiramola, 2_024);
 
-    println!("\n{:>5} | {:>10} {:>6} | {:>10} {:>6}", "min", "MeT ops/s", "nodes", "tira ops/s", "nodes");
+    println!(
+        "\n{:>5} | {:>10} {:>6} | {:>10} {:>6}",
+        "min", "MeT ops/s", "nodes", "tira ops/s", "nodes"
+    );
     for m in (0..=24u64).step_by(2) {
         let t = SimTime::from_mins(m);
         println!(

@@ -76,13 +76,34 @@ fn met_demo() {
     sim.random_balance_unassigned();
     let third = |o: usize| (0..3).map(|i| (parts[o + i], 1.0 / 3.0)).collect();
     sim.add_group(ClientGroup::with_common_weights(
-        "readers", 60.0, 0.5, None, OpMix::read_only(), third(0), 1.0, 0.0,
+        "readers",
+        60.0,
+        0.5,
+        None,
+        OpMix::read_only(),
+        third(0),
+        1.0,
+        0.0,
     ));
     sim.add_group(ClientGroup::with_common_weights(
-        "writers", 60.0, 0.5, None, OpMix::write_only(), third(3), 1.0, 0.1,
+        "writers",
+        60.0,
+        0.5,
+        None,
+        OpMix::write_only(),
+        third(3),
+        1.0,
+        0.1,
     ));
     sim.add_group(ClientGroup::with_common_weights(
-        "mixed", 60.0, 0.5, None, OpMix::new(0.5, 0.5, 0.0), third(6), 1.0, 0.0,
+        "mixed",
+        60.0,
+        0.5,
+        None,
+        OpMix::new(0.5, 0.5, 0.0),
+        third(6),
+        1.0,
+        0.0,
     ));
 
     let mut met = Met::new(

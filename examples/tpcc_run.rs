@@ -38,17 +38,20 @@ fn functional_demo() {
     let mut w_ytd = 0;
     let mut d_ytd = 0;
     for w in 1..=scale.warehouses {
-        w_ytd += num(
-            db.get(Table::Warehouse.name(), &fam, &tpcc::schema::keys::warehouse(w), &"W_YTD".into())
-                .expect("routed")
-                .expect("loaded"),
-        );
+        w_ytd += num(db
+            .get(Table::Warehouse.name(), &fam, &tpcc::schema::keys::warehouse(w), &"W_YTD".into())
+            .expect("routed")
+            .expect("loaded"));
         for d in 1..=scale.districts_per_warehouse {
-            d_ytd += num(
-                db.get(Table::District.name(), &fam, &tpcc::schema::keys::district(w, d), &"D_YTD".into())
-                    .expect("routed")
-                    .expect("loaded"),
-            );
+            d_ytd += num(db
+                .get(
+                    Table::District.name(),
+                    &fam,
+                    &tpcc::schema::keys::district(w, d),
+                    &"D_YTD".into(),
+                )
+                .expect("routed")
+                .expect("loaded"));
         }
     }
     assert_eq!(w_ytd, d_ytd, "payments must balance");

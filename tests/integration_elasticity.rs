@@ -108,8 +108,7 @@ fn tiramola_only_shrinks_when_every_node_idles() {
         1.0,
         0.0,
     ));
-    let mut tiramola =
-        Tiramola::new(TiramolaConfig::default(), StoreConfig::default_homogeneous());
+    let mut tiramola = Tiramola::new(TiramolaConfig::default(), StoreConfig::default_homogeneous());
     for _ in 0..(15 * 60) {
         cloud.run_ticks(1);
         tiramola.tick(&mut cloud);

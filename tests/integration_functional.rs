@@ -158,11 +158,7 @@ fn met_manages_the_functional_cluster_end_to_end() {
     // the write table's on Write-profile servers.
     let snap = fe.snapshot();
     let profile_of_region = |rid: u64| {
-        let m = snap
-            .partitions
-            .iter()
-            .find(|p| p.partition.0 == rid)
-            .expect("region known");
+        let m = snap.partitions.iter().find(|p| p.partition.0 == rid).expect("region known");
         let sid = m.assigned_to.expect("assigned");
         ProfileKind::of_config(&snap.server(sid).expect("server").config)
     };

@@ -77,14 +77,9 @@ fn met_converges_to_a_heterogeneous_layout_and_improves_throughput() {
 
     // And throughput improved materially over the random-homogeneous start.
     let end = sim.time();
-    let steady = sim
-        .total_series()
-        .mean_between(SimTime(end.0 - 5 * 60_000), end)
-        .expect("steady window");
-    assert!(
-        steady > baseline * 1.2,
-        "no improvement: baseline {baseline:.0} → steady {steady:.0}"
-    );
+    let steady =
+        sim.total_series().mean_between(SimTime(end.0 - 5 * 60_000), end).expect("steady window");
+    assert!(steady > baseline * 1.2, "no improvement: baseline {baseline:.0} → steady {steady:.0}");
 }
 
 #[test]

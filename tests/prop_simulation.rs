@@ -1,7 +1,9 @@
 //! Property-based tests of the cluster simulation's conservation laws and
 //! the DFS invariants.
 
-use cluster::{ClientGroup, CostParams, ElasticCluster, OpMix, PartitionId, PartitionSpec, SimCluster};
+use cluster::{
+    ClientGroup, CostParams, ElasticCluster, OpMix, PartitionId, PartitionSpec, SimCluster,
+};
 use dfs::{DataNodeId, DfsFileId, Namenode};
 use hstore::StoreConfig;
 use proptest::prelude::*;

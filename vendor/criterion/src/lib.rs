@@ -1,0 +1,165 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! benchmark groups, `Bencher::iter`/`iter_batched`, and the
+//! `criterion_group!`/`criterion_main!` macros. Instead of statistical
+//! sampling it runs each routine a small fixed number of times and
+//! reports the mean wall-clock duration, so `cargo bench` still smoke-runs
+//! every benchmark quickly and deterministically.
+
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl AsRef<str>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.as_ref().to_string(), _criterion: self }
+    }
+
+    /// Runs a single benchmark outside a group.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one("", id.as_ref(), &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub ignores sample counts.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stub ignores time limits.
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.name, id.as_ref(), &mut f);
+        self
+    }
+
+    /// Ends the group. No-op in the stub.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(group: &str, id: &str, f: &mut F) {
+    let mut bencher = Bencher { iterations: 0, elapsed: std::time::Duration::ZERO };
+    f(&mut bencher);
+    let label = if group.is_empty() { id.to_string() } else { format!("{group}/{id}") };
+    let per_iter = bencher.elapsed.checked_div(bencher.iterations.max(1)).unwrap_or_default();
+    println!("bench {label:<48} {per_iter:>12?}/iter ({} iters)", bencher.iterations);
+}
+
+/// Timer handle passed to each benchmark closure.
+pub struct Bencher {
+    iterations: u32,
+    elapsed: std::time::Duration,
+}
+
+/// How `iter_batched` amortizes setup cost. The stub treats all variants
+/// alike.
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Medium per-iteration inputs.
+    LargeInput,
+    /// Inputs too large to batch.
+    PerIteration,
+}
+
+const STUB_ITERS: u32 = 3;
+
+impl Bencher {
+    /// Times `routine` over a small fixed number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..STUB_ITERS {
+            let start = Instant::now();
+            let out = routine();
+            self.elapsed += start.elapsed();
+            self.iterations += 1;
+            drop(out);
+        }
+    }
+
+    /// Times `routine` on fresh input from `setup` each iteration.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..STUB_ITERS {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            self.elapsed += start.elapsed();
+            self.iterations += 1;
+            drop(out);
+        }
+    }
+}
+
+/// Collects benchmark functions into a callable group, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits a `main` that runs the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(10);
+        group.bench_function("add", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, trivial);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,99 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate provides exactly the trait surface the workspace consumes:
+//! [`RngCore`], [`SeedableRng`] and [`Error`]. All randomness in the
+//! workspace comes from `simcore::SimRng` (SplitMix64); these traits only
+//! exist so that generic call sites and trait impls keep compiling against
+//! the canonical `rand` API.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Error type reported by fallible RNG operations.
+///
+/// The deterministic generators in this workspace never fail, so this type
+/// is never constructed in practice — it exists to satisfy the
+/// `try_fill_bytes` signature.
+#[derive(Debug)]
+pub struct Error {
+    msg: &'static str,
+}
+
+impl Error {
+    /// Creates an error with a static message.
+    pub fn new(msg: &'static str) -> Self {
+        Error { msg }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rng error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core random-number-generator interface (mirrors `rand::RngCore`).
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible variant of [`fill_bytes`](RngCore::fill_bytes).
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+/// A generator constructible from a fixed seed (mirrors
+/// `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// The seed value type.
+    type Seed;
+    /// Builds the generator from a seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(1);
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let v = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&v[..chunk.len()]);
+            }
+        }
+    }
+
+    impl SeedableRng for Counter {
+        type Seed = u64;
+        fn from_seed(seed: u64) -> Self {
+            Counter(seed)
+        }
+    }
+
+    #[test]
+    fn default_try_fill_bytes_delegates() {
+        let mut rng = Counter::from_seed(0);
+        let mut buf = [0u8; 12];
+        rng.try_fill_bytes(&mut buf).unwrap();
+        assert_ne!(buf, [0u8; 12]);
+    }
+}

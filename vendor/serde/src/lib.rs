@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` trait *names* plus the derive
+//! macro re-exports so `use serde::{Deserialize, Serialize}` and
+//! `#[derive(Serialize, Deserialize)]` compile unchanged. Nothing in the
+//! workspace serializes through serde's data model — JSON goes through the
+//! vendored `serde_json` value layer instead — so the traits are empty
+//! markers and the derives are no-ops.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: Sized {}
+
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}

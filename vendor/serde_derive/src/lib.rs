@@ -1,0 +1,25 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on many config and
+//! metric types but never serializes them through serde — all JSON output
+//! goes through the vendored `serde_json` value layer or the telemetry
+//! crate's hand-rolled JSONL encoder. These derives therefore expand to
+//! nothing: they accept the usual `#[serde(...)]` helper attributes and
+//! emit an empty token stream, keeping every `#[derive(Serialize)]`
+//! annotation compiling without a network-fetched proc-macro stack.
+
+#![warn(missing_docs)]
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

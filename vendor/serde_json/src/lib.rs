@@ -1,0 +1,164 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! A self-contained JSON layer covering the slice of the `serde_json` API
+//! the workspace uses: the [`Value`] tree, [`from_str`] parsing,
+//! [`to_string`]/[`to_string_pretty`] printing, the [`json!`] macro, and
+//! [`to_value`] conversion from common Rust types via the [`ToJson`]
+//! trait. It does not go through serde's `Serialize` data model — the
+//! workspace's derives are no-ops — so conversions are `ToJson` impls.
+//!
+//! Numbers are stored as `f64`, which is exact for every integer the
+//! experiment reports emit (|n| < 2^53) and round-trips the decimal
+//! fractions the reports use.
+
+// The `json!` macro builds arrays by pushing, matching upstream's
+// expansion; the lint would rewrite the macro's shape, not real code.
+#![allow(clippy::vec_init_then_push)]
+#![warn(missing_docs)]
+
+mod parse;
+mod print;
+mod value;
+
+pub use parse::{from_str, Error};
+pub use print::{to_string, to_string_pretty};
+pub use value::{to_value, Map, ToJson, Value};
+
+/// Builds a [`Value`] from JSON-like syntax.
+///
+/// Supports object/array literals, `null`/`true`/`false`, and arbitrary
+/// Rust expressions (converted via [`ToJson`]) in value position:
+///
+/// ```
+/// let v = serde_json::json!({"answer": 42, "curve": [1.0, 2.5], "nested": {"ok": true}});
+/// assert_eq!(v["answer"], 42);
+/// ```
+#[macro_export]
+macro_rules! json {
+    ($($tt:tt)+) => {
+        $crate::json_internal!($($tt)+)
+    };
+}
+
+/// Implementation detail of [`json!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+
+    ([ $($tt:tt)* ]) => {{
+        #[allow(unused_mut, clippy::vec_init_then_push)]
+        let mut array: ::std::vec::Vec<$crate::Value> = ::std::vec::Vec::new();
+        $crate::json_internal!(@array array $($tt)*);
+        $crate::Value::Array(array)
+    }};
+
+    ({ $($tt:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut object = $crate::Map::new();
+        $crate::json_internal!(@object object $($tt)*);
+        $crate::Value::Object(object)
+    }};
+
+    ($other:expr) => { $crate::to_value(&$other) };
+
+    // ---- array elements -------------------------------------------------
+    (@array $array:ident) => {};
+    (@array $array:ident null $($rest:tt)*) => {
+        $array.push($crate::Value::Null);
+        $crate::json_internal!(@array_rest $array $($rest)*);
+    };
+    (@array $array:ident [ $($elem:tt)* ] $($rest:tt)*) => {
+        $array.push($crate::json_internal!([ $($elem)* ]));
+        $crate::json_internal!(@array_rest $array $($rest)*);
+    };
+    (@array $array:ident { $($map:tt)* } $($rest:tt)*) => {
+        $array.push($crate::json_internal!({ $($map)* }));
+        $crate::json_internal!(@array_rest $array $($rest)*);
+    };
+    (@array $array:ident $value:expr , $($rest:tt)*) => {
+        $array.push($crate::to_value(&$value));
+        $crate::json_internal!(@array $array $($rest)*);
+    };
+    (@array $array:ident $value:expr) => {
+        $array.push($crate::to_value(&$value));
+    };
+    (@array_rest $array:ident) => {};
+    (@array_rest $array:ident , $($rest:tt)*) => {
+        $crate::json_internal!(@array $array $($rest)*);
+    };
+
+    // ---- object entries -------------------------------------------------
+    (@object $object:ident) => {};
+    (@object $object:ident $key:literal : null $($rest:tt)*) => {
+        $object.insert(::std::string::String::from($key), $crate::Value::Null);
+        $crate::json_internal!(@object_rest $object $($rest)*);
+    };
+    (@object $object:ident $key:literal : [ $($elem:tt)* ] $($rest:tt)*) => {
+        $object.insert(::std::string::String::from($key), $crate::json_internal!([ $($elem)* ]));
+        $crate::json_internal!(@object_rest $object $($rest)*);
+    };
+    (@object $object:ident $key:literal : { $($map:tt)* } $($rest:tt)*) => {
+        $object.insert(::std::string::String::from($key), $crate::json_internal!({ $($map)* }));
+        $crate::json_internal!(@object_rest $object $($rest)*);
+    };
+    (@object $object:ident $key:literal : $value:expr , $($rest:tt)*) => {
+        $object.insert(::std::string::String::from($key), $crate::to_value(&$value));
+        $crate::json_internal!(@object $object $($rest)*);
+    };
+    (@object $object:ident $key:literal : $value:expr) => {
+        $object.insert(::std::string::String::from($key), $crate::to_value(&$value));
+    };
+    (@object_rest $object:ident) => {};
+    (@object_rest $object:ident , $($rest:tt)*) => {
+        $crate::json_internal!(@object $object $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn macro_builds_nested_structures() {
+        let curve = vec![(1.0f64, 2.0f64)];
+        let v = json!({
+            "experiment": "unit",
+            "count": 3,
+            "nested": {"gain": 0.31, "flag": true, "missing": null},
+            "list": [1, 2.5, "s"],
+            "pairs": curve,
+        });
+        assert_eq!(v["experiment"], "unit");
+        assert_eq!(v["count"], 3);
+        assert_eq!(v["nested"]["gain"], 0.31);
+        assert_eq!(v["nested"]["flag"], true);
+        assert!(v["nested"]["missing"].is_null());
+        assert_eq!(v["list"][1], 2.5);
+        assert_eq!(v["pairs"][0][0], 1.0);
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        let v = json!({"a": [1, 2, 3], "b": {"c": "x\"y", "d": -1.5}, "e": null});
+        let parsed = from_str(&to_string_pretty(&v).unwrap()).unwrap();
+        assert_eq!(parsed, v);
+        let parsed = from_str(&to_string(&v).unwrap()).unwrap();
+        assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn option_and_map_conversions() {
+        use std::collections::BTreeMap;
+        let some: Option<f64> = Some(4.0);
+        let none: Option<f64> = None;
+        let mut m = BTreeMap::new();
+        m.insert("k".to_string(), 7u64);
+        let v = json!({"some": some, "none": none, "map": m});
+        assert_eq!(v["some"], 4.0);
+        assert!(v["none"].is_null());
+        assert_eq!(v["map"]["k"], 7);
+    }
+}
