@@ -1,0 +1,102 @@
+//! Runs the Fig-4 convergence workload under a fault plan and compares it
+//! against the fault-free run: convergence time, wasted actions, and
+//! whether MeT still lands on the same final configuration.
+//!
+//! Knobs: `MET_FAULT_PLAN=reference|random|<spec>` (spec grammar:
+//! `305s:crash@1,305s:provision-fail,7m:metrics-drop`) and
+//! `MET_FAULT_SEED=<n>` for the random plan.
+
+use met_bench::chaos;
+
+fn main() {
+    let plan = match chaos::plan_from_env() {
+        Ok(plan) => plan,
+        Err(e) => {
+            eprintln!("chaos: bad MET_FAULT_PLAN: {e}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!("chaos: 22 simulated minutes × 2 runs, fault plan [{plan}]...");
+    let telemetry = met_bench::telemetry_from_env();
+    let r = chaos::run(1_000, 20, &plan, telemetry.clone());
+
+    println!("Chaos — Fig-4 workload under fault plan [{}]", r.plan);
+    println!("{:>28} {:>14} {:>14}", "", "fault-free", "faulted");
+    let row = |label: &str, a: String, b: String| println!("{label:>28} {a:>14} {b:>14}");
+    row("steady ops/s", format!("{:.0}", r.fault_free.steady), format!("{:.0}", r.faulted.steady));
+    row(
+        "reconfigurations",
+        r.fault_free.reconfigurations.to_string(),
+        r.faulted.reconfigurations.to_string(),
+    );
+    row(
+        "converged at (min)",
+        format!("{:.1}", r.fault_free.converged_at_min),
+        format!("{:.1}", r.faulted.converged_at_min),
+    );
+    row("online servers", r.fault_free.online.to_string(), r.faulted.online.to_string());
+    row("step retries", r.fault_free.retries.to_string(), r.faulted.retries.to_string());
+    row("steps abandoned", r.fault_free.abandoned.to_string(), r.faulted.abandoned.to_string());
+    row("reconcile rounds", r.fault_free.reconciles.to_string(), r.faulted.reconciles.to_string());
+    row(
+        "crash replacements",
+        r.fault_free.replacements.to_string(),
+        r.faulted.replacements.to_string(),
+    );
+    row(
+        "orphans re-homed",
+        r.fault_free.orphans_reassigned.to_string(),
+        r.faulted.orphans_reassigned.to_string(),
+    );
+    row(
+        "degraded-mode entries",
+        r.fault_free.degraded_entries.to_string(),
+        r.faulted.degraded_entries.to_string(),
+    );
+    row(
+        "scale-in vetoes",
+        r.fault_free.scale_in_vetoes.to_string(),
+        r.faulted.scale_in_vetoes.to_string(),
+    );
+    println!("\nfaults injected: {}", r.faulted.faults_injected);
+    println!("final profiles (fault-free): {:?}", r.fault_free.profiles);
+    println!("final profiles (faulted):    {:?}", r.faulted.profiles);
+    println!(
+        "same final configuration: {} | wasted actions: {} | convergence penalty: {:+.1} min",
+        r.same_final_configuration, r.wasted_actions, r.convergence_penalty_min
+    );
+
+    let run_json = |run: &chaos::ChaosRun| {
+        serde_json::json!({
+            "steady": run.steady,
+            "reconfigurations": run.reconfigurations,
+            "converged_at_min": run.converged_at_min,
+            "profiles": run.profiles,
+            "online": run.online,
+            "retries": run.retries,
+            "abandoned": run.abandoned,
+            "reconciles": run.reconciles,
+            "replacements": run.replacements,
+            "orphans_reassigned": run.orphans_reassigned,
+            "degraded_entries": run.degraded_entries,
+            "scale_in_vetoes": run.scale_in_vetoes,
+            "faults_injected": run.faults_injected,
+        })
+    };
+    let json = serde_json::json!({
+        "experiment": "chaos",
+        "plan": r.plan,
+        "fault_free": run_json(&r.fault_free),
+        "faulted": run_json(&r.faulted),
+        "same_final_configuration": r.same_final_configuration,
+        "wasted_actions": r.wasted_actions,
+        "convergence_penalty_min": r.convergence_penalty_min,
+        "telemetry": met_bench::report::telemetry_summary(&telemetry),
+    });
+    if let Some(path) = met_bench::report::write_json("chaos", &json) {
+        eprintln!("wrote {}", path.display());
+    }
+    if !r.same_final_configuration {
+        std::process::exit(1);
+    }
+}

@@ -3,6 +3,7 @@
 //! paper-vs-measured).
 
 pub mod ablations;
+pub mod chaos;
 pub mod elastic;
 pub mod fig1;
 pub mod fig4;

@@ -4,6 +4,7 @@
 //! and the JSONL export must round-trip to the same trail.
 
 use met_bench::elastic::{run_one_traced, Controller, INITIAL_SERVERS};
+use simcore::FaultPlan;
 use telemetry::{parse_trace, EventKind, Telemetry, Verbosity};
 
 #[test]
@@ -55,6 +56,52 @@ fn scale_out_leaves_causally_ordered_audit_trail() {
 
     // The JSONL export carries the same trail (the ring holds the tail, so
     // compare over the ring's window).
+    let text = std::fs::read_to_string(&trace_path).expect("trace file written");
+    let exported = parse_trace(&text).expect("every exported line parses");
+    assert!(exported.len() >= events.len());
+    let tail = &exported[exported.len() - events.len()..];
+    assert_eq!(tail, events.as_slice(), "export and ring must agree");
+
+    let _ = std::fs::remove_file(&trace_path);
+}
+
+/// A faulted run must leave every injected fault *and* every recovery
+/// action (retries, abandoned steps, reconciliation, the crash
+/// replacement) in the audit trail, and the export must round-trip.
+#[test]
+fn faulted_run_exposes_faults_and_recovery_in_the_trail() {
+    let telemetry = Telemetry::with_ring(Verbosity::Debug, 1 << 16);
+    let trace_path =
+        std::env::temp_dir().join(format!("met-chaos-trail-{}.jsonl", std::process::id()));
+    telemetry.attach_jsonl(&trace_path).expect("writable temp dir");
+
+    // 12 simulated minutes of the Fig-4 workload under the reference
+    // plan: crash mid-reconfiguration at 305 s, two provision failures
+    // against the replacement, one dropped metrics round at 420 s.
+    let run =
+        met_bench::chaos::run_chaos_curve(1_000, 10, &FaultPlan::reference(), telemetry.clone());
+    assert_eq!(run.faults_injected, 4, "the whole reference plan must fire: {run:?}");
+
+    let events = telemetry.events();
+    let count = |k: EventKind| events.iter().filter(|e| e.data.kind() == k).count();
+    assert_eq!(count(EventKind::FaultInjected), 4, "every injected fault must appear in the trail");
+    assert!(count(EventKind::RetryScheduled) >= 1, "provision retries must be audited");
+    assert!(count(EventKind::StepFailed) >= 1, "the crash-killed step must be audited");
+    assert!(
+        count(EventKind::PlanReconciled) >= 1,
+        "the mid-plan crash must trigger an audited reconciliation"
+    );
+    assert!(
+        count(EventKind::NodeProvisioned) >= 1,
+        "the crash replacement must appear in the trail"
+    );
+    assert!(run.replacements >= 1 && run.retries >= 1, "recovery counters empty: {run:?}");
+
+    // Ordering and export still hold under faults.
+    for pair in events.windows(2) {
+        assert!(pair[1].seq > pair[0].seq, "seq must strictly increase");
+        assert!(pair[1].time_ms >= pair[0].time_ms, "time must not regress");
+    }
     let text = std::fs::read_to_string(&trace_path).expect("trace file written");
     let exported = parse_trace(&text).expect("every exported line parses");
     assert!(exported.len() >= events.len());

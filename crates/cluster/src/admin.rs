@@ -113,6 +113,9 @@ pub enum AdminError {
     BadConfig(String),
     /// Provisioning failed (e.g. IaaS quota exhausted).
     ProvisioningFailed(String),
+    /// A management call failed transiently (lost RPC, master hiccup);
+    /// retrying it is expected to succeed.
+    TransientFailure(String),
 }
 
 impl fmt::Display for AdminError {
@@ -124,6 +127,7 @@ impl fmt::Display for AdminError {
             AdminError::LastServer => write!(f, "cannot remove the last online server"),
             AdminError::BadConfig(msg) => write!(f, "bad config: {msg}"),
             AdminError::ProvisioningFailed(msg) => write!(f, "provisioning failed: {msg}"),
+            AdminError::TransientFailure(msg) => write!(f, "transient failure: {msg}"),
         }
     }
 }

@@ -25,7 +25,7 @@ use crate::types::{OpMix, PartitionCounters, PartitionId, ServerId};
 use dfs::{DataNodeId, DfsFileId, Namenode};
 use hstore::StoreConfig;
 use simcore::timeseries::TimeSeries;
-use simcore::{SimDuration, SimRng, SimTime};
+use simcore::{FaultInjector, FaultOp, ProvisionFault, SimDuration, SimRng, SimTime};
 use std::collections::{BTreeMap, VecDeque};
 use telemetry::{Telemetry, TelemetryEvent};
 
@@ -231,6 +231,8 @@ pub struct SimCluster {
     auto_split_bytes: Option<f64>,
     splits: u64,
     telemetry: Telemetry,
+    faults: FaultInjector,
+    rerep_mb_s: f64,
 }
 
 impl SimCluster {
@@ -262,6 +264,8 @@ impl SimCluster {
             auto_split_bytes: None,
             splits: 0,
             telemetry: Telemetry::disabled(),
+            faults: FaultInjector::disabled(),
+            rerep_mb_s: 50.0,
         }
     }
 
@@ -277,6 +281,111 @@ impl SimCluster {
     /// (zero = managing the database directly, §4.3).
     pub fn set_provision_delay(&mut self, d: SimDuration) {
         self.provision_delay = d;
+    }
+
+    /// Attaches a fault injector: scheduled provision failures, slow
+    /// boots, server crashes, transient management-call failures and
+    /// datanode losses fire against this cluster as simulated time passes.
+    /// The default is [`FaultInjector::disabled`], under which every hook
+    /// is a no-op and behaviour is identical to a build without them.
+    pub fn set_fault_injector(&mut self, faults: FaultInjector) {
+        self.faults = faults;
+    }
+
+    /// Sets the background re-replication rate (MB/s) at which blocks
+    /// left under-replicated by a datanode *failure* are repaired.
+    pub fn set_rereplication_rate_mb_s(&mut self, mb_s: f64) {
+        self.rerep_mb_s = mb_s;
+    }
+
+    /// Bytes still waiting for background DFS repair after a failure.
+    pub fn under_replicated_bytes(&self) -> u64 {
+        self.namenode.under_replicated_bytes()
+    }
+
+    /// Crashes a server: it stops serving instantly, its partitions stay
+    /// *assigned* to it (orphaned until the control plane reassigns them)
+    /// and its co-located datanode is lost, leaving blocks
+    /// under-replicated until background repair catches up. Unlike
+    /// [`ElasticCluster::decommission_server`] nothing is handed off
+    /// gracefully. Returns false when the server is unknown or already
+    /// stopped.
+    pub fn crash_server(&mut self, server: ServerId) -> bool {
+        let Some(s) = self.servers.get_mut(&server) else { return false };
+        if s.state == ServerState::Stopped {
+            return false;
+        }
+        s.state = ServerState::Stopped;
+        s.warmth = 0.0;
+        s.compaction_backlog.clear();
+        s.last_cpu = 0.0;
+        s.last_io = 0.0;
+        s.last_mem = 0.0;
+        s.last_rps = 0.0;
+        let orphans = self.assignment.values().filter(|sid| **sid == server).count();
+        let _ = self.namenode.fail_datanode(DataNodeId(server.0));
+        self.telemetry.counter_add("sim_server_crashes_total", &[], 1);
+        self.telemetry.emit(
+            self.now,
+            TelemetryEvent::FaultInjected {
+                kind: "server_crash".to_string(),
+                target: Some(server.0),
+                detail: format!("server {server} crashed; {orphans} partitions orphaned"),
+            },
+        );
+        true
+    }
+
+    // Fires due scripted faults that target the substrate itself (crashes
+    // and datanode losses); call-level faults are consumed inside the
+    // management calls they fail.
+    fn apply_injected_faults(&mut self) {
+        if !self.faults.is_enabled() {
+            return;
+        }
+        for index in self.faults.take_crashes(self.now) {
+            let online = self.online_server_ids();
+            if online.is_empty() {
+                continue;
+            }
+            let victim = online[index % online.len()];
+            self.crash_server(victim);
+        }
+        for index in self.faults.take_datanode_losses(self.now) {
+            let online = self.online_server_ids();
+            if online.is_empty() {
+                continue;
+            }
+            let victim = online[index % online.len()];
+            if self.namenode.fail_datanode(DataNodeId(victim.0)).is_ok() {
+                self.telemetry.counter_add("sim_datanode_losses_total", &[], 1);
+                self.telemetry.emit(
+                    self.now,
+                    TelemetryEvent::FaultInjected {
+                        kind: "datanode_loss".to_string(),
+                        target: Some(victim.0),
+                        detail: format!("datanode dn-{} lost; blocks under-replicated", victim.0),
+                    },
+                );
+            }
+        }
+    }
+
+    // Consumes a due transient-failure fault for a management call.
+    fn injected_call_failure(&mut self, op: FaultOp, what: String) -> Option<AdminError> {
+        if !self.faults.take_call_fault(self.now, op) {
+            return None;
+        }
+        self.telemetry.counter_add("sim_call_faults_total", &[("op", op.as_str())], 1);
+        self.telemetry.emit(
+            self.now,
+            TelemetryEvent::FaultInjected {
+                kind: format!("{}_fail", op.as_str()),
+                target: None,
+                detail: what.clone(),
+            },
+        );
+        Some(AdminError::TransientFailure(what))
     }
 
     /// Enables HBase's periodic randomized count balancer (what a cluster
@@ -560,6 +669,11 @@ impl SimCluster {
     pub fn step(&mut self) {
         let dt = self.tick.as_secs_f64();
         self.now += self.tick;
+
+        // 0. Scripted faults fire first: a crash at tick t is visible to
+        // everything else that happens at t.
+        self.apply_injected_faults();
+        self.namenode.rereplicate_step((self.rerep_mb_s * 1e6 * dt) as u64);
 
         // 1. Server lifecycle transitions.
         for (sid, server) in self.servers.iter_mut() {
@@ -1125,6 +1239,11 @@ impl ElasticCluster for SimCluster {
     }
 
     fn move_partition(&mut self, partition: PartitionId, to: ServerId) -> Result<(), AdminError> {
+        if let Some(e) =
+            self.injected_call_failure(FaultOp::Move, format!("move {partition} -> {to}"))
+        {
+            return Err(e);
+        }
         if !self.partitions.contains_key(&partition) {
             return Err(AdminError::UnknownPartition(partition));
         }
@@ -1144,6 +1263,9 @@ impl ElasticCluster for SimCluster {
     }
 
     fn restart_server(&mut self, server: ServerId, config: StoreConfig) -> Result<(), AdminError> {
+        if let Some(e) = self.injected_call_failure(FaultOp::Restart, format!("restart {server}")) {
+            return Err(e);
+        }
         config.validate().map_err(|e| AdminError::BadConfig(e.to_string()))?;
         let restart = SimDuration::from_secs_f64(self.params.restart_s);
         let until = self.now + restart;
@@ -1159,6 +1281,11 @@ impl ElasticCluster for SimCluster {
     }
 
     fn major_compact(&mut self, partition: PartitionId) -> Result<(), AdminError> {
+        if let Some(e) =
+            self.injected_call_failure(FaultOp::Compact, format!("compact {partition}"))
+        {
+            return Err(e);
+        }
         let sid =
             *self.assignment.get(&partition).ok_or(AdminError::UnknownPartition(partition))?;
         let part =
@@ -1175,12 +1302,40 @@ impl ElasticCluster for SimCluster {
 
     fn provision_server(&mut self, config: StoreConfig) -> Result<ServerId, AdminError> {
         config.validate().map_err(|e| AdminError::BadConfig(e.to_string()))?;
+        let mut delay = self.provision_delay;
+        match self.faults.take_provision_fault(self.now) {
+            None => {}
+            Some(ProvisionFault::Fail) => {
+                self.telemetry.counter_add("sim_provision_faults_total", &[], 1);
+                self.telemetry.emit(
+                    self.now,
+                    TelemetryEvent::FaultInjected {
+                        kind: "provision_fail".to_string(),
+                        target: None,
+                        detail: "injected VM boot failure".to_string(),
+                    },
+                );
+                return Err(AdminError::ProvisioningFailed("injected VM boot failure".into()));
+            }
+            Some(ProvisionFault::Slow(factor)) => {
+                delay = SimDuration::from_secs_f64(delay.as_secs_f64().max(1.0) * factor);
+                self.telemetry.counter_add("sim_provision_faults_total", &[], 1);
+                self.telemetry.emit(
+                    self.now,
+                    TelemetryEvent::FaultInjected {
+                        kind: "slow_boot".to_string(),
+                        target: None,
+                        detail: format!("injected slow boot ({factor:.1}x)"),
+                    },
+                );
+            }
+        }
         let id = ServerId(self.next_server);
         self.next_server += 1;
-        let state = if self.provision_delay.is_zero() {
+        let state = if delay.is_zero() {
             ServerState::Online
         } else {
-            ServerState::Provisioning { until: self.now + self.provision_delay }
+            ServerState::Provisioning { until: self.now + delay }
         };
         self.servers.insert(
             id,
@@ -1643,5 +1798,94 @@ mod tests {
             (100..105).any(|s| run(s) != base),
             "placement randomness has no effect on throughput"
         );
+    }
+
+    #[test]
+    fn crash_orphans_partitions_and_queues_dfs_repair() {
+        let (mut sim, parts) = basic_cluster(3, 11);
+        sim.add_group(read_group(&parts, 50.0));
+        sim.run_ticks(30);
+        let victim = sim.online_server_ids()[0];
+        let orphaned: Vec<PartitionId> =
+            parts.iter().copied().filter(|p| sim.partition_server(*p) == Some(victim)).collect();
+        assert!(!orphaned.is_empty(), "victim should host something");
+        assert!(sim.crash_server(victim));
+        assert!(!sim.crash_server(victim), "double crash is a no-op");
+        // The crashed server vanishes from the snapshot but its partitions
+        // stay assigned to it: that is the orphan signal MeT heals from.
+        let snap = sim.snapshot();
+        assert!(snap.server(victim).is_none());
+        for p in &orphaned {
+            let pm = snap.partitions.iter().find(|m| m.partition == *p).unwrap();
+            assert_eq!(pm.assigned_to, Some(victim), "partition stays orphan-assigned");
+        }
+        // Blocks the datanode held are under-replicated and repair lazily.
+        assert!(sim.under_replicated_bytes() > 0, "crash must strand block replicas");
+        sim.run_ticks(600);
+        assert_eq!(sim.under_replicated_bytes(), 0, "background repair drains the queue");
+    }
+
+    #[test]
+    fn scripted_faults_fail_calls_then_recover() {
+        use simcore::fault::{FaultSpec, ScheduledFault};
+        use simcore::FaultPlan;
+        let (mut sim, parts) = basic_cluster(3, 12);
+        let plan = FaultPlan::new(vec![
+            ScheduledFault {
+                at: SimTime::from_secs(5),
+                spec: FaultSpec::CallFail { op: FaultOp::Move },
+            },
+            ScheduledFault { at: SimTime::from_secs(5), spec: FaultSpec::ProvisionFail },
+        ]);
+        let injector = plan.injector();
+        sim.set_fault_injector(injector.clone());
+        sim.run_ticks(10);
+        let target = sim.online_server_ids()[1];
+        let err = sim.move_partition(parts[0], target);
+        assert!(matches!(err, Err(AdminError::TransientFailure(_))), "{err:?}");
+        // The fault was consumed: the retry goes through.
+        sim.move_partition(parts[0], target).unwrap();
+        let err = sim.provision_server(StoreConfig::default_homogeneous());
+        assert!(matches!(err, Err(AdminError::ProvisioningFailed(_))), "{err:?}");
+        sim.provision_server(StoreConfig::default_homogeneous()).unwrap();
+        assert_eq!(injector.injected(), 2);
+    }
+
+    #[test]
+    fn scheduled_crash_fires_against_online_index() {
+        use simcore::fault::{FaultSpec, ScheduledFault};
+        use simcore::FaultPlan;
+        let (mut sim, parts) = basic_cluster(3, 13);
+        sim.add_group(read_group(&parts, 50.0));
+        let before = sim.online_server_ids();
+        let plan = FaultPlan::new(vec![ScheduledFault {
+            at: SimTime::from_secs(4),
+            spec: FaultSpec::ServerCrash { online_index: 1 },
+        }]);
+        sim.set_fault_injector(plan.injector());
+        sim.run_ticks(10);
+        let after = sim.online_server_ids();
+        assert_eq!(after.len(), before.len() - 1);
+        assert!(!after.contains(&before[1]), "the second online server crashed");
+    }
+
+    #[test]
+    fn slow_boot_fault_stretches_provisioning() {
+        use simcore::fault::{FaultSpec, ScheduledFault};
+        use simcore::FaultPlan;
+        let mut sim = SimCluster::new(CostParams::default(), 14);
+        sim.add_server_immediate(StoreConfig::default_homogeneous());
+        sim.set_provision_delay(SimDuration::from_secs(10));
+        let plan = FaultPlan::new(vec![ScheduledFault {
+            at: SimTime::ZERO,
+            spec: FaultSpec::SlowBoot { factor: 3.0 },
+        }]);
+        sim.set_fault_injector(plan.injector());
+        let id = sim.provision_server(StoreConfig::default_homogeneous()).unwrap();
+        sim.run_ticks(15);
+        let snap = sim.snapshot();
+        assert_eq!(snap.server(id).unwrap().health, ServerHealth::Provisioning, "3x slower");
+        sim.run_ticks(20);
+        assert_eq!(sim.snapshot().server(id).unwrap().health, ServerHealth::Online);
     }
 }

@@ -44,6 +44,11 @@ pub struct MetConfig {
     /// placement problem the distribution algorithm fixes without new
     /// machines.
     pub add_fraction: f64,
+    /// Age of monitoring data past which the decision maker enters
+    /// degraded mode: it holds the last-known-good configuration and
+    /// vetoes scale-in until fresh samples arrive (defence against
+    /// dropped or delayed Ganglia rounds).
+    pub stale_metrics_after: SimDuration,
 }
 
 impl Default for MetConfig {
@@ -63,6 +68,7 @@ impl Default for MetConfig {
             min_nodes: 1,
             max_nodes: usize::MAX,
             add_fraction: 0.25,
+            stale_metrics_after: SimDuration::from_secs(90),
         }
     }
 }
@@ -97,6 +103,9 @@ impl MetConfig {
         if !(0.0..=1.0).contains(&self.add_fraction) {
             return Err("add_fraction outside [0,1]".into());
         }
+        if self.stale_metrics_after < self.monitor_interval {
+            return Err("stale_metrics_after below monitor_interval".into());
+        }
         Ok(())
     }
 }
@@ -126,6 +135,9 @@ mod tests {
         let c = MetConfig { max_nodes: 0, min_nodes: 2, ..MetConfig::default() };
         assert!(c.validate().is_err());
         let c = MetConfig { add_fraction: 1.5, ..MetConfig::default() };
+        assert!(c.validate().is_err());
+        let c =
+            MetConfig { stale_metrics_after: SimDuration::from_secs(5), ..MetConfig::default() };
         assert!(c.validate().is_err());
     }
 }

@@ -78,6 +78,7 @@ pub struct DecisionMaker {
     nodes_to_change: usize,
     first_time: bool,
     last_remove: Option<SimTime>,
+    degraded: bool,
     telemetry: Telemetry,
 }
 
@@ -91,6 +92,7 @@ impl DecisionMaker {
             nodes_to_change: 1,
             first_time: true,
             last_remove: None,
+            degraded: false,
             telemetry: Telemetry::disabled(),
         }
     }
@@ -104,6 +106,48 @@ impl DecisionMaker {
     /// True until the InitialReconfiguration has happened.
     pub fn is_first_time(&self) -> bool {
         self.first_time
+    }
+
+    /// True while the decision maker is in degraded mode (monitoring data
+    /// older than `stale_metrics_after`): it holds the last-known-good
+    /// configuration and refuses to release capacity.
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Degraded-mode gate: on stale data the decision maker holds the
+    /// current (last-known-good) configuration outright. Returns the held
+    /// decision, or `None` when the data is fresh enough to act on.
+    fn check_degraded(&mut self, now: SimTime, report: &MonitorReport) -> Option<Decision> {
+        if report.age > self.cfg.stale_metrics_after {
+            if !self.degraded {
+                self.degraded = true;
+                self.telemetry.counter_add("met_degraded_entries_total", &[], 1);
+                self.telemetry.emit(
+                    now,
+                    TelemetryEvent::DegradedMode {
+                        entered: true,
+                        age_ms: report.age.as_millis(),
+                        detail: "monitoring data stale; holding last-known-good configuration \
+                                 and vetoing scale-in"
+                            .to_string(),
+                    },
+                );
+            }
+            return Some(Decision::Healthy);
+        }
+        if self.degraded {
+            self.degraded = false;
+            self.telemetry.emit(
+                now,
+                TelemetryEvent::DegradedMode {
+                    entered: false,
+                    age_ms: report.age.as_millis(),
+                    detail: "fresh monitoring data restored".to_string(),
+                },
+            );
+        }
+        None
     }
 
     /// StageA: assess health from the smoothed report.
@@ -160,6 +204,10 @@ impl DecisionMaker {
         report: &MonitorReport,
         snapshot: &ClusterSnapshot,
     ) -> Decision {
+        if let Some(held) = self.check_degraded(now, report) {
+            self.telemetry.counter_add("met_decisions_total", &[("verdict", "degraded_hold")], 1);
+            return held;
+        }
         let decision = self.decide_inner(now, report, snapshot);
         let verdict = match &decision {
             Decision::Healthy => "healthy",
@@ -186,6 +234,13 @@ impl DecisionMaker {
             return Decision::Healthy;
         }
         if health.remove() {
+            // Even moderately stale data (below the degraded threshold)
+            // never justifies releasing capacity: a dropped round may be
+            // hiding the load that needs those machines.
+            if report.age > simcore::SimDuration::ZERO {
+                self.telemetry.counter_add("met_scale_in_vetoes_total", &[], 1);
+                return Decision::Healthy;
+            }
             if health.online <= self.cfg.min_nodes && !self.first_time {
                 return Decision::Healthy;
             }
@@ -395,6 +450,7 @@ mod tests {
                 part_load(3, 50.0, 50.0, 0.0),
                 part_load(4, 0.0, 5.0, 95.0),
             ],
+            age: simcore::SimDuration::ZERO,
         }
     }
 
@@ -580,6 +636,48 @@ mod tests {
                 assert!(plan.decommission.is_empty());
             }
             Decision::Healthy => panic!("a pegged node is not healthy"),
+        }
+    }
+
+    #[test]
+    fn stale_metrics_hold_the_last_known_good_configuration() {
+        let mut dm = DecisionMaker::new(MetConfig::default());
+        let report = mixed_report(0.95);
+        let snap = snapshot_for(&report);
+        let _ = dm.decide(SimTime::ZERO, &report, &snap); // burn first_time
+        assert!(!dm.degraded());
+        // Metrics older than stale_metrics_after (90 s default): even a
+        // badly overloaded report is held instead of acted on.
+        let mut stale = mixed_report(0.95);
+        stale.age = simcore::SimDuration::from_secs(120);
+        assert!(matches!(dm.decide(SimTime::from_mins(5), &stale, &snap), Decision::Healthy));
+        assert!(dm.degraded());
+        // Fresh data leaves degraded mode and acts again.
+        let fresh = mixed_report(0.95);
+        match dm.decide(SimTime::from_mins(10), &fresh, &snap) {
+            Decision::Reconfigure(_) => {}
+            Decision::Healthy => panic!("fresh overload must act"),
+        }
+        assert!(!dm.degraded());
+    }
+
+    #[test]
+    fn any_staleness_vetoes_scale_in() {
+        let mut dm = DecisionMaker::new(MetConfig::default());
+        let report = mixed_report(0.5);
+        let _ = dm.decide(SimTime::ZERO, &report, &snapshot_for(&report)); // first time
+                                                                           // All nodes idle, but the data is one dropped round old (30 s,
+                                                                           // below the degraded threshold): no machine may be released.
+        let mut idle = mixed_report(0.05);
+        idle.age = simcore::SimDuration::from_secs(30);
+        let snap = snapshot_for(&idle);
+        assert!(matches!(dm.decide(SimTime::from_mins(10), &idle, &snap), Decision::Healthy));
+        assert!(!dm.degraded(), "a single missed round is not degraded mode");
+        // The same report with zero age shrinks as usual.
+        let idle_fresh = mixed_report(0.05);
+        match dm.decide(SimTime::from_mins(11), &idle_fresh, &snap) {
+            Decision::Reconfigure(plan) => assert_eq!(plan.decommission.len(), 1),
+            Decision::Healthy => panic!("fresh idle cluster should shrink"),
         }
     }
 

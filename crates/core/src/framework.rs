@@ -14,8 +14,10 @@ use crate::monitor::Monitor;
 use crate::output::CurrentNode;
 use crate::profiles::ProfileKind;
 use cluster::admin::{ElasticCluster, ServerHealth};
+use cluster::ServerId;
 use hstore::StoreConfig;
-use simcore::SimTime;
+use simcore::{FaultInjector, SimDuration, SimTime};
+use std::collections::{BTreeMap, BTreeSet};
 use telemetry::{Telemetry, TelemetryEvent};
 
 /// Things MeT did, timestamped — the experiment narrative.
@@ -26,6 +28,20 @@ pub struct MetEvent {
     /// What happened.
     pub what: String,
 }
+
+/// A crash replacement in flight: re-provision the dead server's profile,
+/// with retry/backoff against transient boot failures.
+#[derive(Debug, Clone)]
+struct Replacement {
+    dead: ServerId,
+    config: StoreConfig,
+    attempts: u32,
+    not_before: SimTime,
+}
+
+/// Replacement provisioning attempts before the framework gives up on a
+/// crashed node (the decision maker then works with the smaller fleet).
+const REPLACEMENT_MAX_ATTEMPTS: u32 = 8;
 
 /// The assembled MeT control plane.
 pub struct Met {
@@ -39,6 +55,14 @@ pub struct Met {
     telemetry: Telemetry,
     reconfig_started_at: Option<SimTime>,
     last_decision_at: Option<SimTime>,
+    faults: FaultInjector,
+    /// Servers seen online and their last-known configs, for crash
+    /// detection and like-for-like replacement.
+    fleet: BTreeMap<ServerId, StoreConfig>,
+    /// Servers MeT decommissioned on purpose; their disappearance is not
+    /// a crash.
+    expected_gone: BTreeSet<ServerId>,
+    replacements: Vec<Replacement>,
 }
 
 impl Met {
@@ -57,7 +81,19 @@ impl Met {
             telemetry: Telemetry::disabled(),
             reconfig_started_at: None,
             last_decision_at: None,
+            faults: FaultInjector::disabled(),
+            fleet: BTreeMap::new(),
+            expected_gone: BTreeSet::new(),
+            replacements: Vec::new(),
         }
+    }
+
+    /// Attaches a fault injector: scripted `MetricsDrop` faults make the
+    /// monitor skip rounds (the control plane then works on aged data),
+    /// mirroring lost Ganglia deliveries. Share the same injector with the
+    /// cluster substrate so one script drives both sides.
+    pub fn set_fault_injector(&mut self, faults: FaultInjector) {
+        self.faults = faults;
     }
 
     /// Creates a MeT instance whose whole control loop (monitor samples,
@@ -112,9 +148,177 @@ impl Met {
         self.telemetry.emit(now, TelemetryEvent::ReconfigCompleted { duration_ms });
     }
 
+    /// Self-healing pass, run every tick before the control loop proper:
+    ///
+    /// 1. Tracks the fleet (servers seen online and their configs).
+    /// 2. A server that vanishes without being decommissioned is a crash:
+    ///    schedule a like-for-like replacement, retried with exponential
+    ///    backoff against transient provisioning failures.
+    /// 3. When the actuator is idle, partitions still assigned to a dead
+    ///    server are re-homed onto the least-loaded online server (while a
+    ///    plan runs, the actuator's own reconciliation pass covers them).
+    fn heal(&mut self, now: SimTime, cluster: &mut dyn ElasticCluster) {
+        let snapshot = cluster.snapshot();
+        let present: BTreeSet<ServerId> = snapshot.servers.iter().map(|s| s.server).collect();
+        for s in &snapshot.servers {
+            if s.health == ServerHealth::Online {
+                self.fleet.insert(s.server, s.config.clone());
+            }
+        }
+
+        // Crash detection: in the fleet, gone from the cluster, and not a
+        // deliberate decommission.
+        let vanished: Vec<ServerId> =
+            self.fleet.keys().copied().filter(|id| !present.contains(id)).collect();
+        for id in vanished {
+            let config = self.fleet.remove(&id).expect("vanished id came from the fleet map");
+            if self.expected_gone.remove(&id) {
+                continue;
+            }
+            self.events
+                .push(MetEvent { at: now, what: format!("{id} lost; scheduling a replacement") });
+            self.telemetry.counter_add("met_nodes_lost_total", &[], 1);
+            self.telemetry.emit(
+                now,
+                TelemetryEvent::ActionStarted {
+                    action: "replace_node".to_string(),
+                    server: id.0,
+                    partition: None,
+                    detail: "server vanished without decommission; provisioning a replacement \
+                             with its last-known profile"
+                        .to_string(),
+                },
+            );
+            self.replacements.push(Replacement { dead: id, config, attempts: 0, not_before: now });
+        }
+
+        // Drive pending replacements (repairs bypass the scaling policy:
+        // this restores agreed capacity, it does not grow it).
+        let mut still_pending = Vec::new();
+        for mut r in std::mem::take(&mut self.replacements) {
+            if now < r.not_before {
+                still_pending.push(r);
+                continue;
+            }
+            match cluster.provision_server(r.config.clone()) {
+                Ok(new_id) => {
+                    self.events.push(MetEvent {
+                        at: now,
+                        what: format!("replacement {new_id} provisioning for crashed {}", r.dead),
+                    });
+                    self.telemetry.counter_add("met_nodes_replaced_total", &[], 1);
+                    let profile = ProfileKind::of_config(&r.config)
+                        .map(|p| p.to_string())
+                        .unwrap_or_else(|| "custom".to_string());
+                    self.telemetry
+                        .emit(now, TelemetryEvent::NodeProvisioned { server: new_id.0, profile });
+                }
+                Err(e) => {
+                    r.attempts += 1;
+                    if r.attempts >= REPLACEMENT_MAX_ATTEMPTS {
+                        self.events.push(MetEvent {
+                            at: now,
+                            what: format!(
+                                "giving up replacing {} after {} attempts: {e}",
+                                r.dead, r.attempts
+                            ),
+                        });
+                        self.telemetry.counter_add(
+                            "met_steps_abandoned_total",
+                            &[("action", "replace_node")],
+                            1,
+                        );
+                        self.telemetry.emit(
+                            now,
+                            TelemetryEvent::StepFailed {
+                                action: "replace_node".to_string(),
+                                server: Some(r.dead.0),
+                                partition: None,
+                                attempts: r.attempts as u64,
+                                error: e.to_string(),
+                            },
+                        );
+                    } else {
+                        let backoff = SimDuration::from_secs_f64(
+                            2.0 * 2f64.powi(r.attempts.saturating_sub(1) as i32),
+                        );
+                        self.telemetry.counter_add(
+                            "met_step_retries_total",
+                            &[("action", "replace_node")],
+                            1,
+                        );
+                        self.telemetry.emit(
+                            now,
+                            TelemetryEvent::RetryScheduled {
+                                action: "replace_node".to_string(),
+                                server: Some(r.dead.0),
+                                partition: None,
+                                attempt: r.attempts as u64,
+                                backoff_ms: backoff.as_millis(),
+                                error: e.to_string(),
+                            },
+                        );
+                        r.not_before = now + backoff;
+                        still_pending.push(r);
+                    }
+                }
+            }
+        }
+        self.replacements = still_pending;
+
+        // Orphan re-homing, only while no plan is running (the actuator's
+        // reconcile pass owns mid-plan recovery).
+        if self.actuator.busy() {
+            return;
+        }
+        let orphans: Vec<_> = snapshot
+            .partitions
+            .iter()
+            .filter(|p| p.assigned_to.is_some_and(|s| !present.contains(&s)))
+            .map(|p| p.partition)
+            .collect();
+        if orphans.is_empty() {
+            return;
+        }
+        let mut load: BTreeMap<ServerId, usize> = snapshot
+            .servers
+            .iter()
+            .filter(|s| s.health == ServerHealth::Online)
+            .map(|s| (s.server, s.partitions.len()))
+            .collect();
+        for partition in orphans {
+            let Some(target) = load.iter().min_by_key(|(id, n)| (**n, id.0)).map(|(id, _)| *id)
+            else {
+                break;
+            };
+            if cluster.move_partition(partition, target).is_ok() {
+                *load.get_mut(&target).expect("target came from load map") += 1;
+                self.telemetry.counter_add("met_orphans_reassigned_total", &[], 1);
+                self.telemetry.emit(
+                    now,
+                    TelemetryEvent::ActionStarted {
+                        action: "orphan_reassign".to_string(),
+                        server: target.0,
+                        partition: Some(partition.0),
+                        detail: "re-homing a partition orphaned by a crashed server".to_string(),
+                    },
+                );
+                self.events.push(MetEvent {
+                    at: now,
+                    what: format!("orphaned partition {} re-homed to {target}", partition.0),
+                });
+            }
+        }
+    }
+
     /// Drives MeT for one simulation tick.
     pub fn tick(&mut self, cluster: &mut dyn ElasticCluster) {
         let now = cluster.now();
+
+        // Self-healing first: detect crashed servers, drive replacement
+        // provisioning, and re-home orphaned partitions. Fault-free this
+        // is a pure read (no events, no mutations).
+        self.heal(now, cluster);
 
         // A running plan takes priority; the monitor pauses meanwhile.
         if self.actuator.busy() {
@@ -146,7 +350,24 @@ impl Met {
         }
         self.last_sample = Some(now);
         let snapshot = cluster.snapshot();
-        self.monitor.observe(&snapshot);
+        if self.faults.take_metrics_drop(now) {
+            // A scripted Ganglia loss: this round's samples never arrive.
+            // The monitor records the miss (aging subsequent reports) and
+            // the decision maker sees stale data instead of fresh.
+            self.monitor.note_missed(now);
+            self.telemetry.counter_add("met_faults_injected_total", &[("kind", "metrics_drop")], 1);
+            self.telemetry.emit(
+                now,
+                TelemetryEvent::FaultInjected {
+                    kind: "metrics_drop".to_string(),
+                    target: None,
+                    detail: "monitoring round dropped; control plane continues on aged data"
+                        .to_string(),
+                },
+            );
+        } else {
+            self.monitor.observe(&snapshot);
+        }
 
         if self.monitor.samples() < self.cfg.min_samples {
             return;
@@ -194,6 +415,9 @@ impl Met {
                 self.events.push(MetEvent { at: now, what: reason.clone() });
                 self.reconfig_started_at = Some(now);
                 self.telemetry.emit(now, TelemetryEvent::ReconfigStarted { reason });
+                // Remember deliberate removals so the healer does not
+                // mistake them for crashes.
+                self.expected_gone.extend(plan.decommission.iter().copied());
                 self.actuator.start(plan, &snapshot);
                 // Begin executing immediately.
                 if self.actuator.advance(cluster) {
@@ -303,6 +527,47 @@ mod tests {
             steady > baseline * 1.1,
             "MeT should improve throughput: baseline {baseline:.0} → {steady:.0}"
         );
+    }
+
+    #[test]
+    fn crashed_server_is_replaced_and_orphans_re_homed() {
+        let (mut sim, _) = build_scenario(17);
+        let mut met = Met::new(
+            MetConfig { allow_scaling: false, ..MetConfig::default() },
+            StoreConfig::default_homogeneous(),
+        );
+        // Reach a post-reconfiguration steady state.
+        for _ in 0..(12 * 60) {
+            sim.step();
+            met.tick(&mut sim);
+        }
+        assert!(met.reconfigurations() >= 1, "MeT never acted: {:?}", met.events());
+        while met.reconfiguring() {
+            sim.step();
+            met.tick(&mut sim);
+        }
+
+        let snap = cluster::ElasticCluster::snapshot(&sim);
+        let victim = snap.online_servers()[0];
+        sim.crash_server(victim);
+        for _ in 0..(5 * 60) {
+            sim.step();
+            met.tick(&mut sim);
+        }
+
+        let after = cluster::ElasticCluster::snapshot(&sim);
+        assert_eq!(
+            after.online_servers().len(),
+            4,
+            "replacement should restore the fleet: {:?}",
+            met.events()
+        );
+        for p in &after.partitions {
+            assert_ne!(p.assigned_to, Some(victim), "partition left on the crashed server");
+        }
+        let log = met.events().iter().map(|e| e.what.clone()).collect::<Vec<_>>().join("\n");
+        assert!(log.contains("lost; scheduling a replacement"), "no crash detection in: {log}");
+        assert!(log.contains("replacement"), "no replacement in: {log}");
     }
 
     #[test]

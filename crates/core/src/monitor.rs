@@ -49,6 +49,11 @@ pub struct MonitorReport {
     pub servers: Vec<ServerLoad>,
     /// Per-partition smoothed rates.
     pub partitions: Vec<PartitionLoad>,
+    /// How old the newest good sample is. Zero when this report was built
+    /// from a fresh observation; grows while monitoring rounds are dropped
+    /// (lost Ganglia samples), so the decision maker can degrade instead
+    /// of mistaking stale data for current.
+    pub age: simcore::SimDuration,
 }
 
 #[derive(Debug)]
@@ -76,6 +81,8 @@ pub struct Monitor {
     samples: usize,
     history: std::collections::VecDeque<(simcore::SimTime, MonitorReport)>,
     history_size: usize,
+    last_good_at: Option<simcore::SimTime>,
+    missed: u64,
     telemetry: Telemetry,
 }
 
@@ -100,6 +107,8 @@ impl Monitor {
             samples: 0,
             history: std::collections::VecDeque::new(),
             history_size,
+            last_good_at: None,
+            missed: 0,
             telemetry: Telemetry::disabled(),
         }
     }
@@ -120,6 +129,29 @@ impl Monitor {
     /// Samples observed since the last reset.
     pub fn samples(&self) -> usize {
         self.samples
+    }
+
+    /// When the newest good sample was collected, if any.
+    pub fn last_good_at(&self) -> Option<simcore::SimTime> {
+        self.last_good_at
+    }
+
+    /// Monitoring rounds lost over the monitor's lifetime.
+    pub fn missed(&self) -> u64 {
+        self.missed
+    }
+
+    /// Records a monitoring round that never delivered (dropped Ganglia
+    /// samples): the smoothed state is untouched and subsequent reports
+    /// carry a growing [`MonitorReport::age`].
+    pub fn note_missed(&mut self, now: simcore::SimTime) {
+        self.missed += 1;
+        self.telemetry.counter_add("met_monitor_missed_total", &[], 1);
+        self.telemetry.gauge_set(
+            "met_monitor_data_age_ms",
+            &[],
+            now.since(self.last_good_at.unwrap_or(now)).as_millis() as f64,
+        );
     }
 
     /// Feeds one snapshot (called every monitoring interval).
@@ -196,6 +228,7 @@ impl Monitor {
             entry.scans.observe(ds);
         }
         self.samples += 1;
+        self.last_good_at = Some(snapshot.at);
         if self.history_size > 0 {
             if let Some(report) = self.report(snapshot) {
                 self.history.push_back((snapshot.at, report));
@@ -248,7 +281,8 @@ impl Monitor {
                 }
             })
             .collect();
-        Some(MonitorReport { servers, partitions })
+        let age = snapshot.at.since(self.last_good_at.unwrap_or(snapshot.at));
+        Some(MonitorReport { servers, partitions, age })
     }
 
     /// Discards smoothing history and the sample count — called after each
@@ -352,6 +386,25 @@ mod tests {
         m.reset();
         assert_eq!(m.history().count(), 3, "reset must not erase the operator history");
         assert_eq!(m.samples(), 0);
+    }
+
+    #[test]
+    fn report_age_tracks_missed_rounds() {
+        let mut m = Monitor::new(0.5);
+        m.observe(&snap(0, 0.5, counters(100, 0)));
+        m.observe(&snap(30, 0.5, counters(200, 0)));
+        let fresh = m.report(&snap(30, 0.5, counters(200, 0))).unwrap();
+        assert_eq!(fresh.age, simcore::SimDuration::ZERO);
+        // Two dropped rounds: no observe, age grows with the clock.
+        m.note_missed(SimTime::from_secs(60));
+        m.note_missed(SimTime::from_secs(90));
+        assert_eq!(m.missed(), 2);
+        let stale = m.report(&snap(90, 0.5, counters(200, 0))).unwrap();
+        assert_eq!(stale.age, simcore::SimDuration::from_secs(60));
+        // A good round resets the age.
+        m.observe(&snap(120, 0.5, counters(300, 0)));
+        let recovered = m.report(&snap(120, 0.5, counters(300, 0))).unwrap();
+        assert_eq!(recovered.age, simcore::SimDuration::ZERO);
     }
 
     #[test]

@@ -124,6 +124,9 @@ pub fn parse_properties(text: &str) -> Result<MetConfig, PropertiesError> {
                 cfg.remove_cooldown = parse_secs(line, key, value)?;
             }
             "met.scaling.add.fraction" => cfg.add_fraction = parse_f64(line, key, value)?,
+            "met.monitor.stale.after.seconds" => {
+                cfg.stale_metrics_after = parse_secs(line, key, value)?;
+            }
             other => {
                 return Err(PropertiesError {
                     line,
@@ -154,7 +157,8 @@ pub fn to_properties(cfg: &MetConfig) -> String {
          met.scaling.min.nodes = {}\n\
          met.scaling.max.nodes = {}\n\
          met.scaling.remove.cooldown.seconds = {}\n\
-         met.scaling.add.fraction = {}\n",
+         met.scaling.add.fraction = {}\n\
+         met.monitor.stale.after.seconds = {}\n",
         cfg.monitor_interval.as_secs_f64(),
         cfg.min_samples,
         cfg.smoothing_alpha,
@@ -169,6 +173,7 @@ pub fn to_properties(cfg: &MetConfig) -> String {
         if cfg.max_nodes == usize::MAX { 9_999_999 } else { cfg.max_nodes },
         cfg.remove_cooldown.as_secs_f64(),
         cfg.add_fraction,
+        cfg.stale_metrics_after.as_secs_f64(),
     )
 }
 

@@ -1,7 +1,7 @@
 //! The namenode: file → replica-location bookkeeping.
 
 use simcore::SimRng;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 
 /// Identifies a DataNode. The cluster layer co-locates DataNode *n* with
@@ -87,6 +87,12 @@ pub struct Namenode {
     files: BTreeMap<DfsFileId, FileMeta>,
     rng: SimRng,
     telemetry: telemetry::Telemetry,
+    // Blocks left under-replicated by a datanode *failure* (as opposed to
+    // a planned decommission, which re-replicates synchronously): repaired
+    // lazily by `rereplicate_step`, modelling HDFS's background recovery.
+    pending_rerep: VecDeque<(DfsFileId, usize, u64)>,
+    under_replicated: u64,
+    rerep_credit: u64,
 }
 
 impl Namenode {
@@ -100,6 +106,9 @@ impl Namenode {
             files: BTreeMap::new(),
             rng,
             telemetry: telemetry::Telemetry::disabled(),
+            pending_rerep: VecDeque::new(),
+            under_replicated: 0,
+            rerep_credit: 0,
         }
     }
 
@@ -269,6 +278,92 @@ impl Namenode {
         self.telemetry.counter_add("dfs_rereplicated_bytes_total", &[], moved);
         Ok(moved)
     }
+
+    /// Records an *unplanned* datanode loss (crash, disk failure). Unlike
+    /// [`Namenode::remove_datanode`] nothing is re-replicated here: every
+    /// block the node held becomes under-replicated and is queued for lazy
+    /// repair via [`Namenode::rereplicate_step`], modelling the recovery
+    /// lag of HDFS's background re-replication. Returns the bytes queued.
+    pub fn fail_datanode(&mut self, node: DataNodeId) -> Result<u64, DfsError> {
+        if !self.nodes.remove(&node) {
+            return Err(DfsError::UnknownDataNode(node));
+        }
+        self.telemetry.gauge_set("dfs_datanodes", &[], self.nodes.len() as f64);
+        let mut queued = 0u64;
+        let mut lost_blocks = 0u64;
+        for (id, meta) in &mut self.files {
+            for (idx, block) in meta.blocks.iter_mut().enumerate() {
+                if !block.replicas.remove(&node) {
+                    continue;
+                }
+                if block.replicas.is_empty() {
+                    // All replicas gone: the block is lost, not repairable.
+                    lost_blocks += 1;
+                    continue;
+                }
+                self.pending_rerep.push_back((*id, idx, block.size_bytes));
+                queued += block.size_bytes;
+            }
+        }
+        self.under_replicated += queued;
+        self.telemetry.counter_add("dfs_datanode_failures_total", &[], 1);
+        if lost_blocks > 0 {
+            self.telemetry.counter_add("dfs_blocks_lost_total", &[], lost_blocks);
+        }
+        self.telemetry.gauge_set("dfs_under_replicated_bytes", &[], self.under_replicated as f64);
+        Ok(queued)
+    }
+
+    /// Drains up to `budget_bytes` of the pending-repair queue (plus any
+    /// credit carried from earlier calls whose budget was smaller than one
+    /// block). Blocks are repaired atomically onto a random live node that
+    /// lacks a replica. Returns the bytes re-replicated this call.
+    pub fn rereplicate_step(&mut self, budget_bytes: u64) -> u64 {
+        if self.pending_rerep.is_empty() {
+            self.rerep_credit = 0;
+            return 0;
+        }
+        self.rerep_credit = self.rerep_credit.saturating_add(budget_bytes);
+        let mut moved = 0u64;
+        while let Some(&(id, idx, size)) = self.pending_rerep.front() {
+            if size > self.rerep_credit {
+                break;
+            }
+            self.pending_rerep.pop_front();
+            self.under_replicated = self.under_replicated.saturating_sub(size);
+            let Some(meta) = self.files.get_mut(&id) else { continue }; // deleted meanwhile
+            let Some(block) = meta.blocks.get_mut(idx) else { continue };
+            if block.replicas.is_empty() || block.replicas.len() >= self.replication {
+                continue; // lost, or repaired by a later decommission pass
+            }
+            let mut candidates: Vec<DataNodeId> =
+                self.nodes.iter().copied().filter(|n| !block.replicas.contains(n)).collect();
+            if candidates.is_empty() {
+                continue; // nowhere to put it; stays single-replica
+            }
+            self.rng.shuffle(&mut candidates);
+            block.replicas.insert(candidates[0]);
+            self.rerep_credit -= size;
+            moved += size;
+        }
+        if self.pending_rerep.is_empty() {
+            self.rerep_credit = 0;
+        }
+        if moved > 0 {
+            self.telemetry.counter_add("dfs_rereplicated_bytes_total", &[], moved);
+            self.telemetry.gauge_set(
+                "dfs_under_replicated_bytes",
+                &[],
+                self.under_replicated as f64,
+            );
+        }
+        moved
+    }
+
+    /// Bytes currently waiting for background re-replication.
+    pub fn under_replicated_bytes(&self) -> u64 {
+        self.under_replicated
+    }
 }
 
 #[cfg(test)]
@@ -418,5 +513,50 @@ mod tests {
     fn decommission_unknown_node_fails() {
         let mut n = nn(2, 2);
         assert_eq!(n.remove_datanode(DataNodeId(9)), Err(DfsError::UnknownDataNode(DataNodeId(9))));
+    }
+
+    #[test]
+    fn failed_datanode_leaves_blocks_under_replicated_until_repair() {
+        let mut n = nn(2, 4);
+        n.create_file(DfsFileId(1), 3 * DFS_BLOCK_BYTES, DataNodeId(0)).unwrap();
+        let queued = n.fail_datanode(DataNodeId(0)).unwrap();
+        assert_eq!(queued, 3 * DFS_BLOCK_BYTES, "all writer-local blocks queued");
+        assert_eq!(n.under_replicated_bytes(), queued);
+        // Nothing was repaired yet: each block has a single surviving replica.
+        let reps = n.replicas(DfsFileId(1)).unwrap();
+        assert!(!reps.contains(&DataNodeId(0)));
+        let stored: u64 = (1..4).map(|d| n.node_bytes(DataNodeId(d))).sum();
+        assert_eq!(stored, 3 * DFS_BLOCK_BYTES, "one replica per block survives");
+
+        // Drain with a budget smaller than a block: credit accumulates.
+        let half = DFS_BLOCK_BYTES / 2;
+        assert_eq!(n.rereplicate_step(half), 0, "half a block of budget repairs nothing");
+        assert_eq!(n.rereplicate_step(half), DFS_BLOCK_BYTES, "credit covers one block now");
+        assert_eq!(n.under_replicated_bytes(), 2 * DFS_BLOCK_BYTES);
+        // A big budget finishes the rest and replication is restored.
+        assert_eq!(n.rereplicate_step(10 * DFS_BLOCK_BYTES), 2 * DFS_BLOCK_BYTES);
+        assert_eq!(n.under_replicated_bytes(), 0);
+        let stored: u64 = (1..4).map(|d| n.node_bytes(DataNodeId(d))).sum();
+        assert_eq!(stored, 2 * 3 * DFS_BLOCK_BYTES, "rf=2 restored");
+    }
+
+    #[test]
+    fn failing_every_replica_holder_loses_the_block() {
+        let mut n = nn(1, 2); // rf=1: losing the writer loses the data
+        n.create_file(DfsFileId(1), 100, DataNodeId(0)).unwrap();
+        let queued = n.fail_datanode(DataNodeId(0)).unwrap();
+        assert_eq!(queued, 0, "a lost block cannot be queued for repair");
+        assert_eq!(n.rereplicate_step(u64::MAX), 0);
+        assert!(n.replicas(DfsFileId(1)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn repair_skips_files_deleted_while_queued() {
+        let mut n = nn(2, 3);
+        n.create_file(DfsFileId(1), 100, DataNodeId(0)).unwrap();
+        n.fail_datanode(DataNodeId(0)).unwrap();
+        n.delete_file(DfsFileId(1)).unwrap();
+        assert_eq!(n.rereplicate_step(u64::MAX), 0, "deleted file needs no repair");
+        assert_eq!(n.under_replicated_bytes(), 0);
     }
 }

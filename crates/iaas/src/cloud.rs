@@ -141,6 +141,14 @@ impl CloudCluster {
         self.telemetry = telemetry;
     }
 
+    /// Attaches a fault injector to the wrapped cluster: scripted VM
+    /// provision failures and slow boots fire inside
+    /// [`ElasticCluster::provision_server`], alongside the substrate-level
+    /// crash and call faults.
+    pub fn set_fault_injector(&mut self, faults: simcore::FaultInjector) {
+        self.inner.set_fault_injector(faults);
+    }
+
     /// Boots the initial fleet synchronously (cluster bring-up before the
     /// experiment starts). Returns the server ids.
     pub fn boot_initial_fleet(
@@ -294,6 +302,26 @@ mod tests {
         c.decommission_server(servers[1]).unwrap();
         assert_eq!(c.active_vm_count(), 1);
         // The freed slot is usable again.
+        let id = c.provision_server(StoreConfig::default_homogeneous()).unwrap();
+        assert!(c.vm_of(id).is_some());
+        assert_eq!(c.active_vm_count(), 2);
+    }
+
+    #[test]
+    fn injected_provision_failure_does_not_consume_quota_or_vm_ids() {
+        use simcore::fault::{FaultSpec, ScheduledFault};
+        use simcore::{FaultPlan, SimTime};
+        let mut c = cloud(4);
+        c.boot_initial_fleet(1, StoreConfig::default_homogeneous()).unwrap();
+        let plan = FaultPlan::new(vec![ScheduledFault {
+            at: SimTime::ZERO,
+            spec: FaultSpec::ProvisionFail,
+        }]);
+        c.set_fault_injector(plan.injector());
+        let err = c.provision_server(StoreConfig::default_homogeneous());
+        assert!(matches!(err, Err(AdminError::ProvisioningFailed(_))), "{err:?}");
+        assert_eq!(c.active_vm_count(), 1, "failed boot must not leak a VM record");
+        // The fault is consumed; the retry boots normally.
         let id = c.provision_server(StoreConfig::default_homogeneous()).unwrap();
         assert!(c.vm_of(id).is_some());
         assert_eq!(c.active_vm_count(), 2);

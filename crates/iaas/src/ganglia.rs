@@ -9,6 +9,7 @@
 use cluster::admin::{ClusterSnapshot, ServerHealth};
 use cluster::ServerId;
 use serde::{Deserialize, Serialize};
+use simcore::{FaultInjector, SimDuration, SimTime};
 
 /// One node's system metrics.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -97,6 +98,79 @@ impl GangliaReport {
     }
 }
 
+/// A [`GangliaReport`] tagged with how fresh it is.
+///
+/// `age` is zero for a report built from the current snapshot; when a
+/// round is dropped the collector serves the last good report and the age
+/// grows, so consumers can degrade instead of mistaking stale data for
+/// current.
+#[derive(Debug, Clone, Default)]
+pub struct SampledReport {
+    /// The report (possibly the last good one, when this round dropped).
+    pub report: GangliaReport,
+    /// Time since the data in `report` was actually collected.
+    pub age: SimDuration,
+    /// Monitoring rounds dropped since the last good collection.
+    pub dropped_rounds: u64,
+}
+
+impl SampledReport {
+    /// True when this round's samples were actually collected (not
+    /// served from the stale cache).
+    pub fn is_fresh(&self) -> bool {
+        self.dropped_rounds == 0
+    }
+}
+
+/// Collects Ganglia rounds, surviving dropped or delayed sample
+/// deliveries: when a scripted [`simcore::FaultSpec::MetricsDrop`] fault
+/// fires, the round returns the last-known-good report tagged with its
+/// age instead of fresh data — what a gmetad poll returns when gmond
+/// packets were lost.
+#[derive(Debug, Default)]
+pub struct GangliaCollector {
+    faults: FaultInjector,
+    last_good: Option<(SimTime, GangliaReport)>,
+    dropped_total: u64,
+    dropped_streak: u64,
+}
+
+impl GangliaCollector {
+    /// A collector that never drops a round.
+    pub fn new() -> Self {
+        GangliaCollector::default()
+    }
+
+    /// A collector whose rounds can be dropped by scripted faults.
+    pub fn with_faults(faults: FaultInjector) -> Self {
+        GangliaCollector { faults, ..GangliaCollector::default() }
+    }
+
+    /// Runs one collection round against `snapshot`.
+    pub fn collect(&mut self, snapshot: &ClusterSnapshot) -> SampledReport {
+        if self.faults.take_metrics_drop(snapshot.at) {
+            self.dropped_total += 1;
+            self.dropped_streak += 1;
+            let (at, report) =
+                self.last_good.clone().unwrap_or((snapshot.at, GangliaReport::default()));
+            return SampledReport {
+                report,
+                age: snapshot.at.since(at),
+                dropped_rounds: self.dropped_streak,
+            };
+        }
+        let report = GangliaReport::from_snapshot(snapshot);
+        self.last_good = Some((snapshot.at, report.clone()));
+        self.dropped_streak = 0;
+        SampledReport { report, age: SimDuration::ZERO, dropped_rounds: 0 }
+    }
+
+    /// Rounds dropped over the collector's lifetime.
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped_total
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,5 +196,54 @@ mod tests {
         assert!(report.node(a).is_some());
         assert!(report.node(b).is_none(), "restarting node must not report");
         assert_eq!(report.len(), 1);
+    }
+
+    #[test]
+    fn dropped_round_serves_stale_report_with_age() {
+        use simcore::fault::{FaultSpec, ScheduledFault};
+        use simcore::{FaultPlan, SimTime};
+
+        let mut sim = SimCluster::new(CostParams::default(), 2);
+        let a = sim.add_server_immediate(StoreConfig::default_homogeneous());
+        let p = sim.create_partition(PartitionSpec {
+            table: "t".into(),
+            size_bytes: 1e9,
+            record_bytes: 1_000.0,
+            hot_set_fraction: 0.4,
+            hot_ops_fraction: 0.5,
+        });
+        sim.assign_partition(p, a).unwrap();
+
+        let plan = FaultPlan::new(vec![
+            ScheduledFault { at: SimTime::from_secs(3), spec: FaultSpec::MetricsDrop },
+            ScheduledFault { at: SimTime::from_secs(4), spec: FaultSpec::MetricsDrop },
+        ]);
+        let mut collector = GangliaCollector::with_faults(plan.injector());
+
+        sim.run_ticks(2);
+        let fresh = collector.collect(&sim.snapshot());
+        assert!(fresh.is_fresh());
+        assert_eq!(fresh.age, SimDuration::ZERO);
+        assert_eq!(fresh.report.len(), 1);
+
+        // Two consecutive rounds drop: the stale report is served, age grows.
+        sim.run_ticks(1);
+        let stale = collector.collect(&sim.snapshot());
+        assert!(!stale.is_fresh());
+        assert_eq!(stale.age, SimDuration::from_secs(1));
+        assert_eq!(stale.dropped_rounds, 1);
+        assert_eq!(stale.report.node(a), fresh.report.node(a), "served from cache");
+
+        sim.run_ticks(1);
+        let staler = collector.collect(&sim.snapshot());
+        assert_eq!(staler.age, SimDuration::from_secs(2));
+        assert_eq!(staler.dropped_rounds, 2);
+        assert_eq!(collector.dropped_total(), 2);
+
+        // The script is exhausted: the next round is fresh again.
+        sim.run_ticks(1);
+        let recovered = collector.collect(&sim.snapshot());
+        assert!(recovered.is_fresh());
+        assert_eq!(recovered.age, SimDuration::ZERO);
     }
 }

@@ -10,6 +10,8 @@
 //! * [`clock`] — simulated time ([`SimTime`], [`SimDuration`]).
 //! * [`events`] — a monotone event queue for scheduled actions (VM boots,
 //!   server restarts, compaction completions).
+//! * [`fault`] — deterministic fault injection: seeded [`FaultPlan`]
+//!   scripts consumed through the shared [`FaultInjector`] handle.
 //! * [`rng`] — seeded, splittable random-number streams so that every
 //!   experiment is reproducible from a single `u64` seed.
 //! * [`dist`] — the YCSB key-request distributions (uniform, zipfian,
@@ -25,6 +27,7 @@
 pub mod clock;
 pub mod dist;
 pub mod events;
+pub mod fault;
 pub mod rng;
 pub mod smoothing;
 pub mod stats;
@@ -33,4 +36,7 @@ pub mod token_bucket;
 
 pub use clock::{SimDuration, SimTime};
 pub use events::EventQueue;
+pub use fault::{
+    FaultInjector, FaultOp, FaultPlan, FaultSpec, ProvisionFault, RandomFaultConfig, ScheduledFault,
+};
 pub use rng::SimRng;

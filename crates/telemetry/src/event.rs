@@ -188,6 +188,67 @@ pub enum TelemetryEvent {
         /// Byte-weighted locality index in `[0, 1]`.
         value: f64,
     },
+    /// A scripted fault fired at its injection point (chaos runs only).
+    FaultInjected {
+        /// Fault kind: `provision_fail`, `slow_boot`, `server_crash`,
+        /// `move_fail`, `restart_fail`, `compact_fail`, `datanode_loss`,
+        /// `metrics_drop`.
+        kind: String,
+        /// Server/datanode the fault hit, when entity-scoped.
+        target: Option<u64>,
+        /// Human-readable description of the effect.
+        detail: String,
+    },
+    /// A failed control-plane step was scheduled for retry with backoff.
+    RetryScheduled {
+        /// Step kind (same vocabulary as [`TelemetryEvent::ActionStarted`]).
+        action: String,
+        /// Server the step targets, when known.
+        server: Option<u64>,
+        /// Partition involved, when the step is partition-scoped.
+        partition: Option<u64>,
+        /// Failure count so far (1 = first retry pending).
+        attempt: u64,
+        /// Backoff wait before the next attempt, milliseconds.
+        backoff_ms: u64,
+        /// The error that triggered the retry.
+        error: String,
+    },
+    /// A control-plane step exhausted its retry budget (or its target
+    /// vanished) and was abandoned with a typed error.
+    StepFailed {
+        /// Step kind (same vocabulary as [`TelemetryEvent::ActionStarted`]).
+        action: String,
+        /// Server the step targeted, when known.
+        server: Option<u64>,
+        /// Partition involved, when the step was partition-scoped.
+        partition: Option<u64>,
+        /// Attempts made before giving up.
+        attempts: u64,
+        /// The final error.
+        error: String,
+    },
+    /// The actuator re-diffed its intended plan against the cluster after
+    /// the step queue drained and re-issued or redistributed work.
+    PlanReconciled {
+        /// Reconciliation round within the current plan (1-based).
+        round: u64,
+        /// Steps re-enqueued by the diff.
+        reissued: u64,
+        /// Partitions redistributed away from dead or abandoned slots.
+        redistributed: u64,
+        /// Slots given up on (server lost or never provisioned).
+        abandoned: u64,
+    },
+    /// The decision maker entered or left degraded mode on stale metrics.
+    DegradedMode {
+        /// True on entry, false on recovery.
+        entered: bool,
+        /// Age of the newest good monitoring data, milliseconds.
+        age_ms: u64,
+        /// What degradation implies (held classification, vetoed scale-in).
+        detail: String,
+    },
 }
 
 /// Discriminant of a [`TelemetryEvent`], for filters and assertions.
@@ -211,6 +272,11 @@ pub enum EventKind {
     RegionSplit,
     CompactionDone,
     LocalitySample,
+    FaultInjected,
+    RetryScheduled,
+    StepFailed,
+    PlanReconciled,
+    DegradedMode,
 }
 
 impl EventKind {
@@ -234,6 +300,11 @@ impl EventKind {
             EventKind::RegionSplit => "region_split",
             EventKind::CompactionDone => "compaction_done",
             EventKind::LocalitySample => "locality_sample",
+            EventKind::FaultInjected => "fault_injected",
+            EventKind::RetryScheduled => "retry_scheduled",
+            EventKind::StepFailed => "step_failed",
+            EventKind::PlanReconciled => "plan_reconciled",
+            EventKind::DegradedMode => "degraded_mode",
         }
     }
 }
@@ -259,6 +330,11 @@ impl TelemetryEvent {
             TelemetryEvent::RegionSplit { .. } => EventKind::RegionSplit,
             TelemetryEvent::CompactionDone { .. } => EventKind::CompactionDone,
             TelemetryEvent::LocalitySample { .. } => EventKind::LocalitySample,
+            TelemetryEvent::FaultInjected { .. } => EventKind::FaultInjected,
+            TelemetryEvent::RetryScheduled { .. } => EventKind::RetryScheduled,
+            TelemetryEvent::StepFailed { .. } => EventKind::StepFailed,
+            TelemetryEvent::PlanReconciled { .. } => EventKind::PlanReconciled,
+            TelemetryEvent::DegradedMode { .. } => EventKind::DegradedMode,
         }
     }
 
@@ -367,6 +443,33 @@ impl Event {
             }
             TelemetryEvent::LocalitySample { server, value } => {
                 json!({ "server": *server, "value": *value })
+            }
+            TelemetryEvent::FaultInjected { kind, target, detail } => {
+                json!({ "kind": kind, "target": opt_u64(target), "detail": detail })
+            }
+            TelemetryEvent::RetryScheduled {
+                action,
+                server,
+                partition,
+                attempt,
+                backoff_ms,
+                error,
+            } => {
+                json!({
+                    "action": action, "server": opt_u64(server), "partition": opt_u64(partition),
+                    "attempt": *attempt, "backoff_ms": *backoff_ms, "error": error,
+                })
+            }
+            TelemetryEvent::StepFailed { action, server, partition, attempts, error } => json!({
+                "action": action, "server": opt_u64(server), "partition": opt_u64(partition),
+                "attempts": *attempts, "error": error,
+            }),
+            TelemetryEvent::PlanReconciled { round, reissued, redistributed, abandoned } => json!({
+                "round": *round, "reissued": *reissued,
+                "redistributed": *redistributed, "abandoned": *abandoned,
+            }),
+            TelemetryEvent::DegradedMode { entered, age_ms, detail } => {
+                json!({ "entered": *entered, "age_ms": *age_ms, "detail": detail })
             }
         };
         if let Value::Object(map) = &mut obj {
@@ -491,6 +594,37 @@ impl Event {
             "locality_sample" => {
                 TelemetryEvent::LocalitySample { server: u("server")?, value: f("value")? }
             }
+            "fault_injected" => TelemetryEvent::FaultInjected {
+                kind: s("kind")?,
+                target: opt("target")?,
+                detail: s("detail")?,
+            },
+            "retry_scheduled" => TelemetryEvent::RetryScheduled {
+                action: s("action")?,
+                server: opt("server")?,
+                partition: opt("partition")?,
+                attempt: u("attempt")?,
+                backoff_ms: u("backoff_ms")?,
+                error: s("error")?,
+            },
+            "step_failed" => TelemetryEvent::StepFailed {
+                action: s("action")?,
+                server: opt("server")?,
+                partition: opt("partition")?,
+                attempts: u("attempts")?,
+                error: s("error")?,
+            },
+            "plan_reconciled" => TelemetryEvent::PlanReconciled {
+                round: u("round")?,
+                reissued: u("reissued")?,
+                redistributed: u("redistributed")?,
+                abandoned: u("abandoned")?,
+            },
+            "degraded_mode" => TelemetryEvent::DegradedMode {
+                entered: v["entered"].as_bool()?,
+                age_ms: u("age_ms")?,
+                detail: s("detail")?,
+            },
             _ => return None,
         };
         Some(Event { time_ms, seq, data })
@@ -573,6 +707,37 @@ mod tests {
             TelemetryEvent::RegionSplit { server: 1, region: 4, new_region: 11 },
             TelemetryEvent::CompactionDone { server: 2, bytes: 1 << 20 },
             TelemetryEvent::LocalitySample { server: 2, value: 0.75 },
+            TelemetryEvent::FaultInjected {
+                kind: "server_crash".to_string(),
+                target: Some(3),
+                detail: "server 3 crashed; 4 partitions orphaned".to_string(),
+            },
+            TelemetryEvent::RetryScheduled {
+                action: "provision".to_string(),
+                server: None,
+                partition: None,
+                attempt: 1,
+                backoff_ms: 2_000,
+                error: "injected provision failure".to_string(),
+            },
+            TelemetryEvent::StepFailed {
+                action: "move_in".to_string(),
+                server: Some(4),
+                partition: Some(7),
+                attempts: 4,
+                error: "server 4 unavailable".to_string(),
+            },
+            TelemetryEvent::PlanReconciled {
+                round: 1,
+                reissued: 2,
+                redistributed: 4,
+                abandoned: 1,
+            },
+            TelemetryEvent::DegradedMode {
+                entered: true,
+                age_ms: 95_000,
+                detail: "metrics stale; scale-in vetoed".to_string(),
+            },
         ]
     }
 
