@@ -1,0 +1,117 @@
+//! Sweeps fleet sizes through the parallel tick engine, reporting the
+//! wall-clock speedup of `MET_THREADS=N` over the sequential engine while
+//! asserting that the Fig-4 and chaos experiment traces stay byte-identical
+//! across thread counts.
+//!
+//! Knobs:
+//!
+//! * `MET_SCALE_SIZES=10,50,100,200,500` — fleet sizes to sweep;
+//! * `MET_SCALE_TICKS=60` — simulated ticks per sweep run;
+//! * `MET_SCALE_THREADS=<n>` — parallel thread count (default: available
+//!   parallelism, min 2 so the parallel path actually runs);
+//! * `MET_SCALE_TRACE_MINUTES=10` — length of the traced fig4/chaos
+//!   determinism runs;
+//! * `MET_SCALE_ASSERT_SPEEDUP=1` — also fail unless the largest fleet
+//!   ≥200 servers reaches ≥2× speedup (off by default: single-core CI
+//!   machines cannot speed up, but they *can* verify determinism).
+//!
+//! Exit status: non-zero when any cross-thread digest differs, or when the
+//! speedup gate is armed and missed.
+
+use met_bench::scale;
+
+fn main() {
+    let sizes = scale::sizes_from_env("MET_SCALE_SIZES", &[10, 50, 100, 200, 500]);
+    let ticks = scale::usize_from_env("MET_SCALE_TICKS", 60);
+    let threads = scale::usize_from_env(
+        "MET_SCALE_THREADS",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).max(2),
+    );
+    let trace_minutes = scale::usize_from_env("MET_SCALE_TRACE_MINUTES", 10) as u64;
+    let assert_speedup = std::env::var("MET_SCALE_ASSERT_SPEEDUP").is_ok_and(|v| v == "1");
+
+    eprintln!("scale: sweeping {sizes:?} servers × {ticks} ticks at 1 vs {threads} threads...");
+    let points: Vec<scale::ScalePoint> =
+        sizes.iter().map(|&s| scale::sweep_point(s, ticks, threads, 42)).collect();
+
+    println!("Scale — parallel tick engine, 1 vs {threads} threads ({ticks} ticks)");
+    println!(
+        "{:>8} {:>12} {:>12} {:>9} {:>8}",
+        "servers", "seq (s)", "par (s)", "speedup", "trace"
+    );
+    for p in &points {
+        println!(
+            "{:>8} {:>12.3} {:>12.3} {:>8.2}x {:>8}",
+            p.servers,
+            p.secs_seq,
+            p.secs_par,
+            p.speedup,
+            if p.digests_match { "match" } else { "DIVERGED" }
+        );
+    }
+
+    eprintln!("scale: tracing fig4 + chaos at 1 vs {threads} threads ({trace_minutes} min)...");
+    let fig4_seq = scale::traced_fig4(1_000, trace_minutes, 1);
+    let fig4_par = scale::traced_fig4(1_000, trace_minutes, threads);
+    let chaos_seq = scale::traced_chaos(1_000, trace_minutes, 1);
+    let chaos_par = scale::traced_chaos(1_000, trace_minutes, threads);
+    let fig4_ok = fig4_seq.digest() == fig4_par.digest();
+    let chaos_ok = chaos_seq.digest() == chaos_par.digest();
+    println!(
+        "fig4 trace digest:  {:#018x} vs {:#018x} — {}",
+        fig4_seq.digest(),
+        fig4_par.digest(),
+        if fig4_ok { "match" } else { "DIVERGED" }
+    );
+    println!(
+        "chaos trace digest: {:#018x} vs {:#018x} — {}",
+        chaos_seq.digest(),
+        chaos_par.digest(),
+        if chaos_ok { "match" } else { "DIVERGED" }
+    );
+
+    let sweep_ok = points.iter().all(|p| p.digests_match);
+    let big = points.iter().rev().find(|p| p.servers >= 200);
+    let speedup_ok = !assert_speedup
+        || big.map(|p| p.speedup >= 2.0).unwrap_or_else(|| {
+            eprintln!("scale: speedup gate armed but no fleet >= 200 servers in the sweep");
+            false
+        });
+    if assert_speedup {
+        if let Some(p) = big {
+            println!(
+                "speedup gate: {} servers at {:.2}x (need >= 2.00x) — {}",
+                p.servers,
+                p.speedup,
+                if p.speedup >= 2.0 { "pass" } else { "FAIL" }
+            );
+        }
+    }
+
+    let json = serde_json::json!({
+        "experiment": "scale",
+        "threads": threads,
+        "ticks": ticks,
+        "points": points.iter().map(|p| serde_json::json!({
+            "servers": p.servers,
+            "secs_seq": p.secs_seq,
+            "secs_par": p.secs_par,
+            "speedup": p.speedup,
+            "digests_match": p.digests_match,
+        })).collect::<Vec<_>>(),
+        "fig4_trace_match": fig4_ok,
+        "chaos_trace_match": chaos_ok,
+        "speedup_gate": if assert_speedup {
+            serde_json::json!(speedup_ok)
+        } else {
+            serde_json::Value::Null
+        },
+    });
+    if let Some(path) = met_bench::report::write_json("scale", &json) {
+        eprintln!("wrote {}", path.display());
+    }
+
+    if !(sweep_ok && fig4_ok && chaos_ok && speedup_ok) {
+        std::process::exit(1);
+    }
+}

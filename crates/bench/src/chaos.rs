@@ -107,8 +107,24 @@ pub fn run_chaos_curve(
     plan: &FaultPlan,
     telemetry: Telemetry,
 ) -> ChaosRun {
+    run_chaos_curve_threads(seed, minutes, plan, telemetry, None).0
+}
+
+/// [`run_chaos_curve`] with an explicit simulation thread count (`None`
+/// keeps the `MET_THREADS` default) and the final cluster snapshot, so
+/// cross-thread determinism checks can compare end states.
+pub fn run_chaos_curve_threads(
+    seed: u64,
+    minutes: u64,
+    plan: &FaultPlan,
+    telemetry: Telemetry,
+    threads: Option<usize>,
+) -> (ChaosRun, ClusterSnapshot) {
     let mut scenario = ycsb_scenario(seed);
     build_random_homogeneous(&mut scenario.sim, FIG1_SERVERS);
+    if let Some(t) = threads {
+        scenario.sim.set_threads(t);
+    }
     scenario.start_clients();
     scenario.sim.set_telemetry(telemetry.clone());
     // Replacement provisioning takes a realistic boot time, so a crash is
@@ -146,7 +162,8 @@ pub fn run_chaos_curve(
 
     let end = SimTime::from_mins(minutes + 2);
     let steady_from = SimTime::from_mins(minutes + 2 - 10);
-    ChaosRun {
+    let final_snapshot = ElasticCluster::snapshot(&scenario.sim);
+    let run = ChaosRun {
         steady: scenario.sim.total_series().mean_between(steady_from, end).unwrap_or(0.0),
         reconfigurations: met.reconfigurations(),
         converged_at_min: last_change.as_mins_f64(),
@@ -160,7 +177,8 @@ pub fn run_chaos_curve(
         degraded_entries: telemetry.counter_total("met_degraded_entries_total"),
         scale_in_vetoes: telemetry.counter_total("met_scale_in_vetoes_total"),
         faults_injected: injector.map(|i| i.injected() as u64).unwrap_or(0),
-    }
+    };
+    (run, final_snapshot)
 }
 
 /// Runs the full experiment: a fault-free baseline, then the same seed

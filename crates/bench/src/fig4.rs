@@ -55,8 +55,25 @@ pub fn run_met_curve_traced(
     minutes: u64,
     telemetry: telemetry::Telemetry,
 ) -> (TimeSeries, u64) {
+    let (series, reconfigurations, _) = run_met_curve_threads(seed, minutes, telemetry, None);
+    (series, reconfigurations)
+}
+
+/// [`run_met_curve_traced`] with an explicit simulation thread count
+/// (`None` keeps the `MET_THREADS` default) and the final cluster snapshot,
+/// so cross-thread determinism checks can compare end states.
+pub fn run_met_curve_threads(
+    seed: u64,
+    minutes: u64,
+    telemetry: telemetry::Telemetry,
+    threads: Option<usize>,
+) -> (TimeSeries, u64, cluster::ClusterSnapshot) {
+    use cluster::ElasticCluster;
     let mut scenario = ycsb_scenario(seed);
     build_random_homogeneous(&mut scenario.sim, FIG1_SERVERS);
+    if let Some(t) = threads {
+        scenario.sim.set_threads(t);
+    }
     scenario.start_clients();
     scenario.sim.set_telemetry(telemetry.clone());
     // §6.2 runs MeT against the database alone: reconfiguration only.
@@ -70,7 +87,8 @@ pub fn run_met_curve_traced(
         }
     }
     telemetry.flush();
-    (scenario.sim.total_series().clone(), met.reconfigurations())
+    let snapshot = ElasticCluster::snapshot(&scenario.sim);
+    (scenario.sim.total_series().clone(), met.reconfigurations(), snapshot)
 }
 
 /// Runs a manual strategy and returns its total-throughput series.

@@ -8,6 +8,7 @@ pub mod elastic;
 pub mod fig1;
 pub mod fig4;
 pub mod report;
+pub mod scale;
 pub mod scenario;
 pub mod table2;
 

@@ -1,0 +1,199 @@
+//! `exp-scale` — parallel engine scaling sweep.
+//!
+//! The parallel tick engine must satisfy two properties at once:
+//!
+//! 1. **Bit-identical traces** — a run at any thread count produces exactly
+//!    the same throughput series, telemetry events, and final layout as the
+//!    sequential engine (`MET_THREADS=1`).
+//! 2. **Speedup** — on a multi-core host, large fleets tick faster with
+//!    more threads.
+//!
+//! This module provides the fleet builder, wall-clock sweep, and trace
+//! digests the binary and the tier-1 determinism test share. Digests use
+//! FNV-1a over the debug/JSONL encodings: `f64`'s shortest-round-trip
+//! formatting means any bit difference in any sample changes the digest.
+
+use crate::scenario::paper_params;
+use cluster::{ClientGroup, ClusterSnapshot, OpMix, PartitionId, PartitionSpec, SimCluster};
+use hstore::StoreConfig;
+use simcore::FaultPlan;
+use telemetry::{Telemetry, Verbosity};
+
+/// FNV-1a over arbitrary bytes.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Builds a synthetic homogeneous fleet: `servers` servers, two partitions
+/// per server, one mixed client group sized with the fleet so every server
+/// stays busy. Deterministic in `seed` and independent of `threads`.
+pub fn build_fleet(servers: usize, threads: usize, seed: u64) -> SimCluster {
+    let mut sim = SimCluster::new(paper_params(), seed);
+    sim.set_threads(threads);
+    for _ in 0..servers {
+        sim.add_server_immediate(StoreConfig::default_homogeneous());
+    }
+    let parts: Vec<PartitionId> = (0..2 * servers)
+        .map(|_| {
+            sim.create_partition(PartitionSpec {
+                table: "fleet".into(),
+                size_bytes: 1.5e9,
+                record_bytes: 1_000.0,
+                hot_set_fraction: 0.4,
+                hot_ops_fraction: 0.5,
+            })
+        })
+        .collect();
+    sim.random_balance_unassigned();
+    let w = 1.0 / parts.len() as f64;
+    sim.add_group(ClientGroup::with_common_weights(
+        "fleet",
+        30.0 * servers as f64,
+        0.5,
+        None,
+        OpMix::new(0.45, 0.45, 0.10),
+        parts.iter().map(|p| (*p, w)).collect(),
+        1.0,
+        0.0,
+    ));
+    sim
+}
+
+/// Runs a fleet for `ticks` and returns a digest of its throughput series.
+pub fn run_fleet_digest(servers: usize, ticks: usize, threads: usize, seed: u64) -> u64 {
+    let mut sim = build_fleet(servers, threads, seed);
+    sim.run_ticks(ticks);
+    fnv1a(format!("{:?}", sim.total_series().points()).as_bytes())
+}
+
+/// One point of the scaling sweep.
+#[derive(Debug, Clone)]
+pub struct ScalePoint {
+    /// Fleet size.
+    pub servers: usize,
+    /// Simulated ticks per run.
+    pub ticks: usize,
+    /// Wall-clock seconds at `MET_THREADS=1`.
+    pub secs_seq: f64,
+    /// Wall-clock seconds at the sweep's parallel thread count.
+    pub secs_par: f64,
+    /// `secs_seq / secs_par`.
+    pub speedup: f64,
+    /// Whether the sequential and parallel series digests matched.
+    pub digests_match: bool,
+}
+
+/// Times one fleet size at 1 thread and at `threads`, checking that both
+/// runs produce the identical throughput series.
+pub fn sweep_point(servers: usize, ticks: usize, threads: usize, seed: u64) -> ScalePoint {
+    let t0 = std::time::Instant::now();
+    let d_seq = run_fleet_digest(servers, ticks, 1, seed);
+    let secs_seq = t0.elapsed().as_secs_f64();
+    let t1 = std::time::Instant::now();
+    let d_par = run_fleet_digest(servers, ticks, threads, seed);
+    let secs_par = t1.elapsed().as_secs_f64();
+    ScalePoint {
+        servers,
+        ticks,
+        secs_seq,
+        secs_par,
+        speedup: if secs_par > 0.0 { secs_seq / secs_par } else { 0.0 },
+        digests_match: d_seq == d_par,
+    }
+}
+
+/// A traced experiment run reduced to the two artifacts the determinism
+/// checks compare: the serialized telemetry event stream and the final
+/// cluster snapshot.
+#[derive(Debug, Clone)]
+pub struct TracedRun {
+    /// Every telemetry event as JSONL (one event per line).
+    pub trace: String,
+    /// `Debug` rendering of the final [`ClusterSnapshot`].
+    pub layout: String,
+}
+
+impl TracedRun {
+    /// FNV-1a digest over trace and layout together.
+    pub fn digest(&self) -> u64 {
+        fnv1a(format!("{}\n---\n{}", self.trace, self.layout).as_bytes())
+    }
+}
+
+fn trace_string(telemetry: &Telemetry) -> String {
+    telemetry.events().iter().map(|e| e.to_json_line()).collect::<Vec<_>>().join("\n")
+}
+
+fn layout_string(snapshot: &ClusterSnapshot) -> String {
+    format!("{snapshot:?}")
+}
+
+/// The Fig-4 MeT curve at an explicit thread count, fully traced.
+pub fn traced_fig4(seed: u64, minutes: u64, threads: usize) -> TracedRun {
+    let telemetry = Telemetry::with_ring(Verbosity::Debug, 1 << 16);
+    let (_, _, snapshot) =
+        crate::fig4::run_met_curve_threads(seed, minutes, telemetry.clone(), Some(threads));
+    TracedRun { trace: trace_string(&telemetry), layout: layout_string(&snapshot) }
+}
+
+/// The chaos run (reference fault plan) at an explicit thread count, fully
+/// traced.
+pub fn traced_chaos(seed: u64, minutes: u64, threads: usize) -> TracedRun {
+    let telemetry = Telemetry::with_ring(Verbosity::Debug, 1 << 16);
+    let (_, snapshot) = crate::chaos::run_chaos_curve_threads(
+        seed,
+        minutes,
+        &FaultPlan::reference(),
+        telemetry.clone(),
+        Some(threads),
+    );
+    TracedRun { trace: trace_string(&telemetry), layout: layout_string(&snapshot) }
+}
+
+/// Parses a usize list env var like `MET_SCALE_SIZES=10,50,100`.
+pub fn sizes_from_env(var: &str, default: &[usize]) -> Vec<usize> {
+    match std::env::var(var) {
+        Ok(v) => {
+            let parsed: Vec<usize> = v.split(',').filter_map(|s| s.trim().parse().ok()).collect();
+            if parsed.is_empty() {
+                default.to_vec()
+            } else {
+                parsed
+            }
+        }
+        Err(_) => default.to_vec(),
+    }
+}
+
+/// Parses a usize env var with a default.
+pub fn usize_from_env(var: &str, default: usize) -> usize {
+    std::env::var(var).ok().and_then(|s| s.trim().parse().ok()).unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_distinguishes_inputs() {
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+        assert_eq!(fnv1a(b"trace"), fnv1a(b"trace"));
+    }
+
+    #[test]
+    fn fleet_series_digest_is_thread_invariant() {
+        let seq = run_fleet_digest(6, 20, 1, 7);
+        let par = run_fleet_digest(6, 20, 4, 7);
+        assert_eq!(seq, par, "fleet series must not depend on thread count");
+    }
+
+    #[test]
+    fn sizes_env_parsing_falls_back_to_default() {
+        assert_eq!(sizes_from_env("MET_SCALE_NOT_SET", &[10, 50]), vec![10, 50]);
+    }
+}

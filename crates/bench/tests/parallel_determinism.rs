@@ -1,0 +1,43 @@
+//! Tier-1 determinism gate for the parallel tick engine: the Fig-4
+//! convergence run and the chaos run (reference fault plan) must produce
+//! byte-identical telemetry traces and final partition layouts at
+//! `MET_THREADS=1` and `MET_THREADS=4`.
+//!
+//! The trace is the full debug-level event stream serialized as JSONL; the
+//! layout is the `Debug` rendering of the final cluster snapshot, whose
+//! `f64` fields print shortest-round-trip — any bit difference anywhere in
+//! the run shows up as a string difference here.
+
+use met_bench::scale::{traced_chaos, traced_fig4};
+
+fn assert_identical(
+    name: &str,
+    seq: &met_bench::scale::TracedRun,
+    par: &met_bench::scale::TracedRun,
+) {
+    assert!(!seq.trace.is_empty(), "{name}: sequential run produced no events");
+    assert_eq!(seq.trace, par.trace, "{name}: telemetry trace diverged between 1 and 4 threads");
+    assert_eq!(
+        seq.layout, par.layout,
+        "{name}: final partition layout diverged between 1 and 4 threads"
+    );
+}
+
+#[test]
+fn fig4_trace_is_byte_identical_across_thread_counts() {
+    // 8 minutes covers the ramp (2 min) plus the bulk of the §6.2
+    // reconfiguration window — restarts, moves, and major compactions all
+    // exercise the parallel phases.
+    let seq = traced_fig4(1_000, 6, 1);
+    let par = traced_fig4(1_000, 6, 4);
+    assert_identical("fig4", &seq, &par);
+}
+
+#[test]
+fn chaos_trace_is_byte_identical_across_thread_counts() {
+    // 10 minutes covers the reference plan's crash (5:05), provision
+    // failures, and metrics drop (7:00) plus recovery.
+    let seq = traced_chaos(1_000, 10, 1);
+    let par = traced_chaos(1_000, 10, 4);
+    assert_identical("chaos", &seq, &par);
+}

@@ -15,7 +15,16 @@
 //!    decommissioning — have the availability and locality consequences
 //!    the paper measures (§5, §6.2).
 //!
-//! The whole simulation is deterministic for a given seed.
+//! The whole simulation is deterministic for a given seed — at *any* thread
+//! count. The embarrassingly parallel per-server phases (queueing-model
+//! solve, compaction drain planning, cache-warmth evolution, locality
+//! accounting, cache metrics) fan out over the `MET_THREADS` pool
+//! ([`simcore::par`]), always mapping over a stable server-ID order and
+//! reducing into shared state in that same order; per-server randomness
+//! comes from forked RNG streams keyed by server ID
+//! ([`simcore::SimRng::fork`]). `MET_THREADS=1` (or
+//! [`SimCluster::set_threads`]`(1)`) selects the legacy sequential path,
+//! and both paths produce bit-identical traces.
 
 use crate::admin::{
     AdminError, ClusterSnapshot, ElasticCluster, PartitionMetrics, ServerHealth, ServerMetrics,
@@ -27,7 +36,7 @@ use hstore::StoreConfig;
 use simcore::timeseries::TimeSeries;
 use simcore::{FaultInjector, FaultOp, ProvisionFault, SimDuration, SimRng, SimTime};
 use std::collections::{BTreeMap, VecDeque};
-use telemetry::{Telemetry, TelemetryEvent};
+use telemetry::{MetricsBuffer, Telemetry, TelemetryEvent};
 
 /// Fixed-point iterations per tick.
 const SOLVER_ITERS: usize = 48;
@@ -184,6 +193,10 @@ struct SimServer {
     config: StoreConfig,
     state: ServerState,
     warmth: f64,
+    // The server's own forked RNG stream (keyed by server ID), so draws
+    // made on behalf of this server are identical regardless of which
+    // thread — or sibling-server ordering — performs them.
+    rng: SimRng,
     compaction_backlog: VecDeque<(PartitionId, f64)>,
     // Metrics from the last completed tick.
     last_cpu: f64,
@@ -224,6 +237,11 @@ pub struct SimCluster {
     next_server: u64,
     next_file: u64,
     rng: SimRng,
+    // Immutable base for per-server stream forks; never drawn from
+    // directly (forking from a mutable stream inside a parallel section
+    // would make children depend on sibling execution order).
+    rng_streams: SimRng,
+    threads: usize,
     total_series: TimeSeries,
     group_series: BTreeMap<String, TimeSeries>,
     latency_series: BTreeMap<String, TimeSeries>,
@@ -257,6 +275,8 @@ impl SimCluster {
             next_server: 1,
             next_file: 1,
             rng,
+            rng_streams: SimRng::new(seed).derive("server-streams"),
+            threads: simcore::par::met_threads(),
             total_series: TimeSeries::new("total ops/s"),
             group_series: BTreeMap::new(),
             latency_series: BTreeMap::new(),
@@ -267,6 +287,23 @@ impl SimCluster {
             faults: FaultInjector::disabled(),
             rerep_mb_s: 50.0,
         }
+    }
+
+    /// Overrides the thread count for this cluster's parallel phases.
+    ///
+    /// The process-wide default comes from `MET_THREADS` (see
+    /// [`simcore::par::met_threads`]); this per-cluster override exists so
+    /// one process can compare thread counts (the determinism tests run the
+    /// same scenario at 1 and N threads). `1` selects the legacy
+    /// sequential path. Values are clamped to at least 1.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+        simcore::par::ensure_pool(self.threads);
+    }
+
+    /// The thread count used by the parallel phases.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Routes storage-layer telemetry (flushes, compactions, splits, cache
@@ -410,6 +447,7 @@ impl SimCluster {
                 config,
                 state: ServerState::Online,
                 warmth: 0.3,
+                rng: self.rng_streams.fork(&format!("server-{}", id.0)),
                 compaction_backlog: VecDeque::new(),
                 last_cpu: 0.0,
                 last_io: 0.0,
@@ -787,29 +825,50 @@ impl SimCluster {
             }
         }
 
-        // 5. Compaction backlog drain and completion.
+        // 5. Compaction backlog drain and completion. Drain plans are
+        // computed in parallel from read-only server state, then applied
+        // sequentially in server-ID order so warmth decay and the DFS
+        // rewrites in finish_compaction happen exactly as the sequential
+        // engine performs them.
         let compact_step = self.params.compact_mb_s * 1e6 * dt;
-        let sids: Vec<ServerId> = self.servers.keys().copied().collect();
-        for sid in sids {
-            let server = self.servers.get_mut(&sid).expect("iterating known ids");
-            if server.state != ServerState::Online {
+        let threads = self.threads;
+        let drain_entries: Vec<(&ServerId, &SimServer)> = self.servers.iter().collect();
+        let plans: Vec<(Vec<PartitionId>, Option<f64>)> =
+            simcore::par::map(threads, &drain_entries, |(_, server)| {
+                if server.state != ServerState::Online {
+                    return (Vec::new(), None);
+                }
+                let mut budget = compact_step;
+                let mut completed: Vec<PartitionId> = Vec::new();
+                let mut leftover = None;
+                for &(p, amount) in &server.compaction_backlog {
+                    if budget <= 0.0 {
+                        break;
+                    }
+                    if amount <= budget {
+                        budget -= amount;
+                        completed.push(p);
+                    } else {
+                        leftover = Some(amount - budget);
+                        break;
+                    }
+                }
+                (completed, leftover)
+            });
+        let drain_order: Vec<ServerId> = drain_entries.iter().map(|(sid, _)| **sid).collect();
+        for (sid, (completed, leftover)) in drain_order.into_iter().zip(plans) {
+            if completed.is_empty() && leftover.is_none() {
                 continue;
             }
-            let mut budget = compact_step;
-            let mut completed: Vec<PartitionId> = Vec::new();
-            while budget > 0.0 {
-                let Some(front) = server.compaction_backlog.front_mut() else { break };
-                if front.1 <= budget {
-                    budget -= front.1;
-                    completed.push(front.0);
-                    server.compaction_backlog.pop_front();
-                    // Compaction invalidates cached blocks of the rewritten
-                    // files; the cache partially cools.
-                    server.warmth *= 0.85;
-                } else {
-                    front.1 -= budget;
-                    budget = 0.0;
-                }
+            let server = self.servers.get_mut(&sid).expect("iterating known ids");
+            for _ in &completed {
+                server.compaction_backlog.pop_front();
+                // Compaction invalidates cached blocks of the rewritten
+                // files; the cache partially cools.
+                server.warmth *= 0.85;
+            }
+            if let Some(left) = leftover {
+                server.compaction_backlog.front_mut().expect("leftover implies a front").1 = left;
             }
             for p in completed {
                 self.finish_compaction(p, sid);
@@ -831,13 +890,15 @@ impl SimCluster {
             }
         }
 
-        // 6. Warmth evolution.
-        for server in self.servers.values_mut() {
+        // 6. Warmth evolution (each server only touches itself).
+        let warmup_s = self.params.warmup_s;
+        let mut warm_refs: Vec<&mut SimServer> = self.servers.values_mut().collect();
+        simcore::par::for_each_mut(threads, &mut warm_refs, |server| {
             if server.state == ServerState::Online {
-                server.warmth += (1.0 - server.warmth) * dt / self.params.warmup_s;
+                server.warmth += (1.0 - server.warmth) * dt / warmup_s;
                 server.warmth = server.warmth.clamp(0.0, 1.0);
             }
-        }
+        });
 
         // 7. Record series and stash metrics.
         let total: f64 = solution
@@ -873,37 +934,62 @@ impl SimCluster {
                 server.last_rps = 0.0;
             }
         }
-        for (sid, eval) in solution.server_evals {
-            let server = self.servers.get_mut(&sid).expect("eval for unknown server");
-            server.last_cpu = eval.rho_cpu.min(1.0);
-            server.last_io = eval.rho_disk.min(1.0);
-            server.last_mem = eval.mem_util;
-            server.last_rps = eval.total_rps;
-            // Modelled block-cache traffic: the warmth fraction of this
-            // tick's requests hit the cache, the remainder go to disk.
-            let served = (eval.total_rps * dt).round().max(0.0) as u64;
-            let hits = ((served as f64) * server.warmth).round() as u64;
-            server.cache_hits += hits.min(served);
-            server.cache_misses += served - hits.min(served);
-            if self.telemetry.is_enabled() {
-                let label = sid.0.to_string();
-                let labels = [("server", label.as_str())];
-                self.telemetry.gauge_set("sim_block_cache_hits", &labels, server.cache_hits as f64);
-                self.telemetry.gauge_set(
-                    "sim_block_cache_misses",
-                    &labels,
-                    server.cache_misses as f64,
-                );
-                let total = server.cache_hits + server.cache_misses;
-                if total > 0 {
-                    self.telemetry.gauge_set(
-                        "sim_block_cache_hit_ratio",
-                        &labels,
-                        server.cache_hits as f64 / total as f64,
-                    );
+        // Cache metrics: per-server updates are computed in parallel into
+        // per-shard buffers, then applied and flushed in server-ID order
+        // under a single registry lock (no per-gauge mutex contention).
+        let evals: Vec<(ServerId, ServerEval)> = solution.server_evals.into_iter().collect();
+        let telemetry_on = self.telemetry.is_enabled();
+        let servers_ref = &self.servers;
+        let updates: Vec<(f64, f64, f64, f64, u64, u64, MetricsBuffer)> =
+            simcore::par::map(threads, &evals, |(sid, eval)| {
+                let server = &servers_ref[sid];
+                // Modelled block-cache traffic: the warmth fraction of this
+                // tick's requests hit the cache, the remainder go to disk.
+                let served = (eval.total_rps * dt).round().max(0.0) as u64;
+                let hits = ((served as f64) * server.warmth).round() as u64;
+                let cache_hits = server.cache_hits + hits.min(served);
+                let cache_misses = server.cache_misses + (served - hits.min(served));
+                let mut buf = MetricsBuffer::new();
+                if telemetry_on {
+                    let label = sid.0.to_string();
+                    let labels = [("server", label.as_str())];
+                    buf.gauge_set("sim_block_cache_hits", &labels, cache_hits as f64);
+                    buf.gauge_set("sim_block_cache_misses", &labels, cache_misses as f64);
+                    let total = cache_hits + cache_misses;
+                    if total > 0 {
+                        buf.gauge_set(
+                            "sim_block_cache_hit_ratio",
+                            &labels,
+                            cache_hits as f64 / total as f64,
+                        );
+                    }
                 }
+                (
+                    eval.rho_cpu.min(1.0),
+                    eval.rho_disk.min(1.0),
+                    eval.mem_util,
+                    eval.total_rps,
+                    cache_hits,
+                    cache_misses,
+                    buf,
+                )
+            });
+        let mut buffers: Vec<MetricsBuffer> = Vec::new();
+        for ((sid, _), (cpu, io, mem, rps, cache_hits, cache_misses, buf)) in
+            evals.iter().zip(updates)
+        {
+            let server = self.servers.get_mut(sid).expect("eval for unknown server");
+            server.last_cpu = cpu;
+            server.last_io = io;
+            server.last_mem = mem;
+            server.last_rps = rps;
+            server.cache_hits = cache_hits;
+            server.cache_misses = cache_misses;
+            if !buf.is_empty() {
+                buffers.push(buf);
             }
         }
+        self.telemetry.flush_buffers(&buffers);
     }
 
     fn finish_compaction(&mut self, p: PartitionId, sid: ServerId) {
@@ -1003,10 +1089,30 @@ impl SimCluster {
         Some(q)
     }
 
+    /// Locality index of every assigned partition on its current server,
+    /// in partition-ID order. Computed once per tick (the namenode does
+    /// not change during the equilibrium solve) across the thread pool —
+    /// the per-datanode locality accounting is read-only and
+    /// embarrassingly parallel.
+    fn partition_localities(&self) -> BTreeMap<PartitionId, f64> {
+        let queries: Vec<(DataNodeId, Vec<(DfsFileId, u64)>)> = self
+            .assignment
+            .iter()
+            .map(|(p, sid)| (DataNodeId(sid.0), self.partitions[p].files.clone()))
+            .collect();
+        let values = self.namenode.locality_indices(self.threads, &queries);
+        self.assignment.keys().copied().zip(values).collect()
+    }
+
     /// Builds the per-server demand vectors for a given group-throughput
     /// estimate. Returns `(server → (partition list, demand list))` plus the
-    /// set of unavailable partitions.
-    fn build_demands(&self, group_x: &[f64]) -> BTreeMap<ServerId, Vec<PartitionDemand>> {
+    /// set of unavailable partitions. `locality` is the per-tick table from
+    /// [`SimCluster::partition_localities`].
+    fn build_demands(
+        &self,
+        group_x: &[f64],
+        locality: &BTreeMap<PartitionId, f64>,
+    ) -> BTreeMap<ServerId, Vec<PartitionDemand>> {
         let mut rates: BTreeMap<PartitionId, (f64, f64, f64, f64, f64)> = BTreeMap::new();
         for (gi, g) in self.groups.iter().enumerate() {
             if !g.active {
@@ -1038,7 +1144,8 @@ impl SimCluster {
         for (p, (r, w, s, rows, wf)) in rates {
             let Some(sid) = self.assignment.get(&p) else { continue };
             let part = &self.partitions[&p];
-            let locality = self.namenode.locality_index(DataNodeId(sid.0), &part.files);
+            let locality =
+                locality.get(&p).copied().expect("locality precomputed for assigned partition");
             let unavailable = part.moving_until.map(|t| t > self.now).unwrap_or(false);
             by_server.entry(*sid).or_default().push(PartitionDemand {
                 partition: p,
@@ -1079,58 +1186,81 @@ impl SimCluster {
         let mut server_evals: BTreeMap<ServerId, ServerEval> = BTreeMap::new();
         let mut avg: Vec<f64> = vec![0.0; x.len()];
         let mut group_r_ms: Vec<f64> = vec![0.0; x.len()];
+        // Locality does not change during the solve: compute the table once
+        // (in parallel) instead of per iteration.
+        let localities = self.partition_localities();
+        let threads = self.threads;
         for iter in 0..SOLVER_ITERS {
             // Heavier damping once roughly settled, to kill limit cycles.
             let damping = if iter < SOLVER_ITERS / 2 { 0.35 } else { 0.15 };
-            let demands = self.build_demands(&x);
+            let demands = self.build_demands(&x, &localities);
             server_evals.clear();
-            // Evaluate each online server under the current demand.
-            let mut response: BTreeMap<PartitionId, (f64, f64, f64)> = BTreeMap::new();
-            for (sid, parts) in &demands {
-                let server = &self.servers[sid];
-                if server.state != ServerState::Online {
-                    for d in parts {
-                        let pen = self.params.unavailable_penalty_ms;
-                        response.insert(d.partition, (pen, pen, pen));
+            // Evaluate each server under the current demand — independent
+            // per server, so fan out over stable server-ID order and merge
+            // the responses back in that same order.
+            let entries: Vec<(&ServerId, &Vec<PartitionDemand>)> = demands.iter().collect();
+            let params = &self.params;
+            let servers = &self.servers;
+            type ServerOutcome = (Option<ServerEval>, Vec<(PartitionId, (f64, f64, f64))>);
+            let outcomes: Vec<ServerOutcome> =
+                simcore::par::map(threads, &entries, |(sid, parts)| {
+                    let server = &servers[*sid];
+                    if server.state != ServerState::Online {
+                        let pen = params.unavailable_penalty_ms;
+                        let resp = parts.iter().map(|d| (d.partition, (pen, pen, pen))).collect();
+                        return (None, resp);
                     }
-                    continue;
+                    let background = if server.compaction_backlog.is_empty() {
+                        0.0
+                    } else {
+                        params.compact_mb_s
+                    };
+                    let eval =
+                        evaluate_server(params, &server.config, server.warmth, background, parts);
+                    let icpu = queue_inflation(params, eval.rho_cpu);
+                    let idisk = queue_inflation(params, eval.rho_disk);
+                    // Handler pressure: outstanding requests beyond the
+                    // handler pool queue in front of the server.
+                    let svc_ms: f64 = parts
+                        .iter()
+                        .zip(&eval.per_partition)
+                        .map(|(d, t)| {
+                            d.read_rps * (t.read.0 + t.read.1)
+                                + d.write_rps * (t.write.0 + t.write.1)
+                                + d.scan_rps * (t.scan.0 + t.scan.1)
+                        })
+                        .sum();
+                    let rho_handler = svc_ms / 1_000.0 / server.config.handler_count as f64;
+                    let ihandler = if params.use_handler_bound {
+                        queue_inflation(params, rho_handler / 4.0)
+                    } else {
+                        1.0
+                    };
+                    let resp = parts
+                        .iter()
+                        .zip(&eval.per_partition)
+                        .map(|(d, t)| {
+                            let base = (
+                                (t.read.0 * icpu + t.read.1 * idisk) * ihandler,
+                                (t.write.0 * icpu + t.write.1 * idisk) * ihandler
+                                    + t.write_stall_ms,
+                                (t.scan.0 * icpu + t.scan.1 * idisk) * ihandler,
+                            );
+                            let pen =
+                                if d.unavailable { params.unavailable_penalty_ms } else { 0.0 };
+                            (d.partition, (base.0 + pen, base.1 + pen, base.2 + pen))
+                        })
+                        .collect();
+                    (Some(eval), resp)
+                });
+            let mut response: BTreeMap<PartitionId, (f64, f64, f64)> = BTreeMap::new();
+            for ((sid, _), (eval, resp)) in entries.iter().zip(outcomes) {
+                for (p, r) in resp {
+                    response.insert(p, r);
                 }
-                let background = if server.compaction_backlog.is_empty() {
-                    0.0
-                } else {
-                    self.params.compact_mb_s
-                };
-                let eval =
-                    evaluate_server(&self.params, &server.config, server.warmth, background, parts);
-                let icpu = queue_inflation(&self.params, eval.rho_cpu);
-                let idisk = queue_inflation(&self.params, eval.rho_disk);
-                // Handler pressure: outstanding requests beyond the handler
-                // pool queue in front of the server.
-                let svc_ms: f64 = parts
-                    .iter()
-                    .zip(&eval.per_partition)
-                    .map(|(d, t)| {
-                        d.read_rps * (t.read.0 + t.read.1)
-                            + d.write_rps * (t.write.0 + t.write.1)
-                            + d.scan_rps * (t.scan.0 + t.scan.1)
-                    })
-                    .sum();
-                let rho_handler = svc_ms / 1_000.0 / server.config.handler_count as f64;
-                let ihandler = if self.params.use_handler_bound {
-                    queue_inflation(&self.params, rho_handler / 4.0)
-                } else {
-                    1.0
-                };
-                for (d, t) in parts.iter().zip(&eval.per_partition) {
-                    let base = (
-                        (t.read.0 * icpu + t.read.1 * idisk) * ihandler,
-                        (t.write.0 * icpu + t.write.1 * idisk) * ihandler + t.write_stall_ms,
-                        (t.scan.0 * icpu + t.scan.1 * idisk) * ihandler,
-                    );
-                    let pen = if d.unavailable { self.params.unavailable_penalty_ms } else { 0.0 };
-                    response.insert(d.partition, (base.0 + pen, base.1 + pen, base.2 + pen));
+                if let Some(eval) = eval {
+                    server_evals.insert(**sid, eval);
                 }
-                server_evals.insert(*sid, eval);
             }
 
             // Update each group's throughput.
@@ -1190,6 +1320,9 @@ impl ElasticCluster for SimCluster {
         for (p, s) in &self.assignment {
             by_server.entry(*s).or_default().push(*p);
         }
+        // One batched (parallel) locality pass reused for both the per-server
+        // byte-weighted aggregate and the per-partition metric below.
+        let localities = self.partition_localities();
         let servers = self
             .servers
             .iter()
@@ -1203,8 +1336,8 @@ impl ElasticCluster for SimCluster {
                     let part = &self.partitions[p];
                     let bytes: u64 = part.files.iter().map(|(_, b)| *b).sum();
                     total += bytes as f64;
-                    local +=
-                        bytes as f64 * self.namenode.locality_index(DataNodeId(id.0), &part.files);
+                    local += bytes as f64
+                        * localities.get(p).copied().expect("assigned partition has locality");
                 }
                 let locality = if total > 0.0 { local / total } else { 1.0 };
                 ServerMetrics {
@@ -1229,10 +1362,7 @@ impl ElasticCluster for SimCluster {
                 counters: p.counters,
                 size_bytes: p.size_bytes as u64,
                 assigned_to: self.assignment.get(id).copied(),
-                locality: match self.assignment.get(id) {
-                    Some(sid) => self.namenode.locality_index(DataNodeId(sid.0), &p.files),
-                    None => 1.0,
-                },
+                locality: localities.get(id).copied().unwrap_or(1.0),
             })
             .collect();
         ClusterSnapshot { at: self.now, servers, partitions }
@@ -1343,6 +1473,7 @@ impl ElasticCluster for SimCluster {
                 config,
                 state,
                 warmth: 0.05,
+                rng: self.rng_streams.fork(&format!("server-{}", id.0)),
                 compaction_backlog: VecDeque::new(),
                 last_cpu: 0.0,
                 last_io: 0.0,
@@ -1366,13 +1497,19 @@ impl ElasticCluster for SimCluster {
             return Err(AdminError::LastServer);
         }
         // HBase master reassigns the closed server's regions (randomly).
+        // The draws come from the decommissioned server's own forked
+        // stream, so the reassignment sequence is attributable to this
+        // server and independent of unrelated control-plane randomness.
         let victims: Vec<PartitionId> =
             self.assignment.iter().filter(|(_, s)| **s == server).map(|(p, _)| *p).collect();
+        let mut stream = self.servers.get(&server).expect("checked").rng.clone();
         for p in victims {
-            let target = *self.rng.pick(&remaining);
+            let target = *stream.pick(&remaining);
             self.do_move(p, target);
         }
-        self.servers.get_mut(&server).expect("checked").state = ServerState::Stopped;
+        let s = self.servers.get_mut(&server).expect("checked");
+        s.rng = stream;
+        s.state = ServerState::Stopped;
         let _ = self.namenode.remove_datanode(DataNodeId(server.0));
         Ok(())
     }
@@ -1867,6 +2004,58 @@ mod tests {
         let after = sim.online_server_ids();
         assert_eq!(after.len(), before.len() - 1);
         assert!(!after.contains(&before[1]), "the second online server crashed");
+    }
+
+    #[test]
+    fn parallel_engine_matches_sequential() {
+        // The same scenario — solver, compaction drain, warm-up, cache
+        // metrics, admin ops that draw from per-server RNG streams — must
+        // produce bit-identical results at any thread count.
+        let run = |threads: usize| {
+            let mut sim = SimCluster::new(CostParams::default(), 42);
+            sim.set_threads(threads);
+            for _ in 0..4 {
+                sim.add_server_immediate(StoreConfig::default_homogeneous());
+            }
+            let parts: Vec<PartitionId> = (0..8)
+                .map(|_| {
+                    sim.create_partition(PartitionSpec {
+                        table: "t".into(),
+                        size_bytes: 1.5e9,
+                        record_bytes: 1_000.0,
+                        hot_set_fraction: 0.4,
+                        hot_ops_fraction: 0.5,
+                    })
+                })
+                .collect();
+            sim.random_balance_unassigned();
+            let w = 1.0 / parts.len() as f64;
+            sim.add_group(ClientGroup::with_common_weights(
+                "mixed",
+                60.0,
+                0.5,
+                None,
+                OpMix::new(0.45, 0.45, 0.10),
+                parts.iter().map(|p| (*p, w)).collect(),
+                1.0,
+                0.0,
+            ));
+            sim.run_ticks(30);
+            sim.major_compact(parts[0]).unwrap();
+            let added = sim.provision_server(StoreConfig::default_homogeneous()).unwrap();
+            sim.run_ticks(40);
+            sim.move_partition(parts[1], added).unwrap();
+            let victim = sim.online_server_ids()[0];
+            sim.decommission_server(victim).unwrap();
+            sim.run_ticks(30);
+            // Debug-format the snapshot: f64's shortest-round-trip output
+            // means any bit difference shows up in the string.
+            (sim.total_series().points().to_vec(), format!("{:?}", sim.snapshot()))
+        };
+        let (seq_series, seq_snap) = run(1);
+        let (par_series, par_snap) = run(4);
+        assert_eq!(seq_series, par_series, "throughput series diverged across thread counts");
+        assert_eq!(seq_snap, par_snap, "snapshot diverged across thread counts");
     }
 
     #[test]

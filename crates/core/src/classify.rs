@@ -32,9 +32,15 @@ impl PartitionRates {
 
 /// Classifies one partition. An idle partition defaults to read/write (the
 /// least specialized placement).
+///
+/// The guard rejects non-finite totals explicitly so a NaN total (e.g. a
+/// monitor window whose rate estimate divided 0 by 0) takes the idle path
+/// instead of falling through to `NaN / NaN` ratio comparisons — those
+/// happen to land on read/write today only because NaN fails every `>`
+/// test, which is not a contract worth relying on.
 pub fn classify(rates: PartitionRates, threshold: f64) -> ProfileKind {
     let total = rates.total();
-    if total <= 0.0 {
+    if !total.is_finite() || total <= 0.0 {
         return ProfileKind::ReadWrite;
     }
     let read_like = rates.reads + rates.scans; // scans are read requests
@@ -101,5 +107,16 @@ mod tests {
     #[test]
     fn idle_partition_defaults_to_read_write() {
         assert_eq!(c(0.0, 0.0, 0.0), ProfileKind::ReadWrite);
+    }
+
+    #[test]
+    fn degenerate_rates_take_the_idle_path() {
+        // A NaN rate estimate must hit the explicit early return, not the
+        // NaN-comparison fallthrough.
+        assert_eq!(c(f64::NAN, 0.0, 0.0), ProfileKind::ReadWrite);
+        assert_eq!(c(f64::NAN, f64::NAN, f64::NAN), ProfileKind::ReadWrite);
+        // Negative and infinite totals are equally meaningless.
+        assert_eq!(c(-5.0, 2.0, 0.0), ProfileKind::ReadWrite);
+        assert_eq!(c(f64::INFINITY, 1.0, 0.0), ProfileKind::ReadWrite);
     }
 }

@@ -237,6 +237,21 @@ impl Namenode {
         }
     }
 
+    /// Batched [`Namenode::locality_index`]: one result per query, in query
+    /// order, computed across the shared thread pool when `threads > 1`.
+    ///
+    /// The namenode is read-only for the whole batch, so queries are
+    /// embarrassingly parallel; callers (the per-tick locality accounting in
+    /// `cluster::sim`) pass queries in stable server/partition-ID order and
+    /// get results back in that same order regardless of thread count.
+    pub fn locality_indices(
+        &self,
+        threads: usize,
+        queries: &[(DataNodeId, Vec<(DfsFileId, u64)>)],
+    ) -> Vec<f64> {
+        simcore::par::map(threads, queries, |(node, served)| self.locality_index(*node, served))
+    }
+
     /// Bytes physically stored on a DataNode (all block replicas).
     pub fn node_bytes(&self, node: DataNodeId) -> u64 {
         self.files.values().map(|m| m.local_bytes(node)).sum()
@@ -420,6 +435,28 @@ mod tests {
         assert!((n.locality_index(DataNodeId(1), &served) - 0.1).abs() < 1e-12);
         assert_eq!(n.locality_index(DataNodeId(2), &served), 0.0);
         assert_eq!(n.locality_index(DataNodeId(2), &[]), 1.0);
+    }
+
+    #[test]
+    fn batched_locality_matches_single_queries_at_any_thread_count() {
+        let mut n = nn(2, 8);
+        for f in 0..32u64 {
+            n.create_file(DfsFileId(f), 100 + f * 37, DataNodeId(f % 8)).unwrap();
+        }
+        let queries: Vec<(DataNodeId, Vec<(DfsFileId, u64)>)> = (0..8u64)
+            .map(|d| {
+                let served: Vec<(DfsFileId, u64)> = (0..32u64)
+                    .filter(|f| f % 3 != d % 3)
+                    .map(|f| (DfsFileId(f), 100 + f * 37))
+                    .collect();
+                (DataNodeId(d), served)
+            })
+            .collect();
+        let expected: Vec<f64> = queries.iter().map(|(d, s)| n.locality_index(*d, s)).collect();
+        for threads in [1, 2, 4] {
+            let got = n.locality_indices(threads, &queries);
+            assert_eq!(got, expected, "threads={threads}");
+        }
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! eviction*, which is what the performance model consumes.
 
 use parking_lot::Mutex;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
 /// Identifies an immutable store file.
@@ -46,11 +46,21 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
-    /// Hit ratio in `[0, 1]`; `1.0` for an untouched cache.
+    /// Total number of accesses recorded.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit ratio in `[0, 1]`; `0.0` for an untouched cache.
+    ///
+    /// A cold or idle cache has served nothing, so it must not report a
+    /// 100 % hit rate — that would inflate fleet-wide cache summaries with
+    /// phantom-perfect idle servers. Consumers that want to distinguish
+    /// "no traffic" from "all misses" should check [`CacheStats::accesses`].
     pub fn hit_ratio(&self) -> f64 {
-        let total = self.hits + self.misses;
+        let total = self.accesses();
         if total == 0 {
-            1.0
+            0.0
         } else {
             self.hits as f64 / total as f64
         }
@@ -58,13 +68,17 @@ impl CacheStats {
 
     /// Publishes these cumulative counters as gauges labelled with the
     /// owning server, so the report layer can compute fleet-wide hit rates
-    /// from a registry snapshot.
+    /// from a registry snapshot. The hit-ratio gauge is withheld until the
+    /// cache has served at least one access, so idle servers never
+    /// contribute a ratio sample at all.
     pub fn publish(&self, telemetry: &telemetry::Telemetry, server: &str) {
         let labels = [("server", server)];
         telemetry.gauge_set("hstore_block_cache_hits", &labels, self.hits as f64);
         telemetry.gauge_set("hstore_block_cache_misses", &labels, self.misses as f64);
         telemetry.gauge_set("hstore_block_cache_evictions", &labels, self.evictions as f64);
-        telemetry.gauge_set("hstore_block_cache_hit_ratio", &labels, self.hit_ratio());
+        if self.accesses() > 0 {
+            telemetry.gauge_set("hstore_block_cache_hit_ratio", &labels, self.hit_ratio());
+        }
     }
 }
 
@@ -76,6 +90,9 @@ pub struct BlockCache {
     // BlockId → (size, LRU stamp); stamp → BlockId gives eviction order.
     resident: HashMap<BlockId, (u64, u64)>,
     lru: BTreeMap<u64, BlockId>,
+    // FileId → resident block indices, so compaction-time invalidation is
+    // O(blocks of that file), not O(all resident blocks).
+    per_file: HashMap<FileId, BTreeSet<u32>>,
     next_stamp: u64,
     stats: CacheStats,
 }
@@ -88,6 +105,7 @@ impl BlockCache {
             used_bytes: 0,
             resident: HashMap::new(),
             lru: BTreeMap::new(),
+            per_file: HashMap::new(),
             next_stamp: 0,
             stats: CacheStats::default(),
         }
@@ -117,21 +135,38 @@ impl BlockCache {
             let (&oldest, &victim) = self.lru.iter().next().expect("cache accounting corrupt");
             self.lru.remove(&oldest);
             let (vsz, _) = self.resident.remove(&victim).expect("lru/resident out of sync");
+            self.unindex(victim);
             self.used_bytes -= vsz;
             self.stats.evictions += 1;
         }
         self.resident.insert(block, (size, stamp));
         self.lru.insert(stamp, block);
+        self.per_file.entry(block.file).or_default().insert(block.index);
         self.used_bytes += size;
         Access::Miss
     }
 
+    /// Removes `block` from the per-file index, dropping the file's entry
+    /// when its last resident block goes.
+    fn unindex(&mut self, block: BlockId) {
+        if let Some(set) = self.per_file.get_mut(&block.file) {
+            set.remove(&block.index);
+            if set.is_empty() {
+                self.per_file.remove(&block.file);
+            }
+        }
+    }
+
     /// Drops every block belonging to `file` (file deleted by compaction).
+    ///
+    /// O(resident blocks *of that file*) via the per-file index — a
+    /// compaction that deletes a file with few cached blocks no longer scans
+    /// the whole cache while holding the shared mutex.
     pub fn invalidate_file(&mut self, file: FileId) {
-        let victims: Vec<BlockId> =
-            self.resident.keys().filter(|b| b.file == file).copied().collect();
-        for b in victims {
-            let (sz, stamp) = self.resident.remove(&b).expect("key vanished");
+        let Some(indices) = self.per_file.remove(&file) else { return };
+        for index in indices {
+            let b = BlockId { file, index };
+            let (sz, stamp) = self.resident.remove(&b).expect("per-file index out of sync");
             self.lru.remove(&stamp);
             self.used_bytes -= sz;
         }
@@ -139,10 +174,17 @@ impl BlockCache {
 
     /// Drops everything (server restart: the cache starts cold — part of
     /// the reconfiguration cost the paper measures in §6.2).
+    ///
+    /// Statistics reset along with residency: the published hit ratio after
+    /// a profile-change restart must describe the cold-cache window, not
+    /// blend in warm pre-restart hits (that would hide exactly the
+    /// reconfiguration cost §6.2 measures).
     pub fn clear(&mut self) {
         self.resident.clear();
         self.lru.clear();
+        self.per_file.clear();
         self.used_bytes = 0;
+        self.stats = CacheStats::default();
     }
 
     /// True when the block is resident (no LRU side effect).
@@ -295,8 +337,91 @@ mod tests {
     }
 
     #[test]
-    fn hit_ratio_of_untouched_cache_is_one() {
-        assert_eq!(CacheStats::default().hit_ratio(), 1.0);
+    fn clear_resets_stats_with_residency() {
+        let mut c = BlockCache::new(1_000);
+        // Warm the cache: 1 miss + 3 hits = 75 % pre-restart hit rate.
+        c.touch(bid(1, 0), 100);
+        c.touch(bid(1, 0), 100);
+        c.touch(bid(1, 0), 100);
+        c.touch(bid(1, 0), 100);
+        assert_eq!(c.stats().hit_ratio(), 0.75);
+        c.clear();
+        // Post-restart stats must describe only the cold window.
+        assert_eq!(c.stats(), CacheStats::default());
+        c.touch(bid(1, 0), 100); // miss
+        c.touch(bid(1, 0), 100); // hit
+        assert_eq!(c.stats(), CacheStats { hits: 1, misses: 1, evictions: 0 });
+        assert_eq!(c.stats().hit_ratio(), 0.5);
+    }
+
+    #[test]
+    fn hit_ratio_of_untouched_cache_is_zero() {
+        let stats = CacheStats::default();
+        assert_eq!(stats.hit_ratio(), 0.0);
+        assert_eq!(stats.accesses(), 0);
+        // And an untouched cache publishes no ratio gauge at all.
+        let t = telemetry::Telemetry::new(telemetry::Verbosity::Off);
+        stats.publish(&t, "7");
+        assert_eq!(t.gauge_value("hstore_block_cache_hit_ratio", &[("server", "7")]), None);
+        assert_eq!(t.gauge_value("hstore_block_cache_hits", &[("server", "7")]), Some(0.0));
+        // One access later the gauge appears.
+        let touched = CacheStats { hits: 1, misses: 0, evictions: 0 };
+        touched.publish(&t, "7");
+        assert_eq!(t.gauge_value("hstore_block_cache_hit_ratio", &[("server", "7")]), Some(1.0));
+    }
+
+    #[test]
+    fn invalidate_file_keeps_used_bytes_and_lru_consistent() {
+        let mut c = BlockCache::new(10_000);
+        // Interleave three files so stamps and per-file sets cross-cut.
+        for i in 0..10u32 {
+            c.touch(bid(1, i), 100);
+            c.touch(bid(2, i), 50);
+            c.touch(bid(3, i), 25);
+        }
+        assert_eq!(c.used_bytes(), 1_750);
+        c.invalidate_file(FileId(2));
+        assert_eq!(c.used_bytes(), 1_250);
+        for i in 0..10u32 {
+            assert!(c.contains(&bid(1, i)));
+            assert!(!c.contains(&bid(2, i)));
+            assert!(c.contains(&bid(3, i)));
+        }
+        // Invalidating an absent file is a no-op.
+        c.invalidate_file(FileId(2));
+        c.invalidate_file(FileId(99));
+        assert_eq!(c.used_bytes(), 1_250);
+        // LRU order must have survived: filling the cache evicts the
+        // remaining blocks strictly oldest-first (file 1 before file 3).
+        let mut c2 = c;
+        while c2.contains(&bid(1, 0)) {
+            c2.touch(bid(4, c2.stats().misses as u32), 1_000);
+            assert!(c2.used_bytes() <= c2.capacity_bytes());
+        }
+        assert!(c2.contains(&bid(3, 9)), "newest survivor must outlive oldest");
+        // A re-admitted block of an invalidated file works normally.
+        let mut c3 = BlockCache::new(1_000);
+        c3.touch(bid(5, 0), 100);
+        c3.invalidate_file(FileId(5));
+        assert_eq!(c3.touch(bid(5, 0), 100), Access::Miss);
+        assert_eq!(c3.touch(bid(5, 0), 100), Access::Hit);
+        assert_eq!(c3.used_bytes(), 100);
+    }
+
+    #[test]
+    fn eviction_keeps_per_file_index_in_sync() {
+        let mut c = BlockCache::new(300);
+        c.touch(bid(1, 0), 100);
+        c.touch(bid(1, 1), 100);
+        c.touch(bid(2, 0), 100);
+        // Admit one more: evicts bid(1, 0).
+        c.touch(bid(3, 0), 100);
+        assert!(!c.contains(&bid(1, 0)));
+        // Invalidate file 1: only bid(1, 1) should be dropped.
+        c.invalidate_file(FileId(1));
+        assert_eq!(c.used_bytes(), 200);
+        assert!(c.contains(&bid(2, 0)));
+        assert!(c.contains(&bid(3, 0)));
     }
 
     #[test]
@@ -305,5 +430,12 @@ mod tests {
         let b = a.clone();
         a.touch(bid(1, 0), 100);
         assert_eq!(b.touch(bid(1, 0), 100), Access::Hit);
+    }
+
+    #[test]
+    fn shared_cache_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SharedBlockCache>();
+        assert_send_sync::<telemetry::Telemetry>();
     }
 }

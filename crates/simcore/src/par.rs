@@ -1,0 +1,120 @@
+//! Thread-pool plumbing for the parallel simulation engine.
+//!
+//! Every parallel phase in the workspace goes through this module rather
+//! than using rayon directly, so the threading policy lives in one place:
+//!
+//! * [`met_threads`] — the engine-wide thread count, from the `MET_THREADS`
+//!   environment variable (default: available parallelism; `1` selects the
+//!   legacy sequential path).
+//! * [`map`] / [`for_each_mut`] — order-preserving parallel primitives that
+//!   degrade to plain loops when `threads <= 1`, guaranteeing the sequential
+//!   path stays exactly the code that ran before the engine was parallelized.
+//!
+//! Determinism contract: `map` returns results in input order, and callers
+//! must reduce those results into shared state in that same order. Combined
+//! with per-shard RNG streams ([`crate::SimRng::fork`]) this makes the
+//! parallel engine bit-identical to the sequential one.
+
+use std::sync::OnceLock;
+
+/// The engine-wide thread count.
+///
+/// Reads `MET_THREADS` once (a positive integer; unset, empty, or
+/// unparsable values fall back to the machine's available parallelism) and
+/// caches the answer for the life of the process. Tests that need a
+/// specific count should use per-object overrides (e.g.
+/// `SimCluster::set_threads`) instead of mutating the environment.
+pub fn met_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        match std::env::var("MET_THREADS").ok().and_then(|s| s.trim().parse::<usize>().ok()) {
+            Some(n) if n >= 1 => n,
+            _ => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        }
+    })
+}
+
+/// Ensures the global pool can serve `threads` participants.
+///
+/// The pool only ever grows: asking for 4 then 2 leaves 4 threads available,
+/// which lets one process compare e.g. `threads = 1` and `threads = 4` runs
+/// of the same simulation.
+pub fn ensure_pool(threads: usize) {
+    if threads > 1 {
+        let _ = rayon::ThreadPoolBuilder::new().num_threads(threads).build_global();
+    }
+}
+
+/// Maps `items` through `f`, returning results in input order.
+///
+/// Runs sequentially when `threads <= 1` or there is at most one item;
+/// otherwise fans out over the shared pool. Either way the result order (and
+/// therefore any order-dependent reduction the caller performs) is identical.
+pub fn map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        items.iter().map(f).collect()
+    } else {
+        use rayon::prelude::*;
+        ensure_pool(threads);
+        items.par_iter().map(f).collect()
+    }
+}
+
+/// Applies `f` to every element of `items` in place.
+///
+/// Same sequential-degradation rule as [`map`]; each element gets a unique
+/// `&mut`, so `f` must not depend on sibling elements.
+pub fn for_each_mut<T, F>(threads: usize, items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(&mut T) + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        items.iter_mut().for_each(f);
+    } else {
+        use rayon::prelude::*;
+        ensure_pool(threads);
+        items.par_iter_mut().for_each(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_matches_sequential_at_any_thread_count() {
+        let items: Vec<u64> = (0..2_000).collect();
+        let seq = map(1, &items, |x| x * 3 + 1);
+        for threads in [2, 4, 8] {
+            let par = map(threads, &items, |x| x * 3 + 1);
+            assert_eq!(seq, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn for_each_mut_matches_sequential() {
+        let mut seq: Vec<u64> = (0..1_000).collect();
+        let mut par: Vec<u64> = (0..1_000).collect();
+        for_each_mut(1, &mut seq, |x| *x = x.wrapping_mul(7) ^ 13);
+        for_each_mut(4, &mut par, |x| *x = x.wrapping_mul(7) ^ 13);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn map_handles_empty_and_singleton() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(map(8, &empty, |x| *x).is_empty());
+        assert_eq!(map(8, &[41u32], |x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn met_threads_is_at_least_one() {
+        assert!(met_threads() >= 1);
+    }
+}

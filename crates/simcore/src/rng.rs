@@ -44,6 +44,31 @@ impl SimRng {
         SimRng::new(self.state ^ splitmix(idx.wrapping_add(0x51ed_270b)))
     }
 
+    /// Forks a keyed sub-stream for a parallel owner (e.g. one simulated
+    /// server), without consuming any draws from `self`.
+    ///
+    /// `fork` exists for the parallel engine: every shard of parallel work
+    /// owns exactly one forked stream, keyed by a stable identifier, so the
+    /// draws a shard makes are identical no matter how many threads execute
+    /// the tick or in which order shards run. The forking rules (see
+    /// DESIGN.md "Parallel engine & determinism"):
+    ///
+    /// 1. fork from an *immutable* base stream, keyed by a stable ID — never
+    ///    from a mutable parent inside a parallel section (that would make
+    ///    the child depend on sibling execution order);
+    /// 2. equal `(base, label)` always yields the identical stream;
+    /// 3. `fork` uses a finalized SplitMix64 mix of the label hash, a
+    ///    different construction than [`SimRng::derive`], so forked streams
+    ///    never collide with derived streams for the same label.
+    pub fn fork(&self, label: &str) -> SimRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
+        for b in label.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        SimRng { state: splitmix(self.state ^ h).wrapping_add(0x9e37_79b9_7f4a_7c15) }
+    }
+
     /// Next raw 64-bit draw.
     // The name intentionally mirrors `RngCore::next_u64`; `SimRng` is not an
     // iterator and is never used through one.
@@ -168,6 +193,33 @@ mod tests {
         let root = SimRng::new(7);
         let a = root.derive("a").next();
         let b = root.derive("b").next();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn forked_streams_are_stable_and_independent() {
+        let base = SimRng::new(7).derive("server-streams");
+        let mut a1 = base.fork("server-3");
+        let mut other = base.fork("server-4");
+        let _ = other.next(); // Consuming a sibling...
+        let mut a2 = base.fork("server-3");
+        // ...must not change this stream.
+        assert_eq!(a1.next(), a2.next());
+    }
+
+    #[test]
+    fn fork_differs_from_derive_for_same_label() {
+        let base = SimRng::new(7);
+        let f = base.fork("server-1").next();
+        let d = base.derive("server-1").next();
+        assert_ne!(f, d, "fork and derive must occupy disjoint stream spaces");
+    }
+
+    #[test]
+    fn distinct_fork_labels_give_distinct_streams() {
+        let base = SimRng::new(7);
+        let a = base.fork("server-1").next();
+        let b = base.fork("server-2").next();
         assert_ne!(a, b);
     }
 

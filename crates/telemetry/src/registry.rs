@@ -196,6 +196,28 @@ impl MetricsRegistry {
         self.histograms.get(&MetricKey::new(name, labels)).map(Histogram::summary)
     }
 
+    /// Applies every update buffered in `buf`, in buffer order.
+    ///
+    /// This is the reduction half of the sharded-metrics scheme: parallel
+    /// phases record into private [`MetricsBuffer`]s and the coordinator
+    /// merges them in a fixed (shard-ID) order, so the registry contents are
+    /// identical to what the same updates applied inline would produce.
+    pub fn merge(&mut self, buf: &MetricsBuffer) {
+        for (key, op) in &buf.ops {
+            match op {
+                BufferedOp::CounterAdd(n) => {
+                    *self.counters.entry(key.clone()).or_insert(0) += n;
+                }
+                BufferedOp::GaugeSet(v) => {
+                    self.gauges.insert(key.clone(), *v);
+                }
+                BufferedOp::Observe(v) => {
+                    self.histograms.entry(key.clone()).or_insert_with(Histogram::new).observe(*v);
+                }
+            }
+        }
+    }
+
     /// A copy of every metric, sorted by key.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -203,6 +225,59 @@ impl MetricsRegistry {
             gauges: self.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
             histograms: self.histograms.iter().map(|(k, h)| (k.clone(), h.summary())).collect(),
         }
+    }
+}
+
+/// One update queued in a [`MetricsBuffer`].
+#[derive(Debug, Clone, PartialEq)]
+enum BufferedOp {
+    CounterAdd(u64),
+    GaugeSet(f64),
+    Observe(f64),
+}
+
+/// A private, lock-free staging area for metric updates.
+///
+/// Parallel simulation shards each own one buffer and record into it without
+/// synchronization; the coordinating thread then flushes all buffers in
+/// shard-ID order under a single registry lock
+/// ([`MetricsRegistry::merge`] / `Telemetry::flush_buffers`). Updates are
+/// replayed in recording order, so a flushed buffer is indistinguishable
+/// from the same calls made directly against the registry.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsBuffer {
+    ops: Vec<(MetricKey, BufferedOp)>,
+}
+
+impl MetricsBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        MetricsBuffer::default()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of buffered updates.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Buffers a counter increment.
+    pub fn counter_add(&mut self, name: &'static str, labels: &[(&str, &str)], n: u64) {
+        self.ops.push((MetricKey::new(name, labels), BufferedOp::CounterAdd(n)));
+    }
+
+    /// Buffers a gauge write.
+    pub fn gauge_set(&mut self, name: &'static str, labels: &[(&str, &str)], value: f64) {
+        self.ops.push((MetricKey::new(name, labels), BufferedOp::GaugeSet(value)));
+    }
+
+    /// Buffers a histogram observation.
+    pub fn observe(&mut self, name: &'static str, labels: &[(&str, &str)], value: f64) {
+        self.ops.push((MetricKey::new(name, labels), BufferedOp::Observe(value)));
     }
 }
 
@@ -289,6 +364,54 @@ mod tests {
         let r = MetricsRegistry::new();
         assert!(r.histogram("nope", &[]).is_none());
         assert!(r.gauge("nope", &[]).is_none());
+    }
+
+    #[test]
+    fn merged_buffers_match_direct_updates() {
+        // Direct path.
+        let mut direct = MetricsRegistry::new();
+        direct.counter_add("hits", &[("server", "1")], 4);
+        direct.counter_add("hits", &[("server", "2")], 6);
+        direct.gauge_set("warmth", &[("server", "1")], 0.5);
+        direct.gauge_set("warmth", &[("server", "2")], 0.9);
+        direct.observe("lat", &[], 12.0);
+        direct.observe("lat", &[], 80.0);
+
+        // Buffered path: two shards flushed in ID order.
+        let mut shard1 = MetricsBuffer::new();
+        shard1.counter_add("hits", &[("server", "1")], 4);
+        shard1.gauge_set("warmth", &[("server", "1")], 0.5);
+        shard1.observe("lat", &[], 12.0);
+        let mut shard2 = MetricsBuffer::new();
+        shard2.counter_add("hits", &[("server", "2")], 6);
+        shard2.gauge_set("warmth", &[("server", "2")], 0.9);
+        shard2.observe("lat", &[], 80.0);
+        assert_eq!(shard1.len(), 3);
+        assert!(!shard2.is_empty());
+
+        let mut merged = MetricsRegistry::new();
+        merged.merge(&shard1);
+        merged.merge(&shard2);
+
+        let a = direct.snapshot();
+        let b = merged.snapshot();
+        assert_eq!(a.counters, b.counters);
+        assert_eq!(a.gauges, b.gauges);
+        assert_eq!(a.histograms.len(), b.histograms.len());
+        for ((ka, ha), (kb, hb)) in a.histograms.iter().zip(b.histograms.iter()) {
+            assert_eq!(ka, kb);
+            assert_eq!(ha, hb);
+        }
+    }
+
+    #[test]
+    fn gauge_merge_keeps_last_write() {
+        let mut buf = MetricsBuffer::new();
+        buf.gauge_set("g", &[], 1.0);
+        buf.gauge_set("g", &[], 2.0);
+        let mut r = MetricsRegistry::new();
+        r.merge(&buf);
+        assert_eq!(r.gauge("g", &[]), Some(2.0));
     }
 
     #[test]

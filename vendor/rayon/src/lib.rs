@@ -1,0 +1,513 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The real rayon is a work-stealing fork/join scheduler; this stand-in is a
+//! much smaller work-*sharing* pool that covers exactly the subset of the API
+//! this workspace uses:
+//!
+//! * [`ThreadPoolBuilder::build_global`] — sizes (and lazily grows) one global
+//!   pool of persistent worker threads;
+//! * [`current_num_threads`];
+//! * [`prelude::IntoParallelRefIterator`] — `slice.par_iter().map(f).collect
+//!   ::<Vec<_>>()`, order-preserving;
+//! * [`prelude::IntoParallelRefMutIterator`] — `slice.par_iter_mut()
+//!   .for_each(f)`.
+//!
+//! Work is distributed by an atomic index shared between the workers and the
+//! calling thread (the caller participates, so a pool of size 1 still makes
+//! progress even if no worker ever wakes). The caller blocks until every item
+//! of its batch has completed, which is what makes the lifetime-erased closure
+//! pointer below sound: the closure cannot be dropped while any thread still
+//! holds the pointer. Panics inside items are caught, counted as completed so
+//! the batch can finish, and re-raised on the calling thread.
+//!
+//! Nested parallel calls from inside a worker run sequentially on that worker
+//! (the real rayon would split the job further; for the deterministic
+//! simulation workload in this repo the nesting case is cold and sequential
+//! execution is both simpler and obviously sound).
+
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// One submitted parallel batch: `len` items, each run as `f(index)`.
+///
+/// `f` is a lifetime-erased raw pointer to the caller's closure. The caller
+/// guarantees it outlives the batch by blocking until `completed == len`.
+struct BatchState {
+    f: *const (dyn Fn(usize) + Sync + 'static),
+    len: usize,
+    next: AtomicUsize,
+    completed: AtomicUsize,
+    panicked: AtomicBool,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+// SAFETY: `f` points at a `Sync` closure kept alive by the submitting thread
+// for the whole batch; all counters are atomics.
+unsafe impl Send for BatchState {}
+unsafe impl Sync for BatchState {}
+
+impl BatchState {
+    /// Claims and runs items until the index range is exhausted. Returns the
+    /// number of items this thread completed.
+    fn work(&self) -> usize {
+        let mut ran = 0;
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.len {
+                return ran;
+            }
+            // SAFETY: the submitting thread keeps the closure alive until
+            // `completed == len`, and `i < len` is claimed exactly once.
+            let f = unsafe { &*self.f };
+            if catch_unwind(AssertUnwindSafe(|| f(i))).is_err() {
+                self.panicked.store(true, Ordering::Relaxed);
+            }
+            ran += 1;
+            // Every claimed item counts as completed (even on panic) so the
+            // caller's wait below can always terminate.
+            if self.completed.fetch_add(1, Ordering::AcqRel) + 1 == self.len {
+                let mut done = self.done.lock().unwrap_or_else(|e| e.into_inner());
+                *done = true;
+                self.done_cv.notify_all();
+            }
+        }
+    }
+
+    /// Blocks until every item has completed.
+    fn wait(&self) {
+        let mut done = self.done.lock().unwrap_or_else(|e| e.into_inner());
+        while !*done {
+            done = self.done_cv.wait(done).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Shared queue the persistent workers pull batches from.
+struct PoolShared {
+    queue: Mutex<VecDeque<Arc<BatchState>>>,
+    queue_cv: Condvar,
+}
+
+struct Pool {
+    shared: Arc<PoolShared>,
+    /// Number of worker threads spawned so far (excludes callers).
+    workers: Mutex<usize>,
+    /// Requested pool size; `build_global` only ever grows it.
+    desired: AtomicUsize,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        shared: Arc::new(PoolShared {
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+        }),
+        workers: Mutex::new(0),
+        desired: AtomicUsize::new(0),
+    })
+}
+
+thread_local! {
+    /// True on pool worker threads; nested parallel calls detect this and run
+    /// sequentially instead of deadlocking on their own batch.
+    static IS_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+fn worker_main(shared: Arc<PoolShared>) {
+    IS_WORKER.with(|w| w.set(true));
+    loop {
+        let batch = {
+            let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(b) = q.front() {
+                    if b.next.load(Ordering::Relaxed) < b.len {
+                        break q.front().cloned();
+                    }
+                    q.pop_front();
+                    continue;
+                }
+                q = shared.queue_cv.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        if let Some(b) = batch {
+            b.work();
+        }
+    }
+}
+
+/// Ensures at least `n - 1` persistent workers exist (the caller is the n-th
+/// participant of any batch it submits).
+fn ensure_workers(n: usize) {
+    let p = pool();
+    let want = n.saturating_sub(1);
+    let mut count = p.workers.lock().unwrap_or_else(|e| e.into_inner());
+    while *count < want {
+        let shared = Arc::clone(&p.shared);
+        std::thread::Builder::new()
+            .name(format!("rayon-standin-{}", *count))
+            .spawn(move || worker_main(shared))
+            .expect("spawn pool worker");
+        *count += 1;
+    }
+}
+
+/// Runs `f(0..len)` across the pool, blocking until every item completes.
+///
+/// Falls back to a plain sequential loop when the pool has a single
+/// participant, the batch is trivially small, or we are already on a worker
+/// thread (nested call).
+pub fn execute(len: usize, f: &(dyn Fn(usize) + Sync)) {
+    if len == 0 {
+        return;
+    }
+    let threads = current_num_threads();
+    if threads <= 1 || len == 1 || IS_WORKER.with(|w| w.get()) {
+        for i in 0..len {
+            f(i);
+        }
+        return;
+    }
+    ensure_workers(threads.min(len));
+    // SAFETY: the lifetime is erased to fit the queue; soundness comes from
+    // this function blocking until `completed == len` before returning, so
+    // no thread can observe the pointer after the closure's real lifetime.
+    let f_erased: *const (dyn Fn(usize) + Sync + 'static) =
+        unsafe { std::mem::transmute(f as *const (dyn Fn(usize) + Sync)) };
+    let batch = Arc::new(BatchState {
+        f: f_erased,
+        len,
+        next: AtomicUsize::new(0),
+        completed: AtomicUsize::new(0),
+        panicked: AtomicBool::new(false),
+        done: Mutex::new(false),
+        done_cv: Condvar::new(),
+    });
+    {
+        let p = pool();
+        let mut q = p.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        q.push_back(Arc::clone(&batch));
+        p.shared.queue_cv.notify_all();
+    }
+    // The caller works too; this guarantees progress even if workers are busy.
+    batch.work();
+    batch.wait();
+    if batch.panicked.load(Ordering::Relaxed) {
+        panic!("a parallel task panicked");
+    }
+}
+
+/// Number of threads parallel batches are spread over (including the caller).
+pub fn current_num_threads() -> usize {
+    let d = pool().desired.load(Ordering::Relaxed);
+    if d == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        d
+    }
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build_global`].
+///
+/// The stand-in never actually fails to (re)configure the global pool — it
+/// grows to the maximum size ever requested — so this is only here for API
+/// compatibility.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("global thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for the global pool; mirrors rayon's `ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default (auto-detected) thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests `num` participant threads (0 = auto-detect).
+    pub fn num_threads(mut self, num: usize) -> Self {
+        self.num_threads = num;
+        self
+    }
+
+    /// Applies the configuration to the global pool.
+    ///
+    /// Unlike real rayon this can be called repeatedly; the pool keeps the
+    /// largest size ever requested (persistent workers are never torn down).
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        let p = pool();
+        p.desired.fetch_max(n, Ordering::Relaxed);
+        ensure_workers(p.desired.load(Ordering::Relaxed));
+        Ok(())
+    }
+}
+
+/// Order-preserving parallel map + the terminal adapters used in-tree.
+pub mod iter {
+    use super::execute;
+
+    /// Parallel view over `&[T]`, produced by `par_iter()`.
+    pub struct ParIter<'a, T> {
+        slice: &'a [T],
+    }
+
+    impl<'a, T: Sync> ParIter<'a, T> {
+        /// Maps every element through `f` (in parallel, order preserved).
+        pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+        where
+            R: Send,
+            F: Fn(&'a T) -> R + Sync,
+        {
+            ParMap { slice: self.slice, f }
+        }
+
+        /// Runs `f` on every element.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(&'a T) + Sync,
+        {
+            let slice = self.slice;
+            execute(slice.len(), &|i| f(&slice[i]));
+        }
+    }
+
+    /// Lazy parallel map, consumed by [`ParMap::collect`].
+    pub struct ParMap<'a, T, F> {
+        slice: &'a [T],
+        f: F,
+    }
+
+    impl<'a, T, R, F> ParMap<'a, T, F>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        /// Runs the map and collects results in input order.
+        ///
+        /// Only `Vec<R>` is supported (`C: FromParVec`), which is the only
+        /// collector the workspace uses.
+        pub fn collect<C: FromParVec<R>>(self) -> C {
+            let len = self.slice.len();
+            let mut out: Vec<std::mem::MaybeUninit<R>> = Vec::with_capacity(len);
+            // SAFETY: MaybeUninit needs no initialization; every slot is
+            // written exactly once below before assume-init.
+            unsafe { out.set_len(len) };
+            let out_ptr = SendPtr(out.as_mut_ptr());
+            let slice = self.slice;
+            let f = &self.f;
+            execute(len, &|i| {
+                let v = f(&slice[i]);
+                // SAFETY: each index is claimed by exactly one thread, and the
+                // buffer outlives `execute` (the caller blocks in it).
+                unsafe { out_ptr.at(i).write(std::mem::MaybeUninit::new(v)) };
+            });
+            // SAFETY: all `len` slots were written (execute returns only after
+            // every item completed; a panic propagates before reaching here).
+            let vec = unsafe {
+                let mut out = std::mem::ManuallyDrop::new(out);
+                Vec::from_raw_parts(out.as_mut_ptr() as *mut R, len, out.capacity())
+            };
+            C::from_par_vec(vec)
+        }
+    }
+
+    /// Collector bound for [`ParMap::collect`].
+    pub trait FromParVec<R> {
+        /// Builds the collection from the in-order mapped results.
+        fn from_par_vec(v: Vec<R>) -> Self;
+    }
+
+    impl<R> FromParVec<R> for Vec<R> {
+        fn from_par_vec(v: Vec<R>) -> Self {
+            v
+        }
+    }
+
+    /// Parallel view over `&mut [T]`, produced by `par_iter_mut()`.
+    pub struct ParIterMut<'a, T> {
+        slice: &'a mut [T],
+    }
+
+    impl<T: Send> ParIterMut<'_, T> {
+        /// Runs `f` on every element (disjoint `&mut` access per index).
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(&mut T) + Sync,
+        {
+            let len = self.slice.len();
+            let base = SendPtr(self.slice.as_mut_ptr());
+            execute(len, &|i| {
+                // SAFETY: indices are claimed exactly once, so each element
+                // gets a unique `&mut` for the duration of its item.
+                let elem = unsafe { &mut *base.at(i) };
+                f(elem);
+            });
+        }
+    }
+
+    /// Raw pointer wrapper so disjoint-index writes can cross threads.
+    ///
+    /// Accessed only through [`SendPtr::at`] so closures capture the wrapper
+    /// (which is `Sync`) rather than the raw pointer field (which is not).
+    struct SendPtr<P>(*mut P);
+    unsafe impl<P: Send> Send for SendPtr<P> {}
+    unsafe impl<P: Send> Sync for SendPtr<P> {}
+
+    impl<P> SendPtr<P> {
+        fn at(&self, i: usize) -> *mut P {
+            // SAFETY: callers only pass indices within the originating
+            // allocation, so the offset stays in bounds.
+            unsafe { self.0.add(i) }
+        }
+    }
+
+    pub(crate) fn par_iter<T>(slice: &[T]) -> ParIter<'_, T> {
+        ParIter { slice }
+    }
+
+    pub(crate) fn par_iter_mut<T>(slice: &mut [T]) -> ParIterMut<'_, T> {
+        ParIterMut { slice }
+    }
+}
+
+/// The conventional `use rayon::prelude::*;` import surface.
+pub mod prelude {
+    use super::iter::{ParIter, ParIterMut};
+
+    /// `.par_iter()` on shared slices/vectors.
+    pub trait IntoParallelRefIterator<'a> {
+        /// Element type yielded by the parallel iterator.
+        type Item: Sync + 'a;
+        /// Returns an order-preserving parallel iterator over `&self`.
+        fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = T;
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            super::iter::par_iter(self)
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = T;
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            super::iter::par_iter(self)
+        }
+    }
+
+    /// `.par_iter_mut()` on exclusive slices/vectors.
+    pub trait IntoParallelRefMutIterator<'a> {
+        /// Element type yielded by the parallel iterator.
+        type Item: Send + 'a;
+        /// Returns a parallel iterator of disjoint `&mut` element views.
+        fn par_iter_mut(&'a mut self) -> ParIterMut<'a, Self::Item>;
+    }
+
+    impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+        type Item = T;
+        fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+            super::iter::par_iter_mut(self)
+        }
+    }
+
+    impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+        type Item = T;
+        fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+            super::iter::par_iter_mut(self)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_collect_preserves_order() {
+        super::ThreadPoolBuilder::new().num_threads(4).build_global().unwrap();
+        let input: Vec<u64> = (0..10_000).collect();
+        let out: Vec<u64> = input.par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn for_each_visits_every_element_once() {
+        super::ThreadPoolBuilder::new().num_threads(4).build_global().unwrap();
+        let count = AtomicUsize::new(0);
+        let input: Vec<u32> = (0..5_000).collect();
+        input.par_iter().for_each(|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 5_000);
+    }
+
+    #[test]
+    fn par_iter_mut_updates_in_place() {
+        super::ThreadPoolBuilder::new().num_threads(4).build_global().unwrap();
+        let mut v: Vec<u64> = (0..5_000).collect();
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(v, (1..=5_000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_calls_run_sequentially() {
+        super::ThreadPoolBuilder::new().num_threads(4).build_global().unwrap();
+        let outer: Vec<u32> = (0..64).collect();
+        let sums: Vec<u64> = outer
+            .par_iter()
+            .map(|&o| {
+                let inner: Vec<u64> = (0..100u64).collect();
+                let doubled: Vec<u64> = inner.par_iter().map(|x| x + o as u64).collect();
+                doubled.iter().sum()
+            })
+            .collect();
+        for (o, s) in sums.iter().enumerate() {
+            assert_eq!(*s, (0..100u64).map(|x| x + o as u64).sum::<u64>());
+        }
+    }
+
+    #[test]
+    fn panic_in_task_propagates_to_caller() {
+        super::ThreadPoolBuilder::new().num_threads(4).build_global().unwrap();
+        let input: Vec<u32> = (0..256).collect();
+        let r = std::panic::catch_unwind(|| {
+            input.par_iter().for_each(|&x| {
+                if x == 123 {
+                    panic!("boom");
+                }
+            });
+        });
+        assert!(r.is_err(), "panic inside a batch must re-raise on the caller");
+    }
+
+    #[test]
+    fn empty_input_is_a_no_op() {
+        let input: Vec<u32> = Vec::new();
+        let out: Vec<u32> = input.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+    }
+}
