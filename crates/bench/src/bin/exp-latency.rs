@@ -1,0 +1,90 @@
+//! Sweeps offered load through the cluster's saturation knee and
+//! demonstrates the latency-SLO gate: with `met.slo.p99.ms` set, MeT
+//! scales out on tail-latency breaches and restores p99; without it, the
+//! same overloaded fleet stays put.
+
+use met_bench::latency;
+
+fn main() {
+    eprintln!(
+        "latency: {} sweep points x {} min + 2 SLO runs x {} min...",
+        latency::SWEEP_LOADS.len(),
+        latency::SWEEP_MINUTES,
+        latency::SLO_MINUTES
+    );
+    let telemetry = met_bench::telemetry_from_env();
+    let r = latency::run(1_000, latency::SWEEP_MINUTES, latency::SLO_MINUTES, telemetry.clone());
+
+    println!("Latency — p99 versus offered load (Random-Homogeneous, no controller)");
+    println!("{:>6} {:>12} {:>14} {:>14}", "load", "ops/s", "worst p99 ms", "weighted p99");
+    for p in &r.sweep {
+        println!(
+            "{:>6.2} {:>12.0} {:>14.1} {:>14.1}",
+            p.load_factor, p.throughput, p.worst_p99_ms, p.weighted_p99_ms
+        );
+    }
+
+    println!(
+        "\nSLO gate at {:.1}x load, p99 SLO {:.0} ms (utilization thresholds parked \
+         above 100%):",
+        r.slo_load, r.slo_p99_ms
+    );
+    println!("{:>20} {:>12} {:>12}", "", "gated", "ungated");
+    let row = |label: &str, a: String, b: String| println!("{label:>20} {a:>12} {b:>12}");
+    row("online nodes", r.gated.online.to_string(), r.ungated.online.to_string());
+    row(
+        "reconfigurations",
+        r.gated.reconfigurations.to_string(),
+        r.ungated.reconfigurations.to_string(),
+    );
+    row(
+        "worst p99 ms",
+        format!("{:.1}", r.gated.worst_p99_ms),
+        format!("{:.1}", r.ungated.worst_p99_ms),
+    );
+    row(
+        "weighted p99 ms",
+        format!("{:.1}", r.gated.weighted_p99_ms),
+        format!("{:.1}", r.ungated.weighted_p99_ms),
+    );
+    row("ops/s", format!("{:.0}", r.gated.throughput), format!("{:.0}", r.ungated.throughput));
+    let verdict = r.gated.online > latency::slo_config(None).min_nodes
+        && r.gated.weighted_p99_ms < r.slo_p99_ms
+        && r.gated.weighted_p99_ms < r.ungated.weighted_p99_ms;
+    println!(
+        "\nSLO gate verdict: {}",
+        if verdict { "scale-out restored p99 under the SLO" } else { "FAILED to restore p99" }
+    );
+
+    let json = serde_json::json!({
+        "experiment": "latency",
+        "sweep": r.sweep.iter().map(|p| serde_json::json!({
+            "load_factor": p.load_factor,
+            "throughput": p.throughput,
+            "worst_p99_ms": p.worst_p99_ms,
+            "weighted_p99_ms": p.weighted_p99_ms,
+        })).collect::<Vec<_>>(),
+        "slo_p99_ms": r.slo_p99_ms,
+        "slo_load": r.slo_load,
+        "gated": slo_json(&r.gated),
+        "ungated": slo_json(&r.ungated),
+        "slo_gate_restored_p99": verdict,
+        "telemetry": met_bench::report::telemetry_summary(&telemetry),
+    });
+    if let Some(path) = met_bench::report::write_json("latency", &json) {
+        eprintln!("wrote {}", path.display());
+    }
+    if !verdict {
+        std::process::exit(1);
+    }
+}
+
+fn slo_json(o: &latency::SloOutcome) -> serde_json::Value {
+    serde_json::json!({
+        "online": o.online,
+        "reconfigurations": o.reconfigurations,
+        "worst_p99_ms": o.worst_p99_ms,
+        "weighted_p99_ms": o.weighted_p99_ms,
+        "throughput": o.throughput,
+    })
+}

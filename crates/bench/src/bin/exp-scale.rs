@@ -21,14 +21,14 @@
 use met_bench::scale;
 
 fn main() {
-    let sizes = scale::sizes_from_env("MET_SCALE_SIZES", &[10, 50, 100, 200, 500]);
-    let ticks = scale::usize_from_env("MET_SCALE_TICKS", 60);
-    let threads = scale::usize_from_env(
-        "MET_SCALE_THREADS",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).max(2),
-    );
-    let trace_minutes = scale::usize_from_env("MET_SCALE_TRACE_MINUTES", 10) as u64;
-    let assert_speedup = std::env::var("MET_SCALE_ASSERT_SPEEDUP").is_ok_and(|v| v == "1");
+    let env = simcore::config::env_config();
+    let sizes = env.scale_sizes.clone().unwrap_or_else(|| vec![10, 50, 100, 200, 500]);
+    let ticks = env.scale_ticks.unwrap_or(60);
+    let threads = env.scale_threads.unwrap_or_else(|| {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).max(2)
+    });
+    let trace_minutes = env.scale_trace_minutes.unwrap_or(10);
+    let assert_speedup = env.scale_assert_speedup;
 
     eprintln!("scale: sweeping {sizes:?} servers × {ticks} ticks at 1 vs {threads} threads...");
     let points: Vec<scale::ScalePoint> =

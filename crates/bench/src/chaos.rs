@@ -9,12 +9,7 @@
 //! on the *same* final profile layout as the fault-free run — just later
 //! and with some wasted actions, both of which the report quantifies.
 
-use crate::scenario::{ycsb_scenario, FIG1_SERVERS};
-use baselines::build_random_homogeneous;
-use cluster::admin::{ClusterSnapshot, ElasticCluster, ServerHealth};
-use hstore::StoreConfig;
-use met::profiles::ProfileKind;
-use met::{Met, MetConfig};
+use cluster::admin::ClusterSnapshot;
 use simcore::{FaultPlan, SimDuration, SimTime};
 use std::collections::BTreeMap;
 use telemetry::{Telemetry, Verbosity};
@@ -82,20 +77,6 @@ pub struct ChaosResult {
     pub convergence_penalty_min: f64,
 }
 
-fn profile_layout(snapshot: &ClusterSnapshot) -> BTreeMap<String, usize> {
-    let mut layout = BTreeMap::new();
-    for s in &snapshot.servers {
-        if s.health != ServerHealth::Online {
-            continue;
-        }
-        let name = ProfileKind::of_config(&s.config)
-            .map(|p| p.to_string())
-            .unwrap_or_else(|| "unprofiled".to_string());
-        *layout.entry(name).or_insert(0) += 1;
-    }
-    layout
-}
-
 /// Runs the Fig-4 workload (Random-Homogeneous start, MeT attached at
 /// minute 2, scaling disabled as in §6.2) with `plan`'s faults injected
 /// into both the cluster substrate and the control loop. An empty plan
@@ -112,7 +93,11 @@ pub fn run_chaos_curve(
 
 /// [`run_chaos_curve`] with an explicit simulation thread count (`None`
 /// keeps the `MET_THREADS` default) and the final cluster snapshot, so
-/// cross-thread determinism checks can compare end states.
+/// cross-thread determinism checks can compare end states. A thin wrapper
+/// over the unified [`ScenarioSpec`](crate::ScenarioSpec) runner: the chaos
+/// experiment is exactly [`MetFixedFleet`](crate::ScenarioStrategy) plus a
+/// fault plan, a realistic 60 s provision delay (so a crash is a real
+/// outage rather than an instant swap) and per-tick layout tracking.
 pub fn run_chaos_curve_threads(
     seed: u64,
     minutes: u64,
@@ -120,55 +105,24 @@ pub fn run_chaos_curve_threads(
     telemetry: Telemetry,
     threads: Option<usize>,
 ) -> (ChaosRun, ClusterSnapshot) {
-    let mut scenario = ycsb_scenario(seed);
-    build_random_homogeneous(&mut scenario.sim, FIG1_SERVERS);
+    let mut spec = crate::ScenarioSpec::new(crate::ScenarioStrategy::MetFixedFleet, seed, minutes)
+        .telemetry(telemetry.clone())
+        .faults(plan.clone())
+        .provision_delay(SimDuration::from_secs(60))
+        .track_layout(true);
     if let Some(t) = threads {
-        scenario.sim.set_threads(t);
+        spec = spec.threads(t);
     }
-    scenario.start_clients();
-    scenario.sim.set_telemetry(telemetry.clone());
-    // Replacement provisioning takes a realistic boot time, so a crash is
-    // a real outage rather than an instant swap.
-    scenario.sim.set_provision_delay(SimDuration::from_secs(60));
-    let injector = (!plan.is_empty()).then(|| plan.injector());
-    if let Some(inj) = &injector {
-        scenario.sim.set_fault_injector(inj.clone());
-    }
-    let cfg = MetConfig { allow_scaling: false, ..MetConfig::default() };
-    let mut met = Met::with_telemetry(cfg, StoreConfig::default_homogeneous(), telemetry.clone());
-    if let Some(inj) = &injector {
-        met.set_fault_injector(inj.clone());
-    }
-
-    let total_ticks = (minutes + 2) * 60;
-    let mut layout = profile_layout(&ElasticCluster::snapshot(&scenario.sim));
-    let mut online = scenario.sim.online_server_ids().len();
-    let mut last_change = SimTime::ZERO;
-    for tick in 0..total_ticks {
-        scenario.sim.step();
-        if tick >= 120 {
-            met.tick(&mut scenario.sim);
-        }
-        let snap = ElasticCluster::snapshot(&scenario.sim);
-        let now_layout = profile_layout(&snap);
-        let now_online = snap.online_servers().len();
-        if now_layout != layout || now_online != online {
-            layout = now_layout;
-            online = now_online;
-            last_change = scenario.sim.time();
-        }
-    }
-    telemetry.flush();
+    let run = spec.run();
 
     let end = SimTime::from_mins(minutes + 2);
     let steady_from = SimTime::from_mins(minutes + 2 - 10);
-    let final_snapshot = ElasticCluster::snapshot(&scenario.sim);
-    let run = ChaosRun {
-        steady: scenario.sim.total_series().mean_between(steady_from, end).unwrap_or(0.0),
-        reconfigurations: met.reconfigurations(),
-        converged_at_min: last_change.as_mins_f64(),
-        profiles: layout,
-        online,
+    let chaos = ChaosRun {
+        steady: run.total_series.mean_between(steady_from, end).unwrap_or(0.0),
+        reconfigurations: run.reconfigurations,
+        converged_at_min: run.converged_at_min,
+        profiles: run.profiles,
+        online: run.online,
         retries: telemetry.counter_total("met_step_retries_total"),
         abandoned: telemetry.counter_total("met_steps_abandoned_total"),
         reconciles: telemetry.counter_total("met_plan_reconciles_total"),
@@ -176,9 +130,9 @@ pub fn run_chaos_curve_threads(
         orphans_reassigned: telemetry.counter_total("met_orphans_reassigned_total"),
         degraded_entries: telemetry.counter_total("met_degraded_entries_total"),
         scale_in_vetoes: telemetry.counter_total("met_scale_in_vetoes_total"),
-        faults_injected: injector.map(|i| i.injected() as u64).unwrap_or(0),
+        faults_injected: run.faults_injected,
     };
-    (run, final_snapshot)
+    (chaos, run.snapshot)
 }
 
 /// Runs the full experiment: a fault-free baseline, then the same seed
@@ -205,19 +159,22 @@ pub fn run(seed: u64, minutes: u64, plan: &FaultPlan, telemetry: Telemetry) -> C
     }
 }
 
-/// Resolves the fault plan from the environment: `MET_FAULT_PLAN` is
-/// `reference` (default), `random` (seeded by `MET_FAULT_SEED`, default
-/// 42), or a spec string in the [`FaultPlan::parse`] grammar.
+/// Resolves the fault plan from the typed environment config:
+/// `MET_FAULT_PLAN` is `reference` (default), `random` (seeded by
+/// `MET_FAULT_SEED`, default 42), or a spec string in the
+/// [`FaultPlan::parse`] grammar.
 pub fn plan_from_env() -> Result<FaultPlan, String> {
-    match std::env::var("MET_FAULT_PLAN") {
-        Err(_) => Ok(FaultPlan::reference()),
-        Ok(v) if v == "reference" => Ok(FaultPlan::reference()),
-        Ok(v) if v == "random" => {
-            let seed =
-                std::env::var("MET_FAULT_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(42);
-            Ok(FaultPlan::random(seed, &simcore::RandomFaultConfig::default()))
+    plan_from_config(simcore::config::env_config())
+}
+
+/// [`plan_from_env`] over an explicit config (tests pass their own).
+pub fn plan_from_config(cfg: &simcore::config::EnvConfig) -> Result<FaultPlan, String> {
+    match cfg.fault_plan.as_deref() {
+        None | Some("reference") => Ok(FaultPlan::reference()),
+        Some("random") => {
+            Ok(FaultPlan::random(cfg.fault_seed, &simcore::RandomFaultConfig::default()))
         }
-        Ok(spec) => FaultPlan::parse(&spec),
+        Some(spec) => FaultPlan::parse(spec),
     }
 }
 

@@ -79,10 +79,15 @@ pub struct ElasticRun {
 
 /// Debug accessor for the experiment scenario builder.
 pub fn build_cloud_dbg(seed: u64) -> (CloudCluster, Vec<DeployedWorkload>) {
-    build_cloud(seed)
+    build_cloud_delayed(seed, boot_delay())
 }
 
-fn build_cloud(seed: u64) -> (CloudCluster, Vec<DeployedWorkload>) {
+/// The paper's OpenStack boot delay as a duration.
+fn boot_delay() -> SimDuration {
+    SimDuration::from_secs(BOOT_DELAY_S)
+}
+
+fn build_cloud_delayed(seed: u64, boot: SimDuration) -> (CloudCluster, Vec<DeployedWorkload>) {
     let mut sim = SimCluster::new(paper_params(), seed);
     // The §6.4 workload set with thread counts that overload the initial
     // six nodes. The paper switches off E+F, then B, then A, "leaving only
@@ -98,12 +103,8 @@ fn build_cloud(seed: u64) -> (CloudCluster, Vec<DeployedWorkload>) {
             deploy(&spec, &mut sim, &mut rng)
         })
         .collect();
-    let mut cloud = CloudCluster::new(
-        sim,
-        Flavor::paper_medium(),
-        Quota { max_instances: QUOTA },
-        SimDuration::from_secs(BOOT_DELAY_S),
-    );
+    let mut cloud =
+        CloudCluster::new(sim, Flavor::paper_medium(), Quota { max_instances: QUOTA }, boot);
     cloud
         .boot_initial_fleet(INITIAL_SERVERS, cloud_node_config())
         .expect("quota covers the initial fleet");
@@ -143,15 +144,54 @@ pub fn run_one_for(controller: Controller, seed: u64, minutes: u64) -> ElasticRu
 
 /// [`run_one_for`] with the controller, the IaaS layer and the simulator
 /// all reporting through `telemetry` — the scale-out run this produces is
-/// what the audit-trail integration test inspects.
+/// what the audit-trail integration test inspects. A thin wrapper over
+/// the unified [`ScenarioSpec`](crate::ScenarioSpec) runner.
 pub fn run_one_traced(
     controller: Controller,
     seed: u64,
     minutes: u64,
     telemetry: telemetry::Telemetry,
 ) -> ElasticRun {
-    let (mut cloud, _deployments) = build_cloud(seed);
+    let run = crate::ScenarioSpec::new(crate::ScenarioStrategy::Elastic(controller), seed, minutes)
+        .telemetry(telemetry)
+        .run();
+    let cumulative_phase1 = run
+        .total_series
+        .points()
+        .iter()
+        .filter(|(t, _)| *t <= SimTime::from_mins(PHASE1_END_MIN))
+        .map(|(_, v)| v)
+        .sum();
+    let peak_nodes = run.node_series.points().iter().map(|(_, v)| *v).fold(0.0, f64::max);
+    let final_nodes = run.node_series.points().last().map(|(_, v)| *v).unwrap_or(0.0);
+    ElasticRun {
+        throughput: run.total_series,
+        nodes: run.node_series,
+        cumulative_phase1,
+        peak_nodes,
+        final_nodes,
+    }
+}
+
+/// The cloud arm of [`ScenarioSpec::run`](crate::ScenarioSpec::run): the
+/// §6.4 deployment under the chosen controller. The spec's
+/// `provision_delay` overrides the default OpenStack boot delay; its fault
+/// plan drives both the IaaS substrate and (for MeT) the control loop.
+pub(crate) fn run_spec(spec: crate::ScenarioSpec) -> crate::ScenarioRun {
+    let crate::ScenarioStrategy::Elastic(controller) = spec.strategy else {
+        unreachable!("elastic::run_spec only handles the Elastic strategy");
+    };
+    let telemetry = spec.telemetry.clone();
+    let (mut cloud, deployments) =
+        build_cloud_delayed(spec.seed, spec.provision_delay.unwrap_or(boot_delay()));
+    if let Some(t) = spec.threads {
+        cloud.inner_mut().set_threads(t);
+    }
     cloud.set_telemetry(telemetry.clone());
+    let injector = (!spec.faults.is_empty()).then(|| spec.faults.injector());
+    if let Some(inj) = &injector {
+        cloud.set_fault_injector(inj.clone());
+    }
     let met_cfg = MetConfig {
         min_nodes: INITIAL_SERVERS,
         max_nodes: QUOTA - 2,
@@ -163,6 +203,9 @@ pub fn run_one_traced(
         ..MetConfig::default()
     };
     let mut met = Met::with_telemetry(met_cfg, cloud_node_config(), telemetry.clone());
+    if let Some(inj) = &injector {
+        met.set_fault_injector(inj.clone());
+    }
     // tiramola's thresholds are user-defined rules (§7); these are the
     // values a CloudWatch-style operator would set after profiling this
     // deployment: scale out above 60 % average utilization, scale in only
@@ -181,7 +224,13 @@ pub fn run_one_traced(
         cloud.inner_mut().set_auto_balance(Some(SimDuration::from_mins(5)));
     }
 
-    for tick in 0..(minutes * 60) {
+    use cluster::ElasticCluster;
+    let mut track = spec.track_layout.then(|| crate::spec::LayoutTrack {
+        profiles: crate::spec::profile_layout(&ElasticCluster::snapshot(&cloud)),
+        online: cloud.inner().online_server_ids().len(),
+        last_change: SimTime::ZERO,
+    });
+    for tick in 0..(spec.minutes * 60) {
         // Phase 2 switch-offs (§6.4): E and F at 33, B at 43, A at 53.
         match tick {
             t if t == PHASE1_END_MIN * 60 => {
@@ -200,20 +249,45 @@ pub fn run_one_traced(
             Controller::Met => met.tick(&mut cloud),
             Controller::Tiramola => tiramola.tick(&mut cloud),
         }
+        if let Some(t) = &mut track {
+            let snap = ElasticCluster::snapshot(&cloud);
+            let now_layout = crate::spec::profile_layout(&snap);
+            let now_online = snap.online_servers().len();
+            if now_layout != t.profiles || now_online != t.online {
+                t.profiles = now_layout;
+                t.online = now_online;
+                t.last_change = cloud.inner().time();
+            }
+        }
     }
 
     telemetry.flush();
-    let throughput = cloud.inner().total_series().clone();
-    let nodes = cloud.inner().node_series().clone();
-    let cumulative_phase1 = throughput
-        .points()
+    let snapshot = ElasticCluster::snapshot(&cloud);
+    let group_series = deployments
         .iter()
-        .filter(|(t, _)| *t <= SimTime::from_mins(PHASE1_END_MIN))
-        .map(|(_, v)| v)
-        .sum();
-    let peak_nodes = nodes.points().iter().map(|(_, v)| *v).fold(0.0, f64::max);
-    let final_nodes = nodes.points().last().map(|(_, v)| *v).unwrap_or(0.0);
-    ElasticRun { throughput, nodes, cumulative_phase1, peak_nodes, final_nodes }
+        .filter_map(|d| {
+            let name = d.spec.name.clone();
+            cloud.inner().group_throughput(&format!("workload-{name}")).map(|s| (name, s.clone()))
+        })
+        .collect();
+    let (converged_at_min, profiles, online) = match track {
+        Some(t) => (t.last_change.as_mins_f64(), t.profiles, t.online),
+        None => (0.0, crate::spec::profile_layout(&snapshot), snapshot.online_servers().len()),
+    };
+    crate::ScenarioRun {
+        total_series: cloud.inner().total_series().clone(),
+        group_series,
+        node_series: cloud.inner().node_series().clone(),
+        snapshot,
+        reconfigurations: match controller {
+            Controller::Met => met.reconfigurations(),
+            Controller::Tiramola => 0,
+        },
+        converged_at_min,
+        profiles,
+        online,
+        faults_injected: injector.map(|i| i.injected() as u64).unwrap_or(0),
+    }
 }
 
 /// Both runs plus the Figure 5 comparison numbers.

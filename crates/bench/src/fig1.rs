@@ -7,7 +7,6 @@
 
 use crate::scenario::{ycsb_scenario, FIG1_SERVERS};
 use baselines::manual::MANUAL_SEARCH_CANDIDATES;
-use baselines::{build_manual_heterogeneous, build_random_homogeneous};
 use cluster::PartitionId;
 use hstore::StoreConfig;
 use simcore::stats::PercentileSummary;
@@ -49,45 +48,29 @@ pub struct RunThroughput {
     pub total: f64,
 }
 
-/// Executes one run of one strategy.
+/// Executes one run of one strategy (a thin wrapper over the unified
+/// [`ScenarioSpec`](crate::ScenarioSpec) runner).
 pub fn run_once(strategy: Strategy, seed: u64, measured_minutes: u64) -> RunThroughput {
-    let mut scenario = ycsb_scenario(seed);
-    match strategy {
-        Strategy::RandomHomogeneous => {
-            build_random_homogeneous(&mut scenario.sim, FIG1_SERVERS);
-        }
-        Strategy::ManualHomogeneous => {
-            let placement = manual_homog_best_placement(seed);
-            apply_placement(&mut scenario, &placement);
-        }
-        Strategy::ManualHeterogeneous => {
-            let groups = scenario.grouped_partitions();
-            build_manual_heterogeneous(&mut scenario.sim, FIG1_SERVERS, &groups);
-        }
-    }
-    scenario.start_clients();
-
+    let run =
+        crate::ScenarioSpec::new(crate::ScenarioStrategy::Manual(strategy), seed, measured_minutes)
+            .run();
     let ramp = SimTime::from_mins(2);
     let end = SimTime::from_mins(2 + measured_minutes);
-    scenario.sim.run_ticks((end.as_secs()) as usize);
-
     let mut per_workload = BTreeMap::new();
     let mut total = 0.0;
-    for d in &scenario.deployments {
-        let name = d.spec.name.clone();
-        let series = scenario
-            .sim
-            .group_throughput(&format!("workload-{name}"))
-            .expect("series exists for started group");
+    for (name, series) in &run.group_series {
         let mean = series.mean_between(ramp, end).unwrap_or(0.0);
         total += mean;
-        per_workload.insert(name, mean);
+        per_workload.insert(name.clone(), mean);
     }
     RunThroughput { per_workload, total }
 }
 
 /// Applies an explicit placement onto freshly built homogeneous servers.
-fn apply_placement(scenario: &mut crate::scenario::YcsbScenario, placement: &[Vec<PartitionId>]) {
+pub(crate) fn apply_placement(
+    scenario: &mut crate::scenario::YcsbScenario,
+    placement: &[Vec<PartitionId>],
+) {
     let cfg = StoreConfig::default_homogeneous();
     let servers: Vec<_> =
         (0..placement.len()).map(|_| scenario.sim.add_server_immediate(cfg.clone())).collect();

@@ -7,10 +7,6 @@
 //! recovers to 20 000 by minute 5), then tracks Manual-Heterogeneous.
 
 use crate::fig1::{run_once, Strategy};
-use crate::scenario::{ycsb_scenario, FIG1_SERVERS};
-use baselines::{build_manual_heterogeneous, build_random_homogeneous};
-use hstore::StoreConfig;
-use met::{Met, MetConfig};
 use simcore::timeseries::TimeSeries;
 use simcore::SimTime;
 use std::collections::BTreeMap;
@@ -61,65 +57,29 @@ pub fn run_met_curve_traced(
 
 /// [`run_met_curve_traced`] with an explicit simulation thread count
 /// (`None` keeps the `MET_THREADS` default) and the final cluster snapshot,
-/// so cross-thread determinism checks can compare end states.
+/// so cross-thread determinism checks can compare end states. A thin
+/// wrapper over the unified [`ScenarioSpec`](crate::ScenarioSpec) runner.
 pub fn run_met_curve_threads(
     seed: u64,
     minutes: u64,
     telemetry: telemetry::Telemetry,
     threads: Option<usize>,
 ) -> (TimeSeries, u64, cluster::ClusterSnapshot) {
-    use cluster::ElasticCluster;
-    let mut scenario = ycsb_scenario(seed);
-    build_random_homogeneous(&mut scenario.sim, FIG1_SERVERS);
+    let mut spec = crate::ScenarioSpec::new(crate::ScenarioStrategy::MetFixedFleet, seed, minutes)
+        .telemetry(telemetry);
     if let Some(t) = threads {
-        scenario.sim.set_threads(t);
+        spec = spec.threads(t);
     }
-    scenario.start_clients();
-    scenario.sim.set_telemetry(telemetry.clone());
-    // §6.2 runs MeT against the database alone: reconfiguration only.
-    let cfg = MetConfig { allow_scaling: false, ..MetConfig::default() };
-    let mut met = Met::with_telemetry(cfg, StoreConfig::default_homogeneous(), telemetry.clone());
-    let total_ticks = (minutes + 2) * 60;
-    for tick in 0..total_ticks {
-        scenario.sim.step();
-        if tick >= 120 {
-            met.tick(&mut scenario.sim);
-        }
-    }
-    telemetry.flush();
-    let snapshot = ElasticCluster::snapshot(&scenario.sim);
-    (scenario.sim.total_series().clone(), met.reconfigurations(), snapshot)
+    let run = spec.run();
+    (run.total_series, run.reconfigurations, run.snapshot)
 }
 
-/// Runs a manual strategy and returns its total-throughput series.
+/// Runs a manual strategy and returns its total-throughput series (the
+/// same construction as the fig1 runner, via the unified spec).
 pub fn run_manual_curve(strategy: Strategy, seed: u64, minutes: u64) -> TimeSeries {
-    // Reuse the fig1 runner path by replaying the same construction.
-    let mut scenario = ycsb_scenario(seed);
-    match strategy {
-        Strategy::RandomHomogeneous => {
-            build_random_homogeneous(&mut scenario.sim, FIG1_SERVERS);
-        }
-        Strategy::ManualHomogeneous => {
-            // The best measured placement, as in fig1.
-            let placement = crate::fig1::manual_homog_best_placement(seed);
-            let cfg = StoreConfig::default_homogeneous();
-            let servers: Vec<_> = (0..placement.len())
-                .map(|_| scenario.sim.add_server_immediate(cfg.clone()))
-                .collect();
-            for (node, parts) in placement.iter().enumerate() {
-                for p in parts {
-                    scenario.sim.assign_partition(*p, servers[node]).expect("fresh server");
-                }
-            }
-        }
-        Strategy::ManualHeterogeneous => {
-            let groups = scenario.grouped_partitions();
-            build_manual_heterogeneous(&mut scenario.sim, FIG1_SERVERS, &groups);
-        }
-    }
-    scenario.start_clients();
-    scenario.sim.run_ticks(((minutes + 2) * 60) as usize);
-    scenario.sim.total_series().clone()
+    crate::ScenarioSpec::new(crate::ScenarioStrategy::Manual(strategy), seed, minutes)
+        .run()
+        .total_series
 }
 
 /// Picks the best-throughput seed out of `candidates` for a manual curve

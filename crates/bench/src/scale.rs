@@ -155,11 +155,37 @@ pub fn traced_chaos(seed: u64, minutes: u64, threads: usize) -> TracedRun {
     TracedRun { trace: trace_string(&telemetry), layout: layout_string(&snapshot) }
 }
 
+/// The SLO-gated latency run at an explicit thread count, fully traced.
+/// The trace additionally carries the latency digest (per-server and
+/// per-profile p99 histograms plus the final per-server p99 gauges), so any
+/// thread-count dependence in the queueing model itself — not just in the
+/// decision stream — flips the digest.
+pub fn traced_latency(seed: u64, minutes: u64, threads: usize) -> TracedRun {
+    let telemetry = Telemetry::with_ring(Verbosity::Debug, 1 << 16);
+    let run = crate::latency::run_slo_threads(
+        seed,
+        minutes,
+        Some(crate::latency::SLO_P99_MS),
+        telemetry.clone(),
+        Some(threads),
+    );
+    let trace = format!(
+        "{}\n===\n{}",
+        trace_string(&telemetry),
+        crate::latency::latency_digest_string(&telemetry, &run)
+    );
+    TracedRun { trace, layout: layout_string(&run.snapshot) }
+}
+
 /// Parses a usize list env var like `MET_SCALE_SIZES=10,50,100`.
+///
+/// Kept as a compatibility shim over [`simcore::config::parse_usize_list`];
+/// the `MET_SCALE_*` knobs themselves are read once into
+/// [`simcore::config::env_config`], which `exp-scale` consumes.
 pub fn sizes_from_env(var: &str, default: &[usize]) -> Vec<usize> {
     match std::env::var(var) {
         Ok(v) => {
-            let parsed: Vec<usize> = v.split(',').filter_map(|s| s.trim().parse().ok()).collect();
+            let parsed = simcore::config::parse_usize_list(&v);
             if parsed.is_empty() {
                 default.to_vec()
             } else {
@@ -170,7 +196,8 @@ pub fn sizes_from_env(var: &str, default: &[usize]) -> Vec<usize> {
     }
 }
 
-/// Parses a usize env var with a default.
+/// Parses a usize env var with a default (compatibility shim; see
+/// [`sizes_from_env`]).
 pub fn usize_from_env(var: &str, default: usize) -> usize {
     std::env::var(var).ok().and_then(|s| s.trim().parse().ok()).unwrap_or(default)
 }

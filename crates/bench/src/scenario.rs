@@ -28,10 +28,29 @@ pub struct YcsbScenario {
 /// Creates the simulation and deploys the six §3.1 workloads (partitions
 /// remain unassigned; the strategy under test places them).
 pub fn ycsb_scenario(seed: u64) -> YcsbScenario {
+    ycsb_scenario_scaled(seed, 1.0)
+}
+
+/// [`ycsb_scenario`] with every workload's offered load scaled by
+/// `load_factor`: unthrottled workloads get proportionally more (or fewer)
+/// client threads, throttled ones a proportionally moved rate cap. A
+/// factor of exactly 1.0 leaves the specs untouched, so the default path
+/// is byte-identical to the historical one. The `exp-latency` sweep uses
+/// this to push the same cluster through its saturation knee.
+pub fn ycsb_scenario_scaled(seed: u64, load_factor: f64) -> YcsbScenario {
+    assert!(load_factor > 0.0 && load_factor.is_finite(), "load factor must be positive");
     let mut sim = SimCluster::new(paper_params(), seed);
     let mut rng = SimRng::new(seed).derive("scenario");
-    let deployments: Vec<DeployedWorkload> =
-        ycsb::presets::paper_suite().iter().map(|spec| deploy(spec, &mut sim, &mut rng)).collect();
+    let deployments: Vec<DeployedWorkload> = ycsb::presets::paper_suite()
+        .into_iter()
+        .map(|mut spec| {
+            if load_factor != 1.0 {
+                spec.threads = ((spec.threads as f64 * load_factor).round() as u32).max(1);
+                spec.target_ops_per_sec = spec.target_ops_per_sec.map(|r| r * load_factor);
+            }
+            deploy(&spec, &mut sim, &mut rng)
+        })
+        .collect();
     YcsbScenario { sim, deployments }
 }
 

@@ -12,7 +12,7 @@
 //! 30 warehouses (≈ 15 GB stored), 6 RegionServers, 300 clients, 45 min.
 
 use crate::scenario::paper_params;
-use cluster::admin::{ElasticCluster, ServerHealth};
+use cluster::admin::ServerHealth;
 use cluster::CostParams;
 use cluster::{PartitionId, ServerId, SimCluster};
 use hstore::StoreConfig;
@@ -101,40 +101,90 @@ fn place_manual(sim: &mut SimCluster, deployment: &TpccDeployment) -> Vec<Server
     servers
 }
 
-fn mean_txn_rate(sim: &SimCluster, from_min: u64, to_min: u64) -> f64 {
-    sim.group_throughput("tpcc")
-        .expect("tpcc group started")
-        .mean_between(SimTime::from_mins(from_min), SimTime::from_mins(to_min))
-        .unwrap_or(0.0)
+/// The TPC-C arm of [`ScenarioSpec::run`](crate::ScenarioSpec::run):
+/// builds the 30-warehouse deployment, places it per the strategy, and
+/// drives the shared tick loop (MeT, when present, attaches at minute 4).
+pub(crate) fn run_spec(spec: crate::ScenarioSpec) -> crate::ScenarioRun {
+    let (mut sim, deployment) = build(spec.seed);
+    match &spec.strategy {
+        crate::ScenarioStrategy::TpccManual | crate::ScenarioStrategy::TpccMet => {
+            place_manual(&mut sim, &deployment);
+        }
+        crate::ScenarioStrategy::TpccCaptured(layout) => {
+            let base = tpcc_manual_config();
+            for (profile, partitions) in &layout.nodes {
+                let server = sim.add_server_immediate(profile.config(&base));
+                for p in partitions {
+                    sim.assign_partition(*p, server).expect("fresh server");
+                }
+            }
+        }
+        _ => unreachable!("table2::run_spec only handles TPC-C strategies"),
+    }
+    if let Some(t) = spec.threads {
+        sim.set_threads(t);
+    }
+    sim.add_group(deployment.client_group(CLIENTS, TPCC_THINK_MS));
+    sim.set_telemetry(spec.telemetry.clone());
+    if let Some(d) = spec.provision_delay {
+        sim.set_provision_delay(d);
+    }
+    let injector = (!spec.faults.is_empty()).then(|| spec.faults.injector());
+    if let Some(inj) = &injector {
+        sim.set_fault_injector(inj.clone());
+    }
+    let mut met = if matches!(spec.strategy, crate::ScenarioStrategy::TpccMet) {
+        // §6.3 keeps the fleet at 6 RegionServers; MeT reconfigures only
+        // (unless the spec overrides the controller config).
+        let cfg = spec
+            .met_config
+            .clone()
+            .unwrap_or_else(|| MetConfig { allow_scaling: false, ..MetConfig::default() });
+        let mut met = Met::with_telemetry(cfg, tpcc_manual_config(), spec.telemetry.clone());
+        if let Some(inj) = &injector {
+            met.set_fault_injector(inj.clone());
+        }
+        Some(met)
+    } else {
+        None
+    };
+    let track = crate::spec::drive(
+        &mut sim,
+        met.as_mut(),
+        MET_START_MIN * 60,
+        spec.minutes * 60,
+        spec.track_layout,
+    );
+    spec.telemetry.flush();
+    crate::spec::collect(
+        &sim,
+        &["tpcc".to_string()],
+        met.as_ref().map(|m| m.reconfigurations()).unwrap_or(0),
+        injector.map(|i| i.injected() as u64).unwrap_or(0),
+        track,
+    )
 }
 
-/// Setting (i): the manual homogeneous run. Returns `(tpmC, ())`.
+/// Mean steady-state transaction rate of a finished run (ramp excluded).
+fn tpmc_of(run: &crate::ScenarioRun, minutes: u64) -> f64 {
+    let rate = run.group_series["tpcc"]
+        .mean_between(SimTime::from_mins(2), SimTime::from_mins(minutes))
+        .unwrap_or(0.0);
+    tpmc_from_txn_rate(rate)
+}
+
+/// Setting (i): the manual homogeneous run. Returns the tpmC.
 pub fn run_manual(seed: u64, minutes: u64) -> f64 {
-    let (mut sim, deployment) = build(seed);
-    place_manual(&mut sim, &deployment);
-    sim.add_group(deployment.client_group(CLIENTS, TPCC_THINK_MS));
-    sim.run_ticks((minutes * 60) as usize);
-    tpmc_from_txn_rate(mean_txn_rate(&sim, 2, minutes))
+    let run = crate::ScenarioSpec::new(crate::ScenarioStrategy::TpccManual, seed, minutes).run();
+    tpmc_of(&run, minutes)
 }
 
 /// Setting (ii): MeT attached at minute 4. Returns the tpmC, the captured
 /// final layout and the number of reconfigurations.
 pub fn run_met(seed: u64, minutes: u64) -> (f64, CapturedLayout, u64) {
-    let (mut sim, deployment) = build(seed);
-    place_manual(&mut sim, &deployment);
-    sim.add_group(deployment.client_group(CLIENTS, TPCC_THINK_MS));
-    // §6.3 keeps the fleet at 6 RegionServers; MeT reconfigures only.
-    let cfg = MetConfig { allow_scaling: false, ..MetConfig::default() };
-    let mut met = Met::new(cfg, tpcc_manual_config());
-    for tick in 0..(minutes * 60) {
-        sim.step();
-        if tick >= MET_START_MIN * 60 {
-            met.tick(&mut sim);
-        }
-    }
-    let tpmc = tpmc_from_txn_rate(mean_txn_rate(&sim, 2, minutes));
-    let snap = sim.snapshot();
-    let nodes = snap
+    let run = crate::ScenarioSpec::new(crate::ScenarioStrategy::TpccMet, seed, minutes).run();
+    let nodes = run
+        .snapshot
         .servers
         .iter()
         .filter(|s| s.health == ServerHealth::Online)
@@ -145,22 +195,18 @@ pub fn run_met(seed: u64, minutes: u64) -> (f64, CapturedLayout, u64) {
             )
         })
         .collect();
-    (tpmc, CapturedLayout { nodes }, met.reconfigurations())
+    (tpmc_of(&run, minutes), CapturedLayout { nodes }, run.reconfigurations)
 }
 
 /// Setting (iii): a fresh run starting from a captured layout.
 pub fn run_captured(seed: u64, minutes: u64, layout: &CapturedLayout) -> f64 {
-    let (mut sim, deployment) = build(seed);
-    let base = tpcc_manual_config();
-    for (profile, partitions) in &layout.nodes {
-        let server = sim.add_server_immediate(profile.config(&base));
-        for p in partitions {
-            sim.assign_partition(*p, server).expect("fresh server");
-        }
-    }
-    sim.add_group(deployment.client_group(CLIENTS, TPCC_THINK_MS));
-    sim.run_ticks((minutes * 60) as usize);
-    tpmc_from_txn_rate(mean_txn_rate(&sim, 2, minutes))
+    let run = crate::ScenarioSpec::new(
+        crate::ScenarioStrategy::TpccCaptured(layout.clone()),
+        seed,
+        minutes,
+    )
+    .run();
+    tpmc_of(&run, minutes)
 }
 
 /// Runs the whole Table 2 experiment.

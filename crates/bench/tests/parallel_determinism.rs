@@ -8,7 +8,7 @@
 //! `f64` fields print shortest-round-trip — any bit difference anywhere in
 //! the run shows up as a string difference here.
 
-use met_bench::scale::{traced_chaos, traced_fig4};
+use met_bench::scale::{traced_chaos, traced_fig4, traced_latency};
 
 fn assert_identical(
     name: &str,
@@ -40,4 +40,14 @@ fn chaos_trace_is_byte_identical_across_thread_counts() {
     let seq = traced_chaos(1_000, 10, 1);
     let par = traced_chaos(1_000, 10, 4);
     assert_identical("chaos", &seq, &par);
+}
+
+#[test]
+fn latency_trace_is_byte_identical_across_thread_counts() {
+    // 10 minutes of the SLO-gated overload run covers the gate's first
+    // scale-out, so the queueing model's per-server p99s (appended to the
+    // trace by `traced_latency`) are exercised across a fleet change.
+    let seq = traced_latency(1_000, 10, 1);
+    let par = traced_latency(1_000, 10, 4);
+    assert_identical("latency", &seq, &par);
 }

@@ -44,6 +44,10 @@ pub struct ServerMetrics {
     pub mem_util: f64,
     /// Requests per second served last interval.
     pub requests_per_sec: f64,
+    /// 99th-percentile response time last interval, ms — the tail-latency
+    /// signal the SLO gate in the decision maker watches. Zero when the
+    /// server saw no demand (or the cluster layer does not model latency).
+    pub p99_latency_ms: f64,
     /// Data-locality index in `[0, 1]` (§4.1).
     pub locality: f64,
     /// Partitions currently assigned.

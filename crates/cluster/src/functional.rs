@@ -13,8 +13,8 @@ use crate::admin::AdminError;
 use crate::types::ServerId;
 use bytes::Bytes;
 use hstore::{
-    Family, FileIdAllocator, KeyRange, Qualifier, Region, RegionCounters, RegionId, RowKey,
-    SharedBlockCache, StoreConfig, StoreError,
+    Family, FileIdAllocator, KeyRange, OpStats, Qualifier, Region, RegionCounters, RegionId,
+    RowKey, SharedBlockCache, StoreConfig, StoreError,
 };
 use simcore::SimRng;
 use std::collections::BTreeMap;
@@ -197,9 +197,21 @@ impl FunctionalCluster {
         qualifier: Qualifier,
         value: Bytes,
     ) -> FResult<()> {
+        self.put_with_stats(table, family, row, qualifier, value).map(|_| ())
+    }
+
+    /// [`FunctionalCluster::put`] reporting the op's work for service-time
+    /// costing (a put is a memstore insert).
+    pub fn put_with_stats(
+        &mut self,
+        table: &str,
+        family: &Family,
+        row: RowKey,
+        qualifier: Qualifier,
+        value: Bytes,
+    ) -> FResult<OpStats> {
         let (rid, sid) = self.locate(table, &row)?;
-        self.region_mut(rid, sid).put(family, row, qualifier, value)?;
-        Ok(())
+        Ok(self.region_mut(rid, sid).put_with_stats(family, row, qualifier, value)?)
     }
 
     /// Reads a cell.
@@ -210,8 +222,24 @@ impl FunctionalCluster {
         row: &RowKey,
         qualifier: &Qualifier,
     ) -> FResult<Option<Bytes>> {
+        self.get_with_stats(table, family, row, qualifier).map(|(v, _)| v)
+    }
+
+    /// [`FunctionalCluster::get`] reporting which blocks the read touched
+    /// (cache hits vs. disk block reads) and whether the memstore answered
+    /// it — the per-op counts service-time costing needs. Counted on the
+    /// op's own path: a before/after delta of the server's shared
+    /// [`hstore::CacheStats`] would charge this op with any concurrently
+    /// interleaved operation's traffic.
+    pub fn get_with_stats(
+        &mut self,
+        table: &str,
+        family: &Family,
+        row: &RowKey,
+        qualifier: &Qualifier,
+    ) -> FResult<(Option<Bytes>, OpStats)> {
         let (rid, sid) = self.locate(table, row)?;
-        Ok(self.region_mut(rid, sid).get(family, row, qualifier)?)
+        Ok(self.region_mut(rid, sid).get_with_stats(family, row, qualifier)?)
     }
 
     /// Atomic compare-and-put on a cell.
@@ -225,7 +253,10 @@ impl FunctionalCluster {
         new: Bytes,
     ) -> FResult<bool> {
         let (rid, sid) = self.locate(table, &row)?;
-        Ok(self.region_mut(rid, sid).check_and_put(family, row, qualifier, expected, new)?)
+        Ok(self
+            .region_mut(rid, sid)
+            .check_and_put_with_stats(family, row, qualifier, expected, new)?
+            .0)
     }
 
     /// Atomic numeric increment of a cell.
@@ -237,8 +268,21 @@ impl FunctionalCluster {
         qualifier: Qualifier,
         delta: i64,
     ) -> FResult<i64> {
+        self.increment_with_stats(table, family, row, qualifier, delta).map(|(v, _)| v)
+    }
+
+    /// [`FunctionalCluster::increment`] reporting the read-modify-write's
+    /// work (see [`FunctionalCluster::get_with_stats`]).
+    pub fn increment_with_stats(
+        &mut self,
+        table: &str,
+        family: &Family,
+        row: RowKey,
+        qualifier: Qualifier,
+        delta: i64,
+    ) -> FResult<(i64, OpStats)> {
         let (rid, sid) = self.locate(table, &row)?;
-        Ok(self.region_mut(rid, sid).increment(family, row, qualifier, delta)?)
+        Ok(self.region_mut(rid, sid).increment_with_stats(family, row, qualifier, delta)?)
     }
 
     /// Deletes a cell.
@@ -263,14 +307,32 @@ impl FunctionalCluster {
         start: &RowKey,
         row_limit: usize,
     ) -> FResult<Vec<hstore::types::RowCells>> {
+        self.scan_with_stats(table, family, start, row_limit).map(|(rows, _)| rows)
+    }
+
+    /// [`FunctionalCluster::scan`] reporting the blocks this scan entered
+    /// across every region it crossed. Each region's work is counted on the
+    /// scan's own merge iterators, so two scans interleaved on the same
+    /// server each see only their own block reads (see
+    /// [`FunctionalCluster::get_with_stats`]).
+    pub fn scan_with_stats(
+        &mut self,
+        table: &str,
+        family: &Family,
+        start: &RowKey,
+        row_limit: usize,
+    ) -> FResult<(Vec<hstore::types::RowCells>, OpStats)> {
         let mut out = Vec::new();
+        let mut stats = OpStats::default();
         let mut cursor = start.clone();
         loop {
             let (rid, sid) = self.locate(table, &cursor)?;
             let region = self.region_mut(rid, sid);
             let end = region.range().end.clone();
-            let rows = region.scan(family, &cursor, row_limit - out.len())?;
+            let (rows, region_stats) =
+                region.scan_with_stats(family, &cursor, row_limit - out.len())?;
             out.extend(rows);
+            stats.absorb(region_stats);
             if out.len() >= row_limit {
                 break;
             }
@@ -280,7 +342,7 @@ impl FunctionalCluster {
                 None => break,
             }
         }
-        Ok(out)
+        Ok((out, stats))
     }
 
     /// Runs maintenance on every server: threshold flushes, minor
@@ -500,7 +562,11 @@ impl FunctionalCluster {
         self.servers.get(sid)?.regions.get(&rid).map(|r| r.size_bytes())
     }
 
-    /// Cache statistics of a server.
+    /// Cache statistics of a server — *aggregate* counters across every
+    /// operation the server has ever served. For per-operation block
+    /// counts use the `*_with_stats` op paths, which attribute work to the
+    /// op that did it; deltas of this global view mis-attribute when ops
+    /// interleave.
     pub fn server_cache_stats(&self, sid: ServerId) -> Option<hstore::CacheStats> {
         self.servers.get(&sid).map(|s| s.cache.stats())
     }
@@ -694,6 +760,52 @@ mod tests {
                 .unwrap()
                 .is_some());
         }
+    }
+
+    #[test]
+    fn op_paths_attribute_their_own_cache_traffic() {
+        // Two regions on one server share a block cache. Alternating scans
+        // over both must each report only their own block reads — exactly
+        // what a before/after delta of the global CacheStats gets wrong.
+        let mut c = cluster_with(1);
+        c.create_table("t", &[Family::from("cf")], &["m".into()]).unwrap();
+        let payload = "x".repeat(500);
+        for i in 0..200 {
+            c.put("t", &"cf".into(), format!("a{i:03}").into(), "q".into(), b(&payload)).unwrap();
+            c.put("t", &"cf".into(), format!("n{i:03}").into(), "q".into(), b(&payload)).unwrap();
+        }
+        // Flush both regions so scans read real file blocks.
+        for rid in c.table_regions("t") {
+            c.major_compact_region(rid).unwrap();
+        }
+        let sid = c.server_ids()[0];
+        let before = c.server_cache_stats(sid).unwrap();
+
+        let mut low = OpStats::default();
+        let mut high = OpStats::default();
+        for round in 0..4 {
+            let start_a: RowKey = format!("a{:03}", round * 50).as_str().into();
+            let start_n: RowKey = format!("n{:03}", round * 50).as_str().into();
+            let (rows, s) = c.scan_with_stats("t", &"cf".into(), &start_a, 50).unwrap();
+            assert_eq!(rows.len(), 50);
+            low.absorb(s);
+            let (rows, s) = c.scan_with_stats("t", &"cf".into(), &start_n, 50).unwrap();
+            assert_eq!(rows.len(), 50);
+            high.absorb(s);
+        }
+        assert!(low.blocks_touched() > 0 && high.blocks_touched() > 0);
+        // Per-op attribution must add up to the server's global counters.
+        let after = c.server_cache_stats(sid).unwrap();
+        assert_eq!(
+            low.blocks_touched() + high.blocks_touched(),
+            after.accesses() - before.accesses(),
+            "per-op stats must partition the global cache traffic"
+        );
+        // A point get after compaction reports its own (tiny) footprint.
+        let (_, g) = c.get_with_stats("t", &"cf".into(), &"a000".into(), &"q".into()).unwrap();
+        assert!(!g.memstore, "flushed data must come from files");
+        assert!(g.blocks_touched() >= 1);
+        assert!(g.blocks_touched() < low.blocks_touched());
     }
 
     #[test]

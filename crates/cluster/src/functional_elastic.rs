@@ -124,6 +124,8 @@ impl ElasticCluster for FunctionalElastic {
                     io_wait: cpu * 0.5,
                     mem_util: used as f64 / cap.max(1) as f64,
                     requests_per_sec: rps,
+                    // The functional layer does not model queueing.
+                    p99_latency_ms: 0.0,
                     locality: 1.0,
                     partitions: regions_by_server.get(&sid).cloned().unwrap_or_default(),
                     config: self.db.server_config(sid).expect("listed server has a config"),

@@ -19,6 +19,7 @@
 pub mod admin;
 pub mod functional;
 pub mod functional_elastic;
+pub mod latency;
 pub mod model;
 pub mod sim;
 pub mod types;
@@ -27,6 +28,7 @@ pub use admin::{
     AdminError, ClusterSnapshot, ElasticCluster, PartitionMetrics, ServerHealth, ServerMetrics,
 };
 pub use functional_elastic::FunctionalElastic;
+pub use latency::{op_service_ms, LatencyMixture, LatencySummary};
 pub use model::{CostParams, PartitionDemand};
 pub use sim::{ClientGroup, PartitionSpec, SimCluster};
 pub use types::{OpKind, OpMix, PartitionCounters, PartitionId, ServerId};

@@ -94,6 +94,9 @@ pub struct CostParams {
     /// Data bytes per write-active region equivalent, used to estimate how
     /// many memstores share the global budget.
     pub region_equiv_bytes: f64,
+    /// CPU per cached block touched (decode + copy), ms — the service cost
+    /// of a block-cache hit in [`crate::latency::op_service_ms`].
+    pub cache_hit_block_ms: f64,
 }
 
 impl Default for CostParams {
@@ -122,6 +125,7 @@ impl Default for CostParams {
             cache_churn_write_mb_s: 4.0,
             write_stall_ms: 0.7,
             region_equiv_bytes: 256e6,
+            cache_hit_block_ms: 0.02,
         }
     }
 }

@@ -29,6 +29,7 @@
 use crate::admin::{
     AdminError, ClusterSnapshot, ElasticCluster, PartitionMetrics, ServerHealth, ServerMetrics,
 };
+use crate::latency::{profile_label, LatencyMixture, LatencySummary};
 use crate::model::{evaluate_server, queue_inflation, CostParams, PartitionDemand, ServerEval};
 use crate::types::{OpMix, PartitionCounters, PartitionId, ServerId};
 use dfs::{DataNodeId, DfsFileId, Namenode};
@@ -203,6 +204,8 @@ struct SimServer {
     last_io: f64,
     last_mem: f64,
     last_rps: f64,
+    // Response-time distribution digest from the last completed tick.
+    last_latency: LatencySummary,
     // Cumulative modelled block-cache accesses (hit fraction ≈ warmth).
     cache_hits: u64,
     cache_misses: u64,
@@ -359,6 +362,7 @@ impl SimCluster {
         s.last_io = 0.0;
         s.last_mem = 0.0;
         s.last_rps = 0.0;
+        s.last_latency = LatencySummary::default();
         let orphans = self.assignment.values().filter(|sid| **sid == server).count();
         let _ = self.namenode.fail_datanode(DataNodeId(server.0));
         self.telemetry.counter_add("sim_server_crashes_total", &[], 1);
@@ -453,6 +457,7 @@ impl SimCluster {
                 last_io: 0.0,
                 last_mem: 0.0,
                 last_rps: 0.0,
+                last_latency: LatencySummary::default(),
                 cache_hits: 0,
                 cache_misses: 0,
             },
@@ -932,6 +937,17 @@ impl SimCluster {
                 server.last_io = 0.0;
                 server.last_mem = 0.0;
                 server.last_rps = 0.0;
+                server.last_latency = LatencySummary::default();
+            }
+        }
+        // Latency digests land on every online server with demand;
+        // offline servers keep reporting zero (their clients' penalty is
+        // already in the group response times).
+        for (sid, lat) in &solution.server_latency {
+            if let Some(server) = self.servers.get_mut(sid) {
+                if server.state == ServerState::Online {
+                    server.last_latency = *lat;
+                }
             }
         }
         // Cache metrics: per-server updates are computed in parallel into
@@ -940,6 +956,7 @@ impl SimCluster {
         let evals: Vec<(ServerId, ServerEval)> = solution.server_evals.into_iter().collect();
         let telemetry_on = self.telemetry.is_enabled();
         let servers_ref = &self.servers;
+        let latency_ref = &solution.server_latency;
         let updates: Vec<(f64, f64, f64, f64, u64, u64, MetricsBuffer)> =
             simcore::par::map(threads, &evals, |(sid, eval)| {
                 let server = &servers_ref[sid];
@@ -962,6 +979,18 @@ impl SimCluster {
                             &labels,
                             cache_hits as f64 / total as f64,
                         );
+                    }
+                    // Latency digests: current quantiles as gauges, and
+                    // per-tick observations into per-server / per-profile
+                    // histograms whose summaries give the run's p50/p95/p99.
+                    if let Some(lat) = latency_ref.get(sid) {
+                        buf.gauge_set("sim_latency_p50_ms", &labels, lat.p50_ms);
+                        buf.gauge_set("sim_latency_p95_ms", &labels, lat.p95_ms);
+                        buf.gauge_set("sim_latency_p99_ms", &labels, lat.p99_ms);
+                        buf.observe("sim_server_latency_ms", &labels, lat.mean_ms);
+                        buf.observe("sim_server_p99_ms", &labels, lat.p99_ms);
+                        let profile = [("profile", profile_label(&server.config))];
+                        buf.observe("sim_profile_p99_ms", &profile, lat.p99_ms);
                     }
                 }
                 (
@@ -1217,25 +1246,8 @@ impl SimCluster {
                     };
                     let eval =
                         evaluate_server(params, &server.config, server.warmth, background, parts);
-                    let icpu = queue_inflation(params, eval.rho_cpu);
-                    let idisk = queue_inflation(params, eval.rho_disk);
-                    // Handler pressure: outstanding requests beyond the
-                    // handler pool queue in front of the server.
-                    let svc_ms: f64 = parts
-                        .iter()
-                        .zip(&eval.per_partition)
-                        .map(|(d, t)| {
-                            d.read_rps * (t.read.0 + t.read.1)
-                                + d.write_rps * (t.write.0 + t.write.1)
-                                + d.scan_rps * (t.scan.0 + t.scan.1)
-                        })
-                        .sum();
-                    let rho_handler = svc_ms / 1_000.0 / server.config.handler_count as f64;
-                    let ihandler = if params.use_handler_bound {
-                        queue_inflation(params, rho_handler / 4.0)
-                    } else {
-                        1.0
-                    };
+                    let (icpu, idisk, ihandler) =
+                        inflation_factors(params, &server.config, parts, &eval);
                     let resp = parts
                         .iter()
                         .zip(&eval.per_partition)
@@ -1300,14 +1312,109 @@ impl SimCluster {
         for (gi, v) in x.iter().enumerate().take(n) {
             self.group_x[gi] = *v;
         }
-        Equilibrium { group_x: x, group_r_ms, server_evals }
+        // Reporting pass at the settled equilibrium: one more per-server
+        // evaluation at the cycle-averaged rates to build each server's
+        // response-time mixture. Nothing here feeds back into `x`, so
+        // group throughputs are exactly what they were without it.
+        let demands = self.build_demands(&x, &localities);
+        let entries: Vec<(&ServerId, &Vec<PartitionDemand>)> = demands.iter().collect();
+        let params = &self.params;
+        let servers = &self.servers;
+        let latencies: Vec<LatencySummary> =
+            simcore::par::map(threads, &entries, |(sid, parts)| {
+                let server = &servers[*sid];
+                if server.state != ServerState::Online {
+                    // Clients still routed here block and retry.
+                    let mut mix = LatencyMixture::new();
+                    let rate: f64 =
+                        parts.iter().map(|d| d.read_rps + d.write_rps + d.scan_rps).sum();
+                    mix.push(rate, params.unavailable_penalty_ms);
+                    return mix.summary();
+                }
+                let background =
+                    if server.compaction_backlog.is_empty() { 0.0 } else { params.compact_mb_s };
+                let eval =
+                    evaluate_server(params, &server.config, server.warmth, background, parts);
+                let inflations = inflation_factors(params, &server.config, parts, &eval);
+                server_mixture(params, parts, &eval, inflations).summary()
+            });
+        let server_latency: BTreeMap<ServerId, LatencySummary> =
+            entries.iter().map(|(sid, _)| **sid).zip(latencies).collect();
+        Equilibrium { group_x: x, group_r_ms, server_evals, server_latency }
     }
+}
+
+/// Queue-inflation factors `(icpu, idisk, ihandler)` for one online server
+/// under `parts`. Handler pressure: outstanding requests beyond the handler
+/// pool queue in front of the server.
+fn inflation_factors(
+    params: &CostParams,
+    config: &StoreConfig,
+    parts: &[PartitionDemand],
+    eval: &ServerEval,
+) -> (f64, f64, f64) {
+    let icpu = queue_inflation(params, eval.rho_cpu);
+    let idisk = queue_inflation(params, eval.rho_disk);
+    let svc_ms: f64 = parts
+        .iter()
+        .zip(&eval.per_partition)
+        .map(|(d, t)| {
+            d.read_rps * (t.read.0 + t.read.1)
+                + d.write_rps * (t.write.0 + t.write.1)
+                + d.scan_rps * (t.scan.0 + t.scan.1)
+        })
+        .sum();
+    let rho_handler = svc_ms / 1_000.0 / config.handler_count as f64;
+    let ihandler =
+        if params.use_handler_bound { queue_inflation(params, rho_handler / 4.0) } else { 1.0 };
+    (icpu, idisk, ihandler)
+}
+
+/// The response-time mixture of one online server at equilibrium: one
+/// exponential component per (partition, op class, cache outcome) stream,
+/// weighted by the stream's rate, with the queue-inflated response time as
+/// its mean. Splitting reads and scans by cache outcome is what gives the
+/// tail its shape: hits are CPU-only, while one miss pays the full block
+/// IO (`t.read.1` / `t.scan.1` are miss-weighted averages, hence the
+/// division by the miss fraction).
+fn server_mixture(
+    params: &CostParams,
+    parts: &[PartitionDemand],
+    eval: &ServerEval,
+    (icpu, idisk, ihandler): (f64, f64, f64),
+) -> LatencyMixture {
+    let mut mix = LatencyMixture::new();
+    for (d, t) in parts.iter().zip(&eval.per_partition) {
+        let pen = if d.unavailable { params.unavailable_penalty_ms } else { 0.0 };
+        let miss = 1.0 - t.hit_ratio;
+        mix.push(d.read_rps * t.hit_ratio, t.read.0 * icpu * ihandler + pen);
+        if miss > f64::EPSILON {
+            mix.push(
+                d.read_rps * miss,
+                (t.read.0 * icpu + t.read.1 / miss * idisk) * ihandler + pen,
+            );
+        }
+        mix.push(
+            d.write_rps,
+            (t.write.0 * icpu + t.write.1 * idisk) * ihandler + t.write_stall_ms + pen,
+        );
+        let scan_miss = 1.0 - t.scan_hit_ratio;
+        mix.push(d.scan_rps * t.scan_hit_ratio, t.scan.0 * icpu * ihandler + pen);
+        if scan_miss > f64::EPSILON {
+            mix.push(
+                d.scan_rps * scan_miss,
+                (t.scan.0 * icpu + t.scan.1 / scan_miss * idisk) * ihandler + pen,
+            );
+        }
+    }
+    mix
 }
 
 struct Equilibrium {
     group_x: Vec<f64>,
     group_r_ms: Vec<f64>,
     server_evals: BTreeMap<ServerId, ServerEval>,
+    server_latency: BTreeMap<ServerId, LatencySummary>,
 }
 
 impl ElasticCluster for SimCluster {
@@ -1347,6 +1454,7 @@ impl ElasticCluster for SimCluster {
                     io_wait: s.last_io,
                     mem_util: s.last_mem,
                     requests_per_sec: s.last_rps,
+                    p99_latency_ms: s.last_latency.p99_ms,
                     locality,
                     partitions: parts,
                     config: s.config.clone(),
@@ -1479,6 +1587,7 @@ impl ElasticCluster for SimCluster {
                 last_io: 0.0,
                 last_mem: 0.0,
                 last_rps: 0.0,
+                last_latency: LatencySummary::default(),
                 cache_hits: 0,
                 cache_misses: 0,
             },

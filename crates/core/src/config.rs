@@ -49,6 +49,13 @@ pub struct MetConfig {
     /// vetoes scale-in until fresh samples arrive (defence against
     /// dropped or delayed Ganglia rounds).
     pub stale_metrics_after: SimDuration,
+    /// Latency SLO: a server whose smoothed p99 response time exceeds
+    /// this many milliseconds counts as overloaded — which vetoes
+    /// scale-in outright and steers Stage B toward scale-out — even when
+    /// its CPU and I/O look fine (a queue can be long while the CPU naps,
+    /// e.g. disk-bound tails). `None` (the default) disables the gate;
+    /// utilization thresholds alone decide, exactly as before.
+    pub slo_p99_ms: Option<f64>,
 }
 
 impl Default for MetConfig {
@@ -69,6 +76,7 @@ impl Default for MetConfig {
             max_nodes: usize::MAX,
             add_fraction: 0.25,
             stale_metrics_after: SimDuration::from_secs(90),
+            slo_p99_ms: None,
         }
     }
 }
@@ -106,6 +114,11 @@ impl MetConfig {
         if self.stale_metrics_after < self.monitor_interval {
             return Err("stale_metrics_after below monitor_interval".into());
         }
+        if let Some(slo) = self.slo_p99_ms {
+            if !(slo > 0.0 && slo.is_finite()) {
+                return Err("slo_p99_ms must be a positive finite duration".into());
+            }
+        }
         Ok(())
     }
 }
@@ -139,5 +152,11 @@ mod tests {
         let c =
             MetConfig { stale_metrics_after: SimDuration::from_secs(5), ..MetConfig::default() };
         assert!(c.validate().is_err());
+        let c = MetConfig { slo_p99_ms: Some(0.0), ..MetConfig::default() };
+        assert!(c.validate().is_err());
+        let c = MetConfig { slo_p99_ms: Some(f64::NAN), ..MetConfig::default() };
+        assert!(c.validate().is_err());
+        let c = MetConfig { slo_p99_ms: Some(150.0), ..MetConfig::default() };
+        assert!(c.validate().is_ok());
     }
 }

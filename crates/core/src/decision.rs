@@ -150,18 +150,32 @@ impl DecisionMaker {
         None
     }
 
+    /// The latency-SLO gate: true when the configured p99 SLO exists and
+    /// this server's smoothed p99 breaches it. A breaching server counts
+    /// as overloaded, which both steers Stage B toward scale-out and — via
+    /// [`HealthAssessment::remove`] requiring zero overloaded nodes —
+    /// vetoes scale-in for as long as the breach lasts. Degraded-mode
+    /// staleness rules still apply first: stale p99 data never triggers
+    /// (or suppresses) anything, because [`DecisionMaker::decide`] holds
+    /// the configuration before Stage A runs.
+    fn slo_breached(&self, s: &crate::monitor::ServerLoad) -> bool {
+        self.cfg.slo_p99_ms.map(|slo| s.p99_ms > slo).unwrap_or(false)
+    }
+
     /// StageA: assess health from the smoothed report.
     pub fn assess(&self, report: &MonitorReport) -> HealthAssessment {
         let online = report.servers.len();
         let overloaded = report
             .servers
             .iter()
-            .filter(|s| s.cpu > self.cfg.cpu_high || s.io > self.cfg.io_high)
+            .filter(|s| {
+                s.cpu > self.cfg.cpu_high || s.io > self.cfg.io_high || self.slo_breached(s)
+            })
             .count();
         let underloaded = report
             .servers
             .iter()
-            .filter(|s| s.cpu < self.cfg.cpu_low && s.io < self.cfg.io_low)
+            .filter(|s| s.cpu < self.cfg.cpu_low && s.io < self.cfg.io_low && !self.slo_breached(s))
             .count();
         HealthAssessment { online, overloaded, underloaded }
     }
@@ -359,13 +373,15 @@ impl DecisionMaker {
         let overloaded: Vec<u64> = report
             .servers
             .iter()
-            .filter(|s| s.cpu > self.cfg.cpu_high || s.io > self.cfg.io_high)
+            .filter(|s| {
+                s.cpu > self.cfg.cpu_high || s.io > self.cfg.io_high || self.slo_breached(s)
+            })
             .map(|s| s.server.0)
             .collect();
         let underloaded: Vec<u64> = report
             .servers
             .iter()
-            .filter(|s| s.cpu < self.cfg.cpu_low && s.io < self.cfg.io_low)
+            .filter(|s| s.cpu < self.cfg.cpu_low && s.io < self.cfg.io_low && !self.slo_breached(s))
             .map(|s| s.server.0)
             .collect();
         self.telemetry.emit(
@@ -393,7 +409,7 @@ mod tests {
     use hstore::StoreConfig;
 
     fn server_load(id: u64, cpu: f64, io: f64) -> ServerLoad {
-        ServerLoad { server: ServerId(id), cpu, io, mem: 0.5, locality: 1.0 }
+        ServerLoad { server: ServerId(id), cpu, io, mem: 0.5, p99_ms: 0.0, locality: 1.0 }
     }
 
     fn part_load(id: u64, reads: f64, writes: f64, scans: f64) -> PartitionLoad {
@@ -416,6 +432,7 @@ mod tests {
                 io_wait: s.io,
                 mem_util: s.mem,
                 requests_per_sec: 100.0,
+                p99_latency_ms: s.p99_ms,
                 locality: s.locality,
                 partitions: report
                     .partitions
@@ -679,6 +696,79 @@ mod tests {
             Decision::Reconfigure(plan) => assert_eq!(plan.decommission.len(), 1),
             Decision::Healthy => panic!("fresh idle cluster should shrink"),
         }
+    }
+
+    #[test]
+    fn slo_breach_vetoes_scale_in() {
+        let cfg = MetConfig { slo_p99_ms: Some(100.0), ..MetConfig::default() };
+        let mut dm = DecisionMaker::new(cfg);
+        let report = mixed_report(0.5);
+        let _ = dm.decide(SimTime::ZERO, &report, &snapshot_for(&report)); // first time
+                                                                           // Idle CPUs, but one server's queue is past the SLO: an idle-looking
+                                                                           // cluster must NOT release the machine the tail is hiding on.
+        let mut idle = mixed_report(0.05);
+        idle.servers[1].p99_ms = 250.0;
+        let snap = snapshot_for(&idle);
+        match dm.decide(SimTime::from_mins(10), &idle, &snap) {
+            Decision::Healthy => {}
+            Decision::Reconfigure(plan) => {
+                assert!(plan.decommission.is_empty(), "SLO breach must veto scale-in: {plan:?}");
+            }
+        }
+        // Once the tail recovers, normal rules resume and the idle cluster
+        // shrinks as usual.
+        let recovered = mixed_report(0.05);
+        match dm.decide(SimTime::from_mins(20), &recovered, &snapshot_for(&recovered)) {
+            Decision::Reconfigure(plan) => assert_eq!(plan.decommission.len(), 1),
+            Decision::Healthy => panic!("recovered idle cluster should shrink"),
+        }
+    }
+
+    #[test]
+    fn slo_breach_prefers_scale_out() {
+        let cfg = MetConfig { slo_p99_ms: Some(100.0), ..MetConfig::default() };
+        let mut dm = DecisionMaker::new(cfg);
+        let report = mixed_report(0.5);
+        let _ = dm.decide(SimTime::ZERO, &report, &snapshot_for(&report)); // first time
+                                                                           // Moderate CPU (below cpu_high) but both servers' p99 past the SLO:
+                                                                           // over the suboptimal threshold → straight addition.
+        let mut slow = mixed_report(0.5);
+        for s in &mut slow.servers {
+            s.p99_ms = 300.0;
+        }
+        let snap = snapshot_for(&slow);
+        match dm.decide(SimTime::from_mins(5), &slow, &snap) {
+            Decision::Reconfigure(plan) => {
+                assert_eq!(
+                    plan.entries.iter().filter(|(s, _)| s.is_none()).count(),
+                    1,
+                    "an SLO breach on every node must add capacity: {plan:?}"
+                );
+            }
+            Decision::Healthy => panic!("SLO breach must act"),
+        }
+        // Without the SLO configured the same report is healthy.
+        let mut dm_plain = DecisionMaker::new(MetConfig::default());
+        let _ = dm_plain.decide(SimTime::ZERO, &report, &snapshot_for(&report));
+        assert!(matches!(dm_plain.decide(SimTime::from_mins(5), &slow, &snap), Decision::Healthy));
+    }
+
+    #[test]
+    fn stale_slo_breach_is_held_by_degraded_mode() {
+        let cfg = MetConfig { slo_p99_ms: Some(100.0), ..MetConfig::default() };
+        let mut dm = DecisionMaker::new(cfg);
+        let report = mixed_report(0.5);
+        let _ = dm.decide(SimTime::ZERO, &report, &snapshot_for(&report)); // first time
+                                                                           // A breach reported by stale data must not trigger scale-out: the
+                                                                           // degraded-mode hold runs before Stage A sees the p99.
+        let mut stale = mixed_report(0.5);
+        for s in &mut stale.servers {
+            s.p99_ms = 500.0;
+        }
+        stale.age = simcore::SimDuration::from_secs(120);
+        let snap = snapshot_for(&stale);
+        assert!(matches!(dm.decide(SimTime::from_mins(5), &stale, &snap), Decision::Healthy));
+        assert!(dm.degraded());
     }
 
     #[test]

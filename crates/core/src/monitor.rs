@@ -25,6 +25,9 @@ pub struct ServerLoad {
     pub io: f64,
     /// Smoothed memory utilization.
     pub mem: f64,
+    /// Smoothed 99th-percentile response time, ms (zero when the cluster
+    /// layer does not model latency).
+    pub p99_ms: f64,
     /// Last observed locality index.
     pub locality: f64,
 }
@@ -61,6 +64,7 @@ struct ServerSmooth {
     cpu: ExpSmoother,
     io: ExpSmoother,
     mem: ExpSmoother,
+    p99: ExpSmoother,
     locality: f64,
 }
 
@@ -165,11 +169,13 @@ impl Monitor {
                 cpu: ExpSmoother::new(alpha),
                 io: ExpSmoother::new(alpha),
                 mem: ExpSmoother::new(alpha),
+                p99: ExpSmoother::new(alpha),
                 locality: 1.0,
             });
             entry.cpu.observe(s.cpu_util);
             entry.io.observe(s.io_wait);
             entry.mem.observe(s.mem_util);
+            entry.p99.observe(s.p99_latency_ms);
             entry.locality = s.locality;
             self.telemetry.emit(
                 snapshot.at,
@@ -195,6 +201,11 @@ impl Monitor {
                 "met_server_locality",
                 &[("server", &s.server.0.to_string())],
                 s.locality,
+            );
+            self.telemetry.gauge_set(
+                "met_server_p99_ms",
+                &[("server", &s.server.0.to_string())],
+                entry.p99.value().unwrap_or(s.p99_latency_ms),
             );
         }
         self.telemetry.counter_add("met_monitor_samples_total", &[], 1);
@@ -256,6 +267,7 @@ impl Monitor {
                     cpu: smooth.cpu.value()?,
                     io: smooth.io.value()?,
                     mem: smooth.mem.value()?,
+                    p99_ms: smooth.p99.value().unwrap_or(0.0),
                     locality: smooth.locality,
                 })
             })
@@ -313,6 +325,7 @@ mod tests {
                 io_wait: 0.1,
                 mem_util: 0.5,
                 requests_per_sec: 100.0,
+                p99_latency_ms: 0.0,
                 locality: 0.95,
                 partitions: vec![PartitionId(1)],
                 config: StoreConfig::default_homogeneous(),

@@ -7,7 +7,7 @@
 //! size chosen by a node profile (32 KiB for random reads, 128 KiB for
 //! scans — Table 1) directly shapes hit ratios and modelled IO.
 
-use crate::block_cache::{Access, BlockId, FileId, SharedBlockCache};
+use crate::block_cache::{Access, AccessCounter, BlockId, FileId, SharedBlockCache};
 use crate::bloom::BloomFilter;
 use crate::types::{CellVersion, InternalKey, KeyRange, Qualifier, RowKey, Timestamp};
 use bytes::Bytes;
@@ -181,6 +181,18 @@ impl HFile {
         range: &KeyRange,
         cache: &'a SharedBlockCache,
     ) -> HFileScanIter<'a> {
+        self.range_scan_counted(range, cache, None)
+    }
+
+    /// [`HFile::range_scan`] that additionally records every cache access
+    /// into `counter`, so the caller can attribute block reads to this
+    /// specific scan rather than diffing the shared cache's global stats.
+    pub fn range_scan_counted<'a>(
+        &'a self,
+        range: &KeyRange,
+        cache: &'a SharedBlockCache,
+        counter: Option<AccessCounter>,
+    ) -> HFileScanIter<'a> {
         let start_key = range.start.as_ref().map(|r| InternalKey::row_start(r.clone()));
         let (block_idx, cell_idx) = match &start_key {
             None => (0, 0),
@@ -203,6 +215,7 @@ impl HFile {
             block_idx,
             cell_idx,
             entered_block: None,
+            counter,
         }
     }
 }
@@ -215,6 +228,7 @@ pub struct HFileScanIter<'a> {
     block_idx: usize,
     cell_idx: usize,
     entered_block: Option<usize>,
+    counter: Option<AccessCounter>,
 }
 
 impl<'a> Iterator for HFileScanIter<'a> {
@@ -229,10 +243,13 @@ impl<'a> Iterator for HFileScanIter<'a> {
                 continue;
             }
             if self.entered_block != Some(self.block_idx) {
-                self.cache.touch(
+                let access = self.cache.touch(
                     BlockId { file: self.file.id, index: self.block_idx as u32 },
                     block.byte_size,
                 );
+                if let Some(counter) = &self.counter {
+                    counter.record(access);
+                }
                 self.entered_block = Some(self.block_idx);
             }
             let cell = &block.cells[self.cell_idx];

@@ -36,9 +36,11 @@ pub mod region;
 pub mod store;
 pub mod types;
 
-pub use block_cache::{Access, BlockCache, BlockId, CacheStats, FileId, SharedBlockCache};
+pub use block_cache::{
+    Access, AccessCounter, BlockCache, BlockId, CacheStats, FileId, SharedBlockCache,
+};
 pub use config::{ConfigError, StoreConfig, HEAP_BUDGET_CAP};
 pub use error::{Result, StoreError};
 pub use region::{Region, RegionCounters, RegionId};
-pub use store::{CfStore, CompactionOutcome, FileIdAllocator, FlushOutcome};
+pub use store::{CfStore, CompactionOutcome, FileIdAllocator, FlushOutcome, OpStats};
 pub use types::{Family, KeyRange, Qualifier, RowKey, Timestamp};

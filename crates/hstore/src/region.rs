@@ -7,7 +7,7 @@
 
 use crate::block_cache::SharedBlockCache;
 use crate::error::{Result, StoreError};
-use crate::store::{CfStore, CompactionOutcome, FileIdAllocator, FlushOutcome};
+use crate::store::{CfStore, CompactionOutcome, FileIdAllocator, FlushOutcome, OpStats};
 use crate::types::{Family, KeyRange, Qualifier, RowKey};
 use bytes::Bytes;
 use std::collections::BTreeMap;
@@ -140,18 +140,39 @@ impl Region {
         qualifier: Qualifier,
         value: Bytes,
     ) -> Result<()> {
+        self.put_with_stats(family, row, qualifier, value).map(|_| ())
+    }
+
+    /// [`Region::put`] reporting the op's work (a memstore insert).
+    pub fn put_with_stats(
+        &mut self,
+        family: &Family,
+        row: RowKey,
+        qualifier: Qualifier,
+        value: Bytes,
+    ) -> Result<OpStats> {
         self.check_row(&row)?;
         self.family_mut(family)?.put(row, qualifier, value);
         self.counters.writes += 1;
-        Ok(())
+        Ok(OpStats::memstore_only())
     }
 
     /// Deletes a cell (tombstone).
     pub fn delete(&mut self, family: &Family, row: RowKey, qualifier: Qualifier) -> Result<()> {
+        self.delete_with_stats(family, row, qualifier).map(|_| ())
+    }
+
+    /// [`Region::delete`] reporting the op's work (a memstore insert).
+    pub fn delete_with_stats(
+        &mut self,
+        family: &Family,
+        row: RowKey,
+        qualifier: Qualifier,
+    ) -> Result<OpStats> {
         self.check_row(&row)?;
         self.family_mut(family)?.delete(row, qualifier);
         self.counters.writes += 1;
-        Ok(())
+        Ok(OpStats::memstore_only())
     }
 
     /// Atomic compare-and-put on a cell (see
@@ -164,13 +185,26 @@ impl Region {
         expected: Option<&Bytes>,
         new: Bytes,
     ) -> Result<bool> {
+        self.check_and_put_with_stats(family, row, qualifier, expected, new).map(|(done, _)| done)
+    }
+
+    /// [`Region::check_and_put`] reporting the read-modify-write's work.
+    pub fn check_and_put_with_stats(
+        &mut self,
+        family: &Family,
+        row: RowKey,
+        qualifier: Qualifier,
+        expected: Option<&Bytes>,
+        new: Bytes,
+    ) -> Result<(bool, OpStats)> {
         self.check_row(&row)?;
-        let done = self.family_mut(family)?.check_and_put(row, qualifier, expected, new);
+        let (done, stats) =
+            self.family_mut(family)?.check_and_put_with_stats(row, qualifier, expected, new);
         self.counters.reads += 1;
         if done {
             self.counters.writes += 1;
         }
-        Ok(done)
+        Ok((done, stats))
     }
 
     /// Atomic numeric increment of a cell (see [`CfStore::increment`]).
@@ -181,11 +215,22 @@ impl Region {
         qualifier: Qualifier,
         delta: i64,
     ) -> Result<i64> {
+        self.increment_with_stats(family, row, qualifier, delta).map(|(v, _)| v)
+    }
+
+    /// [`Region::increment`] reporting the read-modify-write's work.
+    pub fn increment_with_stats(
+        &mut self,
+        family: &Family,
+        row: RowKey,
+        qualifier: Qualifier,
+        delta: i64,
+    ) -> Result<(i64, OpStats)> {
         self.check_row(&row)?;
-        let v = self.family_mut(family)?.increment(row, qualifier, delta);
+        let (v, stats) = self.family_mut(family)?.increment_with_stats(row, qualifier, delta);
         self.counters.reads += 1;
         self.counters.writes += 1;
-        Ok(v)
+        Ok((v, stats))
     }
 
     /// Reads the newest live value of a cell.
@@ -195,10 +240,20 @@ impl Region {
         row: &RowKey,
         qualifier: &Qualifier,
     ) -> Result<Option<Bytes>> {
+        self.get_with_stats(family, row, qualifier).map(|(v, _)| v)
+    }
+
+    /// [`Region::get`] reporting which blocks the read touched.
+    pub fn get_with_stats(
+        &mut self,
+        family: &Family,
+        row: &RowKey,
+        qualifier: &Qualifier,
+    ) -> Result<(Option<Bytes>, OpStats)> {
         self.check_row(row)?;
-        let v = self.family_mut(family)?.get(row, qualifier);
+        let (v, stats) = self.family_mut(family)?.get_with_stats(row, qualifier);
         self.counters.reads += 1;
-        Ok(v)
+        Ok((v, stats))
     }
 
     /// Scans up to `row_limit` live rows from `start`, clamped to this
@@ -209,12 +264,22 @@ impl Region {
         start: &RowKey,
         row_limit: usize,
     ) -> Result<Vec<crate::types::RowCells>> {
+        self.scan_with_stats(family, start, row_limit).map(|(rows, _)| rows)
+    }
+
+    /// [`Region::scan`] reporting the blocks this scan entered.
+    pub fn scan_with_stats(
+        &mut self,
+        family: &Family,
+        start: &RowKey,
+        row_limit: usize,
+    ) -> Result<(Vec<crate::types::RowCells>, OpStats)> {
         self.check_row(start)?;
         let range = KeyRange::new(Some(start.clone()), self.range.end.clone());
-        let rows = self.family_ref(family)?.scan_range(&range, row_limit);
+        let (rows, stats) = self.family_ref(family)?.scan_range_with_stats(&range, row_limit);
         self.counters.scans += 1;
         self.counters.scan_rows += rows.len() as u64;
-        Ok(rows)
+        Ok((rows, stats))
     }
 
     /// Flushes any family whose memstore exceeds the per-region flush

@@ -8,6 +8,8 @@
 //! else is built on:
 //!
 //! * [`clock`] — simulated time ([`SimTime`], [`SimDuration`]).
+//! * [`config`] — the typed, parse-once view of every `MET_*` environment
+//!   knob ([`config::EnvConfig`]); see the README's knob table.
 //! * [`events`] — a monotone event queue for scheduled actions (VM boots,
 //!   server restarts, compaction completions).
 //! * [`fault`] — deterministic fault injection: seeded [`FaultPlan`]
@@ -28,6 +30,7 @@
 //!   (e.g. WorkloadD's 1 500 ops/s cap, §3.2).
 
 pub mod clock;
+pub mod config;
 pub mod dist;
 pub mod events;
 pub mod fault;

@@ -15,23 +15,15 @@
 //! with per-shard RNG streams ([`crate::SimRng::fork`]) this makes the
 //! parallel engine bit-identical to the sequential one.
 
-use std::sync::OnceLock;
-
 /// The engine-wide thread count.
 ///
-/// Reads `MET_THREADS` once (a positive integer; unset, empty, or
-/// unparsable values fall back to the machine's available parallelism) and
-/// caches the answer for the life of the process. Tests that need a
-/// specific count should use per-object overrides (e.g.
+/// Delegates to the typed environment config ([`crate::config::env_config`],
+/// which parses `MET_THREADS` once: a positive integer; unset, empty, or
+/// unparsable values fall back to the machine's available parallelism).
+/// Tests that need a specific count should use per-object overrides (e.g.
 /// `SimCluster::set_threads`) instead of mutating the environment.
 pub fn met_threads() -> usize {
-    static THREADS: OnceLock<usize> = OnceLock::new();
-    *THREADS.get_or_init(|| {
-        match std::env::var("MET_THREADS").ok().and_then(|s| s.trim().parse::<usize>().ok()) {
-            Some(n) if n >= 1 => n,
-            _ => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
-        }
-    })
+    crate::config::env_config().threads
 }
 
 /// Ensures the global pool can serve `threads` participants.
