@@ -205,7 +205,7 @@ mod tests {
             &[
                 (ProfileKind::Read, read),
                 (ProfileKind::Write, write),
-                (ProfileKind::ReadWrite, rw.clone()),
+                (ProfileKind::ReadWrite, rw),
                 (ProfileKind::Scan, scan),
             ],
         );

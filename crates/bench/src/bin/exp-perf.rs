@@ -1,0 +1,105 @@
+//! Wall-clock performance harness: single-store YCSB-shaped mixes and
+//! full-cluster fig4 ticks/sec, appended to `BENCH_perf.json` at the repo
+//! root so successive PRs extend a comparable trajectory.
+//!
+//! Knobs (via [`simcore::config::EnvConfig`]; see the README's knob
+//! table): `MET_PERF_OPS`, `MET_PERF_TICKS`, `MET_PERF_WARMUP_TICKS`,
+//! `MET_PERF_REPS`, `MET_PERF_THREADS`, `MET_PERF_COMMIT`,
+//! `MET_BENCH_PATH`.
+
+use met_bench::perf::{self, PerfConfig, PerfRecord};
+use serde_json::Value;
+
+fn commit_label(cfg: &simcore::config::EnvConfig) -> String {
+    if let Some(c) = &cfg.perf_commit {
+        return c.clone();
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Merges `records` for `commit` into the existing trajectory: records with
+/// the same `(bench, threads, commit)` are replaced, everything else is
+/// kept, and the file stays a flat JSON array ordered by insertion.
+fn merge_trajectory(existing: Value, records: &[PerfRecord], commit: &str) -> Value {
+    let mut out: Vec<Value> = match existing {
+        Value::Array(entries) => entries
+            .into_iter()
+            .filter(|e| {
+                !(e["commit"].as_str() == Some(commit)
+                    && records.iter().any(|r| {
+                        e["bench"].as_str() == Some(r.bench.as_str())
+                            && e["threads"].as_u64() == Some(r.threads as u64)
+                    }))
+            })
+            .collect(),
+        _ => Vec::new(),
+    };
+    for r in records {
+        out.push(serde_json::json!({
+            "bench": r.bench,
+            "ops_per_sec": r.ops_per_sec.map(round1),
+            "ticks_per_sec": r.ticks_per_sec.map(round1),
+            "threads": r.threads,
+            "commit": commit,
+        }));
+    }
+    Value::Array(out)
+}
+
+fn round1(v: f64) -> f64 {
+    (v * 10.0).round() / 10.0
+}
+
+fn main() {
+    let env = simcore::config::env_config();
+    let cfg = PerfConfig {
+        ops: env.perf_ops.unwrap_or(perf::DEFAULT_OPS),
+        ticks: env.perf_ticks.unwrap_or(perf::DEFAULT_TICKS),
+        warmup_ticks: env.perf_warmup_ticks.unwrap_or(perf::DEFAULT_WARMUP_TICKS),
+        reps: env.perf_reps.unwrap_or(perf::DEFAULT_REPS),
+        par_threads: env.perf_threads.unwrap_or_else(|| PerfConfig::default().par_threads),
+    };
+    let commit = commit_label(env);
+    eprintln!(
+        "perf: {} ops x {} reps per store mix, {} ticks x {} reps per cluster leg \
+         (threads 1 and {}), commit {commit}...",
+        cfg.ops, cfg.reps, cfg.ticks, cfg.reps, cfg.par_threads
+    );
+
+    let records = perf::run_suite(&cfg);
+
+    println!("Wall-clock performance — commit {commit}");
+    println!("{:<22} {:>8} {:>14} {:>14}", "bench", "threads", "ops/sec", "ticks/sec");
+    for r in &records {
+        println!(
+            "{:<22} {:>8} {:>14} {:>14}",
+            r.bench,
+            r.threads,
+            r.ops_per_sec.map(|v| format!("{v:.0}")).unwrap_or_else(|| "-".into()),
+            r.ticks_per_sec.map(|v| format!("{v:.1}")).unwrap_or_else(|| "-".into()),
+        );
+    }
+
+    let path =
+        env.bench_path.clone().unwrap_or_else(|| std::path::PathBuf::from("BENCH_perf.json"));
+    let existing = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|s| serde_json::from_str(&s).ok())
+        .unwrap_or(Value::Array(Vec::new()));
+    let merged = merge_trajectory(existing, &records, &commit);
+    match serde_json::to_string_pretty(&merged) {
+        Ok(body) => match std::fs::write(&path, body + "\n") {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("perf: cannot write {}: {e}", path.display()),
+        },
+        Err(e) => eprintln!("perf: cannot serialize records: {e}"),
+    }
+}

@@ -8,6 +8,7 @@ pub mod elastic;
 pub mod fig1;
 pub mod fig4;
 pub mod latency;
+pub mod perf;
 pub mod report;
 pub mod scale;
 pub mod scenario;

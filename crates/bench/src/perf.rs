@@ -1,0 +1,298 @@
+//! `exp-perf` — the repo's wall-clock performance trajectory.
+//!
+//! Every simulated operation in the figure experiments ultimately executes
+//! real `hstore` work, so the storage engine is the hot loop of the whole
+//! reproduction. This module measures two things with actual wall-clock
+//! time (everything else in the harness is sim-clock):
+//!
+//! 1. **Single-store ops/sec** — YCSB-shaped point-get / scan / put mixes
+//!    driven straight at one [`CfStore`], deterministic key sequences, a
+//!    warmup pass, fixed op counts, and median-of-k repetition.
+//! 2. **Full-cluster ticks/sec** — the fig4 cluster (six YCSB workloads on
+//!    five RegionServers) stepped for a fixed tick count at `MET_THREADS=1`
+//!    and at the sweep's parallel thread count.
+//!
+//! The `exp-perf` binary appends the results to `BENCH_perf.json` at the
+//! repo root (one record per `{bench, threads, commit}`), so successive PRs
+//! extend a comparable trajectory instead of overwriting it.
+
+use crate::scenario::FIG1_SERVERS;
+use baselines::build_random_homogeneous;
+use bytes::Bytes;
+use hstore::{CfStore, FileIdAllocator, SharedBlockCache};
+use std::time::Instant;
+
+/// Default per-repetition operation count for the store mixes.
+pub const DEFAULT_OPS: u64 = 200_000;
+/// Default measured tick count for the cluster leg.
+pub const DEFAULT_TICKS: u64 = 240;
+/// Default warmup tick count before timing starts.
+pub const DEFAULT_WARMUP_TICKS: u64 = 60;
+/// Default repetition count (the median is reported).
+pub const DEFAULT_REPS: usize = 5;
+
+/// Records loaded into the benchmark store.
+const STORE_RECORDS: u64 = 20_000;
+/// A flush is forced every this many loaded records, so the store starts
+/// with several immutable files plus a live memstore — the k-way merge is
+/// exercised, not bypassed.
+const STORE_FLUSH_EVERY: u64 = 4_000;
+/// Value payload size (YCSB's 100-byte fields, one field per cell).
+const VALUE_BYTES: usize = 100;
+/// Rows fetched per scan op (YCSB workload E's average scan length).
+const SCAN_ROWS: usize = 50;
+
+/// One measured benchmark: either an ops/sec or a ticks/sec figure.
+#[derive(Debug, Clone)]
+pub struct PerfRecord {
+    /// Benchmark name (`store-point-get`, `store-scan-heavy`,
+    /// `store-put-heavy`, `cluster-fig4-ticks`).
+    pub bench: String,
+    /// Median operations per wall-clock second (store mixes).
+    pub ops_per_sec: Option<f64>,
+    /// Median simulation ticks per wall-clock second (cluster leg).
+    pub ticks_per_sec: Option<f64>,
+    /// Thread count the benchmark ran at (store mixes are single-threaded).
+    pub threads: usize,
+}
+
+/// Knobs for one harness invocation (all overridable from the binary via
+/// `MET_PERF_*`; CI smoke runs shrink them).
+#[derive(Debug, Clone, Copy)]
+pub struct PerfConfig {
+    /// Operations per repetition of each store mix.
+    pub ops: u64,
+    /// Measured ticks per repetition of the cluster leg.
+    pub ticks: u64,
+    /// Warmup ticks before the cluster timing starts.
+    pub warmup_ticks: u64,
+    /// Repetitions; the median is reported.
+    pub reps: usize,
+    /// Parallel thread count for the second cluster leg.
+    pub par_threads: usize,
+}
+
+impl Default for PerfConfig {
+    fn default() -> Self {
+        PerfConfig {
+            ops: DEFAULT_OPS,
+            ticks: DEFAULT_TICKS,
+            warmup_ticks: DEFAULT_WARMUP_TICKS,
+            reps: DEFAULT_REPS,
+            par_threads: simcore::par::met_threads().max(2),
+        }
+    }
+}
+
+/// A deterministic multiplicative key sequence (no RNG dependency: the
+/// benchmark must not perturb or depend on any simulation stream).
+struct KeySeq(u64);
+
+impl KeySeq {
+    fn next_in(&mut self, n: u64) -> u64 {
+        self.0 =
+            self.0.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1_442_695_040_888_963_407);
+        (self.0 >> 33) % n
+    }
+}
+
+fn row(i: u64) -> hstore::RowKey {
+    format!("user{i:08}").as_str().into()
+}
+
+fn value() -> Bytes {
+    Bytes::from(vec![b'v'; VALUE_BYTES])
+}
+
+/// Builds the benchmark store: `STORE_RECORDS` rows across several flushed
+/// files, a second version of every 16th row (shadowing), a tombstone on
+/// every 64th row, and a live memstore tail — the shape a region has
+/// mid-experiment.
+pub fn loaded_store() -> CfStore {
+    let mut s = CfStore::new(SharedBlockCache::new(8 << 20), FileIdAllocator::new(), 4 << 10);
+    for i in 0..STORE_RECORDS {
+        s.put(row(i), "f0".into(), value());
+        if i % STORE_FLUSH_EVERY == STORE_FLUSH_EVERY - 1 {
+            s.flush();
+        }
+    }
+    for i in (0..STORE_RECORDS).step_by(16) {
+        s.put(row(i), "f0".into(), value());
+    }
+    for i in (0..STORE_RECORDS).step_by(64) {
+        s.delete(row(i), "f0".into());
+    }
+    s
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
+    xs[xs.len() / 2]
+}
+
+/// Times `ops` iterations of `op` against `store`, returning ops/sec.
+fn time_ops(store: &mut CfStore, ops: u64, mut op: impl FnMut(&mut CfStore, &mut KeySeq)) -> f64 {
+    let mut keys = KeySeq(0x9e37_79b9_7f4a_7c15);
+    // Warmup: a quarter of the measured count, same key stream shape.
+    for _ in 0..ops / 4 {
+        op(store, &mut keys);
+    }
+    let t0 = Instant::now();
+    for _ in 0..ops {
+        op(store, &mut keys);
+    }
+    ops as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// 100 % point reads over the loaded store (YCSB workload C shape).
+pub fn bench_point_get(cfg: &PerfConfig) -> PerfRecord {
+    let rates = (0..cfg.reps)
+        .map(|_| {
+            let mut s = loaded_store();
+            time_ops(&mut s, cfg.ops, |s, k| {
+                let i = k.next_in(STORE_RECORDS);
+                std::hint::black_box(s.get(&row(i), &"f0".into()));
+            })
+        })
+        .collect();
+    PerfRecord {
+        bench: "store-point-get".into(),
+        ops_per_sec: Some(median(rates)),
+        ticks_per_sec: None,
+        threads: 1,
+    }
+}
+
+/// 95 % scans of [`SCAN_ROWS`] rows, 5 % inserts (YCSB workload E shape) —
+/// the merge-path stress test the acceptance gate measures.
+pub fn bench_scan_heavy(cfg: &PerfConfig) -> PerfRecord {
+    // Each scan touches SCAN_ROWS rows; scale the op count down so a rep
+    // does comparable total work to the point-get mix.
+    let ops = (cfg.ops / SCAN_ROWS as u64).max(1);
+    let rates = (0..cfg.reps)
+        .map(|_| {
+            let mut s = loaded_store();
+            time_ops(&mut s, ops, |s, k| {
+                if k.next_in(20) == 0 {
+                    let i = k.next_in(STORE_RECORDS);
+                    s.put(row(i), "f0".into(), value());
+                } else {
+                    let i = k.next_in(STORE_RECORDS - SCAN_ROWS as u64 * 2);
+                    std::hint::black_box(s.scan(&row(i), SCAN_ROWS).len());
+                }
+            })
+        })
+        .collect();
+    PerfRecord {
+        bench: "store-scan-heavy".into(),
+        ops_per_sec: Some(median(rates)),
+        ticks_per_sec: None,
+        threads: 1,
+    }
+}
+
+/// 50 % point reads / 50 % puts (YCSB workload A shape), flushing as the
+/// memstore crosses the threshold a region would use.
+pub fn bench_put_heavy(cfg: &PerfConfig) -> PerfRecord {
+    let rates = (0..cfg.reps)
+        .map(|_| {
+            let mut s = loaded_store();
+            let mut since_flush = 0u64;
+            time_ops(&mut s, cfg.ops, |s, k| {
+                let i = k.next_in(STORE_RECORDS);
+                if k.next_in(2) == 0 {
+                    std::hint::black_box(s.get(&row(i), &"f0".into()));
+                } else {
+                    s.put(row(i), "f0".into(), value());
+                    since_flush += 1;
+                    if since_flush >= STORE_FLUSH_EVERY {
+                        s.flush();
+                        since_flush = 0;
+                    }
+                }
+            })
+        })
+        .collect();
+    PerfRecord {
+        bench: "store-put-heavy".into(),
+        ops_per_sec: Some(median(rates)),
+        ticks_per_sec: None,
+        threads: 1,
+    }
+}
+
+/// Median wall-clock ticks/sec of the fig4 cluster at `threads`.
+///
+/// Each repetition rebuilds the scenario from the same seed so every rep
+/// times the identical tick window (warmup covers the client ramp).
+pub fn bench_fig4_ticks(cfg: &PerfConfig, threads: usize) -> PerfRecord {
+    let rates = (0..cfg.reps)
+        .map(|_| {
+            let mut scenario = crate::scenario::ycsb_scenario(1_000);
+            build_random_homogeneous(&mut scenario.sim, FIG1_SERVERS);
+            scenario.sim.set_threads(threads);
+            scenario.start_clients();
+            for _ in 0..cfg.warmup_ticks {
+                scenario.sim.step();
+            }
+            let t0 = Instant::now();
+            for _ in 0..cfg.ticks {
+                scenario.sim.step();
+            }
+            cfg.ticks as f64 / t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    PerfRecord {
+        bench: "cluster-fig4-ticks".into(),
+        ops_per_sec: None,
+        ticks_per_sec: Some(median(rates)),
+        threads,
+    }
+}
+
+/// Runs the whole suite: the three store mixes plus the cluster leg at one
+/// thread and at `cfg.par_threads`.
+pub fn run_suite(cfg: &PerfConfig) -> Vec<PerfRecord> {
+    let mut out = vec![bench_point_get(cfg), bench_scan_heavy(cfg), bench_put_heavy(cfg)];
+    out.push(bench_fig4_ticks(cfg, 1));
+    if cfg.par_threads > 1 {
+        out.push(bench_fig4_ticks(cfg, cfg.par_threads));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_cfg() -> PerfConfig {
+        PerfConfig { ops: 2_000, ticks: 5, warmup_ticks: 2, reps: 1, par_threads: 2 }
+    }
+
+    #[test]
+    fn store_mixes_produce_positive_rates() {
+        let cfg = smoke_cfg();
+        for rec in [bench_point_get(&cfg), bench_scan_heavy(&cfg), bench_put_heavy(&cfg)] {
+            let rate = rec.ops_per_sec.expect("store mixes report ops/sec");
+            assert!(rate > 0.0 && rate.is_finite(), "{}: rate {rate}", rec.bench);
+            assert!(rec.ticks_per_sec.is_none());
+            assert_eq!(rec.threads, 1);
+        }
+    }
+
+    #[test]
+    fn cluster_leg_reports_ticks_per_sec() {
+        let cfg = smoke_cfg();
+        let rec = bench_fig4_ticks(&cfg, 1);
+        let rate = rec.ticks_per_sec.expect("cluster leg reports ticks/sec");
+        assert!(rate > 0.0 && rate.is_finite());
+        assert!(rec.ops_per_sec.is_none());
+    }
+
+    #[test]
+    fn loaded_store_has_files_and_memstore() {
+        let s = loaded_store();
+        assert!(s.file_count() >= 4, "merge must span several files");
+        assert!(s.memstore_bytes() > 0, "memstore tail must be live");
+    }
+}

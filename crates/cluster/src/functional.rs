@@ -582,7 +582,7 @@ fn rebuild_region(region: Region, dst: &mut FunctionalServer, ids: Arc<FileIdAll
     let mut rebuilt = Region::new(
         id,
         table,
-        range.clone(),
+        range,
         &families,
         dst.cache.clone(),
         ids,

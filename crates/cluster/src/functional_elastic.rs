@@ -215,7 +215,7 @@ mod tests {
         // Restart with a scan profile: block size changes for real.
         let mut cfg = StoreConfig::small_for_tests();
         cfg.block_size = 16 * 1024;
-        fe.restart_server(to, cfg.clone()).expect("restart");
+        fe.restart_server(to, cfg).expect("restart");
         assert_eq!(fe.db_ref().server_config(to).expect("config").block_size, 16 * 1024);
         // Data survived the rebuild.
         let got = fe.db().get("t", &"cf".into(), &"k000".into(), &"q".into()).expect("routed");

@@ -9,7 +9,7 @@
 //! eviction*, which is what the performance model consumes.
 
 use parking_lot::Mutex;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
 /// Identifies an immutable store file.
@@ -121,18 +121,42 @@ impl CacheStats {
     }
 }
 
+/// Sentinel for "no node" in the intrusive LRU list.
+const NIL: usize = usize::MAX;
+
+/// One resident block's slab slot: payload plus intrusive list links.
+#[derive(Debug, Clone, Copy)]
+struct LruNode {
+    block: BlockId,
+    size: u64,
+    prev: usize,
+    next: usize,
+}
+
 /// A byte-bounded LRU cache of block identifiers.
+///
+/// Recency is an intrusive doubly-linked list threaded through a slab
+/// (`nodes` + free list): a hit unlinks the node and re-links it at the
+/// head with six pointer writes, an eviction pops the tail — both O(1),
+/// where the previous stamp-keyed `BTreeMap` paid O(log n) tree rebalances
+/// on *every* access under the shared per-server mutex. Eviction order is
+/// byte-identical to the stamp scheme: the list tail is exactly the
+/// smallest-stamp entry.
 #[derive(Debug)]
 pub struct BlockCache {
     capacity_bytes: u64,
     used_bytes: u64,
-    // BlockId → (size, LRU stamp); stamp → BlockId gives eviction order.
-    resident: HashMap<BlockId, (u64, u64)>,
-    lru: BTreeMap<u64, BlockId>,
+    // BlockId → slab index into `nodes`.
+    resident: HashMap<BlockId, usize>,
+    nodes: Vec<LruNode>,
+    free: Vec<usize>,
+    /// Most recently used node (NIL when empty).
+    head: usize,
+    /// Least recently used node — the eviction victim (NIL when empty).
+    tail: usize,
     // FileId → resident block indices, so compaction-time invalidation is
     // O(blocks of that file), not O(all resident blocks).
     per_file: HashMap<FileId, BTreeSet<u32>>,
-    next_stamp: u64,
     stats: CacheStats,
 }
 
@@ -143,25 +167,61 @@ impl BlockCache {
             capacity_bytes,
             used_bytes: 0,
             resident: HashMap::new(),
-            lru: BTreeMap::new(),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
             per_file: HashMap::new(),
-            next_stamp: 0,
             stats: CacheStats::default(),
+        }
+    }
+
+    /// Detaches node `idx` from the list without freeing its slot.
+    fn unlink(&mut self, idx: usize) {
+        let LruNode { prev, next, .. } = self.nodes[idx];
+        match prev {
+            NIL => self.head = next,
+            p => self.nodes[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.nodes[n].prev = prev,
+        }
+    }
+
+    /// Links node `idx` at the head (most recently used).
+    fn push_front(&mut self, idx: usize) {
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = self.head;
+        match self.head {
+            NIL => self.tail = idx,
+            h => self.nodes[h].prev = idx,
+        }
+        self.head = idx;
+    }
+
+    /// Allocates a slab slot for a new node.
+    fn alloc(&mut self, node: LruNode) -> usize {
+        match self.free.pop() {
+            Some(idx) => {
+                self.nodes[idx] = node;
+                idx
+            }
+            None => {
+                self.nodes.push(node);
+                self.nodes.len() - 1
+            }
         }
     }
 
     /// Records an access to `block` of `size` bytes, admitting it on a miss
     /// and evicting LRU blocks as needed.
     pub fn touch(&mut self, block: BlockId, size: u64) -> Access {
-        let stamp = self.next_stamp;
-        self.next_stamp += 1;
-        if let Some((sz, old_stamp)) = self.resident.get_mut(&block) {
-            let old = *old_stamp;
-            *old_stamp = stamp;
-            let sz = *sz;
-            self.lru.remove(&old);
-            self.lru.insert(stamp, block);
-            let _ = sz;
+        if let Some(&idx) = self.resident.get(&block) {
+            if idx != self.head {
+                self.unlink(idx);
+                self.push_front(idx);
+            }
             self.stats.hits += 1;
             return Access::Hit;
         }
@@ -171,15 +231,19 @@ impl BlockCache {
             return Access::Miss;
         }
         while self.used_bytes + size > self.capacity_bytes {
-            let (&oldest, &victim) = self.lru.iter().next().expect("cache accounting corrupt");
-            self.lru.remove(&oldest);
-            let (vsz, _) = self.resident.remove(&victim).expect("lru/resident out of sync");
-            self.unindex(victim);
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL, "cache accounting corrupt");
+            let LruNode { block: vb, size: vsz, .. } = self.nodes[victim];
+            self.unlink(victim);
+            self.free.push(victim);
+            self.resident.remove(&vb).expect("lru/resident out of sync");
+            self.unindex(vb);
             self.used_bytes -= vsz;
             self.stats.evictions += 1;
         }
-        self.resident.insert(block, (size, stamp));
-        self.lru.insert(stamp, block);
+        let idx = self.alloc(LruNode { block, size, prev: NIL, next: NIL });
+        self.push_front(idx);
+        self.resident.insert(block, idx);
         self.per_file.entry(block.file).or_default().insert(block.index);
         self.used_bytes += size;
         Access::Miss
@@ -205,8 +269,10 @@ impl BlockCache {
         let Some(indices) = self.per_file.remove(&file) else { return };
         for index in indices {
             let b = BlockId { file, index };
-            let (sz, stamp) = self.resident.remove(&b).expect("per-file index out of sync");
-            self.lru.remove(&stamp);
+            let idx = self.resident.remove(&b).expect("per-file index out of sync");
+            let sz = self.nodes[idx].size;
+            self.unlink(idx);
+            self.free.push(idx);
             self.used_bytes -= sz;
         }
     }
@@ -220,7 +286,10 @@ impl BlockCache {
     /// reconfiguration cost §6.2 measures).
     pub fn clear(&mut self) {
         self.resident.clear();
-        self.lru.clear();
+        self.nodes.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
         self.per_file.clear();
         self.used_bytes = 0;
         self.stats = CacheStats::default();

@@ -58,16 +58,18 @@ impl MemStore {
     }
 
     /// Iterates all versions whose row falls inside `range`, in key order.
-    pub fn range_iter<'a>(
-        &'a self,
-        range: &'a KeyRange,
-    ) -> impl Iterator<Item = (&'a InternalKey, &'a Option<Bytes>)> + 'a {
+    ///
+    /// Returns a concrete cursor streaming straight off the underlying
+    /// `BTreeMap` — the read-path merge consumes it without materializing a
+    /// snapshot. The end bound is cloned (a refcount bump) so the iterator
+    /// does not borrow the caller's `KeyRange`.
+    pub fn range_iter<'a>(&'a self, range: &KeyRange) -> MemRangeIter<'a> {
         let start = range.start.as_ref().map(|r| InternalKey::row_start(r.clone()));
         let iter = match start {
             Some(s) => self.cells.range(s..),
             None => self.cells.range(..),
         };
-        iter.take_while(move |(k, _)| range.end.as_ref().is_none_or(|e| &k.coord.row < e))
+        MemRangeIter { iter, end: range.end.clone(), done: false }
     }
 
     /// Current heap footprint in bytes.
@@ -99,6 +101,34 @@ impl MemStore {
             .iter()
             .map(|(key, value)| CellVersion { key: key.clone(), value: value.clone() })
             .collect()
+    }
+}
+
+/// Streaming iterator over a memstore row range, in `InternalKey` order.
+///
+/// Named (rather than `impl Iterator`) so the store's merge cursor can hold
+/// one directly in its `enum Cursor` without boxing.
+#[derive(Debug)]
+pub struct MemRangeIter<'a> {
+    iter: std::collections::btree_map::Range<'a, InternalKey, Option<Bytes>>,
+    end: Option<RowKey>,
+    done: bool,
+}
+
+impl<'a> Iterator for MemRangeIter<'a> {
+    type Item = (&'a InternalKey, &'a Option<Bytes>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        match self.iter.next() {
+            Some((k, v)) if self.end.as_ref().is_none_or(|e| &k.coord.row < e) => Some((k, v)),
+            _ => {
+                self.done = true;
+                None
+            }
+        }
     }
 }
 

@@ -405,7 +405,7 @@ impl Region {
                 self.range
             )));
         }
-        let (lo_range, hi_range) = self.range.split_at(mid.clone());
+        let (lo_range, hi_range) = self.range.split_at(mid);
         let mut lo_families = BTreeMap::new();
         let mut hi_families = BTreeMap::new();
         for (fam, store) in &self.families {

@@ -7,15 +7,14 @@
 //! the coordinate, exactly as HBase does.
 
 use crate::block_cache::{AccessCounter, FileId, SharedBlockCache};
-use crate::hfile::HFile;
+use crate::hfile::{HFile, HFileScanIter};
 use crate::types::{CellCoord, CellVersion, InternalKey, KeyRange, Qualifier, RowKey, Timestamp};
 use bytes::Bytes;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::cmp::Ordering as CmpOrdering;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crate::memstore::MemStore;
+use crate::memstore::{MemRangeIter, MemStore};
 
 /// Allocates unique [`FileId`]s across every store of a process.
 #[derive(Debug, Default)]
@@ -276,71 +275,69 @@ impl CfStore {
         counter: Option<AccessCounter>,
     ) -> ScanRows {
         let mut out: ScanRows = Vec::new();
-        let mut current_row: Option<RowKey> = None;
+        let mut current_row: Option<&RowKey> = None;
         let mut current_cells: Vec<(Qualifier, Bytes)> = Vec::new();
-        let mut last_coord: Option<CellCoord> = None;
+        let mut last_coord: Option<&CellCoord> = None;
 
-        for cell in self.merge_iter_counted(range, counter) {
-            // The first version seen for a coordinate is the newest (heap
+        for (key, value) in self.merge_cursors(range, counter) {
+            // The first version seen for a coordinate is the newest (merge
             // order); later versions of the same coordinate are shadowed.
-            if last_coord.as_ref() == Some(&cell.key.coord) {
+            if last_coord == Some(&key.coord) {
                 continue;
             }
-            last_coord = Some(cell.key.coord.clone());
+            last_coord = Some(&key.coord);
 
-            if current_row.as_ref() != Some(&cell.key.coord.row) {
+            if current_row != Some(&key.coord.row) {
                 if let Some(row) = current_row.take() {
                     if !current_cells.is_empty() {
-                        out.push((row, std::mem::take(&mut current_cells)));
+                        out.push((row.clone(), std::mem::take(&mut current_cells)));
                         if out.len() >= row_limit {
                             return out;
                         }
-                    } else {
-                        current_cells.clear();
                     }
                 }
-                current_row = Some(cell.key.coord.row.clone());
+                current_row = Some(&key.coord.row);
             }
-            if let Some(v) = &cell.value {
-                current_cells.push((cell.key.coord.qualifier.clone(), v.clone()));
+            // Only what escapes into the result is cloned — and those
+            // clones are refcount bumps on the stored `Bytes`.
+            if let Some(v) = value {
+                current_cells.push((key.coord.qualifier.clone(), v.clone()));
             }
         }
         if let Some(row) = current_row {
             if !current_cells.is_empty() && out.len() < row_limit {
-                out.push((row, current_cells));
+                out.push((row.clone(), current_cells));
             }
         }
         out
     }
 
     /// K-way merge of memstore and file iterators over `range`, in
-    /// `InternalKey` order.
+    /// `InternalKey` order, yielding owned cells.
     fn merge_iter<'a>(&'a self, range: &KeyRange) -> impl Iterator<Item = CellVersion> + 'a {
-        self.merge_iter_counted(range, None)
+        self.merge_cursors(range, None)
+            .map(|(k, v)| CellVersion { key: k.clone(), value: v.clone() })
     }
 
-    /// [`CfStore::merge_iter`] recording every file iterator's cache
-    /// accesses into `counter`, when one is supplied.
-    fn merge_iter_counted<'a>(
+    /// The borrowed k-way merge underlying every multi-source read:
+    /// a loser tree over one cursor per source. The memstore streams
+    /// straight off its `BTreeMap` (no per-scan materialization) and file
+    /// cursors record cache accesses into `counter` when one is supplied.
+    fn merge_cursors<'a>(
         &'a self,
         range: &KeyRange,
         counter: Option<AccessCounter>,
-    ) -> impl Iterator<Item = CellVersion> + 'a {
-        // Memstore range is materialized (small by construction: it is
-        // bounded by the flush threshold).
-        let mem: Vec<CellVersion> = self
-            .memstore
-            .range_iter(range)
-            .map(|(k, v)| CellVersion { key: k.clone(), value: v.clone() })
-            .collect();
-        let mut sources: Vec<Box<dyn Iterator<Item = CellVersion> + 'a>> =
-            vec![Box::new(mem.into_iter())];
+    ) -> LoserTree<'a> {
+        let mut cursors = Vec::with_capacity(1 + self.files.len());
+        cursors.push(Cursor::mem(self.memstore.range_iter(range)));
         for file in &self.files {
-            sources.push(Box::new(
-                file.range_scan_counted(range, &self.cache, counter.clone()).cloned(),
-            ));
+            cursors.push(Cursor::file(file.range_scan_counted(
+                range,
+                &self.cache,
+                counter.clone(),
+            )));
         }
-        KMerge::new(sources)
+        LoserTree::new(cursors)
     }
 
     /// Flushes the memstore into a new file. Returns `None` when there was
@@ -382,30 +379,27 @@ impl CfStore {
         let replaced: Vec<FileId> = inputs.iter().map(|f| f.id()).collect();
         let bytes_read: u64 = inputs.iter().map(|f| f.total_bytes()).sum();
 
-        let sources: Vec<Box<dyn Iterator<Item = CellVersion>>> = inputs
-            .iter()
-            .map(|f| {
-                // Compaction reads bypass the block cache (HBase does not
-                // pollute the cache with compaction IO), so collect directly.
-                let cells: Vec<CellVersion> =
-                    f.range_scan(&KeyRange::all(), &SharedBlockCache::new(0)).cloned().collect();
-                Box::new(cells.into_iter()) as Box<dyn Iterator<Item = CellVersion>>
-            })
-            .collect();
+        // Compaction reads bypass the block cache (HBase does not pollute
+        // the cache with compaction IO): scan through a zero-capacity
+        // scratch cache that admits nothing, merging by reference so only
+        // surviving cells are cloned into the output file.
+        let scratch = SharedBlockCache::new(0);
+        let cursors: Vec<Cursor<'_>> =
+            inputs.iter().map(|f| Cursor::file(f.range_scan(&KeyRange::all(), &scratch))).collect();
 
         let mut merged: Vec<CellVersion> = Vec::new();
-        let mut last_coord: Option<CellCoord> = None;
-        for cell in KMerge::new(sources) {
+        let mut last_coord: Option<&CellCoord> = None;
+        for (key, value) in LoserTree::new(cursors) {
             if major {
-                if last_coord.as_ref() == Some(&cell.key.coord) {
+                if last_coord == Some(&key.coord) {
                     continue; // shadowed older version
                 }
-                last_coord = Some(cell.key.coord.clone());
-                if cell.value.is_none() {
+                last_coord = Some(&key.coord);
+                if value.is_none() {
                     continue; // tombstone dropped once it has shadowed
                 }
             }
-            merged.push(cell);
+            merged.push(CellVersion { key: key.clone(), value: value.clone() });
         }
 
         let file = HFile::build(self.ids.next(), merged, self.block_size);
@@ -512,41 +506,126 @@ impl CfStore {
     }
 }
 
-/// K-way merge over sorted cell-version iterators.
-struct KMerge<'a> {
-    heap: BinaryHeap<Reverse<(InternalKey, usize)>>,
-    pending: Vec<Option<CellVersion>>,
-    sources: Vec<Box<dyn Iterator<Item = CellVersion> + 'a>>,
+/// One sorted input to the read-path merge: the memstore range or a file
+/// scan. Concrete (no `Box<dyn Iterator>`) so the loser tree advances it
+/// with a direct match instead of a vtable call, and yields *references*
+/// into the underlying storage — nothing is cloned per advance.
+enum Cursor<'a> {
+    Mem { iter: MemRangeIter<'a>, head: Option<(&'a InternalKey, &'a Option<Bytes>)> },
+    File { iter: HFileScanIter<'a>, head: Option<&'a CellVersion> },
 }
 
-impl<'a> KMerge<'a> {
-    fn new(mut sources: Vec<Box<dyn Iterator<Item = CellVersion> + 'a>>) -> Self {
-        let mut heap = BinaryHeap::new();
-        let mut pending = Vec::with_capacity(sources.len());
-        for (i, src) in sources.iter_mut().enumerate() {
-            match src.next() {
-                Some(cell) => {
-                    heap.push(Reverse((cell.key.clone(), i)));
-                    pending.push(Some(cell));
+impl<'a> Cursor<'a> {
+    fn mem(mut iter: MemRangeIter<'a>) -> Self {
+        let head = iter.next();
+        Cursor::Mem { iter, head }
+    }
+
+    fn file(mut iter: HFileScanIter<'a>) -> Self {
+        let head = iter.next();
+        Cursor::File { iter, head }
+    }
+
+    fn head_key(&self) -> Option<&'a InternalKey> {
+        match self {
+            Cursor::Mem { head, .. } => head.map(|(k, _)| k),
+            Cursor::File { head, .. } => head.map(|c| &c.key),
+        }
+    }
+
+    fn pop(&mut self) -> Option<(&'a InternalKey, &'a Option<Bytes>)> {
+        match self {
+            Cursor::Mem { iter, head } => {
+                let h = head.take();
+                if h.is_some() {
+                    *head = iter.next();
                 }
-                None => pending.push(None),
+                h
+            }
+            Cursor::File { iter, head } => {
+                let h = head.take();
+                if h.is_some() {
+                    *head = iter.next();
+                }
+                h.map(|c| (&c.key, &c.value))
             }
         }
-        KMerge { heap, pending, sources }
     }
 }
 
-impl<'a> Iterator for KMerge<'a> {
-    type Item = CellVersion;
+/// Loser-tree (tournament) k-way merge over [`Cursor`]s.
+///
+/// `tree[0]` holds the overall winner; `tree[1..k]` hold the loser at each
+/// internal node of a complete binary tree whose leaves are the cursors.
+/// Advancing costs one cursor step plus a replay of the leaf-to-root path
+/// (⌈log₂ k⌉ comparisons by reference) and allocates nothing. Ties on equal
+/// keys go to the lower cursor index, which — with cursors ordered memstore
+/// first, then files oldest→newest — reproduces the exact output order of
+/// the previous `BinaryHeap<Reverse<(InternalKey, usize)>>` merge.
+struct LoserTree<'a> {
+    cursors: Vec<Cursor<'a>>,
+    tree: Vec<usize>,
+}
+
+impl<'a> LoserTree<'a> {
+    fn new(cursors: Vec<Cursor<'a>>) -> Self {
+        let k = cursors.len();
+        let mut tree = vec![0usize; k.max(1)];
+        if k > 1 {
+            // winner[n] for internal nodes 1..k, winner[k + i] = leaf i.
+            let mut winner = vec![0usize; 2 * k];
+            for (i, slot) in winner[k..].iter_mut().enumerate() {
+                *slot = i;
+            }
+            for n in (1..k).rev() {
+                let (a, b) = (winner[2 * n], winner[2 * n + 1]);
+                let a_wins = Self::beats(&cursors, a, b);
+                winner[n] = if a_wins { a } else { b };
+                tree[n] = if a_wins { b } else { a };
+            }
+            tree[0] = winner[1];
+        }
+        LoserTree { cursors, tree }
+    }
+
+    /// True when cursor `a`'s head should be emitted before cursor `b`'s:
+    /// smaller key first, exhausted cursors last, index breaks ties.
+    fn beats(cursors: &[Cursor<'a>], a: usize, b: usize) -> bool {
+        match (cursors[a].head_key(), cursors[b].head_key()) {
+            (Some(ka), Some(kb)) => match ka.cmp(kb) {
+                CmpOrdering::Less => true,
+                CmpOrdering::Greater => false,
+                CmpOrdering::Equal => a < b,
+            },
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => a < b,
+        }
+    }
+}
+
+impl<'a> Iterator for LoserTree<'a> {
+    type Item = (&'a InternalKey, &'a Option<Bytes>);
 
     fn next(&mut self) -> Option<Self::Item> {
-        let Reverse((_, idx)) = self.heap.pop()?;
-        let cell = self.pending[idx].take().expect("heap/pending out of sync");
-        if let Some(next) = self.sources[idx].next() {
-            self.heap.push(Reverse((next.key.clone(), idx)));
-            self.pending[idx] = Some(next);
+        let k = self.cursors.len();
+        if k == 0 {
+            return None;
         }
-        Some(cell)
+        let w = self.tree[0];
+        let item = self.cursors[w].pop()?;
+        // Replay the path from w's leaf up to the root: at each node, if the
+        // stored loser beats the current candidate, they swap roles.
+        let mut cur = w;
+        let mut node = (k + w) / 2;
+        while node > 0 {
+            if Self::beats(&self.cursors, self.tree[node], cur) {
+                std::mem::swap(&mut self.tree[node], &mut cur);
+            }
+            node /= 2;
+        }
+        self.tree[0] = cur;
+        Some(item)
     }
 }
 

@@ -58,29 +58,55 @@ impl fmt::Display for RowKey {
 }
 
 fn hex(b: &[u8]) -> String {
-    b.iter().map(|x| format!("{x:02x}")).collect()
+    const DIGITS: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(2 * b.len());
+    for x in b {
+        out.push(DIGITS[(x >> 4) as usize] as char);
+        out.push(DIGITS[(x & 0xf) as usize] as char);
+    }
+    out
 }
 
 /// A column family name. Families are declared at table creation.
+///
+/// Backed by [`Bytes`] like every other key type, so cloning one into an
+/// error, a schema map or a region route is a refcount bump, not a heap
+/// copy. Ordering is unchanged from the old `String` representation: Rust
+/// compares `String`s by their UTF-8 bytes, so `BTreeMap<Family, _>`
+/// iteration order is byte-identical.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct Family(pub String);
+pub struct Family(pub Bytes);
 
 impl Family {
-    /// Builds a family from a name.
-    pub fn new(name: impl Into<String>) -> Self {
+    /// Builds a family from anything byte-like.
+    pub fn new(name: impl Into<Bytes>) -> Self {
         Family(name.into())
+    }
+
+    /// The raw bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
     }
 }
 
 impl From<&str> for Family {
     fn from(s: &str) -> Self {
-        Family(s.to_string())
+        Family(Bytes::copy_from_slice(s.as_bytes()))
+    }
+}
+
+impl From<String> for Family {
+    fn from(s: String) -> Self {
+        Family(Bytes::from(s.into_bytes()))
     }
 }
 
 impl fmt::Display for Family {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.0)
+        match std::str::from_utf8(&self.0) {
+            Ok(s) => write!(f, "{s}"),
+            Err(_) => write!(f, "0x{}", hex(&self.0)),
+        }
     }
 }
 

@@ -1,0 +1,130 @@
+//! Pins the O(1) intrusive-list block cache to the original stamp-keyed
+//! `BTreeMap` LRU: over randomized sequences of touches, file
+//! invalidations and clears, both must make identical hit/miss decisions,
+//! evict in the same order and account the same bytes.
+
+use hstore::block_cache::{Access, BlockCache, BlockId, FileId};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// The previous implementation, verbatim in behaviour: every access gets a
+/// monotone stamp, recency lives in a `BTreeMap<stamp, BlockId>`, eviction
+/// pops the smallest stamp.
+#[derive(Default)]
+struct ModelLru {
+    capacity_bytes: u64,
+    used_bytes: u64,
+    resident: BTreeMap<BlockId, (u64, u64)>,
+    lru: BTreeMap<u64, BlockId>,
+    next_stamp: u64,
+    evictions: Vec<BlockId>,
+}
+
+impl ModelLru {
+    fn new(capacity_bytes: u64) -> Self {
+        ModelLru { capacity_bytes, ..Default::default() }
+    }
+
+    fn touch(&mut self, block: BlockId, size: u64) -> Access {
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        if let Some((_, old_stamp)) = self.resident.get_mut(&block) {
+            let old = *old_stamp;
+            *old_stamp = stamp;
+            self.lru.remove(&old);
+            self.lru.insert(stamp, block);
+            return Access::Hit;
+        }
+        if size > self.capacity_bytes {
+            return Access::Miss;
+        }
+        while self.used_bytes + size > self.capacity_bytes {
+            let (&oldest, &victim) = self.lru.iter().next().expect("model corrupt");
+            self.lru.remove(&oldest);
+            let (vsz, _) = self.resident.remove(&victim).expect("model out of sync");
+            self.used_bytes -= vsz;
+            self.evictions.push(victim);
+        }
+        self.resident.insert(block, (size, stamp));
+        self.lru.insert(stamp, block);
+        self.used_bytes += size;
+        Access::Miss
+    }
+
+    fn invalidate_file(&mut self, file: FileId) {
+        let doomed: Vec<BlockId> =
+            self.resident.keys().filter(|b| b.file == file).copied().collect();
+        for b in doomed {
+            let (sz, stamp) = self.resident.remove(&b).unwrap();
+            self.lru.remove(&stamp);
+            self.used_bytes -= sz;
+        }
+    }
+
+    fn clear(&mut self) {
+        self.resident.clear();
+        self.lru.clear();
+        self.used_bytes = 0;
+        self.evictions.clear();
+    }
+}
+
+#[derive(Debug, Clone)]
+enum CacheOp {
+    Touch(u64, u32, u64),
+    InvalidateFile(u64),
+    Clear,
+}
+
+fn op_strategy() -> impl Strategy<Value = CacheOp> {
+    prop_oneof![
+        // Small id/size domains so re-touches, evictions and oversized
+        // rejects all happen often.
+        (0u64..4, 0u32..8, 1u64..400).prop_map(|(f, i, s)| CacheOp::Touch(f, i, s)),
+        (0u64..4, 0u32..8, 1u64..400).prop_map(|(f, i, s)| CacheOp::Touch(f, i, s)),
+        (0u64..4, 0u32..8, 1u64..400).prop_map(|(f, i, s)| CacheOp::Touch(f, i, s)),
+        (0u64..5).prop_map(CacheOp::InvalidateFile),
+        Just(CacheOp::Clear),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn intrusive_list_matches_stamp_btreemap(
+        ops in prop::collection::vec(op_strategy(), 1..200),
+    ) {
+        let mut cache = BlockCache::new(1_000);
+        let mut model = ModelLru::new(1_000);
+        // Sizes must be stable per block id or the two implementations
+        // could legitimately diverge on bytes; dedupe by first sighting.
+        let mut sizes: BTreeMap<BlockId, u64> = BTreeMap::new();
+
+        for op in &ops {
+            match op {
+                CacheOp::Touch(f, i, s) => {
+                    let b = BlockId { file: FileId(*f), index: *i };
+                    let size = *sizes.entry(b).or_insert(*s);
+                    let got = cache.touch(b, size);
+                    let want = model.touch(b, size);
+                    prop_assert_eq!(got, want, "access disagreement on {:?}", b);
+                }
+                CacheOp::InvalidateFile(f) => {
+                    cache.invalidate_file(FileId(*f));
+                    model.invalidate_file(FileId(*f));
+                }
+                CacheOp::Clear => {
+                    cache.clear();
+                    model.clear();
+                }
+            }
+            prop_assert_eq!(cache.used_bytes(), model.used_bytes);
+            prop_assert_eq!(cache.stats().evictions, model.evictions.len() as u64);
+            // Residency sets agree block-for-block.
+            for b in model.resident.keys() {
+                prop_assert!(cache.contains(b), "{:?} missing from cache", b);
+            }
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Property tests for the zero-alloc read path: the loser-tree merge over
+//! memstore + file cursors must agree, on every randomized interleaving of
+//! puts, deletes (tombstones), flushes and minor compactions, with a naive
+//! sort-and-dedup reference model that never merges anything.
+
+use bytes::Bytes;
+use hstore::block_cache::SharedBlockCache;
+use hstore::store::{CfStore, FileIdAllocator};
+use hstore::types::{CellVersion, InternalKey, KeyRange, Qualifier, RowKey};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+const ROWS: usize = 12;
+const QUALS: usize = 4;
+
+fn row(i: usize) -> RowKey {
+    RowKey::from(format!("row{i:02}"))
+}
+
+fn qual(i: usize) -> Qualifier {
+    Qualifier::from(format!("q{i}").as_str())
+}
+
+/// One randomized operation against the store.
+#[derive(Debug, Clone)]
+enum Op {
+    Put(usize, usize, u8),
+    Delete(usize, usize),
+    Flush,
+    CompactMinor(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..ROWS, 0..QUALS, any::<u8>()).prop_map(|(r, q, v)| Op::Put(r, q, v)),
+        (0..ROWS, 0..QUALS).prop_map(|(r, q)| Op::Delete(r, q)),
+        Just(Op::Flush),
+        (2usize..4).prop_map(Op::CompactMinor),
+    ]
+}
+
+/// Applies `ops`, mirroring every version (with the store-assigned
+/// timestamp) into a flat reference model that knows nothing about files,
+/// merging or caches.
+fn apply(store: &mut CfStore, model: &mut BTreeMap<InternalKey, Option<Bytes>>, ops: &[Op]) {
+    for op in ops {
+        match op {
+            Op::Put(r, q, v) => {
+                let value = Bytes::copy_from_slice(&[*v; 3]);
+                let ts = store.put(row(*r), qual(*q), value.clone());
+                model.insert(InternalKey::new(row(*r), qual(*q), ts), Some(value));
+            }
+            Op::Delete(r, q) => {
+                let ts = store.delete(row(*r), qual(*q));
+                model.insert(InternalKey::new(row(*r), qual(*q), ts), None);
+            }
+            Op::Flush => {
+                store.flush();
+            }
+            Op::CompactMinor(k) => {
+                // Minor compaction preserves every version, so the model
+                // is untouched.
+                store.compact_minor(*k);
+            }
+        }
+    }
+}
+
+/// The rows a scan over `range` must return, computed by brute force:
+/// newest version per coordinate, tombstones hide, empty rows vanish.
+fn reference_scan(
+    model: &BTreeMap<InternalKey, Option<Bytes>>,
+    range: &KeyRange,
+) -> Vec<(RowKey, Vec<(Qualifier, Bytes)>)> {
+    let mut newest: BTreeMap<(RowKey, Qualifier), &Option<Bytes>> = BTreeMap::new();
+    for (key, value) in model {
+        // Model iterates in InternalKey order (ts DESC within a
+        // coordinate), so the first version seen per coordinate is newest.
+        newest.entry((key.coord.row.clone(), key.coord.qualifier.clone())).or_insert(value);
+    }
+    let mut rows: BTreeMap<RowKey, Vec<(Qualifier, Bytes)>> = BTreeMap::new();
+    for ((r, q), value) in newest {
+        if range.contains(&r) {
+            if let Some(v) = value {
+                rows.entry(r).or_default().push((q, v.clone()));
+            }
+        }
+    }
+    rows.into_iter().collect()
+}
+
+fn range_strategy() -> impl Strategy<Value = KeyRange> {
+    (0..ROWS, 1..ROWS + 1, any::<bool>(), any::<bool>()).prop_map(|(a, span, open_s, open_e)| {
+        let s = a;
+        let e = (a + span).min(ROWS + 1);
+        KeyRange::new(
+            if open_s { None } else { Some(row(s)) },
+            if open_e || e <= s { None } else { Some(row(e)) },
+        )
+    })
+}
+
+fn small_store() -> CfStore {
+    // Tiny blocks and cache so scans cross many blocks and evict.
+    CfStore::new(SharedBlockCache::new(512), FileIdAllocator::new(), 128)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_matches_sort_and_dedup_reference(
+        ops in prop::collection::vec(op_strategy(), 1..120),
+        range in range_strategy(),
+    ) {
+        let mut store = small_store();
+        let mut model = BTreeMap::new();
+        apply(&mut store, &mut model, &ops);
+
+        // Every surviving version, in InternalKey order (flushes and minor
+        // compactions must not lose, duplicate or reorder anything).
+        let exported = store.export_range(&KeyRange::all());
+        let expected: Vec<CellVersion> = model
+            .iter()
+            .map(|(key, value)| CellVersion { key: key.clone(), value: value.clone() })
+            .collect();
+        prop_assert_eq!(&exported, &expected);
+
+        // Scans agree with the brute-force model over a random sub-range.
+        let got = store.scan_range(&range, usize::MAX);
+        prop_assert_eq!(&got, &reference_scan(&model, &range));
+
+        // Point gets agree on every coordinate in the domain.
+        for r in 0..ROWS {
+            for q in 0..QUALS {
+                let want = model
+                    .range(InternalKey::row_start(row(r))..)
+                    .find(|(k, _)| k.coord.row == row(r) && k.coord.qualifier == qual(q))
+                    .and_then(|(_, v)| v.clone());
+                prop_assert_eq!(store.get(&row(r), &qual(q)), want);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_survives_major_compaction(
+        ops in prop::collection::vec(op_strategy(), 1..120),
+    ) {
+        let mut store = small_store();
+        let mut model = BTreeMap::new();
+        apply(&mut store, &mut model, &ops);
+        store.flush();
+        store.compact_major();
+
+        // Major compaction drops shadowed versions and spent tombstones,
+        // but the *visible* contents must be unchanged.
+        let range = KeyRange::all();
+        let got = store.scan_range(&range, usize::MAX);
+        prop_assert_eq!(&got, &reference_scan(&model, &range));
+    }
+}

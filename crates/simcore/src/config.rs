@@ -44,6 +44,20 @@ pub struct EnvConfig {
     /// `MET_SCALE_ASSERT_SPEEDUP` — arm `exp-scale`'s speedup gate
     /// (exactly `"1"`).
     pub scale_assert_speedup: bool,
+    /// `MET_PERF_OPS` — `exp-perf` ops per repetition of each store mix.
+    pub perf_ops: Option<u64>,
+    /// `MET_PERF_TICKS` — `exp-perf` measured cluster ticks per repetition.
+    pub perf_ticks: Option<u64>,
+    /// `MET_PERF_WARMUP_TICKS` — `exp-perf` cluster warmup ticks.
+    pub perf_warmup_ticks: Option<u64>,
+    /// `MET_PERF_REPS` — `exp-perf` repetitions (median reported).
+    pub perf_reps: Option<usize>,
+    /// `MET_PERF_THREADS` — `exp-perf` parallel cluster leg's threads.
+    pub perf_threads: Option<usize>,
+    /// `MET_PERF_COMMIT` — `exp-perf` commit label override.
+    pub perf_commit: Option<String>,
+    /// `MET_BENCH_PATH` — `exp-perf` output path.
+    pub bench_path: Option<PathBuf>,
 }
 
 impl EnvConfig {
@@ -67,6 +81,15 @@ impl EnvConfig {
             scale_threads: get("MET_SCALE_THREADS").and_then(|s| s.trim().parse().ok()),
             scale_trace_minutes: get("MET_SCALE_TRACE_MINUTES").and_then(|s| s.trim().parse().ok()),
             scale_assert_speedup: get("MET_SCALE_ASSERT_SPEEDUP").is_some_and(|v| v == "1"),
+            perf_ops: get("MET_PERF_OPS").and_then(|s| s.trim().parse().ok()),
+            perf_ticks: get("MET_PERF_TICKS").and_then(|s| s.trim().parse().ok()),
+            perf_warmup_ticks: get("MET_PERF_WARMUP_TICKS").and_then(|s| s.trim().parse().ok()),
+            perf_reps: get("MET_PERF_REPS").and_then(|s| s.trim().parse().ok()),
+            perf_threads: get("MET_PERF_THREADS").and_then(|s| s.trim().parse().ok()),
+            perf_commit: get("MET_PERF_COMMIT")
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty()),
+            bench_path: get("MET_BENCH_PATH").map(PathBuf::from),
         }
     }
 
@@ -127,6 +150,13 @@ mod tests {
             ("MET_SCALE_THREADS", "8"),
             ("MET_SCALE_TRACE_MINUTES", "12"),
             ("MET_SCALE_ASSERT_SPEEDUP", "1"),
+            ("MET_PERF_OPS", "5000"),
+            ("MET_PERF_TICKS", "30"),
+            ("MET_PERF_WARMUP_TICKS", "10"),
+            ("MET_PERF_REPS", "3"),
+            ("MET_PERF_THREADS", "2"),
+            ("MET_PERF_COMMIT", " abc1234 "),
+            ("MET_BENCH_PATH", "/tmp/BENCH_perf.json"),
         ]));
         assert_eq!(c.threads, 4);
         assert_eq!(c.trace_path.as_deref(), Some(std::path::Path::new("/tmp/trail.jsonl")));
@@ -138,6 +168,13 @@ mod tests {
         assert_eq!(c.scale_threads, Some(8));
         assert_eq!(c.scale_trace_minutes, Some(12));
         assert!(c.scale_assert_speedup);
+        assert_eq!(c.perf_ops, Some(5000));
+        assert_eq!(c.perf_ticks, Some(30));
+        assert_eq!(c.perf_warmup_ticks, Some(10));
+        assert_eq!(c.perf_reps, Some(3));
+        assert_eq!(c.perf_threads, Some(2));
+        assert_eq!(c.perf_commit.as_deref(), Some("abc1234"));
+        assert_eq!(c.bench_path.as_deref(), Some(std::path::Path::new("/tmp/BENCH_perf.json")));
     }
 
     #[test]

@@ -92,7 +92,7 @@ proptest! {
             MetConfig { allow_scaling: false, ..MetConfig::default() },
             StoreConfig::default_homogeneous(),
         );
-        met.set_fault_injector(injector.clone());
+        met.set_fault_injector(injector);
 
         // The 10-minute fault window plus three decision rounds.
         for _ in 0..(19 * 60) {
