@@ -9,6 +9,7 @@ pub mod fig1;
 pub mod fig4;
 pub mod latency;
 pub mod perf;
+pub mod profile;
 pub mod report;
 pub mod scale;
 pub mod scenario;

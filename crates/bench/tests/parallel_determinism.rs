@@ -43,6 +43,40 @@ fn chaos_trace_is_byte_identical_across_thread_counts() {
 }
 
 #[test]
+fn fig4_trace_is_unchanged_by_profiling() {
+    // The span profiler is wall-clock and must be trace-invisible: arming
+    // it changes nothing in the JSONL trace or the final layout, at either
+    // thread count. (Profiled runs share this process with the gates
+    // above; spans never touch telemetry sinks, so coexistence is safe —
+    // the drained records are simply discarded.)
+    let baseline_seq = traced_fig4(1_000, 4, 1);
+    let baseline_par = traced_fig4(1_000, 4, 4);
+
+    telemetry::span::set_enabled(true);
+    let profiled_seq = traced_fig4(1_000, 4, 1);
+    let profiled_par = traced_fig4(1_000, 4, 4);
+    telemetry::span::set_enabled(false);
+    let spans = telemetry::span::drain();
+    assert!(!spans.is_empty(), "profiled runs must actually record spans");
+
+    assert_identical("fig4 profiled seq", &baseline_seq, &profiled_seq);
+    assert_identical("fig4 profiled par", &baseline_par, &profiled_par);
+    assert_identical("fig4 profiled 1v4", &profiled_seq, &profiled_par);
+}
+
+#[test]
+fn chaos_trace_is_unchanged_by_profiling() {
+    // Same invisibility claim under faults: crashes, provision failures
+    // and the healer's re-homing all run with spans armed.
+    let baseline = traced_chaos(1_000, 6, 4);
+    telemetry::span::set_enabled(true);
+    let profiled = traced_chaos(1_000, 6, 4);
+    telemetry::span::set_enabled(false);
+    let _ = telemetry::span::drain();
+    assert_identical("chaos profiled", &baseline, &profiled);
+}
+
+#[test]
 fn latency_trace_is_byte_identical_across_thread_counts() {
     // 10 minutes of the SLO-gated overload run covers the gate's first
     // scale-out, so the queueing model's per-server p99s (appended to the

@@ -37,7 +37,7 @@ use hstore::StoreConfig;
 use simcore::timeseries::TimeSeries;
 use simcore::{FaultInjector, FaultOp, ProvisionFault, SimDuration, SimRng, SimTime};
 use std::collections::{BTreeMap, VecDeque};
-use telemetry::{MetricsBuffer, Telemetry, TelemetryEvent};
+use telemetry::{span as wallspan, MetricsBuffer, Telemetry, TelemetryEvent};
 
 /// Fixed-point iterations per tick.
 const SOLVER_ITERS: usize = 48;
@@ -709,15 +709,25 @@ impl SimCluster {
     }
 
     /// Advances one tick.
+    ///
+    /// Wall-clock profiling spans (`sim.*`, gated behind `MET_PROFILE`)
+    /// bracket each phase; they read nothing but the real clock and write
+    /// nothing but the profiler's own buffers, so the simulation below is
+    /// byte-identical with profiling on or off.
     pub fn step(&mut self) {
+        let _tick_span = wallspan::span("sim.tick");
         let dt = self.tick.as_secs_f64();
         self.now += self.tick;
 
         // 0. Scripted faults fire first: a crash at tick t is visible to
         // everything else that happens at t.
-        self.apply_injected_faults();
-        self.namenode.rereplicate_step((self.rerep_mb_s * 1e6 * dt) as u64);
+        {
+            let _s = wallspan::span("sim.faults");
+            self.apply_injected_faults();
+            self.namenode.rereplicate_step((self.rerep_mb_s * 1e6 * dt) as u64);
+        }
 
+        let lifecycle_span = wallspan::span("sim.lifecycle");
         // 1. Server lifecycle transitions.
         for (sid, server) in self.servers.iter_mut() {
             match server.state {
@@ -771,9 +781,12 @@ impl SimCluster {
             }
         }
 
+        drop(lifecycle_span);
+
         // 3. Solve the closed-loop equilibrium.
         let solution = self.solve_equilibrium();
 
+        let integrate_span = wallspan::span("sim.integrate");
         // 4. Integrate: counters, growth, flushes, warmth, compactions.
         let mut per_partition: BTreeMap<PartitionId, (f64, f64, f64, f64)> = BTreeMap::new();
         for (gi, g) in self.groups.iter().enumerate() {
@@ -830,11 +843,14 @@ impl SimCluster {
             }
         }
 
+        drop(integrate_span);
+
         // 5. Compaction backlog drain and completion. Drain plans are
         // computed in parallel from read-only server state, then applied
         // sequentially in server-ID order so warmth decay and the DFS
         // rewrites in finish_compaction happen exactly as the sequential
         // engine performs them.
+        let compact_plan_span = wallspan::span("sim.compaction.plan");
         let compact_step = self.params.compact_mb_s * 1e6 * dt;
         let threads = self.threads;
         let drain_entries: Vec<(&ServerId, &SimServer)> = self.servers.iter().collect();
@@ -860,6 +876,8 @@ impl SimCluster {
                 }
                 (completed, leftover)
             });
+        drop(compact_plan_span);
+        let compact_apply_span = wallspan::span("sim.compaction.apply");
         let drain_order: Vec<ServerId> = drain_entries.iter().map(|(sid, _)| **sid).collect();
         for (sid, (completed, leftover)) in drain_order.into_iter().zip(plans) {
             if completed.is_empty() && leftover.is_none() {
@@ -880,6 +898,8 @@ impl SimCluster {
             }
         }
 
+        drop(compact_apply_span);
+
         // 5b. Automatic region splits (§2.1): a partition that outgrew the
         // configured region size splits into two daughters on the same
         // server; client request weights follow the key-space halves.
@@ -896,6 +916,7 @@ impl SimCluster {
         }
 
         // 6. Warmth evolution (each server only touches itself).
+        let warmth_span = wallspan::span("sim.warmth");
         let warmup_s = self.params.warmup_s;
         let mut warm_refs: Vec<&mut SimServer> = self.servers.values_mut().collect();
         simcore::par::for_each_mut(threads, &mut warm_refs, |server| {
@@ -904,8 +925,10 @@ impl SimCluster {
                 server.warmth = server.warmth.clamp(0.0, 1.0);
             }
         });
+        drop(warmth_span);
 
         // 7. Record series and stash metrics.
+        let series_span = wallspan::span("sim.series");
         let total: f64 = solution
             .group_x
             .iter()
@@ -950,9 +973,11 @@ impl SimCluster {
                 }
             }
         }
+        drop(series_span);
         // Cache metrics: per-server updates are computed in parallel into
         // per-shard buffers, then applied and flushed in server-ID order
         // under a single registry lock (no per-gauge mutex contention).
+        let _cache_span = wallspan::span("sim.cache_metrics");
         let evals: Vec<(ServerId, ServerEval)> = solution.server_evals.into_iter().collect();
         let telemetry_on = self.telemetry.is_enabled();
         let servers_ref = &self.servers;
@@ -1196,6 +1221,7 @@ impl SimCluster {
 
     /// Damped fixed-point solve of the closed-loop equilibrium.
     fn solve_equilibrium(&mut self) -> Equilibrium {
+        let _solver_span = wallspan::span("sim.solver");
         let n = self.groups.len();
         let mut x: Vec<f64> = self
             .group_x
@@ -1217,12 +1243,18 @@ impl SimCluster {
         let mut group_r_ms: Vec<f64> = vec![0.0; x.len()];
         // Locality does not change during the solve: compute the table once
         // (in parallel) instead of per iteration.
-        let localities = self.partition_localities();
+        let localities = {
+            let _s = wallspan::span("sim.locality");
+            self.partition_localities()
+        };
         let threads = self.threads;
         for iter in 0..SOLVER_ITERS {
             // Heavier damping once roughly settled, to kill limit cycles.
             let damping = if iter < SOLVER_ITERS / 2 { 0.35 } else { 0.15 };
-            let demands = self.build_demands(&x, &localities);
+            let demands = {
+                let _s = wallspan::span("solver.demands");
+                self.build_demands(&x, &localities)
+            };
             server_evals.clear();
             // Evaluate each server under the current demand — independent
             // per server, so fan out over stable server-ID order and merge
@@ -1230,9 +1262,12 @@ impl SimCluster {
             let entries: Vec<(&ServerId, &Vec<PartitionDemand>)> = demands.iter().collect();
             let params = &self.params;
             let servers = &self.servers;
+            let fanout_span = wallspan::span("solver.fanout");
+            let span_ctx = wallspan::current_context();
             type ServerOutcome = (Option<ServerEval>, Vec<(PartitionId, (f64, f64, f64))>);
             let outcomes: Vec<ServerOutcome> =
                 simcore::par::map(threads, &entries, |(sid, parts)| {
+                    let _eval_span = span_ctx.child_shard("solver.evaluate", sid.0);
                     let server = &servers[*sid];
                     if server.state != ServerState::Online {
                         let pen = params.unavailable_penalty_ms;
@@ -1265,6 +1300,10 @@ impl SimCluster {
                         .collect();
                     (Some(eval), resp)
                 });
+            drop(fanout_span);
+            // Covers the ID-order merge and the group-throughput update to
+            // the end of the iteration.
+            let _merge_span = wallspan::span("solver.merge");
             let mut response: BTreeMap<PartitionId, (f64, f64, f64)> = BTreeMap::new();
             for ((sid, _), (eval, resp)) in entries.iter().zip(outcomes) {
                 for (p, r) in resp {
@@ -1316,12 +1355,15 @@ impl SimCluster {
         // evaluation at the cycle-averaged rates to build each server's
         // response-time mixture. Nothing here feeds back into `x`, so
         // group throughputs are exactly what they were without it.
+        let _latency_span = wallspan::span("sim.latency");
         let demands = self.build_demands(&x, &localities);
         let entries: Vec<(&ServerId, &Vec<PartitionDemand>)> = demands.iter().collect();
         let params = &self.params;
         let servers = &self.servers;
+        let span_ctx = wallspan::current_context();
         let latencies: Vec<LatencySummary> =
             simcore::par::map(threads, &entries, |(sid, parts)| {
+                let _eval_span = span_ctx.child_shard("latency.evaluate", sid.0);
                 let server = &servers[*sid];
                 if server.state != ServerState::Online {
                     // Clients still routed here block and retry.

@@ -559,6 +559,7 @@ impl Actuator {
 
     /// Executes ready steps; returns `true` when the plan has completed.
     pub fn advance(&mut self, cluster: &mut dyn ElasticCluster) -> bool {
+        let _span = telemetry::span::span("actuator.advance");
         let now = cluster.now();
         loop {
             let Some(front) = self.steps.front() else {

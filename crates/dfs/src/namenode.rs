@@ -249,6 +249,7 @@ impl Namenode {
         threads: usize,
         queries: &[(DataNodeId, Vec<(DfsFileId, u64)>)],
     ) -> Vec<f64> {
+        let _span = telemetry::span::span("dfs.locality_batch");
         simcore::par::map(threads, queries, |(node, served)| self.locality_index(*node, served))
     }
 

@@ -274,6 +274,7 @@ impl CfStore {
         row_limit: usize,
         counter: Option<AccessCounter>,
     ) -> ScanRows {
+        let _span = telemetry::span::span("hstore.scan");
         let mut out: ScanRows = Vec::new();
         let mut current_row: Option<&RowKey> = None;
         let mut current_cells: Vec<(Qualifier, Bytes)> = Vec::new();
@@ -346,6 +347,7 @@ impl CfStore {
         if self.memstore.is_empty() {
             return None;
         }
+        let _span = telemetry::span::span("hstore.flush");
         let cells = self.memstore.drain_sorted();
         let file = HFile::build(self.ids.next(), cells, self.block_size);
         let outcome = FlushOutcome { file: file.id(), bytes: file.total_bytes() };
@@ -376,6 +378,10 @@ impl CfStore {
     }
 
     fn merge_files(&mut self, inputs: Vec<Arc<HFile>>, major: bool) -> Option<CompactionOutcome> {
+        let _span = telemetry::span::span_labeled(
+            "hstore.compact",
+            &[("kind", if major { "major" } else { "minor" })],
+        );
         let replaced: Vec<FileId> = inputs.iter().map(|f| f.id()).collect();
         let bytes_read: u64 = inputs.iter().map(|f| f.total_bytes()).sum();
 

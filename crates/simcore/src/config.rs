@@ -58,6 +58,20 @@ pub struct EnvConfig {
     pub perf_commit: Option<String>,
     /// `MET_BENCH_PATH` — `exp-perf` output path.
     pub bench_path: Option<PathBuf>,
+    /// `MET_PROFILE` / `MET_SPANS` — arm the wall-clock span profiler
+    /// (`telemetry::span`). Truthy values: `1`, `true`, `on`, `yes`.
+    pub profile: bool,
+    /// `MET_PROFILE_OUT` — directory for `exp-profile` artifacts (Chrome
+    /// traces, phase table).
+    pub profile_out: Option<PathBuf>,
+    /// `MET_PROFILE_MINUTES` — simulated minutes per `exp-profile` leg.
+    pub profile_minutes: Option<u64>,
+}
+
+/// Interprets a profiler-gate string: `1`, `true`, `on`, `yes`
+/// (case-insensitive) arm it, anything else leaves it off.
+fn is_truthy(s: &str) -> bool {
+    matches!(s.trim().to_ascii_lowercase().as_str(), "1" | "true" | "on" | "yes")
 }
 
 impl EnvConfig {
@@ -90,6 +104,10 @@ impl EnvConfig {
                 .map(|s| s.trim().to_string())
                 .filter(|s| !s.is_empty()),
             bench_path: get("MET_BENCH_PATH").map(PathBuf::from),
+            profile: get("MET_PROFILE").as_deref().map(is_truthy).unwrap_or(false)
+                || get("MET_SPANS").as_deref().map(is_truthy).unwrap_or(false),
+            profile_out: get("MET_PROFILE_OUT").map(PathBuf::from),
+            profile_minutes: get("MET_PROFILE_MINUTES").and_then(|s| s.trim().parse().ok()),
         }
     }
 
@@ -135,6 +153,9 @@ mod tests {
         assert_eq!(c.fault_seed, 42);
         assert_eq!(c.scale_sizes, None);
         assert!(!c.scale_assert_speedup);
+        assert!(!c.profile, "profiling is off by default");
+        assert_eq!(c.profile_out, None);
+        assert_eq!(c.profile_minutes, None);
     }
 
     #[test]
@@ -157,6 +178,9 @@ mod tests {
             ("MET_PERF_THREADS", "2"),
             ("MET_PERF_COMMIT", " abc1234 "),
             ("MET_BENCH_PATH", "/tmp/BENCH_perf.json"),
+            ("MET_PROFILE", "1"),
+            ("MET_PROFILE_OUT", "/tmp/profile"),
+            ("MET_PROFILE_MINUTES", "6"),
         ]));
         assert_eq!(c.threads, 4);
         assert_eq!(c.trace_path.as_deref(), Some(std::path::Path::new("/tmp/trail.jsonl")));
@@ -175,6 +199,20 @@ mod tests {
         assert_eq!(c.perf_threads, Some(2));
         assert_eq!(c.perf_commit.as_deref(), Some("abc1234"));
         assert_eq!(c.bench_path.as_deref(), Some(std::path::Path::new("/tmp/BENCH_perf.json")));
+        assert!(c.profile);
+        assert_eq!(c.profile_out.as_deref(), Some(std::path::Path::new("/tmp/profile")));
+        assert_eq!(c.profile_minutes, Some(6));
+    }
+
+    #[test]
+    fn profile_gate_accepts_either_knob_and_truthy_spellings() {
+        for v in ["1", "true", "ON", "yes"] {
+            assert!(EnvConfig::from_lookup(lookup(&[("MET_PROFILE", v)])).profile, "{v}");
+            assert!(EnvConfig::from_lookup(lookup(&[("MET_SPANS", v)])).profile, "{v}");
+        }
+        for v in ["0", "false", "off", "", "maybe"] {
+            assert!(!EnvConfig::from_lookup(lookup(&[("MET_PROFILE", v)])).profile, "{v:?}");
+        }
     }
 
     #[test]

@@ -32,10 +32,12 @@
 pub mod event;
 pub mod registry;
 pub mod sink;
+pub mod span;
 
 pub use event::{parse_trace, Event, EventKind, Level, TelemetryEvent};
 pub use registry::{HistogramSummary, MetricsBuffer, MetricsRegistry, MetricsSnapshot};
 pub use sink::{JsonlSink, RingBufferSink};
+pub use span::{SpanContext, SpanGuard, SpanRecord, SpanStats};
 
 use simcore::SimTime;
 use std::sync::{Arc, Mutex};
@@ -269,6 +271,23 @@ impl Telemetry {
             None => MetricsSnapshot::default(),
             Some(inner) => inner.lock().unwrap().registry.snapshot(),
         }
+    }
+
+    /// Renders the registry in the Prometheus text exposition format (see
+    /// [`MetricsSnapshot::render_prometheus`]). Empty string when disabled.
+    pub fn render_prometheus(&self) -> String {
+        self.metrics().render_prometheus()
+    }
+
+    /// Opens a wall-clock profiling span (see [`span`](crate::span)).
+    ///
+    /// This is sugar for [`span::span_labeled`]: the profiler is
+    /// process-global and gated by `MET_PROFILE`/`MET_SPANS`, *not* by this
+    /// handle's enablement — a disabled handle still profiles when the
+    /// profiler is armed, and vice versa, because wall-clock spans must
+    /// never influence (or depend on) the deterministic event pipeline.
+    pub fn span(&self, name: &'static str, labels: &[(&'static str, &str)]) -> SpanGuard {
+        span::span_labeled(name, labels)
     }
 }
 

@@ -302,6 +302,94 @@ impl MetricsSnapshot {
     pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
         self.histograms.iter().find(|(k, _)| k.name == name).map(|(_, h)| h)
     }
+
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (version 0.0.4): counters and gauges as-is, histograms as summaries
+    /// with `quantile` labels plus `_sum`/`_count` series. Output is fully
+    /// ordered (snapshots are key-sorted), so two renders of equal
+    /// snapshots are byte-identical — scrapeable *and* diffable.
+    pub fn render_prometheus(&self) -> String {
+        fn type_line(out: &mut String, last: &mut Option<String>, name: &str, kind: &str) {
+            if last.as_deref() != Some(name) {
+                out.push_str("# TYPE ");
+                out.push_str(name);
+                out.push(' ');
+                out.push_str(kind);
+                out.push('\n');
+                *last = Some(name.to_string());
+            }
+        }
+        let mut out = String::new();
+        let mut last: Option<String> = None;
+        for (key, value) in &self.counters {
+            type_line(&mut out, &mut last, &key.name, "counter");
+            write_series(&mut out, &key.name, "", &key.labels, &[], &value.to_string());
+        }
+        last = None;
+        for (key, value) in &self.gauges {
+            type_line(&mut out, &mut last, &key.name, "gauge");
+            write_series(&mut out, &key.name, "", &key.labels, &[], &fmt_f64(*value));
+        }
+        last = None;
+        for (key, h) in &self.histograms {
+            type_line(&mut out, &mut last, &key.name, "summary");
+            for (q, v) in [("0.5", h.p50), ("0.95", h.p95), ("0.99", h.p99)] {
+                write_series(&mut out, &key.name, "", &key.labels, &[("quantile", q)], &fmt_f64(v));
+            }
+            write_series(&mut out, &key.name, "_sum", &key.labels, &[], &fmt_f64(h.sum));
+            write_series(&mut out, &key.name, "_count", &key.labels, &[], &h.count.to_string());
+        }
+        out
+    }
+}
+
+/// Formats an `f64` the way Prometheus expects (shortest round-trip
+/// representation; Rust's `Display` already provides it).
+fn fmt_f64(v: f64) -> String {
+    if v.is_infinite() {
+        return if v > 0.0 { "+Inf".to_string() } else { "-Inf".to_string() };
+    }
+    format!("{v}")
+}
+
+/// Appends one exposition line: `name[suffix]{labels,extras} value`.
+fn write_series(
+    out: &mut String,
+    name: &str,
+    suffix: &str,
+    labels: &[(String, String)],
+    extras: &[(&str, &str)],
+    value: &str,
+) {
+    out.push_str(name);
+    out.push_str(suffix);
+    if !labels.is_empty() || !extras.is_empty() {
+        out.push('{');
+        let mut first = true;
+        for (k, v) in
+            labels.iter().map(|(k, v)| (k.as_str(), v.as_str())).chain(extras.iter().copied())
+        {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(k);
+            out.push_str("=\"");
+            for c in v.chars() {
+                match c {
+                    '\\' => out.push_str("\\\\"),
+                    '"' => out.push_str("\\\""),
+                    '\n' => out.push_str("\\n"),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(value);
+    out.push('\n');
 }
 
 #[cfg(test)]
@@ -412,6 +500,69 @@ mod tests {
         let mut r = MetricsRegistry::new();
         r.merge(&buf);
         assert_eq!(r.gauge("g", &[]), Some(2.0));
+    }
+
+    #[test]
+    fn empty_histogram_summary_is_all_zero() {
+        // The registry never exposes an empty histogram (absent instead),
+        // but the summary itself must stay well-defined: zeros, not NaN
+        // or the ±infinity sentinels `min`/`max` start from.
+        let h = Histogram::new().summary();
+        assert_eq!(h.count, 0);
+        assert_eq!(h.sum, 0.0);
+        assert_eq!(h.min, 0.0);
+        assert_eq!(h.max, 0.0);
+        assert_eq!(h.p50, 0.0);
+        assert_eq!(h.p95, 0.0);
+        assert_eq!(h.p99, 0.0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_percentiles_all_report_that_sample() {
+        let mut r = MetricsRegistry::new();
+        // 7.0 falls in the (5, 10] bucket; the bound estimate (10) must be
+        // capped at the observed max.
+        r.observe("one", &[], 7.0);
+        let h = r.histogram("one", &[]).unwrap();
+        assert_eq!((h.min, h.max), (7.0, 7.0));
+        assert_eq!(h.p50, 7.0);
+        assert_eq!(h.p95, 7.0);
+        assert_eq!(h.p99, 7.0);
+    }
+
+    #[test]
+    fn all_equal_samples_collapse_every_percentile() {
+        let mut r = MetricsRegistry::new();
+        for _ in 0..1_000 {
+            r.observe("flat", &[], 42.0);
+        }
+        let h = r.histogram("flat", &[]).unwrap();
+        assert_eq!(h.count, 1_000);
+        // All observations share one bucket (25, 50]; the bound estimate
+        // (50) is capped at the max, so every percentile is exactly 42.
+        assert_eq!(h.p50, 42.0);
+        assert_eq!(h.p95, 42.0);
+        assert_eq!(h.p99, 42.0);
+        assert!((h.mean() - 42.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prometheus_rendering_escapes_and_orders() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("actions_total", &[("kind", "a\"b\\c\nd")], 3);
+        r.gauge_set("warmth", &[("server", "1")], 0.25);
+        r.observe("span_ms", &[("span", "tick")], 2.0);
+        let text = r.snapshot().render_prometheus();
+        assert!(text.contains("# TYPE actions_total counter\n"));
+        assert!(text.contains("actions_total{kind=\"a\\\"b\\\\c\\nd\"} 3\n"));
+        assert!(text.contains("# TYPE warmth gauge\nwarmth{server=\"1\"} 0.25\n"));
+        assert!(text.contains("# TYPE span_ms summary\n"));
+        assert!(text.contains("span_ms{span=\"tick\",quantile=\"0.5\"} 2\n"));
+        assert!(text.contains("span_ms_sum{span=\"tick\"} 2\n"));
+        assert!(text.contains("span_ms_count{span=\"tick\"} 1\n"));
+        // A second render of an equal snapshot is byte-identical.
+        assert_eq!(text, r.snapshot().render_prometheus());
     }
 
     #[test]

@@ -1,0 +1,48 @@
+//! Golden-file test for the Prometheus text exposition.
+//!
+//! The exposition is part of the crate's external surface (scrape targets
+//! and diff-based tooling both consume it), so its exact bytes are pinned:
+//! any format change must update `tests/golden/metrics.prom` deliberately.
+
+use telemetry::{Telemetry, Verbosity};
+
+const GOLDEN: &str = include_str!("golden/metrics.prom");
+
+fn sample_telemetry() -> Telemetry {
+    let t = Telemetry::new(Verbosity::Off);
+    t.counter_add("met_actions_total", &[("action", "move_in")], 3);
+    t.counter_add("met_actions_total", &[("action", "split")], 1);
+    t.counter_add("ticks_total", &[], 120);
+    t.gauge_set("cluster_warmth", &[("server", "1")], 0.8125);
+    t.gauge_set("cluster_warmth", &[("server", "2")], 0.5);
+    t.observe("reconfig_ms", &[("kind", "add")], 40.0);
+    t.observe("reconfig_ms", &[("kind", "add")], 75.0);
+    t.observe("reconfig_ms", &[("kind", "add")], 220.0);
+    t
+}
+
+#[test]
+fn exposition_matches_golden_file() {
+    assert_eq!(sample_telemetry().render_prometheus(), GOLDEN);
+}
+
+#[test]
+fn exposition_is_deterministic_across_insertion_orders() {
+    // Same metrics recorded in a different order must render identically:
+    // the registry is key-sorted, not insertion-ordered.
+    let t = Telemetry::new(Verbosity::Off);
+    t.observe("reconfig_ms", &[("kind", "add")], 220.0);
+    t.gauge_set("cluster_warmth", &[("server", "2")], 0.5);
+    t.counter_add("ticks_total", &[], 120);
+    t.observe("reconfig_ms", &[("kind", "add")], 40.0);
+    t.counter_add("met_actions_total", &[("action", "split")], 1);
+    t.gauge_set("cluster_warmth", &[("server", "1")], 0.8125);
+    t.counter_add("met_actions_total", &[("action", "move_in")], 3);
+    t.observe("reconfig_ms", &[("kind", "add")], 75.0);
+    assert_eq!(t.render_prometheus(), GOLDEN);
+}
+
+#[test]
+fn disabled_handle_renders_empty() {
+    assert_eq!(Telemetry::disabled().render_prometheus(), "");
+}
