@@ -116,7 +116,9 @@ pub fn run_chaos_curve_threads(
     let run = spec.run();
 
     let end = SimTime::from_mins(minutes + 2);
-    let steady_from = SimTime::from_mins(minutes + 2 - 10);
+    // Saturate for short runs (determinism gates use 6-minute curves);
+    // the steady window then just covers the whole run.
+    let steady_from = SimTime::from_mins((minutes + 2).saturating_sub(10));
     let chaos = ChaosRun {
         steady: run.total_series.mean_between(steady_from, end).unwrap_or(0.0),
         reconfigurations: run.reconfigurations,
@@ -220,6 +222,7 @@ mod tests {
                 warmup: SimDuration::from_mins(3),
                 faults: 4,
                 allow_crashes: true,
+                disk_faults: false,
             },
         );
         let telemetry = Telemetry::new(Verbosity::Off);

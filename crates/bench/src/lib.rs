@@ -4,6 +4,7 @@
 
 pub mod ablations;
 pub mod chaos;
+pub mod crash;
 pub mod elastic;
 pub mod fig1;
 pub mod fig4;

@@ -155,6 +155,27 @@ pub fn traced_chaos(seed: u64, minutes: u64, threads: usize) -> TracedRun {
     TracedRun { trace: trace_string(&telemetry), layout: layout_string(&snapshot) }
 }
 
+/// The chaos run under an arbitrary fault plan at an explicit thread
+/// count, fully traced. The disk-fault determinism gate drives this with a
+/// plan of torn writes, fsync failures and bit-rot on top of the reference
+/// chaos schedule.
+pub fn traced_chaos_with_plan(
+    seed: u64,
+    minutes: u64,
+    threads: usize,
+    plan: &FaultPlan,
+) -> TracedRun {
+    let telemetry = Telemetry::with_ring(Verbosity::Debug, 1 << 16);
+    let (_, snapshot) = crate::chaos::run_chaos_curve_threads(
+        seed,
+        minutes,
+        plan,
+        telemetry.clone(),
+        Some(threads),
+    );
+    TracedRun { trace: trace_string(&telemetry), layout: layout_string(&snapshot) }
+}
+
 /// The SLO-gated latency run at an explicit thread count, fully traced.
 /// The trace additionally carries the latency digest (per-server and
 /// per-profile p99 histograms plus the final per-server p99 gauges), so any

@@ -8,7 +8,8 @@
 //! `f64` fields print shortest-round-trip — any bit difference anywhere in
 //! the run shows up as a string difference here.
 
-use met_bench::scale::{traced_chaos, traced_fig4, traced_latency};
+use met_bench::scale::{traced_chaos, traced_chaos_with_plan, traced_fig4, traced_latency};
+use simcore::{FaultPlan, FaultSpec, ScheduledFault, SimTime};
 
 fn assert_identical(
     name: &str,
@@ -74,6 +75,34 @@ fn chaos_trace_is_unchanged_by_profiling() {
     telemetry::span::set_enabled(false);
     let _ = telemetry::span::drain();
     assert_identical("chaos profiled", &baseline, &profiled);
+}
+
+#[test]
+fn disk_fault_trace_is_byte_identical_across_thread_counts() {
+    // WAL backlog accounting, replay outage extension, and the disk-fault
+    // injector (torn write, fsync failure, bit-rot) all run inside the
+    // parallel phases; their telemetry (RecoveryStarted/Completed,
+    // CorruptionDetected, FaultInjected) must not depend on thread count.
+    let mut faults: Vec<ScheduledFault> = FaultPlan::reference().faults().to_vec();
+    faults.push(ScheduledFault {
+        at: SimTime::from_secs(360),
+        spec: FaultSpec::TornWrite { bytes: 512 },
+    });
+    faults.push(ScheduledFault { at: SimTime::from_secs(400), spec: FaultSpec::FsyncFail });
+    faults
+        .push(ScheduledFault { at: SimTime::from_secs(440), spec: FaultSpec::BitRot { block: 3 } });
+    let plan = FaultPlan::new(faults);
+    let seq = traced_chaos_with_plan(1_000, 10, 1, &plan);
+    let par = traced_chaos_with_plan(1_000, 10, 4, &plan);
+    assert_identical("disk-fault chaos", &seq, &par);
+    assert!(
+        seq.trace.contains("corruption_detected"),
+        "the bit-rot fault must surface in the trace"
+    );
+    assert!(
+        seq.trace.contains("recovery_started"),
+        "re-homing a crashed server's partitions must start a WAL replay"
+    );
 }
 
 #[test]

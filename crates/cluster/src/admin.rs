@@ -72,6 +72,10 @@ pub struct PartitionMetrics {
     /// Fraction of the partition's bytes locally readable on its current
     /// server (1.0 when unassigned or empty).
     pub locality: f64,
+    /// WAL bytes stranded by a crash of the partition's last host, still
+    /// awaiting replay. Non-zero only between a crash and the partition's
+    /// re-homing; the control plane reads it to report recovery work.
+    pub wal_backlog_bytes: u64,
 }
 
 /// A point-in-time view of the whole cluster.

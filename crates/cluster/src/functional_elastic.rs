@@ -107,6 +107,7 @@ impl ElasticCluster for FunctionalElastic {
                 assigned_to: Some(sid),
                 // No DFS under the functional layer: always local.
                 locality: 1.0,
+                wal_backlog_bytes: 0,
             });
         }
         let servers = self

@@ -178,6 +178,13 @@ struct SimPartition {
     files: Vec<(DfsFileId, u64)>,
     unflushed_bytes: f64,
     moving_until: Option<SimTime>,
+    // WAL backlog stranded by a crash: bytes that were in the memstore
+    // when the host died and now exist only in the log, awaiting replay
+    // on whichever server the partition is re-homed to.
+    recovery_backlog: f64,
+    // In-flight replay: (started, wal_bytes); resolved when the move
+    // outage expires.
+    recovering: Option<(SimTime, u64)>,
 }
 
 /// Lifecycle state of a simulated server.
@@ -254,6 +261,13 @@ pub struct SimCluster {
     telemetry: Telemetry,
     faults: FaultInjector,
     rerep_mb_s: f64,
+    // Whether region servers keep a write-ahead log. On (the default, as
+    // in HBase), a crash strands the victim's memstore bytes as WAL
+    // backlog that must be replayed — at `wal_replay_mb_s` — before a
+    // re-homed partition serves again. Off reproduces the pre-WAL model:
+    // crashes are instantaneous hand-offs with no replay cost.
+    wal_durable: bool,
+    wal_replay_mb_s: f64,
 }
 
 impl SimCluster {
@@ -289,7 +303,28 @@ impl SimCluster {
             telemetry: Telemetry::disabled(),
             faults: FaultInjector::disabled(),
             rerep_mb_s: 50.0,
+            wal_durable: true,
+            wal_replay_mb_s: 50.0,
         }
+    }
+
+    /// Enables or disables the WAL durability model. Disabling it restores
+    /// the legacy crash semantics — no replay backlog, no recovery outage —
+    /// and with it byte-identical traces to builds that predate the WAL.
+    pub fn set_wal_durability(&mut self, on: bool) {
+        self.wal_durable = on;
+    }
+
+    /// Whether the WAL durability model is active.
+    pub fn wal_durable(&self) -> bool {
+        self.wal_durable
+    }
+
+    /// Sets the WAL replay rate (MB/s) a recovering partition's log is
+    /// drained at when it is re-homed after a crash.
+    pub fn set_wal_replay_rate_mb_s(&mut self, mb_s: f64) {
+        assert!(mb_s > 0.0, "replay rate must be positive");
+        self.wal_replay_mb_s = mb_s;
     }
 
     /// Overrides the thread count for this cluster's parallel phases.
@@ -364,6 +399,27 @@ impl SimCluster {
         s.last_rps = 0.0;
         s.last_latency = LatencySummary::default();
         let orphans = self.assignment.values().filter(|sid| **sid == server).count();
+        // With a WAL the victim's memstore contents survive as log backlog:
+        // nothing is acknowledged-then-lost, but every orphaned partition
+        // owes a replay before it serves again. Without one (legacy model)
+        // the unflushed bytes ride along untouched, as if crashes were
+        // graceful hand-offs.
+        let mut wal_backlog = 0.0;
+        if self.wal_durable {
+            let orphan_ids: Vec<PartitionId> = self
+                .assignment
+                .iter()
+                .filter(|(_, sid)| **sid == server)
+                .map(|(p, _)| *p)
+                .collect();
+            for p in orphan_ids {
+                let part = self.partitions.get_mut(&p).expect("assigned partition exists");
+                wal_backlog += part.unflushed_bytes;
+                part.recovery_backlog += part.unflushed_bytes;
+                part.unflushed_bytes = 0.0;
+            }
+            self.telemetry.counter_add("sim_wal_backlog_bytes_total", &[], wal_backlog as u64);
+        }
         let _ = self.namenode.fail_datanode(DataNodeId(server.0));
         self.telemetry.counter_add("sim_server_crashes_total", &[], 1);
         self.telemetry.emit(
@@ -371,7 +427,15 @@ impl SimCluster {
             TelemetryEvent::FaultInjected {
                 kind: "server_crash".to_string(),
                 target: Some(server.0),
-                detail: format!("server {server} crashed; {orphans} partitions orphaned"),
+                detail: if self.wal_durable {
+                    format!(
+                        "server {server} crashed; {orphans} partitions orphaned, \
+                         {} B of WAL backlog to replay",
+                        wal_backlog as u64
+                    )
+                } else {
+                    format!("server {server} crashed; {orphans} partitions orphaned")
+                },
             },
         );
         true
@@ -408,6 +472,82 @@ impl SimCluster {
                         detail: format!("datanode dn-{} lost; blocks under-replicated", victim.0),
                     },
                 );
+            }
+        }
+        // Disk faults. A torn write or a failed fsync is fatal to the
+        // store process (the storage layer refuses further writes on
+        // either — see hstore's Wal), so both materialise as a crash of
+        // the affected server; WAL replay then recovers everything that
+        // was acknowledged before the fault.
+        for bytes in self.faults.take_torn_writes(self.now) {
+            let online = self.online_server_ids();
+            if online.is_empty() {
+                continue;
+            }
+            let victim = online[(bytes as usize) % online.len()];
+            self.telemetry.counter_add("sim_disk_faults_total", &[("kind", "torn_write")], 1);
+            self.telemetry.emit(
+                self.now,
+                TelemetryEvent::FaultInjected {
+                    kind: "torn_write".to_string(),
+                    target: Some(victim.0),
+                    detail: format!(
+                        "torn WAL write ({bytes} B reached disk) on server {victim}; \
+                         process killed, tail truncates on replay"
+                    ),
+                },
+            );
+            self.crash_server(victim);
+        }
+        for _ in 0..self.faults.take_fsync_fails(self.now) {
+            let online = self.online_server_ids();
+            let Some(&victim) = online.first() else { continue };
+            self.telemetry.counter_add("sim_disk_faults_total", &[("kind", "fsync_fail")], 1);
+            self.telemetry.emit(
+                self.now,
+                TelemetryEvent::FaultInjected {
+                    kind: "fsync_fail".to_string(),
+                    target: Some(victim.0),
+                    detail: format!(
+                        "fsync failed on server {victim}; store aborted rather than \
+                         acknowledge non-durable writes"
+                    ),
+                },
+            );
+            self.crash_server(victim);
+        }
+        // Bit-rot flips bits in an already-written store file. The block
+        // checksum catches it on the next read; the repair is a rewrite of
+        // the damaged file, charged to the owner as background compaction.
+        for block in self.faults.take_bit_rots(self.now) {
+            let assigned: Vec<PartitionId> = self.assignment.keys().copied().collect();
+            if assigned.is_empty() {
+                continue;
+            }
+            let p = assigned[block % assigned.len()];
+            let sid = self.assignment[&p];
+            let part = &self.partitions[&p];
+            let Some(&(fid, fbytes)) = part.files.get(block % part.files.len().max(1)) else {
+                continue;
+            };
+            let offset = (block as u64) * 65_536 % fbytes.max(1);
+            self.telemetry.counter_add("sim_corruptions_detected_total", &[], 1);
+            self.telemetry.emit(
+                self.now,
+                TelemetryEvent::CorruptionDetected {
+                    server: sid.0,
+                    file: fid.0,
+                    offset,
+                    detail: format!(
+                        "block checksum mismatch in file {} of partition {}; \
+                         rewriting the file from replicas",
+                        fid.0, p.0
+                    ),
+                },
+            );
+            if let Some(server) = self.servers.get_mut(&sid) {
+                // Read the replica + rewrite the file.
+                server.compaction_backlog.push_back((p, 2.0 * fbytes as f64));
             }
         }
     }
@@ -482,6 +622,8 @@ impl SimCluster {
                 files: Vec::new(),
                 unflushed_bytes: 0.0,
                 moving_until: None,
+                recovery_backlog: 0.0,
+                recovering: None,
             },
         );
         id
@@ -610,9 +752,30 @@ impl SimCluster {
 
     fn do_move(&mut self, p: PartitionId, to: ServerId) {
         self.assignment.insert(p, to);
-        let outage = SimDuration::from_secs_f64(self.params.move_outage_s);
+        let mut outage = SimDuration::from_secs_f64(self.params.move_outage_s);
         let part = self.partitions.get_mut(&p).expect("moving unknown partition");
+        // A crash-orphaned partition pays for WAL replay on top of the
+        // close/open outage; the replayed records land back in the new
+        // host's memstore and flush through the normal path.
+        let mut replay: Option<u64> = None;
+        if self.wal_durable && part.recovery_backlog > 0.0 {
+            let wal_bytes = part.recovery_backlog as u64;
+            outage = outage
+                + SimDuration::from_secs_f64(part.recovery_backlog / (self.wal_replay_mb_s * 1e6));
+            part.unflushed_bytes += part.recovery_backlog;
+            part.recovery_backlog = 0.0;
+            part.recovering = Some((self.now, wal_bytes));
+            replay = Some(wal_bytes);
+        }
         part.moving_until = Some(self.now + outage);
+        if let Some(wal_bytes) = replay {
+            self.telemetry.counter_add("sim_wal_replays_total", &[], 1);
+            self.telemetry.counter_add("sim_wal_replayed_bytes_total", &[], wal_bytes);
+            self.telemetry.emit(
+                self.now,
+                TelemetryEvent::RecoveryStarted { server: to.0, region: p.0, wal_bytes },
+            );
+        }
     }
 
     /// Registers a client group.
@@ -764,13 +927,30 @@ impl SimCluster {
                 _ => {}
             }
         }
-        // Clear completed moves.
-        for part in self.partitions.values_mut() {
+        // Clear completed moves; a move that carried WAL replay reports
+        // the recovery as done (collect first — emitting borrows `self`).
+        let mut recoveries: Vec<(PartitionId, SimTime, u64)> = Vec::new();
+        for (pid, part) in self.partitions.iter_mut() {
             if let Some(t) = part.moving_until {
                 if t <= self.now {
                     part.moving_until = None;
+                    if let Some((started, wal_bytes)) = part.recovering.take() {
+                        recoveries.push((*pid, started, wal_bytes));
+                    }
                 }
             }
+        }
+        for (pid, started, wal_bytes) in recoveries {
+            let server = self.assignment.get(&pid).map(|s| s.0).unwrap_or(0);
+            self.telemetry.emit(
+                self.now,
+                TelemetryEvent::RecoveryCompleted {
+                    server,
+                    region: pid.0,
+                    wal_bytes,
+                    duration_ms: self.now.since(started).as_millis(),
+                },
+            );
         }
 
         // 2. Periodic HBase count balancer, when enabled.
@@ -1108,6 +1288,8 @@ impl SimCluster {
                 files: give,
                 unflushed_bytes: part.unflushed_bytes,
                 moving_until: None,
+                recovery_backlog: 0.0,
+                recovering: None,
             };
             self.next_partition += 1;
             self.partitions.insert(q, daughter);
@@ -1513,6 +1695,7 @@ impl ElasticCluster for SimCluster {
                 size_bytes: p.size_bytes as u64,
                 assigned_to: self.assignment.get(id).copied(),
                 locality: localities.get(id).copied().unwrap_or(1.0),
+                wal_backlog_bytes: p.recovery_backlog as u64,
             })
             .collect();
         ClusterSnapshot { at: self.now, servers, partitions }
@@ -2111,6 +2294,149 @@ mod tests {
         assert!(sim.under_replicated_bytes() > 0, "crash must strand block replicas");
         sim.run_ticks(600);
         assert_eq!(sim.under_replicated_bytes(), 0, "background repair drains the queue");
+    }
+
+    #[test]
+    fn crash_strands_wal_backlog_and_rehoming_replays_it() {
+        let (mut sim, parts) = basic_cluster(3, 14);
+        let w = 1.0 / parts.len() as f64;
+        sim.add_group(ClientGroup::with_common_weights(
+            "writers",
+            50.0,
+            0.5,
+            None,
+            OpMix::write_only(),
+            parts.iter().map(|p| (*p, w)).collect(),
+            1.0,
+            0.0,
+        ));
+        let telemetry = Telemetry::with_ring(telemetry::Verbosity::Info, 4096);
+        sim.set_telemetry(telemetry.clone());
+        // Slow replay so the recovery outage spans several ticks.
+        sim.set_wal_replay_rate_mb_s(1.0);
+        sim.run_ticks(30);
+        let victim = sim.online_server_ids()[0];
+        let orphaned: Vec<PartitionId> =
+            parts.iter().copied().filter(|p| sim.partition_server(*p) == Some(victim)).collect();
+        assert!(!orphaned.is_empty(), "victim should host something");
+        assert!(sim.crash_server(victim));
+        let snap = sim.snapshot();
+        let backlog: u64 = snap
+            .partitions
+            .iter()
+            .filter(|m| orphaned.contains(&m.partition))
+            .map(|m| m.wal_backlog_bytes)
+            .sum();
+        assert!(backlog > 0, "crash must strand the victim's memstore as WAL backlog");
+        let backlog_p = snap
+            .partitions
+            .iter()
+            .find(|m| m.partition == orphaned[0])
+            .map(|m| m.wal_backlog_bytes)
+            .unwrap();
+        assert!(backlog_p > 0, "the re-homed orphan itself carries backlog");
+        // Re-homing an orphan consumes the backlog and starts replay.
+        let target = sim.online_server_ids()[0];
+        sim.move_partition(orphaned[0], target).unwrap();
+        assert!(
+            telemetry.events().iter().any(|e| matches!(e.data,
+                TelemetryEvent::RecoveryStarted { region, wal_bytes, .. }
+                    if region == orphaned[0].0 && wal_bytes > 0)),
+            "re-homing must start WAL replay"
+        );
+        let snap = sim.snapshot();
+        let pm = snap.partitions.iter().find(|m| m.partition == orphaned[0]).unwrap();
+        assert_eq!(pm.wal_backlog_bytes, 0, "the move consumed the backlog");
+        // Replay finishes and reports the move outage plus the modeled
+        // replay time (backlog at 1 MB/s).
+        sim.run_ticks(600);
+        let min_ms = 3_000.0 + backlog_p as f64 / 1e6 * 1_000.0;
+        assert!(
+            telemetry.events().iter().any(|e| matches!(e.data,
+                TelemetryEvent::RecoveryCompleted { region, duration_ms, .. }
+                    if region == orphaned[0].0 && duration_ms as f64 >= min_ms)),
+            "replay must complete no faster than outage + backlog/rate ({min_ms} ms)"
+        );
+    }
+
+    #[test]
+    fn wal_durability_off_restores_legacy_crash_semantics() {
+        let (mut sim, parts) = basic_cluster(3, 14);
+        let w = 1.0 / parts.len() as f64;
+        sim.add_group(ClientGroup::with_common_weights(
+            "writers",
+            50.0,
+            0.5,
+            None,
+            OpMix::write_only(),
+            parts.iter().map(|p| (*p, w)).collect(),
+            1.0,
+            0.0,
+        ));
+        let telemetry = Telemetry::with_ring(telemetry::Verbosity::Info, 4096);
+        sim.set_telemetry(telemetry.clone());
+        sim.set_wal_durability(false);
+        sim.run_ticks(30);
+        let victim = sim.online_server_ids()[0];
+        let orphaned: Vec<PartitionId> =
+            parts.iter().copied().filter(|p| sim.partition_server(*p) == Some(victim)).collect();
+        assert!(!orphaned.is_empty());
+        assert!(sim.crash_server(victim));
+        let snap = sim.snapshot();
+        assert!(
+            snap.partitions.iter().all(|m| m.wal_backlog_bytes == 0),
+            "legacy model strands no backlog"
+        );
+        let target = sim.online_server_ids()[0];
+        sim.move_partition(orphaned[0], target).unwrap();
+        sim.run_ticks(60);
+        assert!(
+            !telemetry.events().iter().any(|e| matches!(
+                e.data,
+                TelemetryEvent::RecoveryStarted { .. } | TelemetryEvent::RecoveryCompleted { .. }
+            )),
+            "legacy model performs no WAL replay"
+        );
+    }
+
+    #[test]
+    fn disk_faults_crash_or_corrupt_through_the_injector() {
+        use simcore::fault::{FaultSpec, ScheduledFault};
+        use simcore::FaultPlan;
+        let (mut sim, parts) = basic_cluster(3, 15);
+        sim.add_group(read_group(&parts, 50.0));
+        let telemetry = Telemetry::with_ring(telemetry::Verbosity::Info, 4096);
+        sim.set_telemetry(telemetry.clone());
+        let before = sim.online_server_ids().len();
+        let plan = FaultPlan::new(vec![
+            ScheduledFault { at: SimTime::from_secs(3), spec: FaultSpec::TornWrite { bytes: 17 } },
+            ScheduledFault { at: SimTime::from_secs(5), spec: FaultSpec::FsyncFail },
+            ScheduledFault { at: SimTime::from_secs(7), spec: FaultSpec::BitRot { block: 2 } },
+        ]);
+        sim.set_fault_injector(plan.injector());
+        sim.run_ticks(10);
+        assert_eq!(
+            sim.online_server_ids().len(),
+            before - 2,
+            "torn write and fsync failure each kill a server"
+        );
+        let kinds: Vec<String> = telemetry
+            .events()
+            .iter()
+            .filter_map(|e| match &e.data {
+                TelemetryEvent::FaultInjected { kind, .. } => Some(kind.clone()),
+                _ => None,
+            })
+            .collect();
+        assert!(kinds.contains(&"torn_write".to_string()), "{kinds:?}");
+        assert!(kinds.contains(&"fsync_fail".to_string()), "{kinds:?}");
+        assert!(
+            telemetry
+                .events()
+                .iter()
+                .any(|e| matches!(e.data, TelemetryEvent::CorruptionDetected { .. })),
+            "bit-rot must surface as a corruption event"
+        );
     }
 
     #[test]

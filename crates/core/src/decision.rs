@@ -453,6 +453,7 @@ mod tests {
                 size_bytes: p.size_bytes,
                 assigned_to: p.assigned_to,
                 locality: 1.0,
+                wal_backlog_bytes: 0,
             })
             .collect();
         ClusterSnapshot { at: SimTime::ZERO, servers, partitions }

@@ -275,7 +275,7 @@ impl Met {
             .partitions
             .iter()
             .filter(|p| p.assigned_to.is_some_and(|s| !present.contains(&s)))
-            .map(|p| p.partition)
+            .map(|p| (p.partition, p.wal_backlog_bytes))
             .collect();
         if orphans.is_empty() {
             return;
@@ -286,7 +286,7 @@ impl Met {
             .filter(|s| s.health == ServerHealth::Online)
             .map(|s| (s.server, s.partitions.len()))
             .collect();
-        for partition in orphans {
+        for (partition, wal_backlog) in orphans {
             let Some(target) = load.iter().min_by_key(|(id, n)| (**n, id.0)).map(|(id, _)| *id)
             else {
                 break;
@@ -294,13 +294,23 @@ impl Met {
             if cluster.move_partition(partition, target).is_ok() {
                 *load.get_mut(&target).expect("target came from load map") += 1;
                 self.telemetry.counter_add("met_orphans_reassigned_total", &[], 1);
+                if wal_backlog > 0 {
+                    self.telemetry.counter_add("met_wal_replay_bytes_total", &[], wal_backlog);
+                }
                 self.telemetry.emit(
                     now,
                     TelemetryEvent::ActionStarted {
                         action: "orphan_reassign".to_string(),
                         server: target.0,
                         partition: Some(partition.0),
-                        detail: "re-homing a partition orphaned by a crashed server".to_string(),
+                        detail: if wal_backlog > 0 {
+                            format!(
+                                "re-homing a partition orphaned by a crashed server; \
+                                 {wal_backlog} B of WAL to replay"
+                            )
+                        } else {
+                            "re-homing a partition orphaned by a crashed server".to_string()
+                        },
                     },
                 );
                 self.events.push(MetEvent {

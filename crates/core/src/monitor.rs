@@ -338,6 +338,7 @@ mod tests {
                 size_bytes: 1_000,
                 assigned_to: Some(ServerId(1)),
                 locality: 0.95,
+                wal_backlog_bytes: 0,
             }],
         }
     }

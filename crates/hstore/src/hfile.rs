@@ -9,7 +9,9 @@
 
 use crate::block_cache::{Access, AccessCounter, BlockId, FileId, SharedBlockCache};
 use crate::bloom::BloomFilter;
+use crate::error::{CorruptionKind, HStoreError};
 use crate::types::{CellVersion, InternalKey, KeyRange, Qualifier, RowKey, Timestamp};
+use crate::wal::crc32;
 use bytes::Bytes;
 
 /// One block of sorted cell versions.
@@ -18,6 +20,11 @@ pub struct Block {
     first_key: InternalKey,
     cells: Vec<CellVersion>,
     byte_size: u64,
+    /// Byte offset of this block within the file (corruption reporting).
+    offset: u64,
+    /// CRC-32 over the canonical serialization of `cells`, computed at
+    /// build time and re-verified whenever the block is read from "disk".
+    crc: u32,
 }
 
 impl Block {
@@ -35,6 +42,37 @@ impl Block {
     pub fn byte_size(&self) -> u64 {
         self.byte_size
     }
+
+    /// Recomputes the block's checksum and compares with the stored one.
+    pub fn verify(&self) -> bool {
+        checksum_cells(&self.cells) == self.crc
+    }
+}
+
+/// Canonical serialization of a block's cells for checksumming: each cell
+/// as `row_len | row | qual_len | qual | ts | tag [| val_len | val]`, the
+/// same framing idiom the WAL uses, so the two durability checks cannot
+/// drift apart.
+fn checksum_cells(cells: &[CellVersion]) -> u32 {
+    let mut buf = Vec::with_capacity(cells.iter().map(|c| c.heap_size() + 13).sum());
+    for c in cells {
+        let row = c.key.coord.row.as_bytes();
+        let qual = c.key.coord.qualifier.as_bytes();
+        buf.extend_from_slice(&(row.len() as u32).to_le_bytes());
+        buf.extend_from_slice(row);
+        buf.extend_from_slice(&(qual.len() as u32).to_le_bytes());
+        buf.extend_from_slice(qual);
+        buf.extend_from_slice(&c.key.ts.0.to_le_bytes());
+        match &c.value {
+            None => buf.push(0),
+            Some(v) => {
+                buf.push(1);
+                buf.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                buf.extend_from_slice(v);
+            }
+        }
+    }
+    crc32(&buf)
 }
 
 /// An immutable sorted run of cell versions.
@@ -47,6 +85,7 @@ pub struct HFile {
     entry_count: u64,
     first_row: Option<RowKey>,
     last_row: Option<RowKey>,
+    max_ts: u64,
 }
 
 impl HFile {
@@ -67,15 +106,20 @@ impl HFile {
         let first_row = cells.first().map(|c| c.key.coord.row.clone());
         let last_row = cells.last().map(|c| c.key.coord.row.clone());
         let entry_count = cells.len() as u64;
+        let mut max_ts = 0u64;
+        let seal = |cur: &mut Vec<CellVersion>, cur_bytes: u64, offset: u64| Block {
+            first_key: cur[0].key.clone(),
+            byte_size: cur_bytes,
+            offset,
+            crc: checksum_cells(cur),
+            cells: std::mem::take(cur),
+        };
         for cell in cells {
             bloom.insert(cell.key.coord.row.as_bytes());
+            max_ts = max_ts.max(cell.key.ts.0);
             let sz = cell.heap_size() as u64;
             if !cur.is_empty() && cur_bytes + sz > block_size {
-                blocks.push(Block {
-                    first_key: cur[0].key.clone(),
-                    byte_size: cur_bytes,
-                    cells: std::mem::take(&mut cur),
-                });
+                blocks.push(seal(&mut cur, cur_bytes, total - cur_bytes));
                 cur_bytes = 0;
             }
             cur_bytes += sz;
@@ -83,9 +127,9 @@ impl HFile {
             cur.push(cell);
         }
         if !cur.is_empty() {
-            blocks.push(Block { first_key: cur[0].key.clone(), byte_size: cur_bytes, cells: cur });
+            blocks.push(seal(&mut cur, cur_bytes, total - cur_bytes));
         }
-        HFile { id, blocks, bloom, total_bytes: total, entry_count, first_row, last_row }
+        HFile { id, blocks, bloom, total_bytes: total, entry_count, first_row, last_row, max_ts }
     }
 
     /// File identifier.
@@ -118,6 +162,42 @@ impl HFile {
         self.last_row.as_ref()
     }
 
+    /// Largest cell timestamp stored (`0` for an empty file) — recovery
+    /// uses this to restore the store's timestamp clock.
+    pub fn max_ts(&self) -> u64 {
+        self.max_ts
+    }
+
+    /// Re-verifies every block checksum (recovery's scrub pass — no cache
+    /// traffic). Fails with the file id and byte offset of the first
+    /// damaged block.
+    pub fn verify_checksums(&self) -> crate::error::Result<()> {
+        for block in &self.blocks {
+            if !block.verify() {
+                return Err(HStoreError::Corruption {
+                    file: self.id,
+                    offset: block.offset,
+                    cause: CorruptionKind::BlockChecksum,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Simulates bit-rot in block `index` by damaging its stored checksum
+    /// (indistinguishable, to a verifier, from flipped data bytes — and
+    /// the only honest option while cells are shared immutably). Returns
+    /// whether the block exists.
+    pub fn corrupt_block(&mut self, index: usize) -> bool {
+        match self.blocks.get_mut(index) {
+            Some(b) => {
+                b.crc ^= 0xFFFF_FFFF;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Index of the block that could contain `key`: the last block whose
     /// first key is ≤ `key`.
     fn block_for(&self, key: &InternalKey) -> Option<usize> {
@@ -137,14 +217,22 @@ impl HFile {
     /// `Some(None)` for a tombstone, `Some(Some(v))` for a live value, and
     /// `None` when the file holds no version for the coordinate. When the
     /// Bloom filter rejects the row no block is touched at all.
+    ///
+    /// A cache miss models a disk read, and disk reads verify the block
+    /// checksum (as HBase does): damage surfaces as
+    /// [`HStoreError::Corruption`] instead of a silently wrong answer, and
+    /// the damaged block is evicted so every retry re-detects it. Cache
+    /// hits trust the resident copy — the scrub pass in
+    /// [`CfStore::recover`](crate::store::CfStore::recover) is the full
+    /// check.
     pub fn get(
         &self,
         row: &RowKey,
         qualifier: &Qualifier,
         cache: &SharedBlockCache,
-    ) -> (Option<Option<Bytes>>, bool, Option<Access>) {
+    ) -> crate::error::Result<(Option<Option<Bytes>>, bool, Option<Access>)> {
         if !self.bloom.may_contain(row.as_bytes()) {
-            return (None, true, None);
+            return Ok((None, true, None));
         }
         // Newest version of the coordinate has the smallest InternalKey.
         let probe = InternalKey::new(row.clone(), qualifier.clone(), Timestamp(u64::MAX));
@@ -159,19 +247,27 @@ impl HFile {
                 break;
             }
             let access = cache.touch(BlockId { file: self.id, index: idx as u32 }, block.byte_size);
+            if access == Access::Miss && !block.verify() {
+                cache.invalidate_file(self.id);
+                return Err(HStoreError::Corruption {
+                    file: self.id,
+                    offset: block.offset,
+                    cause: CorruptionKind::BlockChecksum,
+                });
+            }
             let pos = block.cells.partition_point(|c| c.key < probe);
             if let Some(cell) = block.cells.get(pos) {
                 if cell.key.coord.row == *row && cell.key.coord.qualifier == *qualifier {
-                    return (Some(cell.value.clone()), false, Some(access));
+                    return Ok((Some(cell.value.clone()), false, Some(access)));
                 }
             }
             // Probe not in this block; only continue if versions could start
             // at the next block boundary.
             if pos < block.cells.len() {
-                return (None, false, Some(access));
+                return Ok((None, false, Some(access)));
             }
         }
-        (None, false, None)
+        Ok((None, false, None))
     }
 
     /// An iterator over cells whose row lies within `range`, touching the
@@ -292,7 +388,7 @@ mod tests {
             1 << 16,
         );
         let c = cache();
-        let (got, rejected, access) = f.get(&"r1".into(), &"c".into(), &c);
+        let (got, rejected, access) = f.get(&"r1".into(), &"c".into(), &c).unwrap();
         assert!(!rejected);
         assert_eq!(access, Some(Access::Miss));
         assert_eq!(got.unwrap().unwrap(), Bytes::from_static(b"new"));
@@ -302,9 +398,9 @@ mod tests {
     fn get_distinguishes_tombstone_and_absent() {
         let f = build_file(vec![cell("r1", "c", 2, None)], 1 << 16);
         let c = cache();
-        let (got, _, _) = f.get(&"r1".into(), &"c".into(), &c);
+        let (got, _, _) = f.get(&"r1".into(), &"c".into(), &c).unwrap();
         assert_eq!(got, Some(None)); // tombstone
-        let (got, rejected, _) = f.get(&"zz".into(), &"c".into(), &c);
+        let (got, rejected, _) = f.get(&"zz".into(), &"c".into(), &c).unwrap();
         assert_eq!(got, None);
         assert!(rejected, "bloom filter should reject an absent row");
     }
@@ -322,7 +418,8 @@ mod tests {
         // Every cell remains findable.
         let c = cache();
         for i in 0..100 {
-            let (got, _, _) = f.get(&format!("row{i:03}").as_str().into(), &"c".into(), &c);
+            let (got, _, _) =
+                f.get(&format!("row{i:03}").as_str().into(), &"c".into(), &c).unwrap();
             assert!(got.is_some(), "lost row{i:03}");
         }
     }
@@ -333,8 +430,8 @@ mod tests {
             (0..50).map(|i| cell(&format!("row{i:02}"), "c", 1, Some("v"))).collect();
         let f = build_file(cells, 1 << 16);
         let c = cache();
-        f.get(&"row10".into(), &"c".into(), &c);
-        let (_, _, access) = f.get(&"row11".into(), &"c".into(), &c);
+        f.get(&"row10".into(), &"c".into(), &c).unwrap();
+        let (_, _, access) = f.get(&"row11".into(), &"c".into(), &c).unwrap();
         assert_eq!(access, Some(Access::Hit), "same block should be resident");
     }
 
@@ -372,7 +469,7 @@ mod tests {
         let c = cache();
         assert_eq!(f.block_count(), 0);
         assert_eq!(f.total_bytes(), 0);
-        let (got, _, _) = f.get(&"r".into(), &"c".into(), &c);
+        let (got, _, _) = f.get(&"r".into(), &"c".into(), &c).unwrap();
         assert_eq!(got, None);
         assert_eq!(f.range_scan(&KeyRange::all(), &c).count(), 0);
     }
@@ -384,7 +481,7 @@ mod tests {
         // probe for a coordinate is its minimum key).
         let f = build_file(vec![cell("aaa", "c", 7, Some("v"))], 1 << 16);
         let c = cache();
-        let (got, _, _) = f.get(&"aaa".into(), &"c".into(), &c);
+        let (got, _, _) = f.get(&"aaa".into(), &"c".into(), &c).unwrap();
         assert_eq!(got.unwrap().unwrap(), Bytes::from_static(b"v"));
     }
 
@@ -399,7 +496,7 @@ mod tests {
         assert!(f.block_count() > 1);
         let c = cache();
         // Newest version (ts=59) must win regardless of block layout.
-        let (got, _, _) = f.get(&"rowX".into(), &"c".into(), &c);
+        let (got, _, _) = f.get(&"rowX".into(), &"c".into(), &c).unwrap();
         assert_eq!(got.unwrap().unwrap(), Bytes::copy_from_slice(b"v59"));
     }
 
@@ -415,10 +512,72 @@ mod tests {
         );
         let c = cache();
         for (q, want) in [("a", "va"), ("b", "vb"), ("c", "vc")] {
-            let (got, _, _) = f.get(&"r".into(), &q.into(), &c);
+            let (got, _, _) = f.get(&"r".into(), &q.into(), &c).unwrap();
             assert_eq!(got.unwrap().unwrap(), Bytes::copy_from_slice(want.as_bytes()));
         }
-        let (got, _, _) = f.get(&"r".into(), &"zzz".into(), &c);
+        let (got, _, _) = f.get(&"r".into(), &"zzz".into(), &c).unwrap();
         assert_eq!(got, None);
+    }
+
+    #[test]
+    fn fresh_files_pass_the_scrub() {
+        let cells: Vec<CellVersion> =
+            (0..50).map(|i| cell(&format!("row{i:02}"), "c", 1, Some("0123456789"))).collect();
+        let f = build_file(cells, 150);
+        assert!(f.block_count() > 1);
+        f.verify_checksums().expect("undamaged file must scrub clean");
+    }
+
+    #[test]
+    fn corrupted_block_fails_cold_reads_with_a_typed_error() {
+        let cells: Vec<CellVersion> =
+            (0..50).map(|i| cell(&format!("row{i:02}"), "c", 1, Some("0123456789"))).collect();
+        let mut f = build_file(cells, 150);
+        assert!(f.corrupt_block(0));
+        // The scrub pinpoints the damage.
+        let err = f.verify_checksums().unwrap_err();
+        assert!(matches!(
+            err,
+            HStoreError::Corruption {
+                file: FileId(1),
+                offset: 0,
+                cause: CorruptionKind::BlockChecksum
+            }
+        ));
+        // A cold point read (disk read) detects it too, instead of
+        // returning bytes that might be wrong.
+        let c = cache();
+        let err = f.get(&"row00".into(), &"c".into(), &c).unwrap_err();
+        assert!(matches!(
+            err,
+            HStoreError::Corruption { cause: CorruptionKind::BlockChecksum, .. }
+        ));
+        // The block was evicted on detection, so a retry re-detects
+        // rather than serving the poisoned copy from cache.
+        let err = f.get(&"row00".into(), &"c".into(), &c).unwrap_err();
+        assert!(matches!(err, HStoreError::Corruption { .. }));
+        // Undamaged blocks of the same file still read fine.
+        let (got, _, _) = f.get(&"row40".into(), &"c".into(), &c).unwrap();
+        assert!(got.is_some());
+    }
+
+    #[test]
+    fn corrupting_a_missing_block_is_reported() {
+        let mut f = build_file(vec![cell("r", "c", 1, Some("v"))], 1 << 16);
+        assert!(!f.corrupt_block(99));
+    }
+
+    #[test]
+    fn max_ts_tracks_the_newest_cell() {
+        let f = build_file(
+            vec![
+                cell("a", "c", 3, Some("x")),
+                cell("b", "c", 17, Some("y")),
+                cell("c", "c", 5, None),
+            ],
+            1 << 16,
+        );
+        assert_eq!(f.max_ts(), 17);
+        assert_eq!(HFile::build(FileId(2), vec![], 1 << 16).max_ts(), 0);
     }
 }

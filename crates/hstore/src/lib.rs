@@ -20,11 +20,16 @@
 //! * [`config`] — RegionServer configuration with the documented
 //!   cache+memstore ≤ 65 % heap rule.
 //!
-//! What is intentionally *not* here: a write-ahead log (crash recovery is
-//! out of scope for the elasticity experiments — a restart in the
-//! simulation is modelled as the availability/caching cost the paper
-//! measures, not data loss), and compression (a constant factor the paper
-//! does not vary).
+//! * [`wal`] — the per-store write-ahead log: length-prefixed,
+//!   CRC-checksummed records, group commit with a modeled fsync cost,
+//!   rotation on flush and truncation once the flush is durable. Paired
+//!   with [`store::CfStore::recover`], which replays surviving records
+//!   into a fresh memstore (truncating a torn tail, never panicking) and
+//!   verifies HFile block checksums so bit-rot surfaces as a typed
+//!   [`error::HStoreError::Corruption`].
+//!
+//! What is intentionally *not* here: compression (a constant factor the
+//! paper does not vary).
 
 pub mod block_cache;
 pub mod bloom;
@@ -35,12 +40,17 @@ pub mod memstore;
 pub mod region;
 pub mod store;
 pub mod types;
+pub mod wal;
 
 pub use block_cache::{
     Access, AccessCounter, BlockCache, BlockId, CacheStats, FileId, SharedBlockCache,
 };
 pub use config::{ConfigError, StoreConfig, HEAP_BUDGET_CAP};
-pub use error::{Result, StoreError};
+pub use error::{CorruptionKind, HStoreError, Result, StoreError};
 pub use region::{Region, RegionCounters, RegionId};
-pub use store::{CfStore, CompactionOutcome, FileIdAllocator, FlushOutcome, OpStats};
+pub use store::{
+    CfStore, CompactionOutcome, DurableState, FileIdAllocator, FlushOutcome, OpStats,
+    RecoveryReport, WAL_FILE_ID_BASE,
+};
 pub use types::{Family, KeyRange, Qualifier, RowKey, Timestamp};
+pub use wal::{ReplayStop, Wal, WalConfig, WalRecord, WalReplay, WalStats};

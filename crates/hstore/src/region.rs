@@ -152,7 +152,7 @@ impl Region {
         value: Bytes,
     ) -> Result<OpStats> {
         self.check_row(&row)?;
-        self.family_mut(family)?.put(row, qualifier, value);
+        self.family_mut(family)?.try_put(row, qualifier, value)?;
         self.counters.writes += 1;
         Ok(OpStats::memstore_only())
     }
@@ -170,7 +170,7 @@ impl Region {
         qualifier: Qualifier,
     ) -> Result<OpStats> {
         self.check_row(&row)?;
-        self.family_mut(family)?.delete(row, qualifier);
+        self.family_mut(family)?.try_delete(row, qualifier)?;
         self.counters.writes += 1;
         Ok(OpStats::memstore_only())
     }
@@ -199,7 +199,7 @@ impl Region {
     ) -> Result<(bool, OpStats)> {
         self.check_row(&row)?;
         let (done, stats) =
-            self.family_mut(family)?.check_and_put_with_stats(row, qualifier, expected, new);
+            self.family_mut(family)?.check_and_put_with_stats(row, qualifier, expected, new)?;
         self.counters.reads += 1;
         if done {
             self.counters.writes += 1;
@@ -227,7 +227,7 @@ impl Region {
         delta: i64,
     ) -> Result<(i64, OpStats)> {
         self.check_row(&row)?;
-        let (v, stats) = self.family_mut(family)?.increment_with_stats(row, qualifier, delta);
+        let (v, stats) = self.family_mut(family)?.increment_with_stats(row, qualifier, delta)?;
         self.counters.reads += 1;
         self.counters.writes += 1;
         Ok((v, stats))
@@ -251,7 +251,7 @@ impl Region {
         qualifier: &Qualifier,
     ) -> Result<(Option<Bytes>, OpStats)> {
         self.check_row(row)?;
-        let (v, stats) = self.family_mut(family)?.get_with_stats(row, qualifier);
+        let (v, stats) = self.family_mut(family)?.try_get_with_stats(row, qualifier)?;
         self.counters.reads += 1;
         Ok((v, stats))
     }

@@ -7,14 +7,22 @@
 //! the coordinate, exactly as HBase does.
 
 use crate::block_cache::{AccessCounter, FileId, SharedBlockCache};
+use crate::error::{CorruptionKind, HStoreError, Result};
 use crate::hfile::{HFile, HFileScanIter};
 use crate::types::{CellCoord, CellVersion, InternalKey, KeyRange, Qualifier, RowKey, Timestamp};
+use crate::wal::{ReplayStop, Wal, WalConfig};
 use bytes::Bytes;
+use simcore::SimDuration;
 use std::cmp::Ordering as CmpOrdering;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::memstore::{MemRangeIter, MemStore};
+
+/// Marks [`FileId`]s that actually name a WAL segment in
+/// [`HStoreError::Corruption`] reports (`WAL_FILE_ID_BASE | segment`).
+/// HFile ids are allocated sequentially from 1 and can never reach it.
+pub const WAL_FILE_ID_BASE: u64 = 1 << 63;
 
 /// Allocates unique [`FileId`]s across every store of a process.
 #[derive(Debug, Default)]
@@ -105,6 +113,61 @@ pub struct CompactionOutcome {
     pub bytes_rewritten: u64,
 }
 
+/// Everything of a [`CfStore`] that survives process death: the immutable
+/// files plus the synced portion of the WAL. Produced by
+/// [`CfStore::crash`], consumed by [`CfStore::recover`]. The crash nemesis
+/// damages state through the `corrupt_*` hooks before recovering.
+#[derive(Debug)]
+pub struct DurableState {
+    files: Vec<Arc<HFile>>,
+    wal: Option<Wal>,
+    block_size: u64,
+}
+
+impl DurableState {
+    /// Surviving immutable files.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Durable WAL bytes that recovery will have to scan.
+    pub fn wal_bytes(&self) -> u64 {
+        self.wal.as_ref().map_or(0, Wal::durable_bytes)
+    }
+
+    /// Injects bit-rot into block `block` of file `file` (if both exist).
+    pub fn corrupt_file_block(&mut self, file: FileId, block: usize) -> bool {
+        for f in &mut self.files {
+            if f.id() == file {
+                return Arc::make_mut(f).corrupt_block(block);
+            }
+        }
+        false
+    }
+
+    /// Flips one durable WAL byte (see [`Wal::corrupt_byte`]).
+    pub fn corrupt_wal_byte(&mut self, segment: usize, offset: u64) {
+        if let Some(wal) = &mut self.wal {
+            wal.corrupt_byte(segment, offset);
+        }
+    }
+}
+
+/// What [`CfStore::recover`] did to bring the store back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// WAL records replayed into the memstore.
+    pub replayed_records: u64,
+    /// Durable WAL bytes scanned.
+    pub replayed_bytes: u64,
+    /// Torn tail truncated during replay: `(segment, byte offset)`.
+    pub torn_tail: Option<(u64, u64)>,
+    /// HFiles whose blocks were checksum-scrubbed.
+    pub files_verified: usize,
+    /// Modeled recovery time (WAL scan at the configured replay rate).
+    pub cost: SimDuration,
+}
+
 /// One column family's storage.
 #[derive(Debug)]
 pub struct CfStore {
@@ -115,6 +178,9 @@ pub struct CfStore {
     block_size: u64,
     next_ts: u64,
     read_stats: ReadPathStats,
+    /// Write-ahead log; `None` (the default) keeps the legacy volatile
+    /// write path byte for byte.
+    wal: Option<Wal>,
 }
 
 impl CfStore {
@@ -129,28 +195,80 @@ impl CfStore {
             block_size,
             next_ts: 1,
             read_stats: ReadPathStats::default(),
+            wal: None,
         }
     }
 
-    fn alloc_ts(&mut self) -> Timestamp {
-        let t = Timestamp(self.next_ts);
-        self.next_ts += 1;
-        t
+    /// Attaches a write-ahead log. From here on every put/delete is
+    /// appended (and, per the group-commit policy, synced) before the
+    /// memstore sees it, so [`CfStore::crash`] + [`CfStore::recover`]
+    /// restore all acknowledged writes.
+    pub fn enable_wal(&mut self, cfg: WalConfig) {
+        self.wal = Some(Wal::new(cfg));
+    }
+
+    /// The attached WAL, if any.
+    pub fn wal(&self) -> Option<&Wal> {
+        self.wal.as_ref()
+    }
+
+    /// Mutable access to the WAL — group-commit `sync()` calls and fault
+    /// arming go through here.
+    pub fn wal_mut(&mut self) -> Option<&mut Wal> {
+        self.wal.as_mut()
     }
 
     /// Writes a value; returns the assigned timestamp.
+    ///
+    /// # Panics
+    ///
+    /// With a WAL attached and a disk fault armed the append can fail;
+    /// this infallible wrapper panics then. Fault-injecting callers use
+    /// [`CfStore::try_put`].
     pub fn put(&mut self, row: RowKey, qualifier: Qualifier, value: Bytes) -> Timestamp {
-        let ts = self.alloc_ts();
-        self.memstore.insert(InternalKey::new(row, qualifier, ts), Some(value));
-        ts
+        self.try_put(row, qualifier, value).expect("WAL append failed")
+    }
+
+    /// Writes a value WAL-first: the record must be durable (or at least
+    /// staged, under group commit) before the memstore accepts it. On
+    /// `Err` nothing was applied and the write is unacknowledged.
+    pub fn try_put(
+        &mut self,
+        row: RowKey,
+        qualifier: Qualifier,
+        value: Bytes,
+    ) -> Result<Timestamp> {
+        let ts = Timestamp(self.next_ts);
+        let key = InternalKey::new(row, qualifier, ts);
+        if let Some(wal) = &mut self.wal {
+            wal.append(&key, Some(&value))?;
+        }
+        self.next_ts += 1;
+        self.memstore.insert(key, Some(value));
+        Ok(ts)
     }
 
     /// Deletes a cell by writing a tombstone; returns the tombstone's
     /// timestamp.
+    ///
+    /// # Panics
+    ///
+    /// Like [`CfStore::put`], panics if an armed disk fault fails the WAL
+    /// append; fault-injecting callers use [`CfStore::try_delete`].
     pub fn delete(&mut self, row: RowKey, qualifier: Qualifier) -> Timestamp {
-        let ts = self.alloc_ts();
-        self.memstore.insert(InternalKey::new(row, qualifier, ts), None);
-        ts
+        self.try_delete(row, qualifier).expect("WAL append failed")
+    }
+
+    /// Deletes a cell WAL-first (see [`CfStore::try_put`]).
+    pub fn try_delete(&mut self, row: RowKey, qualifier: Qualifier) -> Result<Timestamp> {
+        let ts = Timestamp(self.next_ts);
+        let key = InternalKey::new(row, qualifier, ts);
+        if let Some(wal) = &mut self.wal {
+            wal.append(&key, None)?;
+        }
+        self.next_ts += 1;
+        self.memstore.insert(key, None);
+        Ok(ts)
     }
 
     /// Atomically compares the current value and writes `new` if it
@@ -163,8 +281,8 @@ impl CfStore {
         qualifier: Qualifier,
         expected: Option<&Bytes>,
         new: Bytes,
-    ) -> bool {
-        self.check_and_put_with_stats(row, qualifier, expected, new).0
+    ) -> Result<bool> {
+        self.check_and_put_with_stats(row, qualifier, expected, new).map(|(done, _)| done)
     }
 
     /// [`CfStore::check_and_put`] reporting the read-modify-write's work.
@@ -174,21 +292,21 @@ impl CfStore {
         qualifier: Qualifier,
         expected: Option<&Bytes>,
         new: Bytes,
-    ) -> (bool, OpStats) {
-        let (current, stats) = self.get_with_stats(&row, &qualifier);
+    ) -> Result<(bool, OpStats)> {
+        let (current, stats) = self.try_get_with_stats(&row, &qualifier)?;
         if current.as_ref() == expected {
-            self.put(row, qualifier, new);
-            (true, stats)
+            self.try_put(row, qualifier, new)?;
+            Ok((true, stats))
         } else {
-            (false, stats)
+            Ok((false, stats))
         }
     }
 
     /// Atomically adds `delta` to a cell holding a decimal integer
     /// (absent cells count as 0) and returns the new value — HBase's
     /// `incrementColumnValue`.
-    pub fn increment(&mut self, row: RowKey, qualifier: Qualifier, delta: i64) -> i64 {
-        self.increment_with_stats(row, qualifier, delta).0
+    pub fn increment(&mut self, row: RowKey, qualifier: Qualifier, delta: i64) -> Result<i64> {
+        self.increment_with_stats(row, qualifier, delta).map(|(v, _)| v)
     }
 
     /// [`CfStore::increment`] reporting the read-modify-write's work.
@@ -197,36 +315,53 @@ impl CfStore {
         row: RowKey,
         qualifier: Qualifier,
         delta: i64,
-    ) -> (i64, OpStats) {
-        let (current, stats) = self.get_with_stats(&row, &qualifier);
+    ) -> Result<(i64, OpStats)> {
+        let (current, stats) = self.try_get_with_stats(&row, &qualifier)?;
         let current = current
             .and_then(|v| std::str::from_utf8(&v).ok().and_then(|s| s.parse::<i64>().ok()))
             .unwrap_or(0);
         let next = current + delta;
-        self.put(row, qualifier, Bytes::from(next.to_string().into_bytes()));
-        (next, stats)
+        self.try_put(row, qualifier, Bytes::from(next.to_string().into_bytes()))?;
+        Ok((next, stats))
     }
 
     /// Reads the newest live value at `(row, qualifier)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on detected block corruption; corruption-aware callers use
+    /// [`CfStore::try_get_with_stats`].
     pub fn get(&mut self, row: &RowKey, qualifier: &Qualifier) -> Option<Bytes> {
         self.get_with_stats(row, qualifier).0
     }
 
     /// [`CfStore::get`] reporting which blocks the read touched and whether
-    /// the memstore answered it.
+    /// the memstore answered it. Panics on detected block corruption (see
+    /// [`CfStore::try_get_with_stats`]).
     pub fn get_with_stats(
         &mut self,
         row: &RowKey,
         qualifier: &Qualifier,
     ) -> (Option<Bytes>, OpStats) {
+        self.try_get_with_stats(row, qualifier).expect("corrupted HFile block on read path")
+    }
+
+    /// The point-read path. Cold block reads verify checksums, so bit-rot
+    /// surfaces here as [`HStoreError::Corruption`] instead of a silently
+    /// wrong answer.
+    pub fn try_get_with_stats(
+        &mut self,
+        row: &RowKey,
+        qualifier: &Qualifier,
+    ) -> Result<(Option<Bytes>, OpStats)> {
         let mut stats = OpStats::default();
         if let Some(v) = self.memstore.get_newest(row, qualifier) {
             self.read_stats.memstore_hits += 1;
             stats.memstore = true;
-            return (v, stats); // tombstone → None
+            return Ok((v, stats)); // tombstone → None
         }
         for file in self.files.iter().rev() {
-            let (result, bloom_rejected, access) = file.get(row, qualifier, &self.cache);
+            let (result, bloom_rejected, access) = file.get(row, qualifier, &self.cache)?;
             match access {
                 Some(crate::Access::Hit) => stats.cache_hits += 1,
                 Some(crate::Access::Miss) => stats.blocks_read += 1,
@@ -238,10 +373,10 @@ impl CfStore {
             }
             self.read_stats.files_probed += 1;
             if let Some(v) = result {
-                return (v, stats);
+                return Ok((v, stats));
             }
         }
-        (None, stats)
+        Ok((None, stats))
     }
 
     /// Scans up to `row_limit` rows starting at `start` (inclusive),
@@ -343,16 +478,112 @@ impl CfStore {
 
     /// Flushes the memstore into a new file. Returns `None` when there was
     /// nothing to flush.
+    ///
+    /// With a WAL attached the flush first rotates the log (sealing the
+    /// segments that cover the flushed edits behind a final sync) and,
+    /// once the file is built, truncates those sealed segments — the edits
+    /// are durable in the HFile now. If the rotation's sync fails (an
+    /// armed disk fault) the flush aborts with nothing lost: memstore and
+    /// log are untouched and `None` is returned.
     pub fn flush(&mut self) -> Option<FlushOutcome> {
         if self.memstore.is_empty() {
             return None;
         }
         let _span = telemetry::span::span("hstore.flush");
+        if let Some(wal) = &mut self.wal {
+            if wal.rotate().is_err() {
+                return None;
+            }
+        }
         let cells = self.memstore.drain_sorted();
         let file = HFile::build(self.ids.next(), cells, self.block_size);
         let outcome = FlushOutcome { file: file.id(), bytes: file.total_bytes() };
         self.files.push(Arc::new(file));
+        if let Some(wal) = &mut self.wal {
+            wal.truncate_sealed();
+        }
         Some(outcome)
+    }
+
+    /// Simulates process death: the memstore and any staged-but-unsynced
+    /// WAL bytes vanish; immutable files and synced WAL segments survive
+    /// as the [`DurableState`] a replacement process reopens.
+    pub fn crash(self) -> DurableState {
+        DurableState {
+            files: self.files,
+            wal: self.wal.map(Wal::into_durable),
+            block_size: self.block_size,
+        }
+    }
+
+    /// Reopens a store from its durable state: every HFile is
+    /// checksum-scrubbed, then the WAL is replayed into a fresh memstore.
+    ///
+    /// A torn tail (incomplete or checksum-failing frame at the end of the
+    /// last segment) is truncated and reported — the normal aftermath of a
+    /// crash, never a panic. Damage anywhere else (a rotted HFile block or
+    /// a mid-log WAL frame) fails recovery with a typed
+    /// [`HStoreError::Corruption`] naming the file and offset; for WAL
+    /// damage the file id is `WAL_FILE_ID_BASE | segment`.
+    ///
+    /// Pass the same `ids` allocator that numbered the original store's
+    /// files so post-recovery flushes cannot collide with surviving ids.
+    pub fn recover(
+        state: DurableState,
+        cache: SharedBlockCache,
+        ids: Arc<FileIdAllocator>,
+    ) -> Result<(CfStore, RecoveryReport)> {
+        let mut max_ts = 0u64;
+        for file in &state.files {
+            file.verify_checksums()?;
+            max_ts = max_ts.max(file.max_ts());
+        }
+        let mut store = CfStore::new(cache, ids, state.block_size);
+        store.files = state.files;
+        let mut report = RecoveryReport {
+            replayed_records: 0,
+            replayed_bytes: 0,
+            torn_tail: None,
+            files_verified: store.files.len(),
+            cost: SimDuration(0),
+        };
+        if let Some(wal) = state.wal {
+            let replay = wal.replay();
+            match replay.stop {
+                Some(ReplayStop::Corrupt { segment, offset }) => {
+                    return Err(HStoreError::Corruption {
+                        file: FileId(WAL_FILE_ID_BASE | segment),
+                        offset,
+                        cause: CorruptionKind::WalRecord,
+                    });
+                }
+                Some(ReplayStop::TornTail { segment, offset }) => {
+                    report.torn_tail = Some((segment, offset));
+                }
+                None => {}
+            }
+            for record in &replay.records {
+                max_ts = max_ts.max(record.key.ts.0);
+                store.memstore.insert(record.key.clone(), record.value.clone());
+            }
+            report.replayed_records = replay.records.len() as u64;
+            report.replayed_bytes = replay.scanned_bytes;
+            report.cost = replay.cost;
+            store.wal = Some(wal);
+        }
+        store.next_ts = max_ts + 1;
+        Ok((store, report))
+    }
+
+    /// Injects bit-rot into block `block` of live file `file` (nemesis
+    /// hook for read-path corruption tests). Returns whether both exist.
+    pub fn corrupt_file_block(&mut self, file: FileId, block: usize) -> bool {
+        for f in &mut self.files {
+            if f.id() == file {
+                return Arc::make_mut(f).corrupt_block(block);
+            }
+        }
+        false
     }
 
     /// Merges the oldest `k` files into one (minor compaction). All versions
@@ -831,28 +1062,28 @@ mod tests {
     fn check_and_put_is_conditional() {
         let mut s = store();
         // Expecting absence on an absent cell succeeds.
-        assert!(s.check_and_put("r".into(), "c".into(), None, b("v1")));
+        assert!(s.check_and_put("r".into(), "c".into(), None, b("v1")).unwrap());
         // Expecting absence now fails.
-        assert!(!s.check_and_put("r".into(), "c".into(), None, b("v2")));
+        assert!(!s.check_and_put("r".into(), "c".into(), None, b("v2")).unwrap());
         assert_eq!(s.get(&"r".into(), &"c".into()), Some(b("v1")));
         // Expecting the right value succeeds.
         let v1 = b("v1");
-        assert!(s.check_and_put("r".into(), "c".into(), Some(&v1), b("v2")));
+        assert!(s.check_and_put("r".into(), "c".into(), Some(&v1), b("v2")).unwrap());
         assert_eq!(s.get(&"r".into(), &"c".into()), Some(b("v2")));
         // Works across a flush boundary too.
         s.flush();
         let v2 = b("v2");
-        assert!(s.check_and_put("r".into(), "c".into(), Some(&v2), b("v3")));
+        assert!(s.check_and_put("r".into(), "c".into(), Some(&v2), b("v3")).unwrap());
         assert_eq!(s.get(&"r".into(), &"c".into()), Some(b("v3")));
     }
 
     #[test]
     fn increment_counts_from_zero_and_persists() {
         let mut s = store();
-        assert_eq!(s.increment("ctr".into(), "n".into(), 5), 5);
-        assert_eq!(s.increment("ctr".into(), "n".into(), -2), 3);
+        assert_eq!(s.increment("ctr".into(), "n".into(), 5).unwrap(), 5);
+        assert_eq!(s.increment("ctr".into(), "n".into(), -2).unwrap(), 3);
         s.flush();
-        assert_eq!(s.increment("ctr".into(), "n".into(), 7), 10);
+        assert_eq!(s.increment("ctr".into(), "n".into(), 7).unwrap(), 10);
         assert_eq!(s.get(&"ctr".into(), &"n".into()), Some(b("10")));
     }
 
@@ -904,6 +1135,207 @@ mod tests {
 
     fn b_bytes(s: &str) -> Bytes {
         Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    fn wal_store() -> CfStore {
+        let mut s = store();
+        s.enable_wal(WalConfig::default());
+        s
+    }
+
+    /// Scans a store into comparable (row, cells) tuples.
+    fn state_of(s: &CfStore) -> Vec<(String, Vec<(String, Bytes)>)> {
+        s.scan_range(&KeyRange::all(), usize::MAX)
+            .into_iter()
+            .map(|(r, cells)| {
+                (r.to_string(), cells.into_iter().map(|(q, v)| (q.to_string(), v)).collect())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn crash_and_recover_restores_acknowledged_writes() {
+        let mut s = wal_store();
+        s.put("a".into(), "c".into(), b("file"));
+        s.flush().unwrap();
+        s.put("b".into(), "c".into(), b("mem"));
+        s.delete("a".into(), "c".into());
+        let before = state_of(&s);
+        let next_ts = s.next_ts();
+
+        let (recovered, report) =
+            CfStore::recover(s.crash(), SharedBlockCache::new(1 << 20), FileIdAllocator::new())
+                .unwrap();
+        assert_eq!(state_of(&recovered), before, "every acked write survives the crash");
+        assert_eq!(report.replayed_records, 2, "post-flush put + delete replayed");
+        assert!(report.torn_tail.is_none());
+        assert_eq!(report.files_verified, 1);
+        assert_eq!(recovered.next_ts(), next_ts, "timestamp clock restored");
+    }
+
+    #[test]
+    fn recovered_store_keeps_working_and_survives_a_second_crash() {
+        let mut s = wal_store();
+        s.put("r1".into(), "c".into(), b("v1"));
+        let (mut s, _) =
+            CfStore::recover(s.crash(), SharedBlockCache::new(1 << 20), FileIdAllocator::new())
+                .unwrap();
+        s.put("r2".into(), "c".into(), b("v2"));
+        s.flush().unwrap();
+        s.put("r3".into(), "c".into(), b("v3"));
+        let before = state_of(&s);
+        let (s, report) =
+            CfStore::recover(s.crash(), SharedBlockCache::new(1 << 20), FileIdAllocator::new())
+                .unwrap();
+        assert_eq!(state_of(&s), before);
+        assert_eq!(report.replayed_records, 1, "flush truncated the earlier records");
+    }
+
+    #[test]
+    fn flush_rotates_and_truncates_the_wal() {
+        let mut s = wal_store();
+        for i in 0..10 {
+            s.put(format!("row{i}").into(), "c".into(), b("0123456789"));
+        }
+        let wal_before = s.wal().unwrap().durable_bytes();
+        assert!(wal_before > 0);
+        s.flush().unwrap();
+        let wal = s.wal().unwrap();
+        assert_eq!(wal.sealed_segments(), 0, "sealed segments truncated after the flush");
+        assert_eq!(wal.durable_bytes(), 0, "flushed edits no longer need the log");
+        assert_eq!(wal.stats().rotations, 1);
+        assert_eq!(wal.stats().truncated_bytes, wal_before);
+    }
+
+    #[test]
+    fn unsynced_group_commit_writes_die_with_the_process() {
+        let mut s = store();
+        s.enable_wal(WalConfig { group_commit_bytes: 1 << 20, ..Default::default() });
+        s.put("durable".into(), "c".into(), b("v1"));
+        s.wal_mut().unwrap().sync().unwrap();
+        s.put("volatile".into(), "c".into(), b("v2"));
+        let durable_seq = s.wal().unwrap().durable_seq();
+        let (s, report) =
+            CfStore::recover(s.crash(), SharedBlockCache::new(1 << 20), FileIdAllocator::new())
+                .unwrap();
+        let state = state_of(&s);
+        assert_eq!(state.len(), 1, "only the synced write survives: {state:?}");
+        assert_eq!(state[0].0, "durable");
+        assert_eq!(report.replayed_records, durable_seq, "recovered ≡ durable prefix");
+    }
+
+    #[test]
+    fn torn_write_loses_only_the_unacknowledged_write() {
+        for torn in 0..32u64 {
+            let mut s = wal_store();
+            s.put("a".into(), "c".into(), b("v1"));
+            s.put("b".into(), "c".into(), b("v2"));
+            let before = state_of(&s);
+            s.wal_mut().unwrap().arm_torn_write(torn);
+            let err = s.try_put("c".into(), "c".into(), b("never-acked")).unwrap_err();
+            assert!(matches!(err, HStoreError::WalSyncFailed { .. }));
+            let (s, report) =
+                CfStore::recover(s.crash(), SharedBlockCache::new(1 << 20), FileIdAllocator::new())
+                    .unwrap();
+            assert_eq!(state_of(&s), before, "torn@{torn}: acked prefix must survive");
+            if torn > 0 {
+                assert!(report.torn_tail.is_some(), "torn@{torn}: tail should be reported");
+            }
+        }
+    }
+
+    #[test]
+    fn fsync_failure_surfaces_and_nothing_is_applied() {
+        let mut s = wal_store();
+        s.put("a".into(), "c".into(), b("v1"));
+        s.wal_mut().unwrap().arm_fsync_fail();
+        let err = s.try_put("b".into(), "c".into(), b("v2")).unwrap_err();
+        assert!(matches!(err, HStoreError::WalSyncFailed { .. }));
+        assert_eq!(s.get(&"b".into(), &"c".into()), None, "failed write must not be visible");
+        // The store recovers its composure: the next write goes through.
+        s.put("c".into(), "c".into(), b("v3"));
+        assert_eq!(s.get(&"c".into(), &"c".into()), Some(b("v3")));
+    }
+
+    #[test]
+    fn flush_aborts_cleanly_when_the_rotation_sync_fails() {
+        let mut s = store();
+        s.enable_wal(WalConfig { group_commit_bytes: 1 << 20, ..Default::default() });
+        s.put("a".into(), "c".into(), b("v1"));
+        s.wal_mut().unwrap().arm_fsync_fail();
+        assert!(s.flush().is_none(), "flush must refuse, not lose data");
+        assert!(s.memstore_bytes() > 0, "memstore untouched");
+        assert_eq!(s.file_count(), 0);
+        // Retry succeeds and the data is all there.
+        s.flush().unwrap();
+        assert_eq!(s.get(&"a".into(), &"c".into()), Some(b("v1")));
+    }
+
+    #[test]
+    fn rotted_hfile_block_fails_recovery_with_a_typed_error() {
+        let mut s = wal_store();
+        s.put("a".into(), "c".into(), b("v1"));
+        let flushed = s.flush().unwrap();
+        let mut state = s.crash();
+        assert!(state.corrupt_file_block(flushed.file, 0));
+        let err = CfStore::recover(state, SharedBlockCache::new(1 << 20), FileIdAllocator::new())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            HStoreError::Corruption { cause: CorruptionKind::BlockChecksum, offset: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn mid_log_wal_damage_fails_recovery_with_the_wal_pseudo_file() {
+        let mut s = wal_store();
+        s.put("a".into(), "c".into(), b("v1"));
+        s.put("b".into(), "c".into(), b("v2"));
+        // Seal a segment (as a flush would) so there is durable log
+        // *before* the tail; damage there cannot be a torn tail.
+        s.wal_mut().unwrap().rotate().unwrap();
+        s.put("c".into(), "c".into(), b("v3"));
+        let mut state = s.crash();
+        state.corrupt_wal_byte(0, crate::wal::FRAME_HEADER_BYTES + 2);
+        let err = CfStore::recover(state, SharedBlockCache::new(1 << 20), FileIdAllocator::new())
+            .unwrap_err();
+        match err {
+            HStoreError::Corruption { file, offset, cause: CorruptionKind::WalRecord } => {
+                assert_eq!(file.0 & WAL_FILE_ID_BASE, WAL_FILE_ID_BASE);
+                assert_eq!(offset, 0, "damage detected at the first frame");
+            }
+            other => panic!("expected WAL corruption, got {other}"),
+        }
+    }
+
+    #[test]
+    fn stores_without_wal_recover_files_only() {
+        let mut s = store();
+        s.put("a".into(), "c".into(), b("file"));
+        s.flush().unwrap();
+        s.put("b".into(), "c".into(), b("lost"));
+        let (s, report) =
+            CfStore::recover(s.crash(), SharedBlockCache::new(1 << 20), FileIdAllocator::new())
+                .unwrap();
+        let state = state_of(&s);
+        assert_eq!(state.len(), 1, "without a WAL the memstore is simply gone");
+        assert_eq!(report.replayed_records, 0);
+        assert_eq!(report.cost, simcore::SimDuration(0));
+    }
+
+    #[test]
+    fn corrupt_read_path_block_surfaces_on_cold_gets() {
+        let mut s = store();
+        for i in 0..40 {
+            s.put(format!("row{i:02}").into(), "c".into(), b("0123456789"));
+        }
+        let flushed = s.flush().unwrap();
+        assert!(s.corrupt_file_block(flushed.file, 0));
+        let err = s.try_get_with_stats(&"row00".into(), &"c".into()).unwrap_err();
+        assert!(matches!(
+            err,
+            HStoreError::Corruption { cause: CorruptionKind::BlockChecksum, .. }
+        ));
     }
 
     #[test]

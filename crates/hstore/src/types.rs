@@ -120,6 +120,11 @@ impl Qualifier {
         Qualifier(bytes.into())
     }
 
+    /// The raw bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
     /// Byte length of the qualifier.
     pub fn len(&self) -> usize {
         self.0.len()

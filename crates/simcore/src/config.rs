@@ -66,6 +66,10 @@ pub struct EnvConfig {
     pub profile_out: Option<PathBuf>,
     /// `MET_PROFILE_MINUTES` — simulated minutes per `exp-profile` leg.
     pub profile_minutes: Option<u64>,
+    /// `MET_CRASH_OPS` — `exp-crash` operations per workload schedule.
+    pub crash_ops: Option<usize>,
+    /// `MET_CRASH_SEED` — `exp-crash` base seed for its schedules.
+    pub crash_seed: Option<u64>,
 }
 
 /// Interprets a profiler-gate string: `1`, `true`, `on`, `yes`
@@ -108,6 +112,8 @@ impl EnvConfig {
                 || get("MET_SPANS").as_deref().map(is_truthy).unwrap_or(false),
             profile_out: get("MET_PROFILE_OUT").map(PathBuf::from),
             profile_minutes: get("MET_PROFILE_MINUTES").and_then(|s| s.trim().parse().ok()),
+            crash_ops: get("MET_CRASH_OPS").and_then(|s| s.trim().parse().ok()),
+            crash_seed: get("MET_CRASH_SEED").and_then(|s| s.trim().parse().ok()),
         }
     }
 
@@ -156,6 +162,8 @@ mod tests {
         assert!(!c.profile, "profiling is off by default");
         assert_eq!(c.profile_out, None);
         assert_eq!(c.profile_minutes, None);
+        assert_eq!(c.crash_ops, None);
+        assert_eq!(c.crash_seed, None);
     }
 
     #[test]
@@ -181,6 +189,8 @@ mod tests {
             ("MET_PROFILE", "1"),
             ("MET_PROFILE_OUT", "/tmp/profile"),
             ("MET_PROFILE_MINUTES", "6"),
+            ("MET_CRASH_OPS", "200"),
+            ("MET_CRASH_SEED", "9"),
         ]));
         assert_eq!(c.threads, 4);
         assert_eq!(c.trace_path.as_deref(), Some(std::path::Path::new("/tmp/trail.jsonl")));
@@ -202,6 +212,8 @@ mod tests {
         assert!(c.profile);
         assert_eq!(c.profile_out.as_deref(), Some(std::path::Path::new("/tmp/profile")));
         assert_eq!(c.profile_minutes, Some(6));
+        assert_eq!(c.crash_ops, Some(200));
+        assert_eq!(c.crash_seed, Some(9));
     }
 
     #[test]

@@ -81,6 +81,25 @@ pub enum FaultSpec {
     },
     /// One monitoring round is dropped (Ganglia samples lost or late).
     MetricsDrop,
+    /// A write-ahead-log append is torn: the process crashes after `bytes`
+    /// bytes of the append reached the disk, leaving a partial frame at
+    /// the log tail (recovery must truncate it, never trust it).
+    TornWrite {
+        /// How many bytes of the in-flight append survive on disk.
+        bytes: u64,
+    },
+    /// The next WAL fsync fails. A store that cannot guarantee durability
+    /// aborts (HBase RegionServers treat log-sync errors as fatal), so at
+    /// the cluster level this behaves like a crash with a distinct cause.
+    FsyncFail,
+    /// Bit-rot in one HFile block: the stored bytes no longer match their
+    /// checksum, so the next read of that block must surface a typed
+    /// corruption error instead of silently returning wrong data.
+    BitRot {
+        /// Block selector (consumers resolve it modulo their block/file
+        /// population, like the online-index selectors above).
+        block: usize,
+    },
 }
 
 impl FaultSpec {
@@ -95,17 +114,27 @@ impl FaultSpec {
             FaultSpec::CallFail { op: FaultOp::Compact } => "compact_fail",
             FaultSpec::DatanodeLoss { .. } => "datanode_loss",
             FaultSpec::MetricsDrop => "metrics_drop",
+            FaultSpec::TornWrite { .. } => "torn_write",
+            FaultSpec::FsyncFail => "fsync_fail",
+            FaultSpec::BitRot { .. } => "bit_rot",
         }
     }
 }
 
 impl fmt::Display for FaultSpec {
+    /// Renders the canonical [`FaultPlan::parse`] grammar, so
+    /// `parse(&spec.to_string())` reconstructs the spec exactly.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FaultSpec::SlowBoot { factor } => write!(f, "slow_boot@{factor}"),
-            FaultSpec::ServerCrash { online_index } => write!(f, "server_crash@{online_index}"),
-            FaultSpec::DatanodeLoss { online_index } => write!(f, "datanode_loss@{online_index}"),
-            other => f.write_str(other.kind()),
+            FaultSpec::ProvisionFail => f.write_str("provision-fail"),
+            FaultSpec::SlowBoot { factor } => write!(f, "slow-boot@{factor}"),
+            FaultSpec::ServerCrash { online_index } => write!(f, "crash@{online_index}"),
+            FaultSpec::CallFail { op } => write!(f, "{}-fail", op.as_str()),
+            FaultSpec::DatanodeLoss { online_index } => write!(f, "dn-loss@{online_index}"),
+            FaultSpec::MetricsDrop => f.write_str("metrics-drop"),
+            FaultSpec::TornWrite { bytes } => write!(f, "torn-write@{bytes}"),
+            FaultSpec::FsyncFail => f.write_str("fsync-fail"),
+            FaultSpec::BitRot { block } => write!(f, "bit-rot@{block}"),
         }
     }
 }
@@ -120,8 +149,16 @@ pub struct ScheduledFault {
 }
 
 impl fmt::Display for ScheduledFault {
+    /// Renders the canonical [`FaultPlan::parse`] grammar. Whole-second
+    /// times print as `Ns`; sub-second schedules (random plans draw at
+    /// millisecond granularity) print as `Nms` so the round trip is exact.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}s:{}", self.at.as_secs(), self.spec)
+        let ms = self.at.as_millis();
+        if ms.is_multiple_of(1000) {
+            write!(f, "{}s:{}", ms / 1000, self.spec)
+        } else {
+            write!(f, "{ms}ms:{}", self.spec)
+        }
     }
 }
 
@@ -137,6 +174,10 @@ pub struct RandomFaultConfig {
     pub faults: usize,
     /// Include server crashes in the mix (the heaviest fault class).
     pub allow_crashes: bool,
+    /// Include disk faults (`torn-write`, `fsync-fail`, `bit-rot`) in the
+    /// mix. Off by default so plans drawn from pre-durability seeds are
+    /// unchanged.
+    pub disk_faults: bool,
 }
 
 impl Default for RandomFaultConfig {
@@ -146,6 +187,7 @@ impl Default for RandomFaultConfig {
             warmup: SimDuration::from_mins(3),
             faults: 4,
             allow_crashes: true,
+            disk_faults: false,
         }
     }
 }
@@ -194,10 +236,13 @@ impl FaultPlan {
         let lo = cfg.warmup.as_millis();
         let hi = cfg.horizon.as_millis().max(lo + 1);
         let mut faults = Vec::with_capacity(cfg.faults);
+        // The draw width only grows when disk faults are opted in, so a
+        // given seed yields the exact pre-durability plan otherwise.
+        let kinds = if cfg.disk_faults { 11 } else { 8 };
         for _ in 0..cfg.faults {
             let at = SimTime(rng.next_range(lo, hi));
             let spec = loop {
-                let s = match rng.next_below(8) {
+                let s = match rng.next_below(kinds) {
                     0 => FaultSpec::ProvisionFail,
                     1 => FaultSpec::SlowBoot { factor: 2.0 + rng.next_f64() * 4.0 },
                     2 => FaultSpec::ServerCrash { online_index: rng.next_below(16) as usize },
@@ -205,9 +250,21 @@ impl FaultPlan {
                     4 => FaultSpec::CallFail { op: FaultOp::Restart },
                     5 => FaultSpec::CallFail { op: FaultOp::Compact },
                     6 => FaultSpec::DatanodeLoss { online_index: rng.next_below(16) as usize },
-                    _ => FaultSpec::MetricsDrop,
+                    7 => FaultSpec::MetricsDrop,
+                    8 => FaultSpec::TornWrite { bytes: rng.next_below(4096) },
+                    9 => FaultSpec::FsyncFail,
+                    _ => FaultSpec::BitRot { block: rng.next_below(64) as usize },
                 };
-                if cfg.allow_crashes || !matches!(s, FaultSpec::ServerCrash { .. }) {
+                // Torn writes and fsync failures abort the victim server
+                // too, so `allow_crashes: false` excludes them as well.
+                let crash_ok = cfg.allow_crashes
+                    || !matches!(
+                        s,
+                        FaultSpec::ServerCrash { .. }
+                            | FaultSpec::FsyncFail
+                            | FaultSpec::TornWrite { .. }
+                    );
+                if crash_ok {
                     break s;
                 }
             };
@@ -218,9 +275,17 @@ impl FaultPlan {
 
     /// Parses a compact spec string: comma- or semicolon-separated
     /// `TIME:KIND[@ARG]` entries, where `TIME` is seconds (`420` or
-    /// `420s`) or minutes (`7m`), and `KIND` is one of `provision-fail`,
-    /// `slow-boot@FACTOR`, `crash@INDEX`, `move-fail`, `restart-fail`,
-    /// `compact-fail`, `dn-loss@INDEX`, `metrics-drop`.
+    /// `420s`), minutes (`7m`) or milliseconds (`420500ms`), and `KIND`
+    /// is one of `provision-fail`, `slow-boot@FACTOR`, `crash@INDEX`,
+    /// `move-fail`, `restart-fail`, `compact-fail`, `dn-loss@INDEX`,
+    /// `metrics-drop`, `torn-write@BYTES`, `fsync-fail`,
+    /// `bit-rot@BLOCK`. Snake-case aliases of each kind (`torn_write`,
+    /// `server_crash`, …) are accepted too, so legacy `kind()`-style
+    /// renderings parse.
+    ///
+    /// Malformed entries — an unknown kind, a missing time, an empty or
+    /// non-numeric `@ARG` such as `torn-write@` or `crash@x` — yield
+    /// `Err`, never a panic.
     ///
     /// Example: `"305s:crash@1,305s:provision-fail,7m:metrics-drop"`.
     pub fn parse(spec: &str) -> Result<Self, String> {
@@ -238,16 +303,27 @@ impl FaultPlan {
                 None => (kind_s.trim(), None),
             };
             let spec = match kind {
-                "provision-fail" => FaultSpec::ProvisionFail,
-                "slow-boot" => FaultSpec::SlowBoot { factor: parse_arg_f64(entry, arg, 4.0)? },
-                "crash" => FaultSpec::ServerCrash { online_index: parse_arg_usize(entry, arg, 0)? },
-                "move-fail" => FaultSpec::CallFail { op: FaultOp::Move },
-                "restart-fail" => FaultSpec::CallFail { op: FaultOp::Restart },
-                "compact-fail" => FaultSpec::CallFail { op: FaultOp::Compact },
-                "dn-loss" => {
+                "provision-fail" | "provision_fail" => FaultSpec::ProvisionFail,
+                "slow-boot" | "slow_boot" => {
+                    FaultSpec::SlowBoot { factor: parse_arg_f64(entry, arg, 4.0)? }
+                }
+                "crash" | "server-crash" | "server_crash" => {
+                    FaultSpec::ServerCrash { online_index: parse_arg_usize(entry, arg, 0)? }
+                }
+                "move-fail" | "move_fail" => FaultSpec::CallFail { op: FaultOp::Move },
+                "restart-fail" | "restart_fail" => FaultSpec::CallFail { op: FaultOp::Restart },
+                "compact-fail" | "compact_fail" => FaultSpec::CallFail { op: FaultOp::Compact },
+                "dn-loss" | "dn_loss" | "datanode-loss" | "datanode_loss" => {
                     FaultSpec::DatanodeLoss { online_index: parse_arg_usize(entry, arg, 0)? }
                 }
-                "metrics-drop" => FaultSpec::MetricsDrop,
+                "metrics-drop" | "metrics_drop" => FaultSpec::MetricsDrop,
+                "torn-write" | "torn_write" => {
+                    FaultSpec::TornWrite { bytes: parse_arg_u64(entry, arg, 0)? }
+                }
+                "fsync-fail" | "fsync_fail" => FaultSpec::FsyncFail,
+                "bit-rot" | "bit_rot" => {
+                    FaultSpec::BitRot { block: parse_arg_usize(entry, arg, 0)? }
+                }
                 other => return Err(format!("'{entry}': unknown fault kind '{other}'")),
             };
             faults.push(ScheduledFault { at, spec });
@@ -299,15 +375,20 @@ impl fmt::Display for FaultPlan {
 }
 
 fn parse_time(s: &str) -> Result<SimTime, String> {
-    let (num, mult) = if let Some(n) = s.strip_suffix('m') {
-        (n, 60u64)
-    } else if let Some(n) = s.strip_suffix('s') {
+    // Millis per unit; checked arithmetic so absurd inputs are an `Err`,
+    // not a debug-build overflow panic.
+    let (num, ms_per_unit) = if let Some(n) = s.strip_suffix("ms") {
         (n, 1u64)
+    } else if let Some(n) = s.strip_suffix('m') {
+        (n, 60_000u64)
+    } else if let Some(n) = s.strip_suffix('s') {
+        (n, 1_000u64)
     } else {
-        (s, 1u64)
+        (s, 1_000u64)
     };
     let v: u64 = num.trim().parse().map_err(|_| format!("'{s}': bad time"))?;
-    Ok(SimTime::from_secs(v * mult))
+    let ms = v.checked_mul(ms_per_unit).ok_or_else(|| format!("'{s}': time out of range"))?;
+    Ok(SimTime(ms))
 }
 
 fn parse_arg_f64(entry: &str, arg: Option<&str>, default: f64) -> Result<f64, String> {
@@ -318,6 +399,13 @@ fn parse_arg_f64(entry: &str, arg: Option<&str>, default: f64) -> Result<f64, St
 }
 
 fn parse_arg_usize(entry: &str, arg: Option<&str>, default: usize) -> Result<usize, String> {
+    match arg {
+        None => Ok(default),
+        Some(a) => a.trim().parse().map_err(|_| format!("'{entry}': bad integer argument")),
+    }
+}
+
+fn parse_arg_u64(entry: &str, arg: Option<&str>, default: u64) -> Result<u64, String> {
     match arg {
         None => Ok(default),
         Some(a) => a.trim().parse().map_err(|_| format!("'{entry}': bad integer argument")),
@@ -440,6 +528,34 @@ impl FaultInjector {
     /// the current monitoring round should be dropped.
     pub fn take_metrics_drop(&self, now: SimTime) -> bool {
         self.take_one(now, |s| matches!(s, FaultSpec::MetricsDrop)).is_some()
+    }
+
+    /// Consumes all due torn-write faults; each value is how many bytes
+    /// of the in-flight WAL append survive on disk.
+    pub fn take_torn_writes(&self, now: SimTime) -> Vec<u64> {
+        self.take_due(now, |s| matches!(s, FaultSpec::TornWrite { .. }))
+            .into_iter()
+            .map(|s| match s {
+                FaultSpec::TornWrite { bytes } => bytes,
+                _ => unreachable!("filtered to torn writes"),
+            })
+            .collect()
+    }
+
+    /// Consumes all due fsync failures; returns how many fired.
+    pub fn take_fsync_fails(&self, now: SimTime) -> usize {
+        self.take_due(now, |s| matches!(s, FaultSpec::FsyncFail)).len()
+    }
+
+    /// Consumes all due bit-rot faults; returns their block selectors.
+    pub fn take_bit_rots(&self, now: SimTime) -> Vec<usize> {
+        self.take_due(now, |s| matches!(s, FaultSpec::BitRot { .. }))
+            .into_iter()
+            .map(|s| match s {
+                FaultSpec::BitRot { block } => block,
+                _ => unreachable!("filtered to bit rot"),
+            })
+            .collect()
     }
 
     /// Number of faults injected so far.
@@ -584,14 +700,71 @@ mod tests {
         let drops =
             plan.faults().iter().filter(|f| matches!(f.spec, FaultSpec::MetricsDrop)).count();
         assert_eq!((crashes, provisions, drops), (1, 2, 1));
-        let display = plan.to_string();
-        let reparsed = FaultPlan::parse(
-            &display
-                .replace("server_crash@", "crash@")
-                .replace("provision_fail", "provision-fail")
-                .replace("metrics_drop", "metrics-drop"),
-        )
-        .unwrap();
-        assert_eq!(reparsed.len(), plan.len());
+        // Display renders the parse grammar, so the round trip is exact.
+        let reparsed = FaultPlan::parse(&plan.to_string()).unwrap();
+        assert_eq!(reparsed, plan);
+    }
+
+    #[test]
+    fn disk_fault_grammar_parses_and_round_trips() {
+        let plan =
+            FaultPlan::parse("10s:torn-write@37, 20s:fsync-fail; 30s:bit-rot@5, 40500ms:crash@2")
+                .unwrap();
+        assert_eq!(plan.len(), 4);
+        assert!(matches!(plan.faults()[0].spec, FaultSpec::TornWrite { bytes: 37 }));
+        assert!(matches!(plan.faults()[1].spec, FaultSpec::FsyncFail));
+        assert!(matches!(plan.faults()[2].spec, FaultSpec::BitRot { block: 5 }));
+        assert_eq!(plan.faults()[3].at, SimTime(40_500));
+        assert_eq!(FaultPlan::parse(&plan.to_string()).unwrap(), plan);
+        // Snake-case aliases (the legacy `kind()` renderings) parse too.
+        let alias = FaultPlan::parse("10s:torn_write@37,20s:server_crash@1").unwrap();
+        assert!(matches!(alias.faults()[0].spec, FaultSpec::TornWrite { bytes: 37 }));
+        assert!(matches!(alias.faults()[1].spec, FaultSpec::ServerCrash { online_index: 1 }));
+    }
+
+    #[test]
+    fn malformed_entries_are_errors_not_panics() {
+        for bad in [
+            "10s:torn-write@",
+            "10s:crash@x",
+            "10s:bit-rot@-1",
+            "10s:slow-boot@fast",
+            "abc:crash@1",
+            "99999999999999999999s:crash@1",
+            "18446744073709551615m:crash@1",
+            "10s:@3",
+            ":crash@1",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "'{bad}' should be rejected");
+        }
+    }
+
+    #[test]
+    fn injector_hands_out_disk_faults() {
+        let plan = FaultPlan::parse("5s:torn-write@64,5s:fsync-fail,6s:bit-rot@9").unwrap();
+        let inj = plan.injector();
+        assert!(inj.take_torn_writes(SimTime::from_secs(4)).is_empty());
+        assert_eq!(inj.take_torn_writes(SimTime::from_secs(5)), vec![64]);
+        assert_eq!(inj.take_fsync_fails(SimTime::from_secs(5)), 1);
+        assert_eq!(inj.take_bit_rots(SimTime::from_secs(10)), vec![9]);
+        assert_eq!(inj.pending(), 0);
+    }
+
+    #[test]
+    fn random_plans_with_disk_faults_round_trip_and_legacy_seeds_hold() {
+        let cfg = RandomFaultConfig::default();
+        let legacy = FaultPlan::random(7, &cfg);
+        let with_disk =
+            FaultPlan::random(7, &RandomFaultConfig { faults: 64, disk_faults: true, ..cfg });
+        assert!(
+            with_disk.faults().iter().any(|f| matches!(
+                f.spec,
+                FaultSpec::TornWrite { .. } | FaultSpec::FsyncFail | FaultSpec::BitRot { .. }
+            )),
+            "64 draws over 11 kinds should include a disk fault"
+        );
+        assert_eq!(FaultPlan::parse(&with_disk.to_string()).unwrap(), with_disk);
+        // Same seed without the opt-in still yields the pre-durability plan.
+        assert_eq!(FaultPlan::random(7, &cfg), legacy);
     }
 }

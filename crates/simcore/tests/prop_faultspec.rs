@@ -1,0 +1,102 @@
+//! Property tests for the fault-plan grammar: `Display` renders the
+//! canonical `parse` grammar, so any plan — hand-built, random, or
+//! disk-faulted — must survive `parse(&plan.to_string())` exactly, and
+//! `parse` must never panic, whatever string it is fed.
+
+use proptest::prelude::*;
+use simcore::{FaultOp, FaultPlan, FaultSpec, ScheduledFault, SimTime};
+
+fn arb_spec() -> impl Strategy<Value = FaultSpec> {
+    prop_oneof![
+        Just(FaultSpec::ProvisionFail),
+        // Finite positive factors: what `FaultPlan::random` draws, and the
+        // only values a slow-boot multiplier means anything for. `f64`
+        // `Display` is shortest-round-trip, so parse recovers them exactly.
+        (1u32..1_000_000, 0u32..1000)
+            .prop_map(|(a, b)| FaultSpec::SlowBoot { factor: a as f64 + b as f64 / 1000.0 }),
+        any::<usize>().prop_map(|online_index| FaultSpec::ServerCrash { online_index }),
+        Just(FaultSpec::CallFail { op: FaultOp::Move }),
+        Just(FaultSpec::CallFail { op: FaultOp::Restart }),
+        Just(FaultSpec::CallFail { op: FaultOp::Compact }),
+        any::<usize>().prop_map(|online_index| FaultSpec::DatanodeLoss { online_index }),
+        Just(FaultSpec::MetricsDrop),
+        any::<u64>().prop_map(|bytes| FaultSpec::TornWrite { bytes }),
+        Just(FaultSpec::FsyncFail),
+        any::<usize>().prop_map(|block| FaultSpec::BitRot { block }),
+    ]
+}
+
+fn arb_plan() -> impl Strategy<Value = FaultPlan> {
+    // Millisecond-granularity times exercise the `Nms` rendering alongside
+    // the whole-second `Ns` form.
+    prop::collection::vec((0u64..100_000_000, arb_spec()), 0..16).prop_map(|faults| {
+        FaultPlan::new(
+            faults.into_iter().map(|(ms, spec)| ScheduledFault { at: SimTime(ms), spec }).collect(),
+        )
+    })
+}
+
+/// Grammar-shaped noise: mostly-valid entry skeletons with corrupted
+/// pieces, the inputs most likely to reach deep into `parse`.
+fn arb_noise_entry() -> impl Strategy<Value = String> {
+    const TIMES: &[&str] = &["10", "10s", "7m", "500ms", "", "x", "-3", "18446744073709551615m"];
+    const KINDS: &[&str] = &[
+        "crash",
+        "torn-write",
+        "bit-rot",
+        "fsync-fail",
+        "slow-boot",
+        "dn-loss",
+        "metrics-drop",
+        "warp-core-breach",
+        "",
+        "@",
+        "torn_write",
+    ];
+    const ARGS: &[&str] = &["", "@", "@1", "@x", "@-1", "@1.5", "@99999999999999999999999"];
+    (0usize..TIMES.len(), 0usize..KINDS.len(), 0usize..ARGS.len(), any::<bool>()).prop_map(
+        |(t, k, a, with_colon)| {
+            if with_colon {
+                format!("{}:{}{}", TIMES[t], KINDS[k], ARGS[a])
+            } else {
+                format!("{}{}{}", TIMES[t], KINDS[k], ARGS[a])
+            }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn display_parse_round_trips(plan in arb_plan()) {
+        let rendered = plan.to_string();
+        let reparsed = FaultPlan::parse(&rendered)
+            .unwrap_or_else(|e| panic!("'{rendered}' failed to reparse: {e}"));
+        prop_assert_eq!(reparsed, plan);
+    }
+
+    #[test]
+    fn parse_never_panics_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let s = String::from_utf8_lossy(&bytes);
+        let _ = FaultPlan::parse(&s);
+    }
+
+    #[test]
+    fn parse_never_panics_on_grammar_shaped_noise(
+        entries in prop::collection::vec(arb_noise_entry(), 0..6)
+    ) {
+        let _ = FaultPlan::parse(&entries.join(","));
+    }
+
+    #[test]
+    fn random_plans_round_trip(seed in any::<u64>()) {
+        let cfg = simcore::RandomFaultConfig {
+            faults: 8,
+            disk_faults: seed.is_multiple_of(2),
+            ..Default::default()
+        };
+        let plan = FaultPlan::random(seed, &cfg);
+        prop_assert_eq!(FaultPlan::parse(&plan.to_string()).unwrap(), plan);
+    }
+}

@@ -249,6 +249,46 @@ pub enum TelemetryEvent {
         /// What degradation implies (held classification, vetoed scale-in).
         detail: String,
     },
+    /// A batch of WAL records became durable on one server (group commit).
+    WalAppend {
+        /// Server whose log was appended to.
+        server: u64,
+        /// Records in the synced batch.
+        records: u64,
+        /// Bytes made durable.
+        bytes: u64,
+    },
+    /// A re-homed partition began WAL replay on its new server.
+    RecoveryStarted {
+        /// Server performing the replay.
+        server: u64,
+        /// Partition (region) being recovered.
+        region: u64,
+        /// WAL backlog to replay, bytes.
+        wal_bytes: u64,
+    },
+    /// WAL replay finished and the partition is serving again.
+    RecoveryCompleted {
+        /// Server that performed the replay.
+        server: u64,
+        /// Partition (region) recovered.
+        region: u64,
+        /// WAL bytes replayed.
+        wal_bytes: u64,
+        /// Simulated replay duration, milliseconds.
+        duration_ms: u64,
+    },
+    /// A checksum mismatch was detected on a stored block or WAL record.
+    CorruptionDetected {
+        /// Server that detected the damage.
+        server: u64,
+        /// File id of the damaged store file or WAL pseudo-file.
+        file: u64,
+        /// Byte offset of the first bad block/record.
+        offset: u64,
+        /// Human-readable description of what was damaged.
+        detail: String,
+    },
 }
 
 /// Discriminant of a [`TelemetryEvent`], for filters and assertions.
@@ -277,6 +317,10 @@ pub enum EventKind {
     StepFailed,
     PlanReconciled,
     DegradedMode,
+    WalAppend,
+    RecoveryStarted,
+    RecoveryCompleted,
+    CorruptionDetected,
 }
 
 impl EventKind {
@@ -305,6 +349,10 @@ impl EventKind {
             EventKind::StepFailed => "step_failed",
             EventKind::PlanReconciled => "plan_reconciled",
             EventKind::DegradedMode => "degraded_mode",
+            EventKind::WalAppend => "wal_append",
+            EventKind::RecoveryStarted => "recovery_started",
+            EventKind::RecoveryCompleted => "recovery_completed",
+            EventKind::CorruptionDetected => "corruption_detected",
         }
     }
 }
@@ -335,6 +383,10 @@ impl TelemetryEvent {
             TelemetryEvent::StepFailed { .. } => EventKind::StepFailed,
             TelemetryEvent::PlanReconciled { .. } => EventKind::PlanReconciled,
             TelemetryEvent::DegradedMode { .. } => EventKind::DegradedMode,
+            TelemetryEvent::WalAppend { .. } => EventKind::WalAppend,
+            TelemetryEvent::RecoveryStarted { .. } => EventKind::RecoveryStarted,
+            TelemetryEvent::RecoveryCompleted { .. } => EventKind::RecoveryCompleted,
+            TelemetryEvent::CorruptionDetected { .. } => EventKind::CorruptionDetected,
         }
     }
 
@@ -345,7 +397,8 @@ impl TelemetryEvent {
             | EventKind::CacheReport
             | EventKind::MemstoreFlush
             | EventKind::CompactionDone
-            | EventKind::LocalitySample => Level::Debug,
+            | EventKind::LocalitySample
+            | EventKind::WalAppend => Level::Debug,
             _ => Level::Info,
         }
     }
@@ -471,6 +524,19 @@ impl Event {
             TelemetryEvent::DegradedMode { entered, age_ms, detail } => {
                 json!({ "entered": *entered, "age_ms": *age_ms, "detail": detail })
             }
+            TelemetryEvent::WalAppend { server, records, bytes } => {
+                json!({ "server": *server, "records": *records, "bytes": *bytes })
+            }
+            TelemetryEvent::RecoveryStarted { server, region, wal_bytes } => {
+                json!({ "server": *server, "region": *region, "wal_bytes": *wal_bytes })
+            }
+            TelemetryEvent::RecoveryCompleted { server, region, wal_bytes, duration_ms } => json!({
+                "server": *server, "region": *region,
+                "wal_bytes": *wal_bytes, "duration_ms": *duration_ms,
+            }),
+            TelemetryEvent::CorruptionDetected { server, file, offset, detail } => json!({
+                "server": *server, "file": *file, "offset": *offset, "detail": detail,
+            }),
         };
         if let Value::Object(map) = &mut obj {
             map.insert("t_ms".to_string(), json!(self.time_ms));
@@ -625,6 +691,28 @@ impl Event {
                 age_ms: u("age_ms")?,
                 detail: s("detail")?,
             },
+            "wal_append" => TelemetryEvent::WalAppend {
+                server: u("server")?,
+                records: u("records")?,
+                bytes: u("bytes")?,
+            },
+            "recovery_started" => TelemetryEvent::RecoveryStarted {
+                server: u("server")?,
+                region: u("region")?,
+                wal_bytes: u("wal_bytes")?,
+            },
+            "recovery_completed" => TelemetryEvent::RecoveryCompleted {
+                server: u("server")?,
+                region: u("region")?,
+                wal_bytes: u("wal_bytes")?,
+                duration_ms: u("duration_ms")?,
+            },
+            "corruption_detected" => TelemetryEvent::CorruptionDetected {
+                server: u("server")?,
+                file: u("file")?,
+                offset: u("offset")?,
+                detail: s("detail")?,
+            },
             _ => return None,
         };
         Some(Event { time_ms, seq, data })
@@ -738,6 +826,20 @@ mod tests {
                 age_ms: 95_000,
                 detail: "metrics stale; scale-in vetoed".to_string(),
             },
+            TelemetryEvent::WalAppend { server: 2, records: 16, bytes: 2_048 },
+            TelemetryEvent::RecoveryStarted { server: 5, region: 7, wal_bytes: 48 << 20 },
+            TelemetryEvent::RecoveryCompleted {
+                server: 5,
+                region: 7,
+                wal_bytes: 48 << 20,
+                duration_ms: 960,
+            },
+            TelemetryEvent::CorruptionDetected {
+                server: 3,
+                file: 42,
+                offset: 4_096,
+                detail: "block checksum mismatch in file 42".to_string(),
+            },
         ]
     }
 
@@ -772,6 +874,7 @@ mod tests {
                     | EventKind::MemstoreFlush
                     | EventKind::CompactionDone
                     | EventKind::LocalitySample
+                    | EventKind::WalAppend
             );
             assert_eq!(e.level() == Level::Debug, expected, "{:?}", e.kind());
         }

@@ -83,6 +83,7 @@ proptest! {
             warmup: SimDuration::from_mins(2),
             faults,
             allow_crashes,
+            disk_faults: false,
         });
         let injector = plan.injector();
         let mut sim = build_scenario(seed);
