@@ -193,10 +193,41 @@ pub fn bench_scan_heavy(cfg: &PerfConfig) -> PerfRecord {
 
 /// 50 % point reads / 50 % puts (YCSB workload A shape), flushing as the
 /// memstore crosses the threshold a region would use.
+///
+/// `store-put-heavy` runs with no WAL attached — durability logging is
+/// opt-in on [`CfStore`], and the figure experiments never enable it, so
+/// this is the leg that tracks the storage engine's own trajectory. The
+/// two `-wal-*` variants attach a WAL so the cost of durability itself is
+/// a measured, separate number instead of a suspicion: `-wal-sync` syncs
+/// every append (`group_commit_bytes: 0`), `-wal-group` defers syncs to
+/// 64 KiB group commits.
 pub fn bench_put_heavy(cfg: &PerfConfig) -> PerfRecord {
+    bench_put_heavy_variant(cfg, "store-put-heavy", None)
+}
+
+/// Put-heavy mix with a sync-per-append WAL attached.
+pub fn bench_put_heavy_wal_sync(cfg: &PerfConfig) -> PerfRecord {
+    let wal = hstore::WalConfig { group_commit_bytes: 0, ..Default::default() };
+    bench_put_heavy_variant(cfg, "store-put-heavy-wal-sync", Some(wal))
+}
+
+/// Put-heavy mix with a 64 KiB group-commit WAL attached.
+pub fn bench_put_heavy_wal_group(cfg: &PerfConfig) -> PerfRecord {
+    let wal = hstore::WalConfig { group_commit_bytes: 64 << 10, ..Default::default() };
+    bench_put_heavy_variant(cfg, "store-put-heavy-wal-group", Some(wal))
+}
+
+fn bench_put_heavy_variant(
+    cfg: &PerfConfig,
+    bench: &str,
+    wal: Option<hstore::WalConfig>,
+) -> PerfRecord {
     let rates = (0..cfg.reps)
         .map(|_| {
             let mut s = loaded_store();
+            if let Some(wal_cfg) = wal {
+                s.enable_wal(wal_cfg);
+            }
             let mut since_flush = 0u64;
             time_ops(&mut s, cfg.ops, |s, k| {
                 let i = k.next_in(STORE_RECORDS);
@@ -214,34 +245,34 @@ pub fn bench_put_heavy(cfg: &PerfConfig) -> PerfRecord {
         })
         .collect();
     PerfRecord {
-        bench: "store-put-heavy".into(),
+        bench: bench.into(),
         ops_per_sec: Some(median(rates)),
         ticks_per_sec: None,
         threads: 1,
     }
 }
 
+/// One timed repetition of the fig4 cluster at `threads`: rebuild the
+/// scenario from the same seed (so every rep times the identical tick
+/// window; warmup covers the client ramp), step, return ticks/sec.
+fn fig4_rep(cfg: &PerfConfig, threads: usize) -> f64 {
+    let mut scenario = crate::scenario::ycsb_scenario(1_000);
+    build_random_homogeneous(&mut scenario.sim, FIG1_SERVERS);
+    scenario.sim.set_threads(threads);
+    scenario.start_clients();
+    for _ in 0..cfg.warmup_ticks {
+        scenario.sim.step();
+    }
+    let t0 = Instant::now();
+    for _ in 0..cfg.ticks {
+        scenario.sim.step();
+    }
+    cfg.ticks as f64 / t0.elapsed().as_secs_f64()
+}
+
 /// Median wall-clock ticks/sec of the fig4 cluster at `threads`.
-///
-/// Each repetition rebuilds the scenario from the same seed so every rep
-/// times the identical tick window (warmup covers the client ramp).
 pub fn bench_fig4_ticks(cfg: &PerfConfig, threads: usize) -> PerfRecord {
-    let rates = (0..cfg.reps)
-        .map(|_| {
-            let mut scenario = crate::scenario::ycsb_scenario(1_000);
-            build_random_homogeneous(&mut scenario.sim, FIG1_SERVERS);
-            scenario.sim.set_threads(threads);
-            scenario.start_clients();
-            for _ in 0..cfg.warmup_ticks {
-                scenario.sim.step();
-            }
-            let t0 = Instant::now();
-            for _ in 0..cfg.ticks {
-                scenario.sim.step();
-            }
-            cfg.ticks as f64 / t0.elapsed().as_secs_f64()
-        })
-        .collect();
+    let rates = (0..cfg.reps).map(|_| fig4_rep(cfg, threads)).collect();
     PerfRecord {
         bench: "cluster-fig4-ticks".into(),
         ops_per_sec: None,
@@ -250,14 +281,51 @@ pub fn bench_fig4_ticks(cfg: &PerfConfig, threads: usize) -> PerfRecord {
     }
 }
 
-/// Runs the whole suite: the three store mixes plus the cluster leg at one
-/// thread and at `cfg.par_threads`.
-pub fn run_suite(cfg: &PerfConfig) -> Vec<PerfRecord> {
-    let mut out = vec![bench_point_get(cfg), bench_scan_heavy(cfg), bench_put_heavy(cfg)];
-    out.push(bench_fig4_ticks(cfg, 1));
-    if cfg.par_threads > 1 {
-        out.push(bench_fig4_ticks(cfg, cfg.par_threads));
+/// The two cluster legs as a *paired* measurement: repetitions alternate
+/// 1-thread and `threads` runs instead of timing one whole leg after the
+/// other, so slow drift in the host (thermal state, page cache, noisy
+/// neighbours) lands on both legs equally and the speedup ratio between
+/// the two medians reflects the engines, not when they ran.
+pub fn bench_fig4_ticks_pair(cfg: &PerfConfig, threads: usize) -> (PerfRecord, PerfRecord) {
+    let mut seq = Vec::with_capacity(cfg.reps);
+    let mut par = Vec::with_capacity(cfg.reps);
+    for _ in 0..cfg.reps {
+        seq.push(fig4_rep(cfg, 1));
+        par.push(fig4_rep(cfg, threads));
     }
+    let rec = |threads: usize, rates: Vec<f64>| PerfRecord {
+        bench: "cluster-fig4-ticks".into(),
+        ops_per_sec: None,
+        ticks_per_sec: Some(median(rates)),
+        threads,
+    };
+    (rec(1, seq), rec(threads, par))
+}
+
+/// Runs the whole suite: the cluster legs at one thread and at
+/// `cfg.par_threads`, then the store mixes (including the WAL-attached
+/// put-heavy variants).
+///
+/// The cluster pair goes first deliberately: its 1-vs-N ratio is the
+/// number the parallel-engine acceptance gate reads, and minutes of
+/// store-mix hammering measurably degrades a small host before the
+/// cluster legs would otherwise run.
+pub fn run_suite(cfg: &PerfConfig) -> Vec<PerfRecord> {
+    let mut out = Vec::new();
+    if cfg.par_threads > 1 {
+        let (seq, par) = bench_fig4_ticks_pair(cfg, cfg.par_threads);
+        out.push(seq);
+        out.push(par);
+    } else {
+        out.push(bench_fig4_ticks(cfg, 1));
+    }
+    out.extend([
+        bench_point_get(cfg),
+        bench_scan_heavy(cfg),
+        bench_put_heavy(cfg),
+        bench_put_heavy_wal_sync(cfg),
+        bench_put_heavy_wal_group(cfg),
+    ]);
     out
 }
 
@@ -272,7 +340,13 @@ mod tests {
     #[test]
     fn store_mixes_produce_positive_rates() {
         let cfg = smoke_cfg();
-        for rec in [bench_point_get(&cfg), bench_scan_heavy(&cfg), bench_put_heavy(&cfg)] {
+        for rec in [
+            bench_point_get(&cfg),
+            bench_scan_heavy(&cfg),
+            bench_put_heavy(&cfg),
+            bench_put_heavy_wal_sync(&cfg),
+            bench_put_heavy_wal_group(&cfg),
+        ] {
             let rate = rec.ops_per_sec.expect("store mixes report ops/sec");
             assert!(rate > 0.0 && rate.is_finite(), "{}: rate {rate}", rec.bench);
             assert!(rec.ticks_per_sec.is_none());

@@ -11,6 +11,14 @@
 use met_bench::scale::{traced_chaos, traced_chaos_with_plan, traced_fig4, traced_latency};
 use simcore::{FaultPlan, FaultSpec, ScheduledFault, SimTime};
 
+/// Make the 4-thread runs dispatch across real worker threads even on a
+/// single-CPU host (where the engine would otherwise — correctly — run
+/// every shard inline and the 1-vs-4 comparison would never cross a
+/// thread boundary).
+fn force_dispatch() {
+    simcore::par::set_physical_override(Some(4));
+}
+
 fn assert_identical(
     name: &str,
     seq: &met_bench::scale::TracedRun,
@@ -26,6 +34,7 @@ fn assert_identical(
 
 #[test]
 fn fig4_trace_is_byte_identical_across_thread_counts() {
+    force_dispatch();
     // 8 minutes covers the ramp (2 min) plus the bulk of the §6.2
     // reconfiguration window — restarts, moves, and major compactions all
     // exercise the parallel phases.
@@ -36,6 +45,7 @@ fn fig4_trace_is_byte_identical_across_thread_counts() {
 
 #[test]
 fn chaos_trace_is_byte_identical_across_thread_counts() {
+    force_dispatch();
     // 10 minutes covers the reference plan's crash (5:05), provision
     // failures, and metrics drop (7:00) plus recovery.
     let seq = traced_chaos(1_000, 10, 1);
@@ -45,6 +55,7 @@ fn chaos_trace_is_byte_identical_across_thread_counts() {
 
 #[test]
 fn fig4_trace_is_unchanged_by_profiling() {
+    force_dispatch();
     // The span profiler is wall-clock and must be trace-invisible: arming
     // it changes nothing in the JSONL trace or the final layout, at either
     // thread count. (Profiled runs share this process with the gates
@@ -67,6 +78,7 @@ fn fig4_trace_is_unchanged_by_profiling() {
 
 #[test]
 fn chaos_trace_is_unchanged_by_profiling() {
+    force_dispatch();
     // Same invisibility claim under faults: crashes, provision failures
     // and the healer's re-homing all run with spans armed.
     let baseline = traced_chaos(1_000, 6, 4);
@@ -79,6 +91,7 @@ fn chaos_trace_is_unchanged_by_profiling() {
 
 #[test]
 fn disk_fault_trace_is_byte_identical_across_thread_counts() {
+    force_dispatch();
     // WAL backlog accounting, replay outage extension, and the disk-fault
     // injector (torn write, fsync failure, bit-rot) all run inside the
     // parallel phases; their telemetry (RecoveryStarted/Completed,
@@ -107,6 +120,7 @@ fn disk_fault_trace_is_byte_identical_across_thread_counts() {
 
 #[test]
 fn latency_trace_is_byte_identical_across_thread_counts() {
+    force_dispatch();
     // 10 minutes of the SLO-gated overload run covers the gate's first
     // scale-out, so the queueing model's per-server p99s (appended to the
     // trace by `traced_latency`) are exercised across a fleet change.

@@ -329,8 +329,11 @@ impl FunctionalCluster {
             let (rid, sid) = self.locate(table, &cursor)?;
             let region = self.region_mut(rid, sid);
             let end = region.range().end.clone();
+            // Saturating: a region handing back more rows than asked would
+            // otherwise underflow this in the next iteration (debug builds
+            // panic on unsigned wrap).
             let (rows, region_stats) =
-                region.scan_with_stats(family, &cursor, row_limit - out.len())?;
+                region.scan_with_stats(family, &cursor, row_limit.saturating_sub(out.len()))?;
             out.extend(rows);
             stats.absorb(region_stats);
             if out.len() >= row_limit {

@@ -16,15 +16,20 @@
 //!    the paper measures (§5, §6.2).
 //!
 //! The whole simulation is deterministic for a given seed — at *any* thread
-//! count. The embarrassingly parallel per-server phases (queueing-model
-//! solve, compaction drain planning, cache-warmth evolution, locality
-//! accounting, cache metrics) fan out over the `MET_THREADS` pool
-//! ([`simcore::par`]), always mapping over a stable server-ID order and
-//! reducing into shared state in that same order; per-server randomness
-//! comes from forked RNG streams keyed by server ID
-//! ([`simcore::SimRng::fork`]). `MET_THREADS=1` (or
-//! [`SimCluster::set_threads`]`(1)`) selects the legacy sequential path,
-//! and both paths produce bit-identical traces.
+//! count. The engine is *sharded*: servers are partitioned into
+//! `MET_THREADS` contiguous chunks of the ID-sorted fleet (the
+//! [`ShardLayout`], rebuilt deterministically whenever the fleet or the
+//! thread count changes), and each shard owns persistent scratch
+//! ([`ShardScratch`] — solver outputs, latency digests, compaction plans,
+//! a metrics staging buffer) that stays resident on its pinned worker
+//! thread across ticks ([`simcore::par::for_each_shard`]). A parallel
+//! phase is then "broadcast inputs → shards run their servers → thin
+//! sequential combine in shard (= server-ID) order", so every reduction
+//! into shared state happens in exactly the order the sequential engine
+//! uses; per-server randomness comes from forked RNG streams keyed by
+//! server ID ([`simcore::SimRng::fork`]), never by thread or shard.
+//! `MET_THREADS=1` (or [`SimCluster::set_threads`]`(1)`) selects the
+//! legacy sequential path, and both paths produce bit-identical traces.
 
 use crate::admin::{
     AdminError, ClusterSnapshot, ElasticCluster, PartitionMetrics, ServerHealth, ServerMetrics,
@@ -229,6 +234,92 @@ impl SimServer {
     }
 }
 
+/// Deterministic server→shard partition for the parallel phases.
+///
+/// Membership is a pure function of the fleet and the thread count: the
+/// ID-sorted server list (every server in `SimCluster::servers`, whatever
+/// its lifecycle state — crashed servers still answer demand with the
+/// unavailability penalty) is cut into `min(threads, servers)` contiguous
+/// chunks via [`simcore::par::chunk_ranges`], the first `servers % shards`
+/// chunks one server larger. Provision, decommission, and crash-replace
+/// all change the fleet, so the layout is versioned on
+/// `(next_server, servers.len(), threads)` and rebuilt lazily — two runs
+/// that perform the same topology changes rebalance identically at any
+/// thread count.
+struct ShardLayout {
+    version: (u64, usize, usize),
+    /// Effective shard count: `min(threads, max(servers, 1))`.
+    shards: usize,
+    /// All server IDs, ascending.
+    ids: Vec<ServerId>,
+    /// `ids[bounds[s]..bounds[s + 1]]` is shard `s`'s membership.
+    bounds: Vec<usize>,
+}
+
+impl ShardLayout {
+    fn empty() -> Self {
+        ShardLayout { version: (0, 0, 0), shards: 1, ids: Vec::new(), bounds: vec![0, 0] }
+    }
+
+    fn build(ids: Vec<ServerId>, threads: usize, version: (u64, usize, usize)) -> Self {
+        let shards = threads.clamp(1, ids.len().max(1));
+        let ranges = simcore::par::chunk_ranges(ids.len(), shards);
+        let mut bounds = Vec::with_capacity(shards + 1);
+        bounds.push(0);
+        bounds.extend(ranges.iter().map(|r| r.end));
+        ShardLayout { version, shards, ids, bounds }
+    }
+
+    /// The shard owning `sid`. Callers only ask about servers that exist.
+    fn shard_of(&self, sid: ServerId) -> usize {
+        debug_assert!(self.ids.binary_search(&sid).is_ok(), "shard_of on unknown {sid:?}");
+        // The owner is the last shard whose first member is <= sid.
+        (1..self.shards).take_while(|s| self.ids[self.bounds[*s]] <= sid).last().unwrap_or(0)
+    }
+
+    /// Splits an ID-ascending item list (one item per server, a subset of
+    /// the fleet) into per-shard contiguous ranges, in shard order.
+    fn item_ranges(&self, item_ids: impl Iterator<Item = ServerId>) -> Vec<std::ops::Range<usize>> {
+        let mut counts = vec![0usize; self.shards];
+        for id in item_ids {
+            counts[self.shard_of(id)] += 1;
+        }
+        let mut out = Vec::with_capacity(self.shards);
+        let mut start = 0;
+        for c in counts {
+            out.push(start..start + c);
+            start += c;
+        }
+        out
+    }
+
+    /// Shard membership, for the rebalancing tests.
+    fn members(&self) -> Vec<Vec<ServerId>> {
+        (0..self.shards).map(|s| self.ids[self.bounds[s]..self.bounds[s + 1]].to_vec()).collect()
+    }
+}
+
+/// Per-shard scratch that lives in the cluster across ticks — the "hot
+/// state resident in its worker" half of the sharded engine. Shard `s` is
+/// always dispatched to pinned worker `s`, so these vectors (and their
+/// capacity) stay in one thread's cache; every phase clears and refills
+/// them instead of allocating per server per tick.
+#[derive(Default)]
+struct ShardScratch {
+    /// Solver fan-out: per-server evaluations, in ID order within shard.
+    evals: Vec<(ServerId, ServerEval)>,
+    /// Solver fan-out: flattened per-partition response times.
+    responses: Vec<(PartitionId, (f64, f64, f64))>,
+    /// Latency reporting pass: per-server digests.
+    latencies: Vec<(ServerId, LatencySummary)>,
+    /// Compaction drain plans: `(server, completed, leftover)`.
+    plans: Vec<(ServerId, Vec<PartitionId>, Option<f64>)>,
+    /// Cache-metrics pass: per-server utilization/cache updates.
+    cache: Vec<(ServerId, f64, f64, f64, f64, u64, u64)>,
+    /// Metrics staged by this shard, flushed in shard order.
+    metrics: MetricsBuffer,
+}
+
 /// The simulated cluster.
 pub struct SimCluster {
     params: CostParams,
@@ -252,6 +343,8 @@ pub struct SimCluster {
     // would make children depend on sibling execution order).
     rng_streams: SimRng,
     threads: usize,
+    layout: ShardLayout,
+    scratch: Vec<ShardScratch>,
     total_series: TimeSeries,
     group_series: BTreeMap<String, TimeSeries>,
     latency_series: BTreeMap<String, TimeSeries>,
@@ -269,6 +362,10 @@ pub struct SimCluster {
     wal_durable: bool,
     wal_replay_mb_s: f64,
 }
+
+/// One group's `(partition, (read, write, scan))` rate rows, hoisted out of
+/// the throughput solve (see [`SimCluster::group_rate_tables`]).
+type GroupRateTable = Vec<(PartitionId, (f64, f64, f64))>;
 
 impl SimCluster {
     /// Creates an empty cluster with 1-second ticks, no provisioning delay
@@ -294,6 +391,8 @@ impl SimCluster {
             rng,
             rng_streams: SimRng::new(seed).derive("server-streams"),
             threads: simcore::par::met_threads(),
+            layout: ShardLayout::empty(),
+            scratch: Vec::new(),
             total_series: TimeSeries::new("total ops/s"),
             group_series: BTreeMap::new(),
             latency_series: BTreeMap::new(),
@@ -336,12 +435,42 @@ impl SimCluster {
     /// sequential path. Values are clamped to at least 1.
     pub fn set_threads(&mut self, threads: usize) {
         self.threads = threads.max(1);
-        simcore::par::ensure_pool(self.threads);
+        // Spawn the long-lived workers up front; the layout itself is
+        // versioned on the thread count and rebuilds lazily. A spawn
+        // failure is survivable — dispatch degrades to inline execution —
+        // so it is reported, not fatal.
+        if let Err(e) = simcore::par::ensure_pool(self.threads) {
+            eprintln!("warning: {e}; parallel phases will run inline");
+        }
     }
 
     /// The thread count used by the parallel phases.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Rebuilds the shard layout if the fleet or thread count changed
+    /// since it was last built. `next_server` only ever grows (every
+    /// provision/replace allocates a fresh ID) and removal shrinks the
+    /// map, so `(next_server, servers.len(), threads)` changes whenever
+    /// membership must.
+    fn refresh_layout(&mut self) {
+        let version = (self.next_server, self.servers.len(), self.threads);
+        if self.layout.version == version {
+            return;
+        }
+        self.layout =
+            ShardLayout::build(self.servers.keys().copied().collect(), self.threads, version);
+        self.scratch.resize_with(self.layout.shards, ShardScratch::default);
+    }
+
+    /// Current server→shard ownership, in shard order (for the
+    /// rebalancing property tests: every server appears in exactly one
+    /// shard, membership is contiguous in ID order, and two clusters that
+    /// made the same topology changes agree at any thread count).
+    pub fn shard_members(&mut self) -> Vec<Vec<ServerId>> {
+        self.refresh_layout();
+        self.layout.members()
     }
 
     /// Routes storage-layer telemetry (flushes, compactions, splits, cache
@@ -818,6 +947,14 @@ impl SimCluster {
         }
     }
 
+    /// Ids of every known server in any lifecycle state (including
+    /// provisioning, restarting, and stopped), ascending. This is the
+    /// membership the shard layout partitions — stopped servers stay
+    /// owned by a shard until they are removed from the map.
+    pub fn all_server_ids(&self) -> Vec<ServerId> {
+        self.servers.keys().copied().collect()
+    }
+
     /// Ids of currently online servers.
     pub fn online_server_ids(&self) -> Vec<ServerId> {
         self.servers
@@ -1033,36 +1170,49 @@ impl SimCluster {
         let compact_plan_span = wallspan::span("sim.compaction.plan");
         let compact_step = self.params.compact_mb_s * 1e6 * dt;
         let threads = self.threads;
-        let drain_entries: Vec<(&ServerId, &SimServer)> = self.servers.iter().collect();
-        let plans: Vec<(Vec<PartitionId>, Option<f64>)> =
-            simcore::par::map(threads, &drain_entries, |(_, server)| {
-                if server.state != ServerState::Online {
-                    return (Vec::new(), None);
-                }
-                let mut budget = compact_step;
-                let mut completed: Vec<PartitionId> = Vec::new();
-                let mut leftover = None;
-                for &(p, amount) in &server.compaction_backlog {
-                    if budget <= 0.0 {
-                        break;
+        self.refresh_layout();
+        let shards = self.layout.shards;
+        {
+            let drain_entries: Vec<(&ServerId, &SimServer)> = self.servers.iter().collect();
+            let ranges = self.layout.item_ranges(drain_entries.iter().map(|(sid, _)| **sid));
+            let entries_ref = &drain_entries;
+            let ranges_ref = &ranges;
+            simcore::par::for_each_shard(&mut self.scratch[..shards], |shard, sc| {
+                sc.plans.clear();
+                for (sid, server) in &entries_ref[ranges_ref[shard].clone()] {
+                    if server.state != ServerState::Online {
+                        continue;
                     }
-                    if amount <= budget {
-                        budget -= amount;
-                        completed.push(p);
-                    } else {
-                        leftover = Some(amount - budget);
-                        break;
+                    let mut budget = compact_step;
+                    let mut completed: Vec<PartitionId> = Vec::new();
+                    let mut leftover = None;
+                    for &(p, amount) in &server.compaction_backlog {
+                        if budget <= 0.0 {
+                            break;
+                        }
+                        if amount <= budget {
+                            budget -= amount;
+                            completed.push(p);
+                        } else {
+                            leftover = Some(amount - budget);
+                            break;
+                        }
+                    }
+                    if !completed.is_empty() || leftover.is_some() {
+                        sc.plans.push((**sid, completed, leftover));
                     }
                 }
-                (completed, leftover)
             });
+        }
         drop(compact_plan_span);
         let compact_apply_span = wallspan::span("sim.compaction.apply");
-        let drain_order: Vec<ServerId> = drain_entries.iter().map(|(sid, _)| **sid).collect();
-        for (sid, (completed, leftover)) in drain_order.into_iter().zip(plans) {
-            if completed.is_empty() && leftover.is_none() {
-                continue;
-            }
+        // Apply in shard order = server-ID order, exactly as the
+        // sequential engine drains.
+        let mut plans: Vec<(ServerId, Vec<PartitionId>, Option<f64>)> = Vec::new();
+        for sc in &mut self.scratch[..shards] {
+            plans.append(&mut sc.plans);
+        }
+        for (sid, completed, leftover) in plans {
             let server = self.servers.get_mut(&sid).expect("iterating known ids");
             for _ in &completed {
                 server.compaction_backlog.pop_front();
@@ -1160,70 +1310,83 @@ impl SimCluster {
         let _cache_span = wallspan::span("sim.cache_metrics");
         let evals: Vec<(ServerId, ServerEval)> = solution.server_evals.into_iter().collect();
         let telemetry_on = self.telemetry.is_enabled();
-        let servers_ref = &self.servers;
-        let latency_ref = &solution.server_latency;
-        let updates: Vec<(f64, f64, f64, f64, u64, u64, MetricsBuffer)> =
-            simcore::par::map(threads, &evals, |(sid, eval)| {
-                let server = &servers_ref[sid];
-                // Modelled block-cache traffic: the warmth fraction of this
-                // tick's requests hit the cache, the remainder go to disk.
-                let served = (eval.total_rps * dt).round().max(0.0) as u64;
-                let hits = ((served as f64) * server.warmth).round() as u64;
-                let cache_hits = server.cache_hits + hits.min(served);
-                let cache_misses = server.cache_misses + (served - hits.min(served));
-                let mut buf = MetricsBuffer::new();
-                if telemetry_on {
-                    let label = sid.0.to_string();
-                    let labels = [("server", label.as_str())];
-                    buf.gauge_set("sim_block_cache_hits", &labels, cache_hits as f64);
-                    buf.gauge_set("sim_block_cache_misses", &labels, cache_misses as f64);
-                    let total = cache_hits + cache_misses;
-                    if total > 0 {
-                        buf.gauge_set(
-                            "sim_block_cache_hit_ratio",
-                            &labels,
-                            cache_hits as f64 / total as f64,
-                        );
-                    }
-                    // Latency digests: current quantiles as gauges, and
-                    // per-tick observations into per-server / per-profile
-                    // histograms whose summaries give the run's p50/p95/p99.
-                    if let Some(lat) = latency_ref.get(sid) {
-                        buf.gauge_set("sim_latency_p50_ms", &labels, lat.p50_ms);
-                        buf.gauge_set("sim_latency_p95_ms", &labels, lat.p95_ms);
-                        buf.gauge_set("sim_latency_p99_ms", &labels, lat.p99_ms);
-                        buf.observe("sim_server_latency_ms", &labels, lat.mean_ms);
-                        buf.observe("sim_server_p99_ms", &labels, lat.p99_ms);
-                        let profile = [("profile", profile_label(&server.config))];
-                        buf.observe("sim_profile_p99_ms", &profile, lat.p99_ms);
-                    }
-                }
-                (
-                    eval.rho_cpu.min(1.0),
-                    eval.rho_disk.min(1.0),
-                    eval.mem_util,
-                    eval.total_rps,
-                    cache_hits,
-                    cache_misses,
-                    buf,
-                )
-            });
-        let mut buffers: Vec<MetricsBuffer> = Vec::new();
-        for ((sid, _), (cpu, io, mem, rps, cache_hits, cache_misses, buf)) in
-            evals.iter().zip(updates)
         {
-            let server = self.servers.get_mut(sid).expect("eval for unknown server");
-            server.last_cpu = cpu;
-            server.last_io = io;
-            server.last_mem = mem;
-            server.last_rps = rps;
-            server.cache_hits = cache_hits;
-            server.cache_misses = cache_misses;
-            if !buf.is_empty() {
-                buffers.push(buf);
+            let servers_ref = &self.servers;
+            let latency_ref = &solution.server_latency;
+            let ranges = self.layout.item_ranges(evals.iter().map(|(sid, _)| *sid));
+            let evals_ref = &evals;
+            let ranges_ref = &ranges;
+            simcore::par::for_each_shard(&mut self.scratch[..shards], |shard, sc| {
+                sc.cache.clear();
+                sc.metrics.clear();
+                for (sid, eval) in &evals_ref[ranges_ref[shard].clone()] {
+                    let server = &servers_ref[sid];
+                    // Modelled block-cache traffic: the warmth fraction of
+                    // this tick's requests hit the cache, the remainder go
+                    // to disk.
+                    let served = (eval.total_rps * dt).round().max(0.0) as u64;
+                    let hits = ((served as f64) * server.warmth).round() as u64;
+                    let cache_hits = server.cache_hits + hits.min(served);
+                    let cache_misses = server.cache_misses + served.saturating_sub(hits);
+                    let buf = &mut sc.metrics;
+                    if telemetry_on {
+                        let label = sid.0.to_string();
+                        let labels = [("server", label.as_str())];
+                        buf.gauge_set("sim_block_cache_hits", &labels, cache_hits as f64);
+                        buf.gauge_set("sim_block_cache_misses", &labels, cache_misses as f64);
+                        let total = cache_hits + cache_misses;
+                        if total > 0 {
+                            buf.gauge_set(
+                                "sim_block_cache_hit_ratio",
+                                &labels,
+                                cache_hits as f64 / total as f64,
+                            );
+                        }
+                        // Latency digests: current quantiles as gauges, and
+                        // per-tick observations into per-server /
+                        // per-profile histograms whose summaries give the
+                        // run's p50/p95/p99.
+                        if let Some(lat) = latency_ref.get(sid) {
+                            buf.gauge_set("sim_latency_p50_ms", &labels, lat.p50_ms);
+                            buf.gauge_set("sim_latency_p95_ms", &labels, lat.p95_ms);
+                            buf.gauge_set("sim_latency_p99_ms", &labels, lat.p99_ms);
+                            buf.observe("sim_server_latency_ms", &labels, lat.mean_ms);
+                            buf.observe("sim_server_p99_ms", &labels, lat.p99_ms);
+                            let profile = [("profile", profile_label(&server.config))];
+                            buf.observe("sim_profile_p99_ms", &profile, lat.p99_ms);
+                        }
+                    }
+                    sc.cache.push((
+                        *sid,
+                        eval.rho_cpu.min(1.0),
+                        eval.rho_disk.min(1.0),
+                        eval.mem_util,
+                        eval.total_rps,
+                        cache_hits,
+                        cache_misses,
+                    ));
+                }
+            });
+        }
+        // Combine in shard order (= server-ID order): apply the per-server
+        // fields, then flush each shard's staged metrics — the registry
+        // sees the same operation sequence the sequential engine produces.
+        for sc in &mut self.scratch[..shards] {
+            for (sid, cpu, io, mem, rps, cache_hits, cache_misses) in sc.cache.drain(..) {
+                let server = self.servers.get_mut(&sid).expect("eval for unknown server");
+                server.last_cpu = cpu;
+                server.last_io = io;
+                server.last_mem = mem;
+                server.last_rps = rps;
+                server.cache_hits = cache_hits;
+                server.cache_misses = cache_misses;
             }
         }
-        self.telemetry.flush_buffers(&buffers);
+        for sc in &self.scratch[..shards] {
+            if !sc.metrics.is_empty() {
+                self.telemetry.flush_buffers(std::slice::from_ref(&sc.metrics));
+            }
+        }
     }
 
     fn finish_compaction(&mut self, p: PartitionId, sid: ServerId) {
@@ -1331,13 +1494,33 @@ impl SimCluster {
     /// the per-datanode locality accounting is read-only and
     /// embarrassingly parallel.
     fn partition_localities(&self) -> BTreeMap<PartitionId, f64> {
-        let queries: Vec<(DataNodeId, Vec<(DfsFileId, u64)>)> = self
+        let queries: Vec<(DataNodeId, &[(DfsFileId, u64)])> = self
             .assignment
             .iter()
-            .map(|(p, sid)| (DataNodeId(sid.0), self.partitions[p].files.clone()))
+            .map(|(p, sid)| (DataNodeId(sid.0), self.partitions[p].files.as_slice()))
             .collect();
         let values = self.namenode.locality_indices(self.threads, &queries);
         self.assignment.keys().copied().zip(values).collect()
+    }
+
+    /// Per-group partition rate tables, computed once per tick: they
+    /// depend only on the group mixes and weights, not on the throughput
+    /// estimate, so hoisting them out of the 48-iteration solve changes
+    /// nothing arithmetically (the same `(p, rates)` sequence is folded in
+    /// the same order).
+    fn group_rate_tables(&self) -> Vec<GroupRateTable> {
+        self.groups
+            .iter()
+            .map(
+                |g| {
+                    if g.active {
+                        g.per_partition_rates().into_iter().collect()
+                    } else {
+                        Vec::new()
+                    }
+                },
+            )
+            .collect()
     }
 
     /// Builds the per-server demand vectors for a given group-throughput
@@ -1348,6 +1531,7 @@ impl SimCluster {
         &self,
         group_x: &[f64],
         locality: &BTreeMap<PartitionId, f64>,
+        group_rates: &[GroupRateTable],
     ) -> BTreeMap<ServerId, Vec<PartitionDemand>> {
         let mut rates: BTreeMap<PartitionId, (f64, f64, f64, f64, f64)> = BTreeMap::new();
         for (gi, g) in self.groups.iter().enumerate() {
@@ -1355,7 +1539,7 @@ impl SimCluster {
                 continue;
             }
             let x = group_x[gi];
-            for (p, (r, w, s)) in g.per_partition_rates() {
+            for &(p, (r, w, s)) in &group_rates[gi] {
                 let e = rates.entry(p).or_insert((0.0, 0.0, 0.0, 0.0, 1.0));
                 e.0 += x * r;
                 let write_rate = x * w;
@@ -1404,6 +1588,7 @@ impl SimCluster {
     /// Damped fixed-point solve of the closed-loop equilibrium.
     fn solve_equilibrium(&mut self) -> Equilibrium {
         let _solver_span = wallspan::span("sim.solver");
+        self.refresh_layout();
         let n = self.groups.len();
         let mut x: Vec<f64> = self
             .group_x
@@ -1429,32 +1614,39 @@ impl SimCluster {
             let _s = wallspan::span("sim.locality");
             self.partition_localities()
         };
-        let threads = self.threads;
+        let group_rates = self.group_rate_tables();
+        let shards = self.layout.shards;
+        let mut response: BTreeMap<PartitionId, (f64, f64, f64)> = BTreeMap::new();
         for iter in 0..SOLVER_ITERS {
             // Heavier damping once roughly settled, to kill limit cycles.
             let damping = if iter < SOLVER_ITERS / 2 { 0.35 } else { 0.15 };
             let demands = {
                 let _s = wallspan::span("solver.demands");
-                self.build_demands(&x, &localities)
+                self.build_demands(&x, &localities, &group_rates)
             };
             server_evals.clear();
             // Evaluate each server under the current demand — independent
-            // per server, so fan out over stable server-ID order and merge
-            // the responses back in that same order.
+            // per server. Each shard runs its ID-contiguous slice of the
+            // demand list into its resident scratch; the combine below
+            // walks shards in order, which *is* server-ID order.
             let entries: Vec<(&ServerId, &Vec<PartitionDemand>)> = demands.iter().collect();
+            let ranges = self.layout.item_ranges(entries.iter().map(|(sid, _)| **sid));
             let params = &self.params;
             let servers = &self.servers;
             let fanout_span = wallspan::span("solver.fanout");
             let span_ctx = wallspan::current_context();
-            type ServerOutcome = (Option<ServerEval>, Vec<(PartitionId, (f64, f64, f64))>);
-            let outcomes: Vec<ServerOutcome> =
-                simcore::par::map(threads, &entries, |(sid, parts)| {
+            let entries_ref = &entries;
+            let ranges_ref = &ranges;
+            simcore::par::for_each_shard(&mut self.scratch[..shards], |shard, sc| {
+                sc.evals.clear();
+                sc.responses.clear();
+                for (sid, parts) in &entries_ref[ranges_ref[shard].clone()] {
                     let _eval_span = span_ctx.child_shard("solver.evaluate", sid.0);
                     let server = &servers[*sid];
                     if server.state != ServerState::Online {
                         let pen = params.unavailable_penalty_ms;
-                        let resp = parts.iter().map(|d| (d.partition, (pen, pen, pen))).collect();
-                        return (None, resp);
+                        sc.responses.extend(parts.iter().map(|d| (d.partition, (pen, pen, pen))));
+                        continue;
                     }
                     let background = if server.compaction_backlog.is_empty() {
                         0.0
@@ -1465,34 +1657,29 @@ impl SimCluster {
                         evaluate_server(params, &server.config, server.warmth, background, parts);
                     let (icpu, idisk, ihandler) =
                         inflation_factors(params, &server.config, parts, &eval);
-                    let resp = parts
-                        .iter()
-                        .zip(&eval.per_partition)
-                        .map(|(d, t)| {
-                            let base = (
-                                (t.read.0 * icpu + t.read.1 * idisk) * ihandler,
-                                (t.write.0 * icpu + t.write.1 * idisk) * ihandler
-                                    + t.write_stall_ms,
-                                (t.scan.0 * icpu + t.scan.1 * idisk) * ihandler,
-                            );
-                            let pen =
-                                if d.unavailable { params.unavailable_penalty_ms } else { 0.0 };
-                            (d.partition, (base.0 + pen, base.1 + pen, base.2 + pen))
-                        })
-                        .collect();
-                    (Some(eval), resp)
-                });
+                    sc.responses.extend(parts.iter().zip(&eval.per_partition).map(|(d, t)| {
+                        let base = (
+                            (t.read.0 * icpu + t.read.1 * idisk) * ihandler,
+                            (t.write.0 * icpu + t.write.1 * idisk) * ihandler + t.write_stall_ms,
+                            (t.scan.0 * icpu + t.scan.1 * idisk) * ihandler,
+                        );
+                        let pen = if d.unavailable { params.unavailable_penalty_ms } else { 0.0 };
+                        (d.partition, (base.0 + pen, base.1 + pen, base.2 + pen))
+                    }));
+                    sc.evals.push((**sid, eval));
+                }
+            });
             drop(fanout_span);
-            // Covers the ID-order merge and the group-throughput update to
-            // the end of the iteration.
+            // Covers the shard-order (= ID-order) combine and the
+            // group-throughput update to the end of the iteration.
             let _merge_span = wallspan::span("solver.merge");
-            let mut response: BTreeMap<PartitionId, (f64, f64, f64)> = BTreeMap::new();
-            for ((sid, _), (eval, resp)) in entries.iter().zip(outcomes) {
-                for (p, r) in resp {
+            response.clear();
+            for sc in &mut self.scratch[..shards] {
+                for &(p, r) in &sc.responses {
                     response.insert(p, r);
                 }
-                if let Some(eval) = eval {
-                    server_evals.insert(**sid, eval);
+                for (sid, eval) in sc.evals.drain(..) {
+                    server_evals.insert(sid, eval);
                 }
             }
 
@@ -1538,32 +1725,46 @@ impl SimCluster {
         // response-time mixture. Nothing here feeds back into `x`, so
         // group throughputs are exactly what they were without it.
         let _latency_span = wallspan::span("sim.latency");
-        let demands = self.build_demands(&x, &localities);
+        let demands = self.build_demands(&x, &localities, &group_rates);
         let entries: Vec<(&ServerId, &Vec<PartitionDemand>)> = demands.iter().collect();
+        let ranges = self.layout.item_ranges(entries.iter().map(|(sid, _)| **sid));
         let params = &self.params;
         let servers = &self.servers;
         let span_ctx = wallspan::current_context();
-        let latencies: Vec<LatencySummary> =
-            simcore::par::map(threads, &entries, |(sid, parts)| {
+        let entries_ref = &entries;
+        let ranges_ref = &ranges;
+        simcore::par::for_each_shard(&mut self.scratch[..shards], |shard, sc| {
+            sc.latencies.clear();
+            for (sid, parts) in &entries_ref[ranges_ref[shard].clone()] {
                 let _eval_span = span_ctx.child_shard("latency.evaluate", sid.0);
                 let server = &servers[*sid];
-                if server.state != ServerState::Online {
+                let summary = if server.state != ServerState::Online {
                     // Clients still routed here block and retry.
                     let mut mix = LatencyMixture::new();
                     let rate: f64 =
                         parts.iter().map(|d| d.read_rps + d.write_rps + d.scan_rps).sum();
                     mix.push(rate, params.unavailable_penalty_ms);
-                    return mix.summary();
-                }
-                let background =
-                    if server.compaction_backlog.is_empty() { 0.0 } else { params.compact_mb_s };
-                let eval =
-                    evaluate_server(params, &server.config, server.warmth, background, parts);
-                let inflations = inflation_factors(params, &server.config, parts, &eval);
-                server_mixture(params, parts, &eval, inflations).summary()
-            });
-        let server_latency: BTreeMap<ServerId, LatencySummary> =
-            entries.iter().map(|(sid, _)| **sid).zip(latencies).collect();
+                    mix.summary()
+                } else {
+                    let background = if server.compaction_backlog.is_empty() {
+                        0.0
+                    } else {
+                        params.compact_mb_s
+                    };
+                    let eval =
+                        evaluate_server(params, &server.config, server.warmth, background, parts);
+                    let inflations = inflation_factors(params, &server.config, parts, &eval);
+                    server_mixture(params, parts, &eval, inflations).summary()
+                };
+                sc.latencies.push((**sid, summary));
+            }
+        });
+        let mut server_latency: BTreeMap<ServerId, LatencySummary> = BTreeMap::new();
+        for sc in &mut self.scratch[..shards] {
+            for (sid, lat) in sc.latencies.drain(..) {
+                server_latency.insert(sid, lat);
+            }
+        }
         Equilibrium { group_x: x, group_r_ms, server_evals, server_latency }
     }
 }

@@ -1,0 +1,224 @@
+//! Property tests for the sharded tick engine's ownership invariant and
+//! trace determinism under randomized topology schedules.
+//!
+//! Two properties, checked after *every* topology change in a random
+//! schedule of grow / shrink / crash-replace / run-ticks operations:
+//!
+//! 1. **Exactly-once ownership** — the shard layout partitions the full
+//!    membership (every known server, any lifecycle state) into contiguous
+//!    ID-ordered chunks: each server appears in exactly one shard, no
+//!    server is missing, and concatenating the shards in order yields the
+//!    fleet sorted by ID.
+//! 2. **Thread invariance** — replaying the identical schedule at 1 and 4
+//!    threads produces byte-identical telemetry traces, throughput series,
+//!    final snapshots, and the same shard membership after each step
+//!    (4-thread runs dispatch across real workers via the physical-core
+//!    override, so the comparison genuinely crosses thread boundaries).
+
+use cluster::{
+    ClientGroup, ClusterSnapshot, CostParams, ElasticCluster, OpMix, PartitionId, PartitionSpec,
+    ServerId, SimCluster,
+};
+use hstore::StoreConfig;
+use proptest::prelude::*;
+
+/// One step of a topology schedule. Indices are taken modulo the current
+/// online-server count so any u8 is valid regardless of fleet history.
+#[derive(Debug, Clone)]
+enum TopoOp {
+    /// Provision a fresh server (immediate: no boot delay).
+    Grow,
+    /// Decommission the i-th online server (partitions hand off first;
+    /// errors — e.g. nothing online — are tolerated and still exercise
+    /// the layout path).
+    Shrink(u8),
+    /// Crash the i-th online server, then provision a replacement — the
+    /// §6.2 crash-replace flow; the healer re-homes the dead server's
+    /// partitions over the following ticks.
+    CrashReplace(u8),
+    /// Advance the simulation 1–3 ticks.
+    Run(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = TopoOp> {
+    prop_oneof![
+        Just(TopoOp::Grow),
+        any::<u8>().prop_map(TopoOp::Shrink),
+        any::<u8>().prop_map(TopoOp::CrashReplace),
+        // Duplicated arm: ticks between topology changes let the solver,
+        // healer, and compaction drain actually run on the new layout.
+        (1u8..4).prop_map(TopoOp::Run),
+        (1u8..4).prop_map(TopoOp::Run),
+    ]
+}
+
+fn build(threads: usize, seed: u64) -> (SimCluster, telemetry::Telemetry) {
+    let telemetry = telemetry::Telemetry::with_ring(telemetry::Verbosity::Debug, 1 << 15);
+    let mut sim = SimCluster::new(CostParams::default(), seed);
+    sim.set_threads(threads);
+    sim.set_telemetry(telemetry.clone());
+    for _ in 0..3 {
+        sim.add_server_immediate(StoreConfig::default_homogeneous());
+    }
+    let parts: Vec<PartitionId> = (0..6)
+        .map(|_| {
+            sim.create_partition(PartitionSpec {
+                table: "prop".into(),
+                size_bytes: 1.0e9,
+                record_bytes: 1_000.0,
+                hot_set_fraction: 0.4,
+                hot_ops_fraction: 0.5,
+            })
+        })
+        .collect();
+    sim.random_balance_unassigned();
+    let w = 1.0 / parts.len() as f64;
+    sim.add_group(ClientGroup::with_common_weights(
+        "prop",
+        45.0,
+        0.5,
+        None,
+        OpMix::new(0.45, 0.45, 0.10),
+        parts.iter().map(|p| (*p, w)).collect(),
+        1.0,
+        0.0,
+    ));
+    (sim, telemetry)
+}
+
+/// Asserts the exactly-once ownership invariant and returns the layout for
+/// cross-thread comparison.
+fn check_ownership(sim: &mut SimCluster) -> Vec<Vec<ServerId>> {
+    let members = sim.shard_members();
+    let flat: Vec<ServerId> = members.iter().flatten().copied().collect();
+    assert!(
+        flat.windows(2).all(|w| w[0] < w[1]),
+        "shards must concatenate to a strictly ID-ascending fleet: {members:?}"
+    );
+    let mut known = sim.all_server_ids();
+    known.sort();
+    assert_eq!(
+        flat, known,
+        "every known server (any lifecycle state) must be owned by exactly one shard"
+    );
+    members
+}
+
+fn trace_of(telemetry: &telemetry::Telemetry) -> String {
+    telemetry.events().iter().map(|e| e.to_json_line()).collect::<Vec<_>>().join("\n")
+}
+
+/// Runs the schedule at `threads`, checking ownership after every step;
+/// returns everything the thread-invariance comparison needs.
+fn run_schedule(
+    schedule: &[TopoOp],
+    threads: usize,
+    seed: u64,
+) -> (String, String, ClusterSnapshot, Vec<Vec<Vec<ServerId>>>) {
+    let (mut sim, telemetry) = build(threads, seed);
+    let mut layouts = vec![check_ownership(&mut sim)];
+    for op in schedule {
+        match op {
+            TopoOp::Grow => {
+                sim.add_server_immediate(StoreConfig::default_homogeneous());
+            }
+            TopoOp::Shrink(i) => {
+                let online = sim.online_server_ids();
+                if !online.is_empty() {
+                    // Keep at least two servers so the client group always
+                    // has somewhere to land; a failed decommission (e.g.
+                    // re-replication pressure) is fine — the layout must
+                    // hold either way.
+                    if online.len() > 2 {
+                        let victim = online[*i as usize % online.len()];
+                        let _ = sim.decommission_server(victim);
+                    }
+                }
+            }
+            TopoOp::CrashReplace(i) => {
+                let online = sim.online_server_ids();
+                if online.len() > 1 {
+                    let victim = online[*i as usize % online.len()];
+                    sim.crash_server(victim);
+                    sim.add_server_immediate(StoreConfig::default_homogeneous());
+                }
+            }
+            TopoOp::Run(n) => sim.run_ticks(*n as usize),
+        }
+        layouts.push(check_ownership(&mut sim));
+    }
+    // A final settle so crash re-homing and decommission drains complete
+    // inside the compared window.
+    sim.run_ticks(3);
+    layouts.push(check_ownership(&mut sim));
+    (trace_of(&telemetry), format!("{:?}", sim.total_series().points()), sim.snapshot(), layouts)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn topology_schedules_are_thread_invariant_with_exact_ownership(
+        schedule in proptest::collection::vec(op_strategy(), 1..10),
+        seed in 0u64..1_000,
+    ) {
+        // Force real cross-thread dispatch even on a single-core host.
+        simcore::par::set_physical_override(Some(4));
+        let (trace_seq, series_seq, snap_seq, layouts_seq) = run_schedule(&schedule, 1, seed);
+        let (trace_par, series_par, snap_par, layouts_par) = run_schedule(&schedule, 4, seed);
+        prop_assert_eq!(
+            trace_seq, trace_par,
+            "telemetry trace diverged between 1 and 4 threads for {:?}", schedule
+        );
+        prop_assert_eq!(
+            series_seq, series_par,
+            "throughput series diverged between 1 and 4 threads for {:?}", schedule
+        );
+        prop_assert_eq!(
+            format!("{snap_seq:?}"), format!("{snap_par:?}"),
+            "final snapshot diverged between 1 and 4 threads for {:?}", schedule
+        );
+        // Shard *membership* (who owns which server) is a function of the
+        // fleet and the configured thread count, so the 4-thread layouts
+        // must simply be valid (checked in run_schedule); but both runs
+        // must agree on the fleet itself after every step.
+        prop_assert_eq!(layouts_seq.len(), layouts_par.len());
+        for (a, b) in layouts_seq.iter().zip(&layouts_par) {
+            let fleet_a: Vec<ServerId> = a.iter().flatten().copied().collect();
+            let fleet_b: Vec<ServerId> = b.iter().flatten().copied().collect();
+            prop_assert_eq!(fleet_a, fleet_b, "fleet membership diverged for {:?}", schedule);
+        }
+    }
+}
+
+#[test]
+fn crash_replace_rebalances_deterministically() {
+    // A directed (non-random) regression case: crash the middle server of
+    // five, replace it, and check the new layout is the canonical
+    // contiguous partition of the surviving IDs plus the replacement.
+    simcore::par::set_physical_override(Some(4));
+    let (mut sim, _t) = build(4, 7);
+    for _ in 0..2 {
+        sim.add_server_immediate(StoreConfig::default_homogeneous());
+    }
+    sim.run_ticks(2);
+    let before = check_ownership(&mut sim);
+    let fleet: Vec<ServerId> = before.iter().flatten().copied().collect();
+    let victim = fleet[fleet.len() / 2];
+    sim.crash_server(victim);
+    let replacement = sim.add_server_immediate(StoreConfig::default_homogeneous());
+    sim.run_ticks(3);
+    let after = check_ownership(&mut sim);
+    let after_flat: Vec<ServerId> = after.iter().flatten().copied().collect();
+    assert!(after_flat.contains(&victim), "crashed servers stay owned until removed");
+    assert!(after_flat.contains(&replacement), "the replacement must be owned immediately");
+    // Chunks stay balanced: sizes differ by at most one, larger chunks
+    // first (the canonical `chunk_ranges` shape).
+    let sizes: Vec<usize> = after.iter().map(|s| s.len()).collect();
+    let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+    assert!(max - min <= 1, "shard sizes must stay balanced: {sizes:?}");
+    assert!(
+        sizes.windows(2).all(|w| w[0] >= w[1]),
+        "larger chunks come first in the canonical layout: {sizes:?}"
+    );
+}

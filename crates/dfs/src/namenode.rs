@@ -244,10 +244,12 @@ impl Namenode {
     /// embarrassingly parallel; callers (the per-tick locality accounting in
     /// `cluster::sim`) pass queries in stable server/partition-ID order and
     /// get results back in that same order regardless of thread count.
+    /// Queries borrow their file manifests — the per-tick caller no longer
+    /// clones every partition's file list just to ask about it.
     pub fn locality_indices(
         &self,
         threads: usize,
-        queries: &[(DataNodeId, Vec<(DfsFileId, u64)>)],
+        queries: &[(DataNodeId, &[(DfsFileId, u64)])],
     ) -> Vec<f64> {
         let _span = telemetry::span::span("dfs.locality_batch");
         simcore::par::map(threads, queries, |(node, served)| self.locality_index(*node, served))
@@ -444,7 +446,7 @@ mod tests {
         for f in 0..32u64 {
             n.create_file(DfsFileId(f), 100 + f * 37, DataNodeId(f % 8)).unwrap();
         }
-        let queries: Vec<(DataNodeId, Vec<(DfsFileId, u64)>)> = (0..8u64)
+        let manifests: Vec<(DataNodeId, Vec<(DfsFileId, u64)>)> = (0..8u64)
             .map(|d| {
                 let served: Vec<(DfsFileId, u64)> = (0..32u64)
                     .filter(|f| f % 3 != d % 3)
@@ -453,7 +455,9 @@ mod tests {
                 (DataNodeId(d), served)
             })
             .collect();
-        let expected: Vec<f64> = queries.iter().map(|(d, s)| n.locality_index(*d, s)).collect();
+        let queries: Vec<(DataNodeId, &[(DfsFileId, u64)])> =
+            manifests.iter().map(|(d, s)| (*d, s.as_slice())).collect();
+        let expected: Vec<f64> = manifests.iter().map(|(d, s)| n.locality_index(*d, s)).collect();
         for threads in [1, 2, 4] {
             let got = n.locality_indices(threads, &queries);
             assert_eq!(got, expected, "threads={threads}");

@@ -238,7 +238,8 @@ impl BlockCache {
             self.free.push(victim);
             self.resident.remove(&vb).expect("lru/resident out of sync");
             self.unindex(vb);
-            self.used_bytes -= vsz;
+            debug_assert!(self.used_bytes >= vsz, "cache byte accounting corrupt");
+            self.used_bytes = self.used_bytes.saturating_sub(vsz);
             self.stats.evictions += 1;
         }
         let idx = self.alloc(LruNode { block, size, prev: NIL, next: NIL });
@@ -273,7 +274,8 @@ impl BlockCache {
             let sz = self.nodes[idx].size;
             self.unlink(idx);
             self.free.push(idx);
-            self.used_bytes -= sz;
+            debug_assert!(self.used_bytes >= sz, "cache byte accounting corrupt");
+            self.used_bytes = self.used_bytes.saturating_sub(sz);
         }
     }
 

@@ -11,7 +11,7 @@ use crate::block_cache::{Access, AccessCounter, BlockId, FileId, SharedBlockCach
 use crate::bloom::BloomFilter;
 use crate::error::{CorruptionKind, HStoreError};
 use crate::types::{CellVersion, InternalKey, KeyRange, Qualifier, RowKey, Timestamp};
-use crate::wal::crc32;
+use crate::wal::Crc32;
 use bytes::Bytes;
 
 /// One block of sorted cell versions.
@@ -49,30 +49,33 @@ impl Block {
     }
 }
 
-/// Canonical serialization of a block's cells for checksumming: each cell
-/// as `row_len | row | qual_len | qual | ts | tag [| val_len | val]`, the
+/// Canonical checksum of a block's cells: each cell framed as
+/// `row_len | row | qual_len | qual | ts | tag [| val_len | val]`, the
 /// same framing idiom the WAL uses, so the two durability checks cannot
-/// drift apart.
+/// drift apart. The frames stream straight through the CRC state — no
+/// serialization buffer — because CRC over a concatenation equals the CRC
+/// of streaming the parts; this runs at every flush and on every block
+/// cache miss, so the per-block allocation it replaces was hot.
 fn checksum_cells(cells: &[CellVersion]) -> u32 {
-    let mut buf = Vec::with_capacity(cells.iter().map(|c| c.heap_size() + 13).sum());
+    let mut crc = Crc32::new();
     for c in cells {
         let row = c.key.coord.row.as_bytes();
         let qual = c.key.coord.qualifier.as_bytes();
-        buf.extend_from_slice(&(row.len() as u32).to_le_bytes());
-        buf.extend_from_slice(row);
-        buf.extend_from_slice(&(qual.len() as u32).to_le_bytes());
-        buf.extend_from_slice(qual);
-        buf.extend_from_slice(&c.key.ts.0.to_le_bytes());
+        crc.update(&(row.len() as u32).to_le_bytes());
+        crc.update(row);
+        crc.update(&(qual.len() as u32).to_le_bytes());
+        crc.update(qual);
+        crc.update(&c.key.ts.0.to_le_bytes());
         match &c.value {
-            None => buf.push(0),
+            None => crc.update(&[0]),
             Some(v) => {
-                buf.push(1);
-                buf.extend_from_slice(&(v.len() as u32).to_le_bytes());
-                buf.extend_from_slice(v);
+                crc.update(&[1]);
+                crc.update(&(v.len() as u32).to_le_bytes());
+                crc.update(v);
             }
         }
     }
-    crc32(&buf)
+    crc.finish()
 }
 
 /// An immutable sorted run of cell versions.

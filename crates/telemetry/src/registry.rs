@@ -265,6 +265,13 @@ impl MetricsBuffer {
         self.ops.len()
     }
 
+    /// Drops all buffered updates, keeping the allocation. Long-lived
+    /// shards clear and refill one buffer per tick instead of allocating
+    /// a fresh buffer per server per tick.
+    pub fn clear(&mut self) {
+        self.ops.clear();
+    }
+
     /// Buffers a counter increment.
     pub fn counter_add(&mut self, name: &'static str, labels: &[(&str, &str)], n: u64) {
         self.ops.push((MetricKey::new(name, labels), BufferedOp::CounterAdd(n)));
