@@ -39,7 +39,7 @@ fn bench_hstore(c: &mut Criterion) {
     });
 
     group.bench_function("get-warm-cache", |b| {
-        let mut s = loaded_store(10_000, 2_500);
+        let s = loaded_store(10_000, 2_500);
         // Warm the cache.
         for i in (0..10_000).step_by(7) {
             s.get(&format!("user{i:08}").as_str().into(), &"f0".into());

@@ -4,7 +4,8 @@
 //!
 //! Knobs (via [`simcore::config::EnvConfig`]; see the README's knob
 //! table): `MET_PERF_OPS`, `MET_PERF_TICKS`, `MET_PERF_WARMUP_TICKS`,
-//! `MET_PERF_REPS`, `MET_PERF_THREADS`, `MET_PERF_COMMIT`,
+//! `MET_PERF_REPS`, `MET_PERF_THREADS`, `MET_PERF_CLIENTS`,
+//! `MET_PERF_ASSERT_CLIENT_SPEEDUP`, `MET_PERF_COMMIT`,
 //! `MET_BENCH_PATH`.
 
 use met_bench::perf::{self, PerfConfig, PerfRecord};
@@ -66,12 +67,14 @@ fn main() {
         warmup_ticks: env.perf_warmup_ticks.unwrap_or(perf::DEFAULT_WARMUP_TICKS),
         reps: env.perf_reps.unwrap_or(perf::DEFAULT_REPS),
         par_threads: env.perf_threads.unwrap_or_else(|| PerfConfig::default().par_threads),
+        clients: env.perf_clients.unwrap_or(perf::DEFAULT_CLIENTS),
     };
     let commit = commit_label(env);
     eprintln!(
         "perf: {} ops x {} reps per store mix, {} ticks x {} reps per cluster leg \
-         (threads 1 and {}), commit {commit}...",
-        cfg.ops, cfg.reps, cfg.ticks, cfg.reps, cfg.par_threads
+         (threads 1 and {}), {} client threads on the threaded store legs, \
+         commit {commit}...",
+        cfg.ops, cfg.reps, cfg.ticks, cfg.reps, cfg.par_threads, cfg.clients
     );
 
     let records = perf::run_suite(&cfg);
@@ -101,5 +104,35 @@ fn main() {
             Err(e) => eprintln!("perf: cannot write {}: {e}", path.display()),
         },
         Err(e) => eprintln!("perf: cannot serialize records: {e}"),
+    }
+
+    // The concurrent-engine gate: point-get at N clients must beat the
+    // single-thread leg by the given factor. A wall-clock speedup needs
+    // real cores, so this is armed on multi-core CI, never by default
+    // (the same deal as MET_SCALE_ASSERT_SPEEDUP).
+    if let Some(min) = env.perf_assert_client_speedup {
+        let rate = |threads: usize| {
+            records
+                .iter()
+                .find(|r| r.bench == "store-point-get" && r.threads == threads)
+                .and_then(|r| r.ops_per_sec)
+        };
+        let (Some(base), Some(par)) = (rate(1), rate(cfg.clients)) else {
+            eprintln!(
+                "perf: client-speedup gate armed but the point-get records are \
+                 missing (clients {})",
+                cfg.clients
+            );
+            std::process::exit(1);
+        };
+        let speedup = par / base;
+        eprintln!(
+            "perf: store-point-get @{} clients: {speedup:.2}x single-thread (gate {min}x)",
+            cfg.clients
+        );
+        if speedup < min {
+            eprintln!("perf: client-speedup gate FAILED");
+            std::process::exit(1);
+        }
     }
 }

@@ -11,6 +11,12 @@
 //! 2. **Full-cluster ticks/sec** — the fig4 cluster (six YCSB workloads on
 //!    five RegionServers) stepped for a fixed tick count at `MET_THREADS=1`
 //!    and at the sweep's parallel thread count.
+//! 3. **Threaded store ops/sec** — the point-get and scan mixes re-run
+//!    with `MET_PERF_CLIENTS` concurrent [`StoreReader`] threads over one
+//!    shared store, plus a contended mixed leg where readers ride through
+//!    a continuously flushing writer. These records share bench names with
+//!    the single-thread mixes and are distinguished by their `threads`
+//!    field.
 //!
 //! The `exp-perf` binary appends the results to `BENCH_perf.json` at the
 //! repo root (one record per `{bench, threads, commit}`), so successive PRs
@@ -19,7 +25,9 @@
 use crate::scenario::FIG1_SERVERS;
 use baselines::build_random_homogeneous;
 use bytes::Bytes;
-use hstore::{CfStore, FileIdAllocator, SharedBlockCache};
+use hstore::{CfStore, FileIdAllocator, SharedBlockCache, StoreReader};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Barrier;
 use std::time::Instant;
 
 /// Default per-repetition operation count for the store mixes.
@@ -30,6 +38,8 @@ pub const DEFAULT_TICKS: u64 = 240;
 pub const DEFAULT_WARMUP_TICKS: u64 = 60;
 /// Default repetition count (the median is reported).
 pub const DEFAULT_REPS: usize = 5;
+/// Default client thread count for the threaded store legs.
+pub const DEFAULT_CLIENTS: usize = 4;
 
 /// Records loaded into the benchmark store.
 const STORE_RECORDS: u64 = 20_000;
@@ -70,6 +80,8 @@ pub struct PerfConfig {
     pub reps: usize,
     /// Parallel thread count for the second cluster leg.
     pub par_threads: usize,
+    /// Client thread count for the threaded store legs (`1` skips them).
+    pub clients: usize,
 }
 
 impl Default for PerfConfig {
@@ -80,6 +92,7 @@ impl Default for PerfConfig {
             warmup_ticks: DEFAULT_WARMUP_TICKS,
             reps: DEFAULT_REPS,
             par_threads: simcore::par::met_threads().max(2),
+            clients: DEFAULT_CLIENTS,
         }
     }
 }
@@ -109,7 +122,16 @@ fn value() -> Bytes {
 /// every 64th row, and a live memstore tail — the shape a region has
 /// mid-experiment.
 pub fn loaded_store() -> CfStore {
-    let mut s = CfStore::new(SharedBlockCache::new(8 << 20), FileIdAllocator::new(), 4 << 10);
+    loaded_store_sharded(1)
+}
+
+/// [`loaded_store`] with the block cache split into `shards` LRU shards —
+/// the threaded legs size shards with the client count so readers don't
+/// serialize on one cache lock; the single-thread legs keep one shard
+/// (byte-identical legacy eviction order).
+pub fn loaded_store_sharded(shards: usize) -> CfStore {
+    let cache = SharedBlockCache::new_sharded(8 << 20, shards);
+    let mut s = CfStore::new(cache, FileIdAllocator::new(), 4 << 10);
     for i in 0..STORE_RECORDS {
         s.put(row(i), "f0".into(), value());
         if i % STORE_FLUSH_EVERY == STORE_FLUSH_EVERY - 1 {
@@ -252,6 +274,163 @@ fn bench_put_heavy_variant(
     }
 }
 
+/// Times `ops` iterations of `op` on each of `clients` threads, every
+/// thread driving its own [`StoreReader`] over the same shared store.
+///
+/// Each thread warms up independently (a quarter of the measured count),
+/// then all rendezvous on a barrier; the measured window runs from the
+/// barrier release to the *last* thread finishing, so the reported
+/// aggregate rate includes any straggler effect rather than averaging it
+/// away. Per-thread key sequences are seeded from the thread index so the
+/// clients do not lockstep over identical keys.
+fn time_ops_threaded(
+    store: &CfStore,
+    clients: usize,
+    ops: u64,
+    op: impl Fn(&StoreReader, &mut KeySeq) + Sync,
+) -> f64 {
+    let barrier = Barrier::new(clients + 1);
+    let (op, barrier) = (&op, &barrier);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|idx| {
+                let reader = store.reader();
+                scope.spawn(move || {
+                    let mut keys = KeySeq(
+                        0x9e37_79b9_7f4a_7c15
+                            ^ (idx as u64 + 1).wrapping_mul(0xa076_1d64_78bd_642f),
+                    );
+                    for _ in 0..ops / 4 {
+                        op(&reader, &mut keys);
+                    }
+                    barrier.wait();
+                    for _ in 0..ops {
+                        op(&reader, &mut keys);
+                    }
+                })
+            })
+            .collect();
+        barrier.wait();
+        let t0 = Instant::now();
+        for h in handles {
+            h.join().expect("client thread panicked");
+        }
+        (clients as u64 * ops) as f64 / t0.elapsed().as_secs_f64()
+    })
+}
+
+/// The point-get mix at `cfg.clients` concurrent reader threads over one
+/// shared store — the record the concurrent-engine acceptance gate divides
+/// by the single-thread `store-point-get` figure.
+pub fn bench_point_get_threaded(cfg: &PerfConfig) -> PerfRecord {
+    let rates = (0..cfg.reps)
+        .map(|_| {
+            let s = loaded_store_sharded(cfg.clients);
+            time_ops_threaded(&s, cfg.clients, cfg.ops, |r, k| {
+                let i = k.next_in(STORE_RECORDS);
+                std::hint::black_box(r.get(&row(i), &"f0".into()));
+            })
+        })
+        .collect();
+    PerfRecord {
+        bench: "store-point-get".into(),
+        ops_per_sec: Some(median(rates)),
+        ticks_per_sec: None,
+        threads: cfg.clients,
+    }
+}
+
+/// Scans of [`SCAN_ROWS`] rows from `cfg.clients` concurrent readers (the
+/// insert fraction of the single-thread mix moves to the dedicated
+/// writer-contended leg, [`bench_mixed_rw`] — readers cannot mutate).
+pub fn bench_scan_heavy_threaded(cfg: &PerfConfig) -> PerfRecord {
+    let ops = (cfg.ops / SCAN_ROWS as u64).max(1);
+    let rates = (0..cfg.reps)
+        .map(|_| {
+            let s = loaded_store_sharded(cfg.clients);
+            time_ops_threaded(&s, cfg.clients, ops, |r, k| {
+                let i = k.next_in(STORE_RECORDS - SCAN_ROWS as u64 * 2);
+                std::hint::black_box(r.scan(&row(i), SCAN_ROWS).len());
+            })
+        })
+        .collect();
+    PerfRecord {
+        bench: "store-scan-heavy".into(),
+        ops_per_sec: Some(median(rates)),
+        ticks_per_sec: None,
+        threads: cfg.clients,
+    }
+}
+
+/// The contended leg: `cfg.clients - 1` reader threads point-get for the
+/// measured op count while one writer thread puts and flushes continuously
+/// (a background flusher shape — readers must ride through memstore
+/// freezes and view swaps). The reported rate counts reader ops only; the
+/// writer exists to create contention, not to be measured.
+pub fn bench_mixed_rw(cfg: &PerfConfig) -> PerfRecord {
+    let readers = cfg.clients.saturating_sub(1).max(1);
+    let rates = (0..cfg.reps)
+        .map(|_| {
+            let mut s = loaded_store_sharded(cfg.clients);
+            let stop = AtomicBool::new(false);
+            let barrier = Barrier::new(readers + 1);
+            let (stop, barrier) = (&stop, &barrier);
+            std::thread::scope(|scope| {
+                let reader_handles: Vec<_> = (0..readers)
+                    .map(|idx| {
+                        let reader = s.reader();
+                        let ops = cfg.ops;
+                        scope.spawn(move || {
+                            let mut keys = KeySeq(
+                                0x9e37_79b9_7f4a_7c15
+                                    ^ (idx as u64 + 1).wrapping_mul(0xa076_1d64_78bd_642f),
+                            );
+                            for _ in 0..ops / 4 {
+                                let i = keys.next_in(STORE_RECORDS);
+                                std::hint::black_box(reader.get(&row(i), &"f0".into()));
+                            }
+                            barrier.wait();
+                            for _ in 0..ops {
+                                let i = keys.next_in(STORE_RECORDS);
+                                std::hint::black_box(reader.get(&row(i), &"f0".into()));
+                            }
+                        })
+                    })
+                    .collect();
+                let writer_store = &mut s;
+                let writer = scope.spawn(move || {
+                    let mut keys = KeySeq(0x2545_f491_4f6c_dd1d);
+                    let mut since_flush = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let i = keys.next_in(STORE_RECORDS);
+                        writer_store.put(row(i), "f0".into(), value());
+                        since_flush += 1;
+                        if since_flush >= STORE_FLUSH_EVERY {
+                            writer_store.flush();
+                            since_flush = 0;
+                        }
+                    }
+                });
+                barrier.wait();
+                let t0 = Instant::now();
+                for h in reader_handles {
+                    h.join().expect("reader thread panicked");
+                }
+                let elapsed = t0.elapsed().as_secs_f64();
+                stop.store(true, Ordering::Relaxed);
+                writer.join().expect("writer thread panicked");
+                (readers as u64 * cfg.ops) as f64 / elapsed
+            })
+        })
+        .collect();
+    PerfRecord {
+        bench: "store-mixed-rw".into(),
+        ops_per_sec: Some(median(rates)),
+        ticks_per_sec: None,
+        threads: cfg.clients,
+    }
+}
+
 /// One timed repetition of the fig4 cluster at `threads`: rebuild the
 /// scenario from the same seed (so every rep times the identical tick
 /// window; warmup covers the client ramp), step, return ticks/sec.
@@ -326,6 +505,13 @@ pub fn run_suite(cfg: &PerfConfig) -> Vec<PerfRecord> {
         bench_put_heavy_wal_sync(cfg),
         bench_put_heavy_wal_group(cfg),
     ]);
+    if cfg.clients > 1 {
+        out.extend([
+            bench_point_get_threaded(cfg),
+            bench_scan_heavy_threaded(cfg),
+            bench_mixed_rw(cfg),
+        ]);
+    }
     out
 }
 
@@ -334,7 +520,7 @@ mod tests {
     use super::*;
 
     fn smoke_cfg() -> PerfConfig {
-        PerfConfig { ops: 2_000, ticks: 5, warmup_ticks: 2, reps: 1, par_threads: 2 }
+        PerfConfig { ops: 2_000, ticks: 5, warmup_ticks: 2, reps: 1, par_threads: 2, clients: 2 }
     }
 
     #[test]
@@ -352,6 +538,38 @@ mod tests {
             assert!(rec.ticks_per_sec.is_none());
             assert_eq!(rec.threads, 1);
         }
+    }
+
+    #[test]
+    fn threaded_legs_report_positive_rates_at_client_count() {
+        let cfg = smoke_cfg();
+        for rec in
+            [bench_point_get_threaded(&cfg), bench_scan_heavy_threaded(&cfg), bench_mixed_rw(&cfg)]
+        {
+            let rate = rec.ops_per_sec.expect("threaded legs report ops/sec");
+            assert!(rate > 0.0 && rate.is_finite(), "{}: rate {rate}", rec.bench);
+            assert!(rec.ticks_per_sec.is_none());
+            assert_eq!(rec.threads, cfg.clients, "{}", rec.bench);
+        }
+    }
+
+    #[test]
+    fn suite_includes_threaded_legs_when_clients_exceed_one() {
+        let cfg = PerfConfig { ops: 500, ticks: 2, warmup_ticks: 1, ..smoke_cfg() };
+        let recs = run_suite(&cfg);
+        assert!(
+            recs.iter().any(|r| r.bench == "store-point-get" && r.threads == cfg.clients),
+            "threaded point-get record missing"
+        );
+        assert!(
+            recs.iter().any(|r| r.bench == "store-mixed-rw" && r.threads == cfg.clients),
+            "mixed read/write record missing"
+        );
+        let solo = PerfConfig { clients: 1, par_threads: 1, ..cfg };
+        assert!(
+            run_suite(&solo).iter().all(|r| r.bench != "store-mixed-rw"),
+            "clients=1 must skip the threaded legs"
+        );
     }
 
     #[test]

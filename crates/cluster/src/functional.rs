@@ -188,6 +188,15 @@ impl FunctionalCluster {
             .expect("assignment points at missing region")
     }
 
+    fn region_ref(&self, rid: RegionId, sid: ServerId) -> &Region {
+        self.servers
+            .get(&sid)
+            .expect("assignment points at missing server")
+            .regions
+            .get(&rid)
+            .expect("assignment points at missing region")
+    }
+
     /// Writes a cell.
     pub fn put(
         &mut self,
@@ -216,7 +225,7 @@ impl FunctionalCluster {
 
     /// Reads a cell.
     pub fn get(
-        &mut self,
+        &self,
         table: &str,
         family: &Family,
         row: &RowKey,
@@ -232,14 +241,14 @@ impl FunctionalCluster {
     /// [`hstore::CacheStats`] would charge this op with any concurrently
     /// interleaved operation's traffic.
     pub fn get_with_stats(
-        &mut self,
+        &self,
         table: &str,
         family: &Family,
         row: &RowKey,
         qualifier: &Qualifier,
     ) -> FResult<(Option<Bytes>, OpStats)> {
         let (rid, sid) = self.locate(table, row)?;
-        Ok(self.region_mut(rid, sid).get_with_stats(family, row, qualifier)?)
+        Ok(self.region_ref(rid, sid).get_with_stats(family, row, qualifier)?)
     }
 
     /// Atomic compare-and-put on a cell.
@@ -301,7 +310,7 @@ impl FunctionalCluster {
     /// Scans up to `row_limit` rows from `start`, crossing region
     /// boundaries as HBase's client scanner does.
     pub fn scan(
-        &mut self,
+        &self,
         table: &str,
         family: &Family,
         start: &RowKey,
@@ -316,7 +325,7 @@ impl FunctionalCluster {
     /// server each see only their own block reads (see
     /// [`FunctionalCluster::get_with_stats`]).
     pub fn scan_with_stats(
-        &mut self,
+        &self,
         table: &str,
         family: &Family,
         start: &RowKey,
@@ -327,7 +336,7 @@ impl FunctionalCluster {
         let mut cursor = start.clone();
         loop {
             let (rid, sid) = self.locate(table, &cursor)?;
-            let region = self.region_mut(rid, sid);
+            let region = self.region_ref(rid, sid);
             let end = region.range().end.clone();
             // Saturating: a region handing back more rows than asked would
             // otherwise underflow this in the next iteration (debug builds
@@ -593,11 +602,12 @@ fn rebuild_region(region: Region, dst: &mut FunctionalServer, ids: Arc<FileIdAll
         dst.config.memstore_flush_bytes,
     );
     for fam in &families {
-        // Re-import the newest versions via scan of the source region.
-        // (Older shadowed versions are dropped — equivalent to a compaction
-        // on move, which keeps the rebuild simple and correct.)
-        let mut src = region_scan_all(&region, fam);
-        for (row, cells) in src.drain(..) {
+        // Re-import the newest versions from a stable snapshot of the
+        // source region's store. (Older shadowed versions are dropped —
+        // equivalent to a compaction on move, which keeps the rebuild
+        // simple and correct.)
+        let snapshot = region.family_snapshot(fam).expect("family exists");
+        for (row, cells) in snapshot.scan_range(region.range(), usize::MAX) {
             for (q, v) in cells {
                 rebuilt.put(fam, row.clone(), q, v).expect("row inside range");
             }
@@ -608,57 +618,6 @@ fn rebuild_region(region: Region, dst: &mut FunctionalServer, ids: Arc<FileIdAll
     // state must survive (the monitor diffs cumulative values).
     let _ = counters; // counters restart at zero; monitor handles resets
     rebuilt
-}
-
-fn region_scan_all(region: &Region, family: &Family) -> Vec<(RowKey, Vec<(Qualifier, Bytes)>)> {
-    // A region is immutable here (already flushed); scan from its start.
-    // We need a mutable receiver for scan(); clone-free workaround: use the
-    // export API instead.
-    let range = region.range().clone();
-    let mut out: Vec<(RowKey, Vec<(Qualifier, Bytes)>)> = Vec::new();
-    let mut current: Option<(RowKey, Vec<(Qualifier, Bytes)>)> = None;
-    let mut last_coord: Option<(RowKey, Qualifier)> = None;
-    for fam_cells in region_export(region, family, &range) {
-        let row = fam_cells.key.coord.row.clone();
-        let q = fam_cells.key.coord.qualifier.clone();
-        if last_coord.as_ref() == Some(&(row.clone(), q.clone())) {
-            continue; // shadowed older version
-        }
-        last_coord = Some((row.clone(), q.clone()));
-        match &mut current {
-            Some((r, cells)) if *r == row => {
-                if let Some(v) = fam_cells.value {
-                    cells.push((q, v));
-                }
-            }
-            _ => {
-                if let Some((r, cells)) = current.take() {
-                    if !cells.is_empty() {
-                        out.push((r, cells));
-                    }
-                }
-                let mut cells = Vec::new();
-                if let Some(v) = fam_cells.value {
-                    cells.push((q, v));
-                }
-                current = Some((row, cells));
-            }
-        }
-    }
-    if let Some((r, cells)) = current {
-        if !cells.is_empty() {
-            out.push((r, cells));
-        }
-    }
-    out
-}
-
-fn region_export(
-    region: &Region,
-    family: &Family,
-    range: &KeyRange,
-) -> Vec<hstore::types::CellVersion> {
-    region.export_family_range(family, range)
 }
 
 #[cfg(test)]
@@ -714,7 +673,7 @@ mod tests {
 
     #[test]
     fn unknown_table_errors() {
-        let mut c = cluster_with(1);
+        let c = cluster_with(1);
         assert!(matches!(
             c.get("missing", &"cf".into(), &"r".into(), &"q".into()),
             Err(FunctionalError::UnknownTable(_))

@@ -7,10 +7,13 @@
 
 use crate::block_cache::SharedBlockCache;
 use crate::error::{Result, StoreError};
-use crate::store::{CfStore, CompactionOutcome, FileIdAllocator, FlushOutcome, OpStats};
+use crate::store::{
+    CfStore, CompactionOutcome, FileIdAllocator, FlushOutcome, OpStats, StoreSnapshot,
+};
 use crate::types::{Family, KeyRange, Qualifier, RowKey};
 use bytes::Bytes;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Globally unique region identifier.
@@ -45,6 +48,37 @@ impl RegionCounters {
     }
 }
 
+/// The live, lock-free counter cells behind [`RegionCounters`]: reads and
+/// scans take `&self`, so the counters they bump must be atomics. Relaxed
+/// ordering suffices — these are statistics, not synchronization.
+#[derive(Debug, Default)]
+struct CounterCells {
+    reads: AtomicU64,
+    writes: AtomicU64,
+    scans: AtomicU64,
+    scan_rows: AtomicU64,
+}
+
+impl CounterCells {
+    fn from_snapshot(c: RegionCounters) -> Self {
+        CounterCells {
+            reads: AtomicU64::new(c.reads),
+            writes: AtomicU64::new(c.writes),
+            scans: AtomicU64::new(c.scans),
+            scan_rows: AtomicU64::new(c.scan_rows),
+        }
+    }
+
+    fn snapshot(&self) -> RegionCounters {
+        RegionCounters {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            scans: self.scans.load(Ordering::Relaxed),
+            scan_rows: self.scan_rows.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// A contiguous row-range partition of one table.
 #[derive(Debug)]
 pub struct Region {
@@ -52,7 +86,7 @@ pub struct Region {
     table: String,
     range: KeyRange,
     families: BTreeMap<Family, CfStore>,
-    counters: RegionCounters,
+    counters: CounterCells,
     memstore_flush_bytes: u64,
     telemetry: telemetry::Telemetry,
 }
@@ -82,7 +116,7 @@ impl Region {
             table: table.into(),
             range,
             families: stores,
-            counters: RegionCounters::default(),
+            counters: CounterCells::default(),
             memstore_flush_bytes,
             telemetry: telemetry::Telemetry::disabled(),
         }
@@ -152,9 +186,9 @@ impl Region {
         value: Bytes,
     ) -> Result<OpStats> {
         self.check_row(&row)?;
-        self.family_mut(family)?.try_put(row, qualifier, value)?;
-        self.counters.writes += 1;
-        Ok(OpStats::memstore_only())
+        let (_, stats) = self.family_mut(family)?.try_put(row, qualifier, value)?;
+        self.counters.writes.fetch_add(1, Ordering::Relaxed);
+        Ok(stats)
     }
 
     /// Deletes a cell (tombstone).
@@ -170,9 +204,9 @@ impl Region {
         qualifier: Qualifier,
     ) -> Result<OpStats> {
         self.check_row(&row)?;
-        self.family_mut(family)?.try_delete(row, qualifier)?;
-        self.counters.writes += 1;
-        Ok(OpStats::memstore_only())
+        let (_, stats) = self.family_mut(family)?.try_delete(row, qualifier)?;
+        self.counters.writes.fetch_add(1, Ordering::Relaxed);
+        Ok(stats)
     }
 
     /// Atomic compare-and-put on a cell (see
@@ -199,10 +233,10 @@ impl Region {
     ) -> Result<(bool, OpStats)> {
         self.check_row(&row)?;
         let (done, stats) =
-            self.family_mut(family)?.check_and_put_with_stats(row, qualifier, expected, new)?;
-        self.counters.reads += 1;
+            self.family_mut(family)?.try_check_and_put(row, qualifier, expected, new)?;
+        self.counters.reads.fetch_add(1, Ordering::Relaxed);
         if done {
-            self.counters.writes += 1;
+            self.counters.writes.fetch_add(1, Ordering::Relaxed);
         }
         Ok((done, stats))
     }
@@ -227,15 +261,15 @@ impl Region {
         delta: i64,
     ) -> Result<(i64, OpStats)> {
         self.check_row(&row)?;
-        let (v, stats) = self.family_mut(family)?.increment_with_stats(row, qualifier, delta)?;
-        self.counters.reads += 1;
-        self.counters.writes += 1;
+        let (v, stats) = self.family_mut(family)?.try_increment(row, qualifier, delta)?;
+        self.counters.reads.fetch_add(1, Ordering::Relaxed);
+        self.counters.writes.fetch_add(1, Ordering::Relaxed);
         Ok((v, stats))
     }
 
     /// Reads the newest live value of a cell.
     pub fn get(
-        &mut self,
+        &self,
         family: &Family,
         row: &RowKey,
         qualifier: &Qualifier,
@@ -245,21 +279,21 @@ impl Region {
 
     /// [`Region::get`] reporting which blocks the read touched.
     pub fn get_with_stats(
-        &mut self,
+        &self,
         family: &Family,
         row: &RowKey,
         qualifier: &Qualifier,
     ) -> Result<(Option<Bytes>, OpStats)> {
         self.check_row(row)?;
-        let (v, stats) = self.family_mut(family)?.try_get_with_stats(row, qualifier)?;
-        self.counters.reads += 1;
+        let (v, stats) = self.family_ref(family)?.try_get(row, qualifier)?;
+        self.counters.reads.fetch_add(1, Ordering::Relaxed);
         Ok((v, stats))
     }
 
     /// Scans up to `row_limit` live rows from `start`, clamped to this
     /// region's range.
     pub fn scan(
-        &mut self,
+        &self,
         family: &Family,
         start: &RowKey,
         row_limit: usize,
@@ -269,7 +303,7 @@ impl Region {
 
     /// [`Region::scan`] reporting the blocks this scan entered.
     pub fn scan_with_stats(
-        &mut self,
+        &self,
         family: &Family,
         start: &RowKey,
         row_limit: usize,
@@ -277,9 +311,16 @@ impl Region {
         self.check_row(start)?;
         let range = KeyRange::new(Some(start.clone()), self.range.end.clone());
         let (rows, stats) = self.family_ref(family)?.scan_range_with_stats(&range, row_limit);
-        self.counters.scans += 1;
-        self.counters.scan_rows += rows.len() as u64;
+        self.counters.scans.fetch_add(1, Ordering::Relaxed);
+        self.counters.scan_rows.fetch_add(rows.len() as u64, Ordering::Relaxed);
         Ok((rows, stats))
+    }
+
+    /// A stable point-in-time view of one family (see [`StoreSnapshot`]).
+    /// Region moves and rebuilds iterate this instead of borrowing the
+    /// live store.
+    pub fn family_snapshot(&self, family: &Family) -> Result<StoreSnapshot> {
+        Ok(self.family_ref(family)?.snapshot())
     }
 
     /// Flushes any family whose memstore exceeds the per-region flush
@@ -359,7 +400,7 @@ impl Region {
 
     /// Cumulative request counters.
     pub fn counters(&self) -> RegionCounters {
-        self.counters
+        self.counters.snapshot()
     }
 
     /// Exports every cell version of one family within `range`, in key
@@ -424,11 +465,12 @@ impl Region {
         let flush = self.memstore_flush_bytes;
         // Parent counters are attributed half-and-half so classification
         // signals survive a split rather than resetting to zero.
+        let parent = self.counters.snapshot();
         let half = RegionCounters {
-            reads: self.counters.reads / 2,
-            writes: self.counters.writes / 2,
-            scans: self.counters.scans / 2,
-            scan_rows: self.counters.scan_rows / 2,
+            reads: parent.reads / 2,
+            writes: parent.writes / 2,
+            scans: parent.scans / 2,
+            scan_rows: parent.scan_rows / 2,
         };
         self.telemetry.counter_add("hstore_region_splits_total", &[], 1);
         let lo = Region {
@@ -436,7 +478,7 @@ impl Region {
             table: self.table.clone(),
             range: lo_range,
             families: lo_families,
-            counters: half,
+            counters: CounterCells::from_snapshot(half),
             memstore_flush_bytes: flush,
             telemetry: self.telemetry.clone(),
         };
@@ -445,7 +487,7 @@ impl Region {
             table: self.table,
             range: hi_range,
             families: hi_families,
-            counters: half,
+            counters: CounterCells::from_snapshot(half),
             memstore_flush_bytes: flush,
             telemetry: self.telemetry,
         };
@@ -537,8 +579,7 @@ mod tests {
         r.flush_all();
         let cache = SharedBlockCache::new(1 << 20);
         let ids = FileIdAllocator::new();
-        let (mut lo, mut hi) =
-            r.split("row20".into(), RegionId(2), RegionId(3), cache, ids, 512).unwrap();
+        let (lo, hi) = r.split("row20".into(), RegionId(2), RegionId(3), cache, ids, 512).unwrap();
         assert_eq!(lo.range().end.clone().unwrap(), "row20".into());
         assert_eq!(hi.range().start.clone().unwrap(), "row20".into());
         assert_eq!(

@@ -5,6 +5,23 @@
 //! file is newer than every version in an earlier file. Point reads may
 //! therefore stop at the first file (newest-first) holding any version of
 //! the coordinate, exactly as HBase does.
+//!
+//! # Concurrency model
+//!
+//! The engine is split into a shared read side and a single-writer mutable
+//! side. All read state lives in [`StoreShared`]: the active memstore behind
+//! a `RwLock`, and an `Arc`-swapped [`StoreView`] holding the frozen
+//! memstores and the immutable file set. Readers ([`StoreReader`] handles,
+//! or `&self` methods on [`CfStore`]) capture a consistent view by taking
+//! the active-memstore read lock and cloning the view `Arc` *while holding
+//! it*; from then on they work off their own `Arc` and never block the
+//! writer. The writer (whoever owns `&mut CfStore`) is the only party that
+//! mutates: `flush` freezes the active memstore behind an `Arc` under both
+//! locks (so no reader can observe the edits in neither place), builds the
+//! HFile off the frozen copy with **no locks held**, then swaps the view —
+//! the immutable-memstore handoff. Compactions likewise build off a captured
+//! view and swap atomically, so a reader holding an old view keeps reading
+//! the pre-compaction files. Lock order is always active-before-view.
 
 use crate::block_cache::{AccessCounter, FileId, SharedBlockCache};
 use crate::error::{CorruptionKind, HStoreError, Result};
@@ -12,6 +29,7 @@ use crate::hfile::{HFile, HFileScanIter};
 use crate::types::{CellCoord, CellVersion, InternalKey, KeyRange, Qualifier, RowKey, Timestamp};
 use crate::wal::{ReplayStop, Wal, WalConfig};
 use bytes::Bytes;
+use parking_lot::RwLock;
 use simcore::SimDuration;
 use std::cmp::Ordering as CmpOrdering;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -56,7 +74,7 @@ pub type ScanRows = Vec<(RowKey, Vec<(Qualifier, Bytes)>)>;
 
 /// The work one operation actually performed on the storage engine.
 ///
-/// Reported by the `*_with_stats` read paths so service-time costing can
+/// Reported by the canonical fallible read paths so service-time costing can
 /// charge each operation for *its own* cache hits and disk block reads.
 /// The shared block cache's global [`crate::CacheStats`] cannot provide
 /// this: with two scans interleaved on one server, a before/after delta
@@ -168,16 +186,165 @@ pub struct RecoveryReport {
     pub cost: SimDuration,
 }
 
+/// The immutable portion of the read path, swapped atomically behind an
+/// `Arc`: frozen (mid-flush) memstores newest → oldest, then the file set
+/// oldest → newest. A reader cloning the `Arc` keeps this exact state for
+/// as long as it likes — compactions and flushes publish *new* views, they
+/// never mutate a published one.
+#[derive(Debug)]
+struct StoreView {
+    /// Memstores frozen by an in-flight flush, newest → oldest. Empty
+    /// whenever no flush is running, so single-threaded behaviour is
+    /// byte-identical to the pre-concurrency engine.
+    frozen: Vec<Arc<MemStore>>,
+    /// Immutable files, oldest → newest.
+    files: Vec<Arc<HFile>>,
+}
+
+/// The shared read side of a store: everything a concurrent reader needs.
+/// Readers take `active`'s read lock *first*, clone `view` while holding
+/// it, then drop locks as early as the operation allows (point reads drop
+/// `active` before touching files; scans hold it for the merge). The writer
+/// takes both write locks only for the brief freeze/swap windows.
+#[derive(Debug)]
+struct StoreShared {
+    active: RwLock<MemStore>,
+    view: RwLock<Arc<StoreView>>,
+    cache: SharedBlockCache,
+    memstore_hits: AtomicU64,
+    files_probed: AtomicU64,
+    bloom_skips: AtomicU64,
+}
+
+impl StoreShared {
+    fn new(cache: SharedBlockCache) -> Self {
+        StoreShared {
+            active: RwLock::new(MemStore::new()),
+            view: RwLock::new(Arc::new(StoreView { frozen: Vec::new(), files: Vec::new() })),
+            cache,
+            memstore_hits: AtomicU64::new(0),
+            files_probed: AtomicU64::new(0),
+            bloom_skips: AtomicU64::new(0),
+        }
+    }
+
+    /// The point-read path. Checks the active memstore under its read lock,
+    /// drops the lock, then walks the captured view (frozen memstores
+    /// newest-first, files newest-first) without holding any lock.
+    fn try_get(&self, row: &RowKey, qualifier: &Qualifier) -> Result<(Option<Bytes>, OpStats)> {
+        let mut stats = OpStats::default();
+        let view = {
+            let active = self.active.read();
+            let view = self.view.read().clone();
+            if let Some(v) = active.get_newest(row, qualifier) {
+                self.memstore_hits.fetch_add(1, Ordering::Relaxed);
+                stats.memstore = true;
+                return Ok((v, stats)); // tombstone → None
+            }
+            view
+        };
+        for mem in &view.frozen {
+            if let Some(v) = mem.get_newest(row, qualifier) {
+                self.memstore_hits.fetch_add(1, Ordering::Relaxed);
+                stats.memstore = true;
+                return Ok((v, stats));
+            }
+        }
+        for file in view.files.iter().rev() {
+            let (result, bloom_rejected, access) = file.get(row, qualifier, &self.cache)?;
+            match access {
+                Some(crate::Access::Hit) => stats.cache_hits += 1,
+                Some(crate::Access::Miss) => stats.blocks_read += 1,
+                None => {}
+            }
+            if bloom_rejected {
+                self.bloom_skips.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            self.files_probed.fetch_add(1, Ordering::Relaxed);
+            if let Some(v) = result {
+                return Ok((v, stats));
+            }
+        }
+        Ok((None, stats))
+    }
+
+    /// The merged scan underlying every range read: captures the view,
+    /// loser-tree merges active + frozen + files, and reports whether any
+    /// memstore held data (for [`OpStats::memstore`]).
+    fn scan_with(
+        &self,
+        range: &KeyRange,
+        row_limit: usize,
+        counter: Option<AccessCounter>,
+    ) -> (ScanRows, bool) {
+        let _span = telemetry::span::span("hstore.scan");
+        let active = self.active.read();
+        let view = self.view.read().clone();
+        let memstore = !active.is_empty() || view.frozen.iter().any(|m| !m.is_empty());
+        let tree = build_cursors(
+            std::iter::once(&*active).chain(view.frozen.iter().map(|m| &**m)),
+            &view.files,
+            &self.cache,
+            range,
+            counter,
+        );
+        (collect_rows(tree, row_limit), memstore)
+    }
+
+    fn scan_range_with_stats(&self, range: &KeyRange, row_limit: usize) -> (ScanRows, OpStats) {
+        let counter = AccessCounter::new();
+        let (rows, memstore) = self.scan_with(range, row_limit, Some(counter.clone()));
+        let stats = OpStats { cache_hits: counter.hits(), blocks_read: counter.misses(), memstore };
+        (rows, stats)
+    }
+
+    /// Every cell version in `range`, newest-first per coordinate.
+    fn export_range(&self, range: &KeyRange) -> Vec<CellVersion> {
+        let active = self.active.read();
+        let view = self.view.read().clone();
+        let tree = build_cursors(
+            std::iter::once(&*active).chain(view.frozen.iter().map(|m| &**m)),
+            &view.files,
+            &self.cache,
+            range,
+            None,
+        );
+        tree.map(|(k, v)| CellVersion { key: k.clone(), value: v.clone() }).collect()
+    }
+
+    /// A stable [`StoreSnapshot`]: clones the active memstore (O(its size);
+    /// values are `Bytes` refcount bumps) and shares the frozen/file `Arc`s.
+    fn snapshot(&self) -> StoreSnapshot {
+        let active = self.active.read();
+        let view = self.view.read().clone();
+        let mut mems = Vec::with_capacity(1 + view.frozen.len());
+        mems.push(Arc::new(active.clone()));
+        mems.extend(view.frozen.iter().cloned());
+        StoreSnapshot { mems, files: view.files.clone(), cache: self.cache.clone() }
+    }
+
+    fn read_stats(&self) -> ReadPathStats {
+        ReadPathStats {
+            files_probed: self.files_probed.load(Ordering::Relaxed),
+            memstore_hits: self.memstore_hits.load(Ordering::Relaxed),
+            bloom_skips: self.bloom_skips.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// One column family's storage.
+///
+/// Reads take `&self` and are safe from any number of threads via
+/// [`CfStore::reader`] handles; writes (`put`, `delete`, `flush`,
+/// compaction) take `&mut self` — one writer, many readers, enforced by the
+/// type system rather than a lock.
 #[derive(Debug)]
 pub struct CfStore {
-    memstore: MemStore,
-    files: Vec<Arc<HFile>>, // oldest → newest
-    cache: SharedBlockCache,
+    shared: Arc<StoreShared>,
     ids: Arc<FileIdAllocator>,
     block_size: u64,
     next_ts: u64,
-    read_stats: ReadPathStats,
     /// Write-ahead log; `None` (the default) keeps the legacy volatile
     /// write path byte for byte.
     wal: Option<Wal>,
@@ -188,15 +355,25 @@ impl CfStore {
     pub fn new(cache: SharedBlockCache, ids: Arc<FileIdAllocator>, block_size: u64) -> Self {
         assert!(block_size > 0);
         CfStore {
-            memstore: MemStore::new(),
-            files: Vec::new(),
-            cache,
+            shared: Arc::new(StoreShared::new(cache)),
             ids,
             block_size,
             next_ts: 1,
-            read_stats: ReadPathStats::default(),
             wal: None,
         }
+    }
+
+    /// A cheap cloneable read handle sharing this store's live state.
+    /// Readers holding one proceed while the owner of `&mut CfStore`
+    /// flushes or compacts.
+    pub fn reader(&self) -> StoreReader {
+        StoreReader { shared: self.shared.clone() }
+    }
+
+    /// A stable point-in-time view (see [`StoreSnapshot`]). Costs a clone
+    /// of the active memstore, so prefer [`CfStore::reader`] for hot reads.
+    pub fn snapshot(&self) -> StoreSnapshot {
+        self.shared.snapshot()
     }
 
     /// Attaches a write-ahead log. From here on every put/delete is
@@ -225,27 +402,29 @@ impl CfStore {
     /// With a WAL attached and a disk fault armed the append can fail;
     /// this infallible wrapper panics then. Fault-injecting callers use
     /// [`CfStore::try_put`].
+    #[inline]
     pub fn put(&mut self, row: RowKey, qualifier: Qualifier, value: Bytes) -> Timestamp {
-        self.try_put(row, qualifier, value).expect("WAL append failed")
+        self.try_put(row, qualifier, value).expect("WAL append failed").0
     }
 
-    /// Writes a value WAL-first: the record must be durable (or at least
-    /// staged, under group commit) before the memstore accepts it. On
-    /// `Err` nothing was applied and the write is unacknowledged.
+    /// The canonical write: WAL-first (the record must be durable — or at
+    /// least staged, under group commit — before the memstore accepts it),
+    /// reporting the assigned timestamp and the op's work. On `Err`
+    /// nothing was applied and the write is unacknowledged.
     pub fn try_put(
         &mut self,
         row: RowKey,
         qualifier: Qualifier,
         value: Bytes,
-    ) -> Result<Timestamp> {
+    ) -> Result<(Timestamp, OpStats)> {
         let ts = Timestamp(self.next_ts);
         let key = InternalKey::new(row, qualifier, ts);
         if let Some(wal) = &mut self.wal {
             wal.append(&key, Some(&value))?;
         }
         self.next_ts += 1;
-        self.memstore.insert(key, Some(value));
-        Ok(ts)
+        self.shared.active.write().insert(key, Some(value));
+        Ok((ts, OpStats::memstore_only()))
     }
 
     /// Deletes a cell by writing a tombstone; returns the tombstone's
@@ -255,26 +434,33 @@ impl CfStore {
     ///
     /// Like [`CfStore::put`], panics if an armed disk fault fails the WAL
     /// append; fault-injecting callers use [`CfStore::try_delete`].
+    #[inline]
     pub fn delete(&mut self, row: RowKey, qualifier: Qualifier) -> Timestamp {
-        self.try_delete(row, qualifier).expect("WAL append failed")
+        self.try_delete(row, qualifier).expect("WAL append failed").0
     }
 
-    /// Deletes a cell WAL-first (see [`CfStore::try_put`]).
-    pub fn try_delete(&mut self, row: RowKey, qualifier: Qualifier) -> Result<Timestamp> {
+    /// The canonical delete: writes a tombstone WAL-first (see
+    /// [`CfStore::try_put`]).
+    pub fn try_delete(
+        &mut self,
+        row: RowKey,
+        qualifier: Qualifier,
+    ) -> Result<(Timestamp, OpStats)> {
         let ts = Timestamp(self.next_ts);
         let key = InternalKey::new(row, qualifier, ts);
         if let Some(wal) = &mut self.wal {
             wal.append(&key, None)?;
         }
         self.next_ts += 1;
-        self.memstore.insert(key, None);
-        Ok(ts)
+        self.shared.active.write().insert(key, None);
+        Ok((ts, OpStats::memstore_only()))
     }
 
     /// Atomically compares the current value and writes `new` if it
     /// matches `expected` (`None` = expects absence). Returns whether the
     /// write happened — HBase's `checkAndPut`, the primitive behind its
     /// "write operations are atomic" guarantee (§2.1).
+    #[inline]
     pub fn check_and_put(
         &mut self,
         row: RowKey,
@@ -282,18 +468,20 @@ impl CfStore {
         expected: Option<&Bytes>,
         new: Bytes,
     ) -> Result<bool> {
-        self.check_and_put_with_stats(row, qualifier, expected, new).map(|(done, _)| done)
+        self.try_check_and_put(row, qualifier, expected, new).map(|(done, _)| done)
     }
 
-    /// [`CfStore::check_and_put`] reporting the read-modify-write's work.
-    pub fn check_and_put_with_stats(
+    /// The canonical compare-and-set, reporting the read-modify-write's
+    /// work. Atomicity comes from the single-writer rule: this takes
+    /// `&mut self`, so no other write can interleave with the read.
+    pub fn try_check_and_put(
         &mut self,
         row: RowKey,
         qualifier: Qualifier,
         expected: Option<&Bytes>,
         new: Bytes,
     ) -> Result<(bool, OpStats)> {
-        let (current, stats) = self.try_get_with_stats(&row, &qualifier)?;
+        let (current, stats) = self.try_get(&row, &qualifier)?;
         if current.as_ref() == expected {
             self.try_put(row, qualifier, new)?;
             Ok((true, stats))
@@ -305,18 +493,19 @@ impl CfStore {
     /// Atomically adds `delta` to a cell holding a decimal integer
     /// (absent cells count as 0) and returns the new value — HBase's
     /// `incrementColumnValue`.
+    #[inline]
     pub fn increment(&mut self, row: RowKey, qualifier: Qualifier, delta: i64) -> Result<i64> {
-        self.increment_with_stats(row, qualifier, delta).map(|(v, _)| v)
+        self.try_increment(row, qualifier, delta).map(|(v, _)| v)
     }
 
-    /// [`CfStore::increment`] reporting the read-modify-write's work.
-    pub fn increment_with_stats(
+    /// The canonical increment, reporting the read-modify-write's work.
+    pub fn try_increment(
         &mut self,
         row: RowKey,
         qualifier: Qualifier,
         delta: i64,
     ) -> Result<(i64, OpStats)> {
-        let (current, stats) = self.try_get_with_stats(&row, &qualifier)?;
+        let (current, stats) = self.try_get(&row, &qualifier)?;
         let current = current
             .and_then(|v| std::str::from_utf8(&v).ok().and_then(|s| s.parse::<i64>().ok()))
             .unwrap_or(0);
@@ -330,53 +519,25 @@ impl CfStore {
     /// # Panics
     ///
     /// Panics on detected block corruption; corruption-aware callers use
-    /// [`CfStore::try_get_with_stats`].
-    pub fn get(&mut self, row: &RowKey, qualifier: &Qualifier) -> Option<Bytes> {
+    /// [`CfStore::try_get`].
+    #[inline]
+    pub fn get(&self, row: &RowKey, qualifier: &Qualifier) -> Option<Bytes> {
         self.get_with_stats(row, qualifier).0
     }
 
     /// [`CfStore::get`] reporting which blocks the read touched and whether
     /// the memstore answered it. Panics on detected block corruption (see
-    /// [`CfStore::try_get_with_stats`]).
-    pub fn get_with_stats(
-        &mut self,
-        row: &RowKey,
-        qualifier: &Qualifier,
-    ) -> (Option<Bytes>, OpStats) {
-        self.try_get_with_stats(row, qualifier).expect("corrupted HFile block on read path")
+    /// [`CfStore::try_get`]).
+    #[inline]
+    pub fn get_with_stats(&self, row: &RowKey, qualifier: &Qualifier) -> (Option<Bytes>, OpStats) {
+        self.try_get(row, qualifier).expect("corrupted HFile block on read path")
     }
 
-    /// The point-read path. Cold block reads verify checksums, so bit-rot
-    /// surfaces here as [`HStoreError::Corruption`] instead of a silently
-    /// wrong answer.
-    pub fn try_get_with_stats(
-        &mut self,
-        row: &RowKey,
-        qualifier: &Qualifier,
-    ) -> Result<(Option<Bytes>, OpStats)> {
-        let mut stats = OpStats::default();
-        if let Some(v) = self.memstore.get_newest(row, qualifier) {
-            self.read_stats.memstore_hits += 1;
-            stats.memstore = true;
-            return Ok((v, stats)); // tombstone → None
-        }
-        for file in self.files.iter().rev() {
-            let (result, bloom_rejected, access) = file.get(row, qualifier, &self.cache)?;
-            match access {
-                Some(crate::Access::Hit) => stats.cache_hits += 1,
-                Some(crate::Access::Miss) => stats.blocks_read += 1,
-                None => {}
-            }
-            if bloom_rejected {
-                self.read_stats.bloom_skips += 1;
-                continue;
-            }
-            self.read_stats.files_probed += 1;
-            if let Some(v) = result {
-                return Ok((v, stats));
-            }
-        }
-        Ok((None, stats))
+    /// The canonical point read. Cold block reads verify checksums, so
+    /// bit-rot surfaces here as [`HStoreError::Corruption`] instead of a
+    /// silently wrong answer.
+    pub fn try_get(&self, row: &RowKey, qualifier: &Qualifier) -> Result<(Option<Bytes>, OpStats)> {
+        self.shared.try_get(row, qualifier)
     }
 
     /// Scans up to `row_limit` rows starting at `start` (inclusive),
@@ -387,97 +548,23 @@ impl CfStore {
 
     /// Scans up to `row_limit` rows within `range`.
     pub fn scan_range(&self, range: &KeyRange, row_limit: usize) -> ScanRows {
-        self.scan_range_impl(range, row_limit, None)
+        self.shared.scan_with(range, row_limit, None).0
     }
 
     /// [`CfStore::scan_range`] reporting the blocks this scan (and only
     /// this scan) entered across every file it merged.
     pub fn scan_range_with_stats(&self, range: &KeyRange, row_limit: usize) -> (ScanRows, OpStats) {
-        let counter = AccessCounter::new();
-        let rows = self.scan_range_impl(range, row_limit, Some(counter.clone()));
-        let stats = OpStats {
-            cache_hits: counter.hits(),
-            blocks_read: counter.misses(),
-            memstore: !self.memstore.is_empty(),
-        };
-        (rows, stats)
-    }
-
-    fn scan_range_impl(
-        &self,
-        range: &KeyRange,
-        row_limit: usize,
-        counter: Option<AccessCounter>,
-    ) -> ScanRows {
-        let _span = telemetry::span::span("hstore.scan");
-        let mut out: ScanRows = Vec::new();
-        let mut current_row: Option<&RowKey> = None;
-        let mut current_cells: Vec<(Qualifier, Bytes)> = Vec::new();
-        let mut last_coord: Option<&CellCoord> = None;
-
-        for (key, value) in self.merge_cursors(range, counter) {
-            // The first version seen for a coordinate is the newest (merge
-            // order); later versions of the same coordinate are shadowed.
-            if last_coord == Some(&key.coord) {
-                continue;
-            }
-            last_coord = Some(&key.coord);
-
-            if current_row != Some(&key.coord.row) {
-                if let Some(row) = current_row.take() {
-                    if !current_cells.is_empty() {
-                        out.push((row.clone(), std::mem::take(&mut current_cells)));
-                        if out.len() >= row_limit {
-                            return out;
-                        }
-                    }
-                }
-                current_row = Some(&key.coord.row);
-            }
-            // Only what escapes into the result is cloned — and those
-            // clones are refcount bumps on the stored `Bytes`.
-            if let Some(v) = value {
-                current_cells.push((key.coord.qualifier.clone(), v.clone()));
-            }
-        }
-        if let Some(row) = current_row {
-            if !current_cells.is_empty() && out.len() < row_limit {
-                out.push((row.clone(), current_cells));
-            }
-        }
-        out
-    }
-
-    /// K-way merge of memstore and file iterators over `range`, in
-    /// `InternalKey` order, yielding owned cells.
-    fn merge_iter<'a>(&'a self, range: &KeyRange) -> impl Iterator<Item = CellVersion> + 'a {
-        self.merge_cursors(range, None)
-            .map(|(k, v)| CellVersion { key: k.clone(), value: v.clone() })
-    }
-
-    /// The borrowed k-way merge underlying every multi-source read:
-    /// a loser tree over one cursor per source. The memstore streams
-    /// straight off its `BTreeMap` (no per-scan materialization) and file
-    /// cursors record cache accesses into `counter` when one is supplied.
-    fn merge_cursors<'a>(
-        &'a self,
-        range: &KeyRange,
-        counter: Option<AccessCounter>,
-    ) -> LoserTree<'a> {
-        let mut cursors = Vec::with_capacity(1 + self.files.len());
-        cursors.push(Cursor::mem(self.memstore.range_iter(range)));
-        for file in &self.files {
-            cursors.push(Cursor::file(file.range_scan_counted(
-                range,
-                &self.cache,
-                counter.clone(),
-            )));
-        }
-        LoserTree::new(cursors)
+        self.shared.scan_range_with_stats(range, row_limit)
     }
 
     /// Flushes the memstore into a new file. Returns `None` when there was
     /// nothing to flush.
+    ///
+    /// This is the immutable-memstore handoff: the active memstore is
+    /// frozen behind an `Arc` and published in the view (readers keep
+    /// seeing every edit throughout), the HFile is built off the frozen
+    /// copy with no locks held, and the finished file replaces the frozen
+    /// memstore in one atomic view swap.
     ///
     /// With a WAL attached the flush first rotates the log (sealing the
     /// segments that cover the flushed edits behind a final sync) and,
@@ -486,7 +573,7 @@ impl CfStore {
     /// armed disk fault) the flush aborts with nothing lost: memstore and
     /// log are untouched and `None` is returned.
     pub fn flush(&mut self) -> Option<FlushOutcome> {
-        if self.memstore.is_empty() {
+        if self.shared.active.read().is_empty() {
             return None;
         }
         let _span = telemetry::span::span("hstore.flush");
@@ -495,25 +582,46 @@ impl CfStore {
                 return None;
             }
         }
-        let cells = self.memstore.drain_sorted();
-        let file = HFile::build(self.ids.next(), cells, self.block_size);
+        // Freeze: move the active memstore into the view's frozen list
+        // under both write locks, so no reader can catch the edits in
+        // neither place (readers lock active before cloning the view).
+        let frozen = {
+            let mut active = self.shared.active.write();
+            let mut view = self.shared.view.write();
+            let frozen = Arc::new(std::mem::take(&mut *active));
+            let mut next_frozen = Vec::with_capacity(view.frozen.len() + 1);
+            next_frozen.push(frozen.clone());
+            next_frozen.extend(view.frozen.iter().cloned());
+            *view = Arc::new(StoreView { frozen: next_frozen, files: view.files.clone() });
+            frozen
+        };
+        // Build the file off the frozen copy — no locks held, readers
+        // proceed against the published view.
+        let cells = frozen.snapshot_sorted();
+        let file = Arc::new(HFile::build(self.ids.next(), cells, self.block_size));
         let outcome = FlushOutcome { file: file.id(), bytes: file.total_bytes() };
-        self.files.push(Arc::new(file));
+        // Swap: the frozen memstore leaves the view as the file enters it.
+        {
+            let mut view = self.shared.view.write();
+            let next_frozen: Vec<Arc<MemStore>> =
+                view.frozen.iter().filter(|m| !Arc::ptr_eq(m, &frozen)).cloned().collect();
+            let mut next_files = view.files.clone();
+            next_files.push(file);
+            *view = Arc::new(StoreView { frozen: next_frozen, files: next_files });
+        }
         if let Some(wal) = &mut self.wal {
             wal.truncate_sealed();
         }
         Some(outcome)
     }
 
-    /// Simulates process death: the memstore and any staged-but-unsynced
-    /// WAL bytes vanish; immutable files and synced WAL segments survive
-    /// as the [`DurableState`] a replacement process reopens.
+    /// Simulates process death: the memstore (active and frozen) and any
+    /// staged-but-unsynced WAL bytes vanish; immutable files and synced WAL
+    /// segments survive as the [`DurableState`] a replacement process
+    /// reopens.
     pub fn crash(self) -> DurableState {
-        DurableState {
-            files: self.files,
-            wal: self.wal.map(Wal::into_durable),
-            block_size: self.block_size,
-        }
+        let files = self.shared.view.read().files.clone();
+        DurableState { files, wal: self.wal.map(Wal::into_durable), block_size: self.block_size }
     }
 
     /// Reopens a store from its durable state: every HFile is
@@ -539,12 +647,12 @@ impl CfStore {
             max_ts = max_ts.max(file.max_ts());
         }
         let mut store = CfStore::new(cache, ids, state.block_size);
-        store.files = state.files;
+        *store.shared.view.write() = Arc::new(StoreView { frozen: Vec::new(), files: state.files });
         let mut report = RecoveryReport {
             replayed_records: 0,
             replayed_bytes: 0,
             torn_tail: None,
-            files_verified: store.files.len(),
+            files_verified: store.file_count(),
             cost: SimDuration(0),
         };
         if let Some(wal) = state.wal {
@@ -562,9 +670,12 @@ impl CfStore {
                 }
                 None => {}
             }
-            for record in &replay.records {
-                max_ts = max_ts.max(record.key.ts.0);
-                store.memstore.insert(record.key.clone(), record.value.clone());
+            {
+                let mut active = store.shared.active.write();
+                for record in &replay.records {
+                    max_ts = max_ts.max(record.key.ts.0);
+                    active.insert(record.key.clone(), record.value.clone());
+                }
             }
             report.replayed_records = replay.records.len() as u64;
             report.replayed_bytes = replay.scanned_bytes;
@@ -578,37 +689,48 @@ impl CfStore {
     /// Injects bit-rot into block `block` of live file `file` (nemesis
     /// hook for read-path corruption tests). Returns whether both exist.
     pub fn corrupt_file_block(&mut self, file: FileId, block: usize) -> bool {
-        for f in &mut self.files {
+        let mut view = self.shared.view.write();
+        let mut files = view.files.clone();
+        let mut hit = false;
+        for f in &mut files {
             if f.id() == file {
-                return Arc::make_mut(f).corrupt_block(block);
+                hit = Arc::make_mut(f).corrupt_block(block);
+                break;
             }
         }
-        false
+        if hit {
+            *view = Arc::new(StoreView { frozen: view.frozen.clone(), files });
+        }
+        hit
     }
 
     /// Merges the oldest `k` files into one (minor compaction). All versions
     /// and tombstones are retained — only a major compaction may drop them.
     pub fn compact_minor(&mut self, k: usize) -> Option<CompactionOutcome> {
-        if self.files.len() < 2 || k < 2 {
+        let files = self.shared.view.read().files.clone();
+        if files.len() < 2 || k < 2 {
             return None;
         }
-        let k = k.min(self.files.len());
-        let inputs: Vec<Arc<HFile>> = self.files.drain(..k).collect();
-        self.merge_files(inputs, false)
+        let k = k.min(files.len());
+        self.merge_files(&files[..k], false)
     }
 
     /// Merges *all* files into one, keeping only the newest version of each
     /// coordinate and dropping tombstones — HBase's major compact, which is
     /// also what restores DFS locality after region moves (§2.1).
     pub fn compact_major(&mut self) -> Option<CompactionOutcome> {
-        if self.files.is_empty() {
+        let files = self.shared.view.read().files.clone();
+        if files.is_empty() {
             return None;
         }
-        let inputs: Vec<Arc<HFile>> = self.files.drain(..).collect();
-        self.merge_files(inputs, true)
+        self.merge_files(&files, true)
     }
 
-    fn merge_files(&mut self, inputs: Vec<Arc<HFile>>, major: bool) -> Option<CompactionOutcome> {
+    /// Merges `inputs` (a prefix of the current file list) into one file
+    /// and swaps the view. Readers holding the pre-compaction view keep
+    /// reading the replaced files — their `Arc`s stay alive until the last
+    /// snapshot drops.
+    fn merge_files(&mut self, inputs: &[Arc<HFile>], major: bool) -> Option<CompactionOutcome> {
         let _span = telemetry::span::span_labeled(
             "hstore.compact",
             &[("kind", if major { "major" } else { "minor" })],
@@ -643,50 +765,59 @@ impl CfStore {
         let bytes_written = file.total_bytes();
         let output = file.id();
         // New file is "oldest" relative to files written after the inputs —
-        // insert at the front to preserve the ordering invariant.
-        self.files.insert(0, Arc::new(file));
+        // it takes the front to preserve the ordering invariant. Single
+        // writer, so `files` cannot have changed since the caller captured
+        // it; the swap below only has to skip the merged prefix.
+        {
+            let mut view = self.shared.view.write();
+            let mut next_files = Vec::with_capacity(view.files.len() - inputs.len() + 1);
+            next_files.push(Arc::new(file));
+            next_files.extend(view.files.iter().skip(inputs.len()).cloned());
+            *view = Arc::new(StoreView { frozen: view.frozen.clone(), files: next_files });
+        }
         for id in &replaced {
-            self.cache.invalidate_file(*id);
+            self.shared.cache.invalidate_file(*id);
         }
         Some(CompactionOutcome { replaced, output, bytes_rewritten: bytes_read + bytes_written })
     }
 
-    /// Current memstore footprint in bytes.
+    /// Current (active) memstore footprint in bytes.
     pub fn memstore_bytes(&self) -> usize {
-        self.memstore.heap_bytes()
+        self.shared.active.read().heap_bytes()
     }
 
     /// Total bytes across immutable files.
     pub fn file_bytes(&self) -> u64 {
-        self.files.iter().map(|f| f.total_bytes()).sum()
+        self.shared.view.read().files.iter().map(|f| f.total_bytes()).sum()
     }
 
     /// Number of immutable files (read amplification indicator).
     pub fn file_count(&self) -> usize {
-        self.files.len()
+        self.shared.view.read().files.len()
     }
 
     /// Ids and sizes of the current files (DFS registration).
     pub fn file_manifest(&self) -> Vec<(FileId, u64)> {
-        self.files.iter().map(|f| (f.id(), f.total_bytes())).collect()
+        self.shared.view.read().files.iter().map(|f| (f.id(), f.total_bytes())).collect()
     }
 
     /// Read-path statistics.
     pub fn read_stats(&self) -> ReadPathStats {
-        self.read_stats
+        self.shared.read_stats()
     }
 
     /// A row at roughly the byte-midpoint of the stored data — HBase's
     /// split-point heuristic (the middle block of the largest store file).
     pub fn midpoint_row(&self) -> Option<RowKey> {
-        let largest = self.files.iter().max_by_key(|f| f.total_bytes());
+        let view = self.shared.view.read().clone();
+        let largest = view.files.iter().max_by_key(|f| f.total_bytes());
         if let Some(f) = largest {
             if f.block_count() > 1 {
                 // First key of the middle block.
                 let mid = f.block_count() / 2;
                 let row = f
                     .range_scan(&KeyRange::all(), &SharedBlockCache::new(0))
-                    .nth(self.nth_cell_of_block(f, mid))
+                    .nth(nth_cell_of_block(f, mid))
                     .map(|c| c.key.coord.row.clone());
                 if row.is_some() {
                     return row;
@@ -694,26 +825,17 @@ impl CfStore {
             }
         }
         // Fall back to the median memstore row.
-        let snapshot = self.memstore.snapshot_sorted();
+        let snapshot = self.shared.active.read().snapshot_sorted();
         if snapshot.is_empty() {
             return None;
         }
         Some(snapshot[snapshot.len() / 2].key.coord.row.clone())
     }
 
-    fn nth_cell_of_block(&self, file: &HFile, block: usize) -> usize {
-        // Approximate: blocks before `block` hold entry_count/block_count
-        // cells each on average.
-        if file.block_count() == 0 {
-            return 0;
-        }
-        (file.entry_count() as usize / file.block_count()) * block
-    }
-
     /// Every cell version in `range`, newest-first per coordinate — used to
     /// physically split a region.
     pub fn export_range(&self, range: &KeyRange) -> Vec<CellVersion> {
-        self.merge_iter(range).collect()
+        self.shared.export_range(range)
     }
 
     /// Rebuilds a store from exported cells (post-split daughter region).
@@ -732,7 +854,8 @@ impl CfStore {
             let mut sorted = cells;
             sorted.sort_by(|a, b| a.key.cmp(&b.key));
             let file = HFile::build(store.ids.next(), sorted, block_size);
-            store.files.push(Arc::new(file));
+            *store.shared.view.write() =
+                Arc::new(StoreView { frozen: Vec::new(), files: vec![Arc::new(file)] });
         }
         store
     }
@@ -743,7 +866,222 @@ impl CfStore {
     }
 }
 
-/// One sorted input to the read-path merge: the memstore range or a file
+/// A cloneable, `Send + Sync` read handle onto a live [`CfStore`].
+///
+/// Readers holding one see every acknowledged write immediately (they read
+/// the same active memstore and view the writer publishes into) and never
+/// block the writer beyond the brief freeze/swap windows of a flush.
+#[derive(Debug, Clone)]
+pub struct StoreReader {
+    shared: Arc<StoreShared>,
+}
+
+impl StoreReader {
+    /// The canonical point read (see [`CfStore::try_get`]).
+    pub fn try_get(&self, row: &RowKey, qualifier: &Qualifier) -> Result<(Option<Bytes>, OpStats)> {
+        self.shared.try_get(row, qualifier)
+    }
+
+    /// Reads the newest live value, panicking on detected corruption.
+    #[inline]
+    pub fn get(&self, row: &RowKey, qualifier: &Qualifier) -> Option<Bytes> {
+        self.try_get(row, qualifier).expect("corrupted HFile block on read path").0
+    }
+
+    /// Scans up to `row_limit` rows starting at `start` (inclusive).
+    pub fn scan(&self, start: &RowKey, row_limit: usize) -> ScanRows {
+        self.scan_range(&KeyRange::new(Some(start.clone()), None), row_limit)
+    }
+
+    /// Scans up to `row_limit` rows within `range`.
+    pub fn scan_range(&self, range: &KeyRange, row_limit: usize) -> ScanRows {
+        self.shared.scan_with(range, row_limit, None).0
+    }
+
+    /// [`StoreReader::scan_range`] reporting this scan's block traffic.
+    pub fn scan_range_with_stats(&self, range: &KeyRange, row_limit: usize) -> (ScanRows, OpStats) {
+        self.shared.scan_range_with_stats(range, row_limit)
+    }
+
+    /// A stable point-in-time view (see [`StoreSnapshot`]).
+    pub fn snapshot(&self) -> StoreSnapshot {
+        self.shared.snapshot()
+    }
+}
+
+/// A stable point-in-time view of a store: the memstore contents at capture
+/// time plus the then-current file set. Unlike a [`StoreReader`] — which
+/// tracks the live store — a snapshot never changes: writes, flushes, and
+/// even major compactions after [`CfStore::snapshot`] are invisible to it
+/// (the replaced files stay alive through the snapshot's `Arc`s).
+///
+/// Snapshot reads still go through the shared block cache and therefore
+/// count toward its global hit/miss statistics, but they do **not** bump
+/// the store's [`ReadPathStats`] — a snapshot may outlive the store, and
+/// its traffic (region rebuilds, read replicas) is not serving-path load.
+#[derive(Debug, Clone)]
+pub struct StoreSnapshot {
+    /// Memstore states newest → oldest: the captured active memstore, then
+    /// any memstores that were frozen mid-flush at capture time.
+    mems: Vec<Arc<MemStore>>,
+    /// Immutable files, oldest → newest.
+    files: Vec<Arc<HFile>>,
+    cache: SharedBlockCache,
+}
+
+impl StoreSnapshot {
+    /// The canonical point read against the captured state.
+    pub fn try_get(&self, row: &RowKey, qualifier: &Qualifier) -> Result<(Option<Bytes>, OpStats)> {
+        let mut stats = OpStats::default();
+        for mem in &self.mems {
+            if let Some(v) = mem.get_newest(row, qualifier) {
+                stats.memstore = true;
+                return Ok((v, stats));
+            }
+        }
+        for file in self.files.iter().rev() {
+            let (result, bloom_rejected, access) = file.get(row, qualifier, &self.cache)?;
+            match access {
+                Some(crate::Access::Hit) => stats.cache_hits += 1,
+                Some(crate::Access::Miss) => stats.blocks_read += 1,
+                None => {}
+            }
+            if bloom_rejected {
+                continue;
+            }
+            if let Some(v) = result {
+                return Ok((v, stats));
+            }
+        }
+        Ok((None, stats))
+    }
+
+    /// Reads the newest live value, panicking on detected corruption.
+    #[inline]
+    pub fn get(&self, row: &RowKey, qualifier: &Qualifier) -> Option<Bytes> {
+        self.try_get(row, qualifier).expect("corrupted HFile block on read path").0
+    }
+
+    /// Scans up to `row_limit` rows starting at `start` (inclusive).
+    pub fn scan(&self, start: &RowKey, row_limit: usize) -> ScanRows {
+        self.scan_range(&KeyRange::new(Some(start.clone()), None), row_limit)
+    }
+
+    /// Scans up to `row_limit` rows within `range`.
+    pub fn scan_range(&self, range: &KeyRange, row_limit: usize) -> ScanRows {
+        self.scan_impl(range, row_limit, None)
+    }
+
+    /// [`StoreSnapshot::scan_range`] reporting this scan's block traffic.
+    pub fn scan_range_with_stats(&self, range: &KeyRange, row_limit: usize) -> (ScanRows, OpStats) {
+        let counter = AccessCounter::new();
+        let rows = self.scan_impl(range, row_limit, Some(counter.clone()));
+        let stats = OpStats {
+            cache_hits: counter.hits(),
+            blocks_read: counter.misses(),
+            memstore: self.mems.iter().any(|m| !m.is_empty()),
+        };
+        (rows, stats)
+    }
+
+    fn scan_impl(
+        &self,
+        range: &KeyRange,
+        row_limit: usize,
+        counter: Option<AccessCounter>,
+    ) -> ScanRows {
+        let tree =
+            build_cursors(self.mems.iter().map(|m| &**m), &self.files, &self.cache, range, counter);
+        collect_rows(tree, row_limit)
+    }
+
+    /// Every cell version in `range`, newest-first per coordinate.
+    pub fn export_range(&self, range: &KeyRange) -> Vec<CellVersion> {
+        let tree =
+            build_cursors(self.mems.iter().map(|m| &**m), &self.files, &self.cache, range, None);
+        tree.map(|(k, v)| CellVersion { key: k.clone(), value: v.clone() }).collect()
+    }
+
+    /// Number of immutable files in the captured view.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+}
+
+/// Builds the read-path merge: a loser tree with one cursor per source, in
+/// priority order — memstores newest → oldest first, then files oldest →
+/// newest (ties on equal keys go to the lower cursor index). File cursors
+/// record cache accesses into `counter` when one is supplied.
+fn build_cursors<'a, M>(
+    mems: M,
+    files: &'a [Arc<HFile>],
+    cache: &'a SharedBlockCache,
+    range: &KeyRange,
+    counter: Option<AccessCounter>,
+) -> LoserTree<'a>
+where
+    M: Iterator<Item = &'a MemStore>,
+{
+    let mut cursors = Vec::with_capacity(mems.size_hint().0 + files.len());
+    for mem in mems {
+        cursors.push(Cursor::mem(mem.range_iter(range)));
+    }
+    for file in files {
+        cursors.push(Cursor::file(file.range_scan_counted(range, cache, counter.clone())));
+    }
+    LoserTree::new(cursors)
+}
+
+/// Folds a merged cell stream into live rows: the first version seen for a
+/// coordinate is the newest (merge order), later versions are shadowed, and
+/// tombstoned cells vanish.
+fn collect_rows(merge: LoserTree<'_>, row_limit: usize) -> ScanRows {
+    let mut out: ScanRows = Vec::new();
+    let mut current_row: Option<&RowKey> = None;
+    let mut current_cells: Vec<(Qualifier, Bytes)> = Vec::new();
+    let mut last_coord: Option<&CellCoord> = None;
+
+    for (key, value) in merge {
+        if last_coord == Some(&key.coord) {
+            continue;
+        }
+        last_coord = Some(&key.coord);
+
+        if current_row != Some(&key.coord.row) {
+            if let Some(row) = current_row.take() {
+                if !current_cells.is_empty() {
+                    out.push((row.clone(), std::mem::take(&mut current_cells)));
+                    if out.len() >= row_limit {
+                        return out;
+                    }
+                }
+            }
+            current_row = Some(&key.coord.row);
+        }
+        // Only what escapes into the result is cloned — and those
+        // clones are refcount bumps on the stored `Bytes`.
+        if let Some(v) = value {
+            current_cells.push((key.coord.qualifier.clone(), v.clone()));
+        }
+    }
+    if let Some(row) = current_row {
+        if !current_cells.is_empty() && out.len() < row_limit {
+            out.push((row.clone(), current_cells));
+        }
+    }
+    out
+}
+
+/// Approximate index of the first cell of `block`: blocks before it hold
+/// `entry_count / block_count` cells each on average.
+fn nth_cell_of_block(file: &HFile, block: usize) -> usize {
+    if file.block_count() == 0 {
+        return 0;
+    }
+    (file.entry_count() as usize / file.block_count()) * block
+}
+
+/// One sorted input to the read-path merge: a memstore range or a file
 /// scan. Concrete (no `Box<dyn Iterator>`) so the loser tree advances it
 /// with a direct match instead of a vtable call, and yields *references*
 /// into the underlying storage — nothing is cloned per advance.
@@ -796,7 +1134,7 @@ impl<'a> Cursor<'a> {
 /// internal node of a complete binary tree whose leaves are the cursors.
 /// Advancing costs one cursor step plus a replay of the leaf-to-root path
 /// (⌈log₂ k⌉ comparisons by reference) and allocates nothing. Ties on equal
-/// keys go to the lower cursor index, which — with cursors ordered memstore
+/// keys go to the lower cursor index, which — with cursors ordered memstores
 /// first, then files oldest→newest — reproduces the exact output order of
 /// the previous `BinaryHeap<Reverse<(InternalKey, usize)>>` merge.
 struct LoserTree<'a> {
@@ -1047,7 +1385,7 @@ mod tests {
         let lo = s.export_range(&KeyRange::new(None, Some("row10".into())));
         let hi = s.export_range(&KeyRange::new(Some("row10".into()), None));
         assert_eq!(lo.len() + hi.len(), 20);
-        let mut rebuilt = CfStore::from_cells(
+        let rebuilt = CfStore::from_cells(
             SharedBlockCache::new(1 << 20),
             FileIdAllocator::new(),
             512,
@@ -1331,7 +1669,7 @@ mod tests {
         }
         let flushed = s.flush().unwrap();
         assert!(s.corrupt_file_block(flushed.file, 0));
-        let err = s.try_get_with_stats(&"row00".into(), &"c".into()).unwrap_err();
+        let err = s.try_get(&"row00".into(), &"c".into()).unwrap_err();
         assert!(matches!(
             err,
             HStoreError::Corruption { cause: CorruptionKind::BlockChecksum, .. }
@@ -1347,5 +1685,64 @@ mod tests {
         s.flush().unwrap();
         let mid = s.midpoint_row().unwrap();
         assert!(mid > "row010".into() && mid < "row090".into(), "mid = {mid}");
+    }
+
+    #[test]
+    fn reader_tracks_live_writes_and_flushes() {
+        let mut s = store();
+        let r = s.reader();
+        assert_eq!(r.get(&"r".into(), &"c".into()), None);
+        s.put("r".into(), "c".into(), b("v1"));
+        assert_eq!(r.get(&"r".into(), &"c".into()), Some(b("v1")), "reader sees acked write");
+        s.flush().unwrap();
+        assert_eq!(r.get(&"r".into(), &"c".into()), Some(b("v1")), "reader sees flushed data");
+        s.delete("r".into(), "c".into());
+        assert_eq!(r.get(&"r".into(), &"c".into()), None, "reader sees the tombstone");
+        let rows = r.scan(&"r".into(), 10);
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn reader_and_snapshot_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StoreReader>();
+        assert_send_sync::<StoreSnapshot>();
+    }
+
+    #[test]
+    fn snapshot_ignores_later_writes_and_flushes() {
+        let mut s = store();
+        s.put("a".into(), "c".into(), b("v1"));
+        s.flush().unwrap();
+        s.put("b".into(), "c".into(), b("v2"));
+        let snap = s.snapshot();
+        // Mutate the live store every way we can.
+        s.put("a".into(), "c".into(), b("changed"));
+        s.delete("b".into(), "c".into());
+        s.put("c".into(), "c".into(), b("new"));
+        s.flush().unwrap();
+        s.compact_major().unwrap();
+        // The snapshot still answers from the captured state.
+        assert_eq!(snap.get(&"a".into(), &"c".into()), Some(b("v1")));
+        assert_eq!(snap.get(&"b".into(), &"c".into()), Some(b("v2")));
+        assert_eq!(snap.get(&"c".into(), &"c".into()), None);
+        let rows = snap.scan_range(&KeyRange::all(), 100);
+        assert_eq!(rows.len(), 2);
+        // The live store sees the new world.
+        assert_eq!(s.get(&"a".into(), &"c".into()), Some(b("changed")));
+        assert_eq!(s.get(&"b".into(), &"c".into()), None);
+    }
+
+    #[test]
+    fn snapshot_export_matches_store_export() {
+        let mut s = store();
+        for i in 0..30 {
+            s.put(format!("row{i:02}").into(), "c".into(), b("v"));
+        }
+        s.flush().unwrap();
+        s.put("row05".into(), "c".into(), b("newer"));
+        let snap = s.snapshot();
+        assert_eq!(snap.export_range(&KeyRange::all()), s.export_range(&KeyRange::all()));
+        assert_eq!(snap.file_count(), s.file_count());
     }
 }

@@ -16,7 +16,7 @@ use std::path::PathBuf;
 use std::sync::OnceLock;
 
 /// Every environment knob, parsed once.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EnvConfig {
     /// `MET_THREADS` — engine-wide thread count (`1` = the legacy
     /// sequential path). Unset or unparsable: available parallelism.
@@ -54,6 +54,15 @@ pub struct EnvConfig {
     pub perf_reps: Option<usize>,
     /// `MET_PERF_THREADS` — `exp-perf` parallel cluster leg's threads.
     pub perf_threads: Option<usize>,
+    /// `MET_PERF_CLIENTS` — `exp-perf` client threads for the threaded
+    /// store legs (`1` skips them).
+    pub perf_clients: Option<usize>,
+    /// `MET_PERF_ASSERT_CLIENT_SPEEDUP` — minimum
+    /// point-get-at-N-clients / point-get-at-1-thread ratio `exp-perf`
+    /// exits non-zero below. Meaningful only where real cores exist, so
+    /// armed on multi-core CI, not by default (cf.
+    /// `MET_SCALE_ASSERT_SPEEDUP`).
+    pub perf_assert_client_speedup: Option<f64>,
     /// `MET_PERF_COMMIT` — `exp-perf` commit label override.
     pub perf_commit: Option<String>,
     /// `MET_BENCH_PATH` — `exp-perf` output path.
@@ -104,6 +113,9 @@ impl EnvConfig {
             perf_warmup_ticks: get("MET_PERF_WARMUP_TICKS").and_then(|s| s.trim().parse().ok()),
             perf_reps: get("MET_PERF_REPS").and_then(|s| s.trim().parse().ok()),
             perf_threads: get("MET_PERF_THREADS").and_then(|s| s.trim().parse().ok()),
+            perf_clients: get("MET_PERF_CLIENTS").and_then(|s| s.trim().parse().ok()),
+            perf_assert_client_speedup: get("MET_PERF_ASSERT_CLIENT_SPEEDUP")
+                .and_then(|s| s.trim().parse().ok()),
             perf_commit: get("MET_PERF_COMMIT")
                 .map(|s| s.trim().to_string())
                 .filter(|s| !s.is_empty()),
@@ -184,6 +196,8 @@ mod tests {
             ("MET_PERF_WARMUP_TICKS", "10"),
             ("MET_PERF_REPS", "3"),
             ("MET_PERF_THREADS", "2"),
+            ("MET_PERF_CLIENTS", "4"),
+            ("MET_PERF_ASSERT_CLIENT_SPEEDUP", "2.0"),
             ("MET_PERF_COMMIT", " abc1234 "),
             ("MET_BENCH_PATH", "/tmp/BENCH_perf.json"),
             ("MET_PROFILE", "1"),
@@ -207,6 +221,8 @@ mod tests {
         assert_eq!(c.perf_warmup_ticks, Some(10));
         assert_eq!(c.perf_reps, Some(3));
         assert_eq!(c.perf_threads, Some(2));
+        assert_eq!(c.perf_clients, Some(4));
+        assert_eq!(c.perf_assert_client_speedup, Some(2.0));
         assert_eq!(c.perf_commit.as_deref(), Some("abc1234"));
         assert_eq!(c.bench_path.as_deref(), Some(std::path::Path::new("/tmp/BENCH_perf.json")));
         assert!(c.profile);

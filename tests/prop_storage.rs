@@ -159,7 +159,7 @@ proptest! {
         if mid_row == rows[0] {
             return Ok(()); // split at range start is rejected by design
         }
-        let (mut lo, mut hi) = region
+        let (lo, hi) = region
             .split(row(mid_row), RegionId(2), RegionId(3), cache, ids, 512)
             .expect("interior split point");
         for r in rows {
