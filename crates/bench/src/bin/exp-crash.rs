@@ -4,8 +4,10 @@
 //! chaos plan and gates on the cluster healing through them.
 //!
 //! Knobs: `MET_CRASH_OPS` (schedule length, default 150), `MET_CRASH_SEED`
-//! (schedule seed, default 42), `MET_THREADS` (engine thread count — the
-//! sim leg must hold its invariants at any).
+//! (schedule seed, default 42), `MET_CRASH_BG` (run every crashed store
+//! with the background maintenance pipeline on — same invariants, crashes
+//! now land mid-flush and mid-compaction), `MET_THREADS` (engine thread
+//! count — the sim leg must hold its invariants at any).
 
 use met_bench::crash;
 use simcore::{FaultPlan, FaultSpec, ScheduledFault, SimTime};
@@ -17,8 +19,12 @@ fn main() {
     let seed = cfg.crash_seed.unwrap_or(42);
     let telemetry = met_bench::telemetry_from_env();
 
-    eprintln!("crash: store audit over {ops} ops (seed {seed})...");
-    let audit = crash::run(seed, ops);
+    let bg = cfg.crash_bg;
+    eprintln!(
+        "crash: store audit over {ops} ops (seed {seed}, maintenance {})...",
+        if bg { "background" } else { "inline" }
+    );
+    let audit = crash::run_with(seed, ops, bg);
     telemetry.emit(
         SimTime::from_secs(0),
         TelemetryEvent::WalAppend { server: 0, records: audit.wal_appends, bytes: audit.wal_bytes },
@@ -96,6 +102,7 @@ fn main() {
         "experiment": "crash",
         "ops": audit.ops,
         "seed": seed,
+        "background_maintenance": bg,
         "audit": {
             "crash_points": audit.crash_points,
             "torn_points": audit.torn_points,

@@ -26,13 +26,14 @@
 use crate::block_cache::{AccessCounter, FileId, SharedBlockCache};
 use crate::error::{CorruptionKind, HStoreError, Result};
 use crate::hfile::{HFile, HFileScanIter};
+use crate::maintenance::{MaintenanceConfig, MaintenanceHandle, MaintenanceSnapshot};
 use crate::types::{CellCoord, CellVersion, InternalKey, KeyRange, Qualifier, RowKey, Timestamp};
 use crate::wal::{ReplayStop, Wal, WalConfig};
 use bytes::Bytes;
 use parking_lot::RwLock;
 use simcore::SimDuration;
 use std::cmp::Ordering as CmpOrdering;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use crate::memstore::{MemRangeIter, MemStore};
@@ -192,13 +193,13 @@ pub struct RecoveryReport {
 /// as long as it likes — compactions and flushes publish *new* views, they
 /// never mutate a published one.
 #[derive(Debug)]
-struct StoreView {
+pub(crate) struct StoreView {
     /// Memstores frozen by an in-flight flush, newest → oldest. Empty
     /// whenever no flush is running, so single-threaded behaviour is
     /// byte-identical to the pre-concurrency engine.
-    frozen: Vec<Arc<MemStore>>,
+    pub(crate) frozen: Vec<Arc<MemStore>>,
     /// Immutable files, oldest → newest.
-    files: Vec<Arc<HFile>>,
+    pub(crate) files: Vec<Arc<HFile>>,
 }
 
 /// The shared read side of a store: everything a concurrent reader needs.
@@ -207,13 +208,18 @@ struct StoreView {
 /// `active` before touching files; scans hold it for the merge). The writer
 /// takes both write locks only for the brief freeze/swap windows.
 #[derive(Debug)]
-struct StoreShared {
-    active: RwLock<MemStore>,
-    view: RwLock<Arc<StoreView>>,
-    cache: SharedBlockCache,
+pub(crate) struct StoreShared {
+    pub(crate) active: RwLock<MemStore>,
+    pub(crate) view: RwLock<Arc<StoreView>>,
+    pub(crate) cache: SharedBlockCache,
     memstore_hits: AtomicU64,
     files_probed: AtomicU64,
     bloom_skips: AtomicU64,
+    /// Live immutable-file count, maintained at every view swap that
+    /// changes the file list. The write path polls this once per put for
+    /// file-count backpressure; reading it here instead of taking the
+    /// `view` read lock keeps the poll off the lock readers contend on.
+    files_live: AtomicUsize,
 }
 
 impl StoreShared {
@@ -225,6 +231,7 @@ impl StoreShared {
             memstore_hits: AtomicU64::new(0),
             files_probed: AtomicU64::new(0),
             bloom_skips: AtomicU64::new(0),
+            files_live: AtomicUsize::new(0),
         }
     }
 
@@ -324,6 +331,105 @@ impl StoreShared {
         StoreSnapshot { mems, files: view.files.clone(), cache: self.cache.clone() }
     }
 
+    /// Freezes the active memstore into the view's frozen list (front =
+    /// newest) under both write locks, so no reader can catch the edits in
+    /// neither place. Returns `None` when the active memstore is empty.
+    /// This is the first half of every flush — inline or background.
+    pub(crate) fn freeze_active(&self) -> Option<Arc<MemStore>> {
+        let mut active = self.active.write();
+        if active.is_empty() {
+            return None;
+        }
+        let mut view = self.view.write();
+        let frozen = Arc::new(std::mem::take(&mut *active));
+        let mut next_frozen = Vec::with_capacity(view.frozen.len() + 1);
+        next_frozen.push(frozen.clone());
+        next_frozen.extend(view.frozen.iter().cloned());
+        *view = Arc::new(StoreView { frozen: next_frozen, files: view.files.clone() });
+        Some(frozen)
+    }
+
+    /// Publishes a finished flush: the frozen memstore leaves the view as
+    /// its file enters it, in one atomic swap. The read-modify-write runs
+    /// entirely inside the view write lock, so concurrent freezes and
+    /// compaction swaps serialize against it.
+    pub(crate) fn publish_flush(&self, frozen: &Arc<MemStore>, file: Arc<HFile>) {
+        self.publish_flush_batch(&[frozen], file);
+    }
+
+    /// [`StoreShared::publish_flush`] for a batched build: every memstore
+    /// in `frozen` leaves the view as their single merged file enters it,
+    /// in one atomic swap.
+    pub(crate) fn publish_flush_batch(&self, frozen: &[&Arc<MemStore>], file: Arc<HFile>) {
+        let mut view = self.view.write();
+        let next_frozen: Vec<Arc<MemStore>> = view
+            .frozen
+            .iter()
+            .filter(|m| !frozen.iter().any(|f| Arc::ptr_eq(m, f)))
+            .cloned()
+            .collect();
+        let mut next_files = view.files.clone();
+        next_files.push(file);
+        self.files_live.store(next_files.len(), Ordering::Release);
+        *view = Arc::new(StoreView { frozen: next_frozen, files: next_files });
+    }
+
+    /// Publishes a compaction: removes `replaced` from the file list and
+    /// inserts `output` at the position of the first replaced file, so a
+    /// merged contiguous run keeps the oldest→newest ordering invariant
+    /// even when flushes appended new files after the inputs were chosen.
+    /// Returns `false` (without swapping) if none of `replaced` is present.
+    pub(crate) fn replace_files(&self, replaced: &[FileId], output: Arc<HFile>) -> bool {
+        {
+            let mut view = self.view.write();
+            let mut next_files = Vec::with_capacity(view.files.len() + 1 - replaced.len().min(1));
+            let mut placed = false;
+            for f in view.files.iter() {
+                if replaced.contains(&f.id()) {
+                    if !placed {
+                        next_files.push(output.clone());
+                        placed = true;
+                    }
+                } else {
+                    next_files.push(f.clone());
+                }
+            }
+            if !placed {
+                return false;
+            }
+            self.files_live.store(next_files.len(), Ordering::Release);
+            *view = Arc::new(StoreView { frozen: view.frozen.clone(), files: next_files });
+        }
+        for id in replaced {
+            self.cache.invalidate_file(*id);
+        }
+        true
+    }
+
+    /// Heap footprint of the active memstore.
+    pub(crate) fn active_heap_bytes(&self) -> usize {
+        self.active.read().heap_bytes()
+    }
+
+    /// Frozen memstores currently awaiting a background flush, plus their
+    /// total heap bytes (the flush debt).
+    pub(crate) fn frozen_debt(&self) -> (usize, u64) {
+        let view = self.view.read().clone();
+        let bytes = view.frozen.iter().map(|m| m.heap_bytes() as u64).sum();
+        (view.frozen.len(), bytes)
+    }
+
+    /// Current immutable file count, from the maintained tally — no view
+    /// lock taken (this is on the per-put backpressure poll path).
+    pub(crate) fn file_count(&self) -> usize {
+        self.files_live.load(Ordering::Acquire)
+    }
+
+    /// The current immutable file set, oldest → newest.
+    pub(crate) fn files_snapshot(&self) -> Vec<Arc<HFile>> {
+        self.view.read().files.clone()
+    }
+
     fn read_stats(&self) -> ReadPathStats {
         ReadPathStats {
             files_probed: self.files_probed.load(Ordering::Relaxed),
@@ -348,6 +454,14 @@ pub struct CfStore {
     /// Write-ahead log; `None` (the default) keeps the legacy volatile
     /// write path byte for byte.
     wal: Option<Wal>,
+    /// Background maintenance pipeline; `None` (the default) keeps flushes
+    /// and compactions inline on the writer, byte for byte.
+    maintenance: Option<MaintenanceHandle>,
+    /// Writer-local mirror of the active memstore's heap bytes, updated
+    /// from each insert's returned delta. The per-put flush-threshold
+    /// check reads this instead of re-taking the `active` read lock that
+    /// every concurrent reader contends on.
+    active_bytes: usize,
 }
 
 impl CfStore {
@@ -360,7 +474,99 @@ impl CfStore {
             block_size,
             next_ts: 1,
             wal: None,
+            maintenance: None,
+            active_bytes: 0,
         }
+    }
+
+    /// Starts the background maintenance pipeline: from here on the write
+    /// path only appends to the WAL and active memstore; crossing the
+    /// flush threshold freezes the memstore (the cheap `Arc` handoff) and
+    /// hands it to a background flusher, and file-count triggers feed a
+    /// background compactor pool. Backpressure (a bounded frozen queue and
+    /// a blocking-store-files limit) first throttles, then stalls the
+    /// writer — see [`crate::maintenance::MaintenanceConfig`]. No-op if
+    /// already started.
+    pub fn start_maintenance(&mut self, cfg: MaintenanceConfig) {
+        if self.maintenance.is_none() {
+            self.maintenance = Some(MaintenanceHandle::start(
+                self.shared.clone(),
+                self.ids.clone(),
+                self.block_size,
+                cfg,
+            ));
+        }
+    }
+
+    /// Whether the background maintenance pipeline is running.
+    pub fn maintenance_enabled(&self) -> bool {
+        self.maintenance.is_some()
+    }
+
+    /// Counters of the background pipeline (queue depths, stall time,
+    /// debt), if it is running.
+    pub fn maintenance_snapshot(&self) -> Option<MaintenanceSnapshot> {
+        self.maintenance.as_ref().map(|m| m.snapshot(&self.shared))
+    }
+
+    /// Blocks until every queued background flush and compaction has
+    /// completed and published, then applies any WAL truncation the
+    /// background flushes earned. A quiesce point: afterwards the frozen
+    /// queue is empty and no compaction is in flight.
+    pub fn drain_maintenance(&mut self) {
+        if let Some(m) = &self.maintenance {
+            m.drain();
+            if let (Some(wal), Some(through)) = (&mut self.wal, m.take_pending_truncation()) {
+                wal.truncate_sealed_through(through);
+            }
+        }
+    }
+
+    /// Drains and stops the background pipeline, joining its threads. The
+    /// store reverts to inline maintenance.
+    pub fn stop_maintenance(&mut self) {
+        if let Some(m) = self.maintenance.take() {
+            m.drain();
+            if let (Some(wal), Some(through)) = (&mut self.wal, m.take_pending_truncation()) {
+                wal.truncate_sealed_through(through);
+            }
+            m.shutdown();
+        }
+    }
+
+    /// The write-path maintenance hook: applies deferred WAL truncations,
+    /// freezes + enqueues the memstore when it crosses the flush
+    /// threshold, and applies backpressure (throttle, then stall) when the
+    /// frozen queue or the store-file count runs too far ahead of the
+    /// background workers.
+    fn maintenance_tick(&mut self) {
+        let Some(m) = &self.maintenance else {
+            return;
+        };
+        if let (Some(wal), Some(through)) = (&mut self.wal, m.take_pending_truncation()) {
+            wal.truncate_sealed_through(through);
+        }
+        if self.active_bytes >= m.config().memstore_flush_bytes {
+            // Bounded frozen queue: stall until the flusher catches up.
+            m.stall_for_frozen_capacity(&self.shared);
+            // Seal the WAL segments covering the about-to-freeze edits;
+            // the flusher reports the seal index back for truncation once
+            // the HFile is published. A failed rotation sync (armed disk
+            // fault) skips the freeze — nothing is lost, the next write
+            // retries.
+            let sealed_through = match &mut self.wal {
+                Some(wal) => match wal.rotate() {
+                    Ok(idx) => Some(idx),
+                    Err(_) => return,
+                },
+                None => None,
+            };
+            if let Some(frozen) = self.shared.freeze_active() {
+                self.active_bytes = 0;
+                m.enqueue_flush(frozen, sealed_through);
+            }
+        }
+        m.backpressure_on_files(&self.shared);
     }
 
     /// A cheap cloneable read handle sharing this store's live state.
@@ -423,7 +629,9 @@ impl CfStore {
             wal.append(&key, Some(&value))?;
         }
         self.next_ts += 1;
-        self.shared.active.write().insert(key, Some(value));
+        let delta = self.shared.active.write().insert(key, Some(value));
+        self.active_bytes = self.active_bytes.saturating_add_signed(delta);
+        self.maintenance_tick();
         Ok((ts, OpStats::memstore_only()))
     }
 
@@ -452,7 +660,9 @@ impl CfStore {
             wal.append(&key, None)?;
         }
         self.next_ts += 1;
-        self.shared.active.write().insert(key, None);
+        let delta = self.shared.active.write().insert(key, None);
+        self.active_bytes = self.active_bytes.saturating_add_signed(delta);
+        self.maintenance_tick();
         Ok((ts, OpStats::memstore_only()))
     }
 
@@ -573,6 +783,10 @@ impl CfStore {
     /// armed disk fault) the flush aborts with nothing lost: memstore and
     /// log are untouched and `None` is returned.
     pub fn flush(&mut self) -> Option<FlushOutcome> {
+        // With the background pipeline running, quiesce it first: an
+        // inline flush truncates every sealed WAL segment, which is only
+        // sound once no frozen memstore still depends on one.
+        self.drain_maintenance();
         if self.shared.active.read().is_empty() {
             return None;
         }
@@ -585,30 +799,15 @@ impl CfStore {
         // Freeze: move the active memstore into the view's frozen list
         // under both write locks, so no reader can catch the edits in
         // neither place (readers lock active before cloning the view).
-        let frozen = {
-            let mut active = self.shared.active.write();
-            let mut view = self.shared.view.write();
-            let frozen = Arc::new(std::mem::take(&mut *active));
-            let mut next_frozen = Vec::with_capacity(view.frozen.len() + 1);
-            next_frozen.push(frozen.clone());
-            next_frozen.extend(view.frozen.iter().cloned());
-            *view = Arc::new(StoreView { frozen: next_frozen, files: view.files.clone() });
-            frozen
-        };
+        let frozen = self.shared.freeze_active().expect("non-empty memstore freezes");
+        self.active_bytes = 0;
         // Build the file off the frozen copy — no locks held, readers
         // proceed against the published view.
         let cells = frozen.snapshot_sorted();
         let file = Arc::new(HFile::build(self.ids.next(), cells, self.block_size));
         let outcome = FlushOutcome { file: file.id(), bytes: file.total_bytes() };
         // Swap: the frozen memstore leaves the view as the file enters it.
-        {
-            let mut view = self.shared.view.write();
-            let next_frozen: Vec<Arc<MemStore>> =
-                view.frozen.iter().filter(|m| !Arc::ptr_eq(m, &frozen)).cloned().collect();
-            let mut next_files = view.files.clone();
-            next_files.push(file);
-            *view = Arc::new(StoreView { frozen: next_frozen, files: next_files });
-        }
+        self.shared.publish_flush(&frozen, file);
         if let Some(wal) = &mut self.wal {
             wal.truncate_sealed();
         }
@@ -620,6 +819,14 @@ impl CfStore {
     /// segments survive as the [`DurableState`] a replacement process
     /// reopens.
     pub fn crash(self) -> DurableState {
+        // Process death takes the background workers with it: queued jobs
+        // are abandoned (their frozen memstores vanish — the WAL segments
+        // covering them were never truncated, so recovery replays them)
+        // and any truncation earned by already-published flushes is simply
+        // lost, which only means recovery replays a little extra.
+        if let Some(m) = self.maintenance {
+            m.abandon();
+        }
         let files = self.shared.view.read().files.clone();
         DurableState { files, wal: self.wal.map(Wal::into_durable), block_size: self.block_size }
     }
@@ -647,6 +854,7 @@ impl CfStore {
             max_ts = max_ts.max(file.max_ts());
         }
         let mut store = CfStore::new(cache, ids, state.block_size);
+        store.shared.files_live.store(state.files.len(), Ordering::Release);
         *store.shared.view.write() = Arc::new(StoreView { frozen: Vec::new(), files: state.files });
         let mut report = RecoveryReport {
             replayed_records: 0,
@@ -683,6 +891,7 @@ impl CfStore {
             store.wal = Some(wal);
         }
         store.next_ts = max_ts + 1;
+        store.active_bytes = store.shared.active_heap_bytes();
         Ok((store, report))
     }
 
@@ -707,6 +916,7 @@ impl CfStore {
     /// Merges the oldest `k` files into one (minor compaction). All versions
     /// and tombstones are retained — only a major compaction may drop them.
     pub fn compact_minor(&mut self, k: usize) -> Option<CompactionOutcome> {
+        self.drain_maintenance();
         let files = self.shared.view.read().files.clone();
         if files.len() < 2 || k < 2 {
             return None;
@@ -719,6 +929,7 @@ impl CfStore {
     /// coordinate and dropping tombstones — HBase's major compact, which is
     /// also what restores DFS locality after region moves (§2.1).
     pub fn compact_major(&mut self) -> Option<CompactionOutcome> {
+        self.drain_maintenance();
         let files = self.shared.view.read().files.clone();
         if files.is_empty() {
             return None;
@@ -726,57 +937,18 @@ impl CfStore {
         self.merge_files(&files, true)
     }
 
-    /// Merges `inputs` (a prefix of the current file list) into one file
-    /// and swaps the view. Readers holding the pre-compaction view keep
-    /// reading the replaced files — their `Arc`s stay alive until the last
-    /// snapshot drops.
+    /// Merges `inputs` (a contiguous run of the current file list) into one
+    /// file and swaps the view. Readers holding the pre-compaction view
+    /// keep reading the replaced files — their `Arc`s stay alive until the
+    /// last snapshot drops.
     fn merge_files(&mut self, inputs: &[Arc<HFile>], major: bool) -> Option<CompactionOutcome> {
-        let _span = telemetry::span::span_labeled(
-            "hstore.compact",
-            &[("kind", if major { "major" } else { "minor" })],
-        );
+        let file = merge_file_set(inputs, self.ids.next(), self.block_size, major);
         let replaced: Vec<FileId> = inputs.iter().map(|f| f.id()).collect();
         let bytes_read: u64 = inputs.iter().map(|f| f.total_bytes()).sum();
-
-        // Compaction reads bypass the block cache (HBase does not pollute
-        // the cache with compaction IO): scan through a zero-capacity
-        // scratch cache that admits nothing, merging by reference so only
-        // surviving cells are cloned into the output file.
-        let scratch = SharedBlockCache::new(0);
-        let cursors: Vec<Cursor<'_>> =
-            inputs.iter().map(|f| Cursor::file(f.range_scan(&KeyRange::all(), &scratch))).collect();
-
-        let mut merged: Vec<CellVersion> = Vec::new();
-        let mut last_coord: Option<&CellCoord> = None;
-        for (key, value) in LoserTree::new(cursors) {
-            if major {
-                if last_coord == Some(&key.coord) {
-                    continue; // shadowed older version
-                }
-                last_coord = Some(&key.coord);
-                if value.is_none() {
-                    continue; // tombstone dropped once it has shadowed
-                }
-            }
-            merged.push(CellVersion { key: key.clone(), value: value.clone() });
-        }
-
-        let file = HFile::build(self.ids.next(), merged, self.block_size);
         let bytes_written = file.total_bytes();
         let output = file.id();
-        // New file is "oldest" relative to files written after the inputs —
-        // it takes the front to preserve the ordering invariant. Single
-        // writer, so `files` cannot have changed since the caller captured
-        // it; the swap below only has to skip the merged prefix.
-        {
-            let mut view = self.shared.view.write();
-            let mut next_files = Vec::with_capacity(view.files.len() - inputs.len() + 1);
-            next_files.push(Arc::new(file));
-            next_files.extend(view.files.iter().skip(inputs.len()).cloned());
-            *view = Arc::new(StoreView { frozen: view.frozen.clone(), files: next_files });
-        }
-        for id in &replaced {
-            self.shared.cache.invalidate_file(*id);
+        if !self.shared.replace_files(&replaced, Arc::new(file)) {
+            return None;
         }
         Some(CompactionOutcome { replaced, output, bytes_rewritten: bytes_read + bytes_written })
     }
@@ -793,7 +965,7 @@ impl CfStore {
 
     /// Number of immutable files (read amplification indicator).
     pub fn file_count(&self) -> usize {
-        self.shared.view.read().files.len()
+        self.shared.file_count()
     }
 
     /// Ids and sizes of the current files (DFS registration).
@@ -854,6 +1026,7 @@ impl CfStore {
             let mut sorted = cells;
             sorted.sort_by(|a, b| a.key.cmp(&b.key));
             let file = HFile::build(store.ids.next(), sorted, block_size);
+            store.shared.files_live.store(1, Ordering::Release);
             *store.shared.view.write() =
                 Arc::new(StoreView { frozen: Vec::new(), files: vec![Arc::new(file)] });
         }
@@ -864,6 +1037,46 @@ impl CfStore {
     pub fn next_ts(&self) -> u64 {
         self.next_ts
     }
+}
+
+/// The heavy half of a compaction, shared by the inline path and the
+/// background compactor pool: loser-tree merges `inputs` (oldest→newest)
+/// into one file with **no store locks held**. Minor compactions retain
+/// every version and tombstone; major compactions keep only the newest
+/// version per coordinate and drop tombstones once they have shadowed.
+pub(crate) fn merge_file_set(
+    inputs: &[Arc<HFile>],
+    out_id: FileId,
+    block_size: u64,
+    major: bool,
+) -> HFile {
+    let _span = telemetry::span::span_labeled(
+        "hstore.compact",
+        &[("kind", if major { "major" } else { "minor" })],
+    );
+    // Compaction reads bypass the block cache (HBase does not pollute
+    // the cache with compaction IO): scan through a zero-capacity
+    // scratch cache that admits nothing, merging by reference so only
+    // surviving cells are cloned into the output file.
+    let scratch = SharedBlockCache::new(0);
+    let cursors: Vec<Cursor<'_>> =
+        inputs.iter().map(|f| Cursor::file(f.range_scan(&KeyRange::all(), &scratch))).collect();
+
+    let mut merged: Vec<CellVersion> = Vec::new();
+    let mut last_coord: Option<&CellCoord> = None;
+    for (key, value) in LoserTree::new(cursors) {
+        if major {
+            if last_coord == Some(&key.coord) {
+                continue; // shadowed older version
+            }
+            last_coord = Some(&key.coord);
+            if value.is_none() {
+                continue; // tombstone dropped once it has shadowed
+            }
+        }
+        merged.push(CellVersion { key: key.clone(), value: value.clone() });
+    }
+    HFile::build(out_id, merged, block_size)
 }
 
 /// A cloneable, `Send + Sync` read handle onto a live [`CfStore`].

@@ -13,8 +13,10 @@ fn sample_telemetry() -> Telemetry {
     t.counter_add("met_actions_total", &[("action", "move_in")], 3);
     t.counter_add("met_actions_total", &[("action", "split")], 1);
     t.counter_add("ticks_total", &[], 120);
+    t.counter_add("met_store_stall_ms_total", &[("server", "1")], 250);
     t.gauge_set("cluster_warmth", &[("server", "1")], 0.8125);
     t.gauge_set("cluster_warmth", &[("server", "2")], 0.5);
+    t.gauge_set("met_store_frozen_memstores", &[("server", "1")], 2.0);
     t.observe("reconfig_ms", &[("kind", "add")], 40.0);
     t.observe("reconfig_ms", &[("kind", "add")], 75.0);
     t.observe("reconfig_ms", &[("kind", "add")], 220.0);
@@ -32,11 +34,13 @@ fn exposition_is_deterministic_across_insertion_orders() {
     // the registry is key-sorted, not insertion-ordered.
     let t = Telemetry::new(Verbosity::Off);
     t.observe("reconfig_ms", &[("kind", "add")], 220.0);
+    t.gauge_set("met_store_frozen_memstores", &[("server", "1")], 2.0);
     t.gauge_set("cluster_warmth", &[("server", "2")], 0.5);
     t.counter_add("ticks_total", &[], 120);
     t.observe("reconfig_ms", &[("kind", "add")], 40.0);
     t.counter_add("met_actions_total", &[("action", "split")], 1);
     t.gauge_set("cluster_warmth", &[("server", "1")], 0.8125);
+    t.counter_add("met_store_stall_ms_total", &[("server", "1")], 250);
     t.counter_add("met_actions_total", &[("action", "move_in")], 3);
     t.observe("reconfig_ms", &[("kind", "add")], 75.0);
     assert_eq!(t.render_prometheus(), GOLDEN);
